@@ -1,0 +1,43 @@
+# sonet — build, test, and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table/figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/benchrun
+
+# The same experiments as testing.B benchmarks, plus micro-benchmarks.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/videotransport
+	$(GO) run ./examples/cloudmonitor
+	$(GO) run ./examples/intrusiontolerant
+	$(GO) run ./examples/remotemanip
+	$(GO) run ./examples/compoundflow
+
+fuzz:
+	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalPacket -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalFrame -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,75 @@
+// Command benchrun regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §4) and prints the reproduced series with a
+// paper-shape verdict per experiment.
+//
+// Usage:
+//
+//	benchrun [-only substring] [-seed n]
+//
+// -only filters experiments by ID substring (e.g. "F3", "IT").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sonet/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	only := flag.String("only", "", "run only experiments whose ID contains this substring")
+	seed := flag.Uint64("seed", 1, "base determinism seed")
+	flag.Parse()
+
+	runners := []struct {
+		id string
+		fn func(uint64) *experiments.Result
+	}{
+		{"EXP-F3", experiments.Fig3HopByHop},
+		{"EXP-F4", experiments.Fig4NMStrikes},
+		{"EXP-REROUTE", experiments.Reroute},
+		{"EXP-MCAST", experiments.Multicast},
+		{"EXP-MONCTL", experiments.MonitoringControl},
+		{"EXP-IT", experiments.IntrusionTolerance},
+		{"EXP-FAIR", experiments.Fairness},
+		{"EXP-RTRM", experiments.RemoteManipulation},
+		{"EXP-ANYCAST", experiments.Anycast},
+		{"EXP-MULTIHOME", experiments.Multihoming},
+		{"EXP-COMPOUND", experiments.CompoundFlow},
+		{"EXP-METRIC", experiments.RoutingMetric},
+		{"EXP-GLOBAL", experiments.GlobalCoverage},
+		{"EXP-CLIQUE", experiments.TopologyClique},
+	}
+
+	failures := 0
+	ran := 0
+	for _, r := range runners {
+		if *only != "" && !strings.Contains(r.id, *only) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res := r.fn(*seed)
+		fmt.Println(res.String())
+		fmt.Printf("  (wall time %.1fs)\n\n", time.Since(start).Seconds())
+		if !res.ShapeHolds {
+			failures++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchrun: no experiment matches -only=%q\n", *only)
+		return 2
+	}
+	fmt.Printf("== %d/%d experiments reproduce the paper's shape ==\n", ran-failures, ran)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

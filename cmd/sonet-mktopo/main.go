@@ -1,0 +1,79 @@
+// Command sonet-mktopo expands a shared topology description into one
+// sonetd config file per overlay node, so a deployment is described once.
+//
+// Usage:
+//
+//	sonet-mktopo -topo topology.json -out ./configs
+//
+// topology.json (transport.TopologyConfig):
+//
+//	{
+//	  "links": [
+//	    {"a": 1, "b": 2, "latency_ms": 10},
+//	    {"a": 2, "b": 3, "latency_ms": 10}
+//	  ],
+//	  "nodes": {
+//	    "1": {"udp": ["10.0.0.1:7000"], "tcp": "10.0.0.1:8000"},
+//	    "2": {"udp": ["10.0.1.1:7000", "10.1.1.1:7000"]},
+//	    "3": {"udp": ["10.0.2.1:7000"], "tcp": "10.0.2.1:8000"}
+//	  }
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sonet/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	topoPath := flag.String("topo", "", "shared topology JSON (required)")
+	outDir := flag.String("out", ".", "directory for generated node configs")
+	flag.Parse()
+	if *topoPath == "" {
+		fmt.Fprintln(os.Stderr, "sonet-mktopo: -topo is required")
+		flag.Usage()
+		return 2
+	}
+	raw, err := os.ReadFile(*topoPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sonet-mktopo: %v\n", err)
+		return 1
+	}
+	var tc transport.TopologyConfig
+	if err := json.Unmarshal(raw, &tc); err != nil {
+		fmt.Fprintf(os.Stderr, "sonet-mktopo: parse %s: %v\n", *topoPath, err)
+		return 1
+	}
+	cfgs, err := transport.GenerateConfigs(tc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sonet-mktopo: %v\n", err)
+		return 1
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "sonet-mktopo: %v\n", err)
+		return 1
+	}
+	for id, cfg := range cfgs {
+		buf, err := json.MarshalIndent(cfg, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sonet-mktopo: %v\n", err)
+			return 1
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("node%d.json", id))
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sonet-mktopo: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+// Command sonet-recv connects to an overlay daemon, binds a virtual port
+// (optionally joining a multicast group), and prints every delivered
+// message with its one-way latency.
+//
+// Usage:
+//
+//	sonet-recv -daemon 127.0.0.1:8003 -port 700
+//	sonet-recv -daemon 127.0.0.1:8003 -port 800 -join 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sonet/internal/session"
+	"sonet/internal/transport"
+	"sonet/internal/wire"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	daemon := flag.String("daemon", "127.0.0.1:8001", "daemon client address")
+	port := flag.Uint("port", 700, "virtual port to bind")
+	join := flag.Uint("join", 0, "multicast group to join")
+	quiet := flag.Bool("quiet", false, "print only the final count")
+	flag.Parse()
+
+	received := 0
+	c, err := transport.Dial(*daemon, wire.Port(*port), func(d session.Delivery) {
+		received++
+		if !*quiet {
+			fmt.Printf("from %v:%d seq %d latency %v%s: %s\n",
+				d.From, d.SrcPort, d.Seq, d.Latency,
+				map[bool]string{true: " (recovered)"}[d.Retransmitted],
+				d.Payload)
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sonet-recv: %v\n", err)
+		return 1
+	}
+	defer func() { _ = c.Close() }()
+	if *join != 0 {
+		if err := c.Join(wire.GroupID(*join)); err != nil {
+			fmt.Fprintf(os.Stderr, "sonet-recv: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Printf("sonet-recv: listening on port %d (ctrl-c to stop)\n", c.Port())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("sonet-recv: %d messages received\n", received)
+	return 0
+}

@@ -1,0 +1,76 @@
+// Command sonetd runs one structured overlay node daemon over real UDP:
+// it exchanges link-level frames with its overlay neighbors, maintains
+// the shared connectivity and group state, and serves clients on a TCP
+// session listener.
+//
+// Usage:
+//
+//	sonetd -config node1.json
+//
+// The JSON config (transport.DaemonConfig) declares the node's ID, the
+// shared overlay topology, every peer's UDP address(es), and the bind
+// addresses:
+//
+//	{
+//	  "id": 1,
+//	  "bind_udp": "127.0.0.1:7001",
+//	  "bind_tcp": "127.0.0.1:8001",
+//	  "peers": {"2": ["127.0.0.1:7002"], "3": ["127.0.0.1:7003"]},
+//	  "links": [
+//	    {"a": 1, "b": 2, "latency_ms": 10},
+//	    {"a": 2, "b": 3, "latency_ms": 10}
+//	  ]
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sonet/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	cfgPath := flag.String("config", "", "path to daemon JSON config (required)")
+	flag.Parse()
+	if *cfgPath == "" {
+		fmt.Fprintln(os.Stderr, "sonetd: -config is required")
+		flag.Usage()
+		return 2
+	}
+	raw, err := os.ReadFile(*cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sonetd: %v\n", err)
+		return 1
+	}
+	var cfg transport.DaemonConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sonetd: parse %s: %v\n", *cfgPath, err)
+		return 1
+	}
+	d, err := transport.NewDaemon(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sonetd: %v\n", err)
+		return 1
+	}
+	defer d.Close()
+	fmt.Printf("sonetd: node %v up — frames on %s", cfg.ID, d.UDPAddr())
+	if addr := d.TCPAddr(); addr != "" {
+		fmt.Printf(", clients on %s", addr)
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sonetd: shutting down")
+	return 0
+}

@@ -1,0 +1,95 @@
+package sonet
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPublicDaemonAPI boots a three-daemon chain over loopback UDP via
+// the public API and streams a reliable flow across it.
+func TestPublicDaemonAPI(t *testing.T) {
+	links := []DaemonLink{
+		{A: 1, B: 2, Latency: time.Millisecond},
+		{A: 2, B: 3, Latency: time.Millisecond},
+	}
+	daemons := make(map[NodeID]*Daemon, 3)
+	for i := NodeID(1); i <= 3; i++ {
+		cfg := DaemonConfig{
+			ID: i, BindUDP: "127.0.0.1:0",
+			Links: links, HelloInterval: 20 * time.Millisecond,
+		}
+		if i == 1 || i == 3 {
+			cfg.BindTCP = "127.0.0.1:0"
+		}
+		d, err := StartDaemon(cfg)
+		if err != nil {
+			t.Fatalf("StartDaemon(%d): %v", i, err)
+		}
+		daemons[i] = d
+		t.Cleanup(d.Close)
+	}
+	for id, d := range daemons {
+		for peer, pd := range daemons {
+			if peer == id {
+				continue
+			}
+			if err := d.AddPeer(peer, pd.UDPAddr()); err != nil {
+				t.Fatalf("AddPeer: %v", err)
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	var got []Delivery
+	recv, err := DialDaemon(daemons[3].TCPAddr(), 700, func(d Delivery) {
+		mu.Lock()
+		got = append(got, d)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("DialDaemon: %v", err)
+	}
+	defer func() { _ = recv.Close() }()
+	send, err := DialDaemon(daemons[1].TCPAddr(), 0, nil)
+	if err != nil {
+		t.Fatalf("DialDaemon: %v", err)
+	}
+	defer func() { _ = send.Close() }()
+	flow, err := send.OpenFlow(FlowSpec{
+		To: 3, ToPort: 700, Service: Reliable, Ordered: true,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond) // hello convergence
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := flow.Send([]byte("deployed")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		count := len(got)
+		mu.Unlock()
+		if count == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d", count, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, d := range got {
+		if d.Seq != uint32(i+1) || d.From != 1 || string(d.Payload) != "deployed" {
+			t.Fatalf("delivery %d = %+v", i, d)
+		}
+	}
+	if st := daemons[2].Stats(); st.Forwarded == 0 {
+		t.Fatal("relay daemon forwarded nothing")
+	}
+}

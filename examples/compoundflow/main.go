@@ -1,0 +1,131 @@
+// Compound flows (§V-C): a stadium uplinks a live MPEG transport stream
+// into the overlay; an in-network transcoding facility — selected by
+// anycast from a replicated service group — transforms it and multicasts
+// the mezzanine output to CDN ingest sites. When the serving facility's
+// data center fails, the overlay re-resolves the anycast to the alternate
+// facility and the transformed delivery continues.
+//
+//	go run ./examples/compoundflow
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"sonet"
+)
+
+const (
+	stadium sonet.NodeID = 1
+	hub     sonet.NodeID = 2
+	xcodeA  sonet.NodeID = 3
+	xcodeB  sonet.NodeID = 4
+	cdn1    sonet.NodeID = 5
+	cdn2    sonet.NodeID = 6
+
+	xcodeGroup sonet.GroupID = 10
+	cdnGroup   sonet.GroupID = 11
+	rawPort    sonet.Port    = 100
+	outPort    sonet.Port    = 200
+)
+
+func main() {
+	ms := time.Millisecond
+	links := []sonet.Link{
+		{A: stadium, B: hub, Latency: 8 * ms},
+		{A: hub, B: xcodeA, Latency: 6 * ms},
+		{A: hub, B: xcodeB, Latency: 10 * ms},
+		{A: xcodeA, B: cdn1, Latency: 10 * ms},
+		{A: xcodeA, B: cdn2, Latency: 12 * ms},
+		{A: xcodeB, B: cdn1, Latency: 12 * ms},
+		{A: xcodeB, B: cdn2, Latency: 10 * ms},
+		{A: xcodeA, B: xcodeB, Latency: 5 * ms},
+	}
+	net, err := sonet.New(31, links)
+	if err != nil {
+		panic(err)
+	}
+	defer net.Close()
+
+	// Two transcoding facilities join the service group; each transforms
+	// raw frames and republishes them to the CDN group.
+	for _, site := range []sonet.NodeID{xcodeA, xcodeB} {
+		site := site
+		in, err := net.Connect(site, rawPort)
+		if err != nil {
+			panic(err)
+		}
+		in.Join(xcodeGroup)
+		out, err := net.Connect(site, 0)
+		if err != nil {
+			panic(err)
+		}
+		outFlow, err := out.OpenFlow(sonet.FlowSpec{
+			Group: cdnGroup, ToPort: outPort, Service: sonet.RealTime,
+		})
+		if err != nil {
+			panic(err)
+		}
+		in.OnDeliver(func(d sonet.Delivery) {
+			transcoded := append(bytes.ToUpper(d.Payload), []byte("|h265")...)
+			_ = outFlow.Send(transcoded)
+		})
+	}
+
+	// CDN ingest sites subscribe to the transformed stream.
+	type cdnState struct {
+		frames int
+		last   []byte
+	}
+	states := make(map[sonet.NodeID]*cdnState)
+	for _, cdn := range []sonet.NodeID{cdn1, cdn2} {
+		st := &cdnState{}
+		states[cdn] = st
+		c, err := net.Connect(cdn, outPort)
+		if err != nil {
+			panic(err)
+		}
+		c.Join(cdnGroup)
+		c.OnDeliver(func(d sonet.Delivery) {
+			st.frames++
+			st.last = d.Payload
+		})
+	}
+	net.Settle()
+
+	// The stadium anycasts the raw stream to the nearest facility.
+	uplink, err := net.Connect(stadium, 0)
+	if err != nil {
+		panic(err)
+	}
+	raw, err := uplink.OpenFlow(sonet.FlowSpec{
+		Group: xcodeGroup, Anycast: true, ToPort: rawPort,
+		Service: sonet.RealTime,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 2000; i++ {
+		i := i
+		net.RunAt(time.Duration(i)*10*ms, func() { _ = raw.Send([]byte("frame")) })
+	}
+
+	// Ten seconds in, the serving facility's data center goes dark.
+	net.RunAt(10*time.Second, func() {
+		fmt.Printf("t=%v: transcoder A's data center fails\n", net.Now())
+		net.FailNode(xcodeA)
+	})
+	net.Run(25 * time.Second)
+
+	aStats, _ := net.NodeStats(xcodeA)
+	bStats, _ := net.NodeStats(xcodeB)
+	fmt.Printf("\nframes transcoded: facility A %d, facility B %d\n",
+		aStats.DeliveredLocal, bStats.DeliveredLocal)
+	for cdn, st := range states {
+		fmt.Printf("cdn %v ingested %d transformed frames, last = %q\n", cdn, st.frames, st.last)
+	}
+	fmt.Println("\nthe anycast re-resolved to facility B within the overlay's")
+	fmt.Println("failure-detection time; the compound flow never needed the stadium")
+	fmt.Println("or the CDNs to know which facility was doing the work.")
+}

@@ -1,0 +1,78 @@
+// Intrusion-tolerant messaging (§IV-B): the overlay carries SCADA-style
+// control traffic while one of its own nodes is compromised and silently
+// blackholes data. Source authentication, node-disjoint paths, and
+// constrained flooding keep correct traffic flowing.
+//
+//	go run ./examples/intrusiontolerant
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sonet"
+)
+
+func main() {
+	// A 6-node overlay with three disjoint west-east corridors.
+	ms := time.Millisecond
+	links := []sonet.Link{
+		{A: 1, B: 2, Latency: 10 * ms}, {A: 2, B: 6, Latency: 10 * ms}, // north
+		{A: 1, B: 3, Latency: 12 * ms}, {A: 3, B: 6, Latency: 12 * ms}, // center
+		{A: 1, B: 4, Latency: 14 * ms}, {A: 4, B: 5, Latency: 8 * ms}, // south
+		{A: 5, B: 6, Latency: 8 * ms},
+		{A: 2, B: 3, Latency: 5 * ms}, {A: 3, B: 4, Latency: 5 * ms},
+	}
+	// Node 2 — on the fastest corridor — is compromised. Every node signs
+	// and verifies with keys derived from the deployment seed.
+	net, err := sonet.New(17, links,
+		sonet.WithAuthentication([]byte("control-net-keys")),
+		sonet.WithCompromisedNode(2),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer net.Close()
+
+	dst, err := net.Connect(6, 100)
+	if err != nil {
+		panic(err)
+	}
+	src, err := net.Connect(1, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	trial := func(label string, spec sonet.FlowSpec) {
+		flow, err := src.OpenFlow(spec)
+		if err != nil {
+			panic(err)
+		}
+		before := dst.Stats().Received
+		for i := 0; i < 100; i++ {
+			i := i
+			net.RunAt(time.Duration(i)*10*ms, func() { _ = flow.Send([]byte("close breaker 4")) })
+		}
+		net.Run(3 * time.Second)
+		got := dst.Stats().Received - before
+		fmt.Printf("  %-42s %3d/100 delivered\n", label, got)
+	}
+
+	fmt.Println("node 2 is compromised (blackholes data, participates in routing):")
+	trial("shortest path (crosses node 2)", sonet.FlowSpec{
+		To: 6, ToPort: 100, Service: sonet.ITPriority,
+	})
+	trial("2 node-disjoint paths", sonet.FlowSpec{
+		To: 6, ToPort: 100, Service: sonet.ITPriority, DisjointPaths: 2,
+	})
+	trial("constrained flooding", sonet.FlowSpec{
+		To: 6, ToPort: 100, Service: sonet.ITPriority, Flood: true,
+	})
+
+	st, _ := net.NodeStats(2)
+	fmt.Printf("\nthe compromised node silently absorbed %d packets;\n", st.Blackholed)
+	fmt.Println("with k disjoint paths a source tolerates k-1 compromised nodes,")
+	fmt.Println("and flooding delivers while any path of correct nodes exists.")
+	dup, _ := net.NodeStats(6)
+	fmt.Printf("redundant copies de-duplicated at the destination: %d\n", dup.Duplicates)
+}

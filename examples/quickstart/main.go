@@ -1,0 +1,85 @@
+// Quickstart: build a five-node structured overlay, open a reliable
+// ordered flow across it, lose a link mid-stream, and watch the overlay
+// reroute in well under a second while the flow keeps delivering.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"sonet"
+)
+
+func main() {
+	// A small continental overlay: two coasts joined by a chain of short
+	// (~10 ms) links, plus a southern detour.
+	ms := time.Millisecond
+	links := []sonet.Link{
+		{A: 1, B: 2, Latency: 10 * ms},
+		{A: 2, B: 3, Latency: 10 * ms},
+		{A: 3, B: 5, Latency: 10 * ms},
+		{A: 1, B: 4, Latency: 16 * ms},
+		{A: 4, B: 5, Latency: 16 * ms},
+	}
+	net, err := sonet.New(42, links)
+	if err != nil {
+		panic(err)
+	}
+	defer net.Close()
+
+	// A client on node 5 listens on virtual port 100.
+	receiver, err := net.Connect(5, 100)
+	if err != nil {
+		panic(err)
+	}
+	delivered := 0
+	receiver.OnDeliver(func(d sonet.Delivery) {
+		delivered++
+		if delivered%50 == 0 {
+			fmt.Printf("  t=%v seq %d delivered in %v\n", net.Now(), d.Seq, d.Latency)
+		}
+	})
+
+	// A client on node 1 opens a fully reliable, ordered flow to it.
+	sender, err := net.Connect(1, 0)
+	if err != nil {
+		panic(err)
+	}
+	flow, err := sender.OpenFlow(sonet.FlowSpec{
+		To: 5, ToPort: 100,
+		Service: sonet.Reliable, Ordered: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Stream 100 messages per second for three virtual seconds; at t=1s
+	// the northern path loses its middle link.
+	fmt.Println("streaming over the northern path (1-2-3-5)...")
+	for i := 0; i < 300; i++ {
+		i := i
+		net.RunAt(time.Duration(i)*10*ms, func() {
+			if err := flow.Send([]byte(fmt.Sprintf("message %d", i))); err != nil {
+				fmt.Println("send:", err)
+			}
+		})
+	}
+	net.RunAt(time.Second, func() {
+		fmt.Printf("t=%v: cutting link 2-3 — the overlay will detect and reroute\n", net.Now())
+		if err := net.CutLink(2, 3); err != nil {
+			panic(err)
+		}
+	})
+	net.Run(5 * time.Second)
+
+	fmt.Printf("\npath is now %v\n", net.PathBetween(1, 5))
+	st := receiver.Stats()
+	fmt.Printf("delivered %d/300 in order, mean latency %v, p99 %v\n",
+		st.Received, st.MeanLatency, st.P99Latency)
+	if st.Received == 300 {
+		fmt.Println("no message was lost across the failure: hop-by-hop recovery,")
+		fmt.Println("end-to-end repair, and sub-second rerouting covered the cut.")
+	}
+}

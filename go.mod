@@ -1,0 +1,3 @@
+module sonet
+
+go 1.22

@@ -1,0 +1,206 @@
+// Package core assembles complete structured overlay networks over the
+// emulated multi-ISP underlay: the paper's primary contribution as a
+// running system (Fig. 1 resilient network architecture + Fig. 2 node
+// software architecture), driven deterministically in virtual time.
+//
+// A typical experiment builds sites, ISP fiber graphs, overlay nodes, and
+// multihomed overlay links; starts the overlay; connects clients through
+// each node's session manager; and injects failures while measuring
+// delivery.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sonet/internal/netemu"
+	"sonet/internal/node"
+	"sonet/internal/session"
+	"sonet/internal/sim"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// Overlay is a structured overlay network running over an emulated
+// underlay in deterministic virtual time.
+type Overlay struct {
+	// Sched is the discrete-event scheduler driving the world.
+	Sched *sim.Scheduler
+	// Net is the emulated underlay.
+	Net *netemu.Network
+	// Graph is the designed overlay topology.
+	Graph *topology.Graph
+
+	nodeTemplate func(*node.Config)
+	nodes        map[wire.NodeID]*node.Node
+	sessions     map[wire.NodeID]*session.Manager
+	sites        map[wire.NodeID]netemu.SiteID
+	linkISPs     map[wire.LinkID][]netemu.ISPID
+	pendingCfg   map[wire.NodeID]func(*node.Config)
+	started      bool
+}
+
+// New returns an empty overlay world with the given determinism seed.
+func New(seed uint64, cfg netemu.Config) *Overlay {
+	sched := sim.NewScheduler(seed)
+	return NewOnNetwork(sched, netemu.New(sched, cfg))
+}
+
+// NewOnNetwork returns an overlay sharing an existing scheduler and
+// underlay. Several overlays can run in parallel over the same emulated
+// Internet (§II-B: "multiple overlays can even be run in parallel, with
+// each overlay potentially using a different variant of the overlay
+// software"), provided their node IDs are disjoint — overlay nodes are
+// addressed by ID on the shared underlay.
+func NewOnNetwork(sched *sim.Scheduler, net *netemu.Network) *Overlay {
+	return &Overlay{
+		Sched:      sched,
+		Net:        net,
+		Graph:      topology.NewGraph(),
+		nodes:      make(map[wire.NodeID]*node.Node),
+		sessions:   make(map[wire.NodeID]*session.Manager),
+		sites:      make(map[wire.NodeID]netemu.SiteID),
+		linkISPs:   make(map[wire.LinkID][]netemu.ISPID),
+		pendingCfg: make(map[wire.NodeID]func(*node.Config)),
+	}
+}
+
+// SetNodeTemplate installs a configuration hook applied to every node
+// created afterwards (protocol defaults, keyrings, …).
+func (o *Overlay) SetNodeTemplate(fn func(*node.Config)) { o.nodeTemplate = fn }
+
+// AddSite registers a data center.
+func (o *Overlay) AddSite(name string) netemu.SiteID { return o.Net.AddSite(name) }
+
+// AddISP registers a provider backbone.
+func (o *Overlay) AddISP(name string) netemu.ISPID { return o.Net.AddISP(name) }
+
+// AddFiber lays a fiber span within one provider's backbone.
+func (o *Overlay) AddFiber(isp netemu.ISPID, a, b netemu.SiteID, latency, jitter time.Duration, loss netemu.LossModel) (netemu.FiberID, error) {
+	return o.Net.AddFiber(isp, a, b, latency, jitter, loss)
+}
+
+// AddNode places an overlay node in a site.
+func (o *Overlay) AddNode(id wire.NodeID, at netemu.SiteID) {
+	o.AddNodeWithConfig(id, at, nil)
+}
+
+// AddNodeWithConfig places an overlay node in a site with a per-node
+// configuration hook (compromise behaviour, protocol overrides).
+func (o *Overlay) AddNodeWithConfig(id wire.NodeID, at netemu.SiteID, mutate func(*node.Config)) {
+	o.Graph.AddNode(id)
+	o.sites[id] = at
+	if mutate != nil {
+		o.pendingCfg[id] = mutate
+	}
+}
+
+// AddLink creates an overlay link between two nodes with the given
+// designed latency, served by the listed providers in failover order
+// (§II-A: each overlay link can use any combination of the available
+// providers).
+func (o *Overlay) AddLink(a, b wire.NodeID, latency time.Duration, isps ...netemu.ISPID) (wire.LinkID, error) {
+	if len(isps) == 0 {
+		return 0, fmt.Errorf("core: link %v-%v needs at least one ISP", a, b)
+	}
+	id, err := o.Graph.AddLink(a, b, latency)
+	if err != nil {
+		return 0, err
+	}
+	o.linkISPs[id] = append([]netemu.ISPID(nil), isps...)
+	return id, nil
+}
+
+// Start instantiates and starts every overlay node. The topology is
+// frozen afterwards.
+func (o *Overlay) Start() error {
+	if o.started {
+		return fmt.Errorf("core: already started")
+	}
+	o.started = true
+	for _, id := range o.Graph.Nodes() {
+		cfg := node.Config{
+			ID:       id,
+			Clock:    o.Sched,
+			Underlay: &underlayPort{o: o, self: id},
+			Graph:    o.Graph,
+		}
+		if o.nodeTemplate != nil {
+			o.nodeTemplate(&cfg)
+		}
+		if mutate, ok := o.pendingCfg[id]; ok {
+			mutate(&cfg)
+		}
+		n, err := node.New(cfg)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		o.nodes[id] = n
+		o.sessions[id] = session.NewManager(n)
+		site, ok := o.sites[id]
+		if !ok {
+			return fmt.Errorf("core: node %v has no site", id)
+		}
+		if err := o.Net.AttachNode(id, site, n.HandleUnderlay); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	for _, id := range o.Graph.Nodes() {
+		o.nodes[id].Start()
+	}
+	return nil
+}
+
+// Stop quiesces every node.
+func (o *Overlay) Stop() {
+	for _, n := range o.nodes {
+		n.Stop()
+	}
+}
+
+// Node returns an overlay node by ID.
+func (o *Overlay) Node(id wire.NodeID) *node.Node { return o.nodes[id] }
+
+// Session returns a node's session manager.
+func (o *Overlay) Session(id wire.NodeID) *session.Manager { return o.sessions[id] }
+
+// RunFor advances virtual time.
+func (o *Overlay) RunFor(d time.Duration) { o.Sched.RunFor(d) }
+
+// Now returns the current virtual time.
+func (o *Overlay) Now() time.Duration { return o.Sched.Now() }
+
+// Settle runs the overlay long enough for hellos, link-state floods, and
+// group floods to converge (a convenience for tests and experiments).
+func (o *Overlay) Settle() { o.RunFor(time.Second) }
+
+// underlayPort adapts the emulated network to node.Underlay for one node,
+// translating (neighbor, path) to the link's ISP choice.
+type underlayPort struct {
+	o    *Overlay
+	self wire.NodeID
+}
+
+func (p *underlayPort) Send(neighbor wire.NodeID, path uint8, data []byte) {
+	l, ok := p.o.Graph.LinkBetween(p.self, neighbor)
+	if !ok {
+		return
+	}
+	isps := p.o.linkISPs[l.ID]
+	if len(isps) == 0 {
+		return
+	}
+	isp := isps[int(path)%len(isps)]
+	p.o.Net.Send(p.self, neighbor, isp, data)
+}
+
+func (p *underlayPort) PathCount(neighbor wire.NodeID) int {
+	l, ok := p.o.Graph.LinkBetween(p.self, neighbor)
+	if !ok {
+		return 1
+	}
+	if n := len(p.o.linkISPs[l.ID]); n > 0 {
+		return n
+	}
+	return 1
+}

@@ -1,0 +1,594 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sonet/internal/netemu"
+	"sonet/internal/node"
+	"sonet/internal/session"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// diamondLinks is the canonical 4-node diamond with a slow chord.
+func diamondLinks(loss netemu.LossModel) []SimpleLink {
+	return []SimpleLink{
+		{A: 1, B: 2, Latency: 10 * time.Millisecond, Loss: loss},
+		{A: 2, B: 4, Latency: 10 * time.Millisecond, Loss: loss},
+		{A: 1, B: 3, Latency: 12 * time.Millisecond, Loss: loss},
+		{A: 3, B: 4, Latency: 12 * time.Millisecond, Loss: loss},
+		{A: 1, B: 4, Latency: 50 * time.Millisecond, Loss: loss},
+	}
+}
+
+func startSimple(t *testing.T, seed uint64, links []SimpleLink, mutate func(*node.Config)) *Simple {
+	t.Helper()
+	s, err := BuildSimple(seed, links)
+	if err != nil {
+		t.Fatalf("BuildSimple: %v", err)
+	}
+	if mutate != nil {
+		s.SetNodeTemplate(mutate)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	s.Settle()
+	return s
+}
+
+func TestUnicastReliableOrderedOverLossyPath(t *testing.T) {
+	s := startSimple(t, 1, diamondLinks(netemu.Bernoulli{P: 0.05}), nil)
+	defer s.Stop()
+	dst, err := s.Session(4).Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{
+		DstNode: 4, DstPort: 100,
+		LinkProto: wire.LPReliable, Ordered: true,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		i := i
+		s.Sched.After(time.Duration(i)*5*time.Millisecond, func() {
+			if err := flow.Send([]byte{byte(i)}); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		})
+	}
+	s.RunFor(30 * time.Second)
+	got := dst.Deliveries()
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d (reliable links over 5%% loss)", len(got), n)
+	}
+	for i, d := range got {
+		if d.Seq != uint32(i+1) {
+			t.Fatalf("out of order at %d: seq %d", i, d.Seq)
+		}
+	}
+	if dst.Stats().Received != n {
+		t.Fatalf("stats.Received = %d", dst.Stats().Received)
+	}
+}
+
+func TestSubSecondRerouteOnFiberCut(t *testing.T) {
+	s := startSimple(t, 2, diamondLinks(nil), nil)
+	defer s.Stop()
+	dst, err := s.Session(4).Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	var deliveredAt []time.Duration
+	dst.OnDeliver(func(d session.Delivery) {
+		deliveredAt = append(deliveredAt, s.Now())
+	})
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{DstNode: 4, DstPort: 100, LinkProto: wire.LPBestEffort})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	// 100 pkt/s for 10 s; fiber under link 1-2 cut at t=3s.
+	stop := false
+	var tick func()
+	tick = func() {
+		if stop {
+			return
+		}
+		if err := flow.Send([]byte("v")); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+		s.Sched.After(10*time.Millisecond, tick)
+	}
+	s.Sched.After(0, tick)
+	var cutAt time.Duration
+	s.Sched.After(3*time.Second, func() {
+		cutAt = s.Now()
+		if err := s.CutLink(1, 2); err != nil {
+			t.Errorf("CutLink: %v", err)
+		}
+	})
+	s.RunFor(10 * time.Second)
+	stop = true
+	// Find the outage: largest delivery gap after the cut.
+	var worst time.Duration
+	for i := 1; i < len(deliveredAt); i++ {
+		if deliveredAt[i] <= cutAt || deliveredAt[i-1] <= cutAt {
+			continue
+		}
+		if gap := deliveredAt[i] - deliveredAt[i-1]; gap > worst {
+			worst = gap
+		}
+	}
+	if worst == 0 {
+		t.Fatal("no deliveries after cut")
+	}
+	// Sub-second rerouting (§II-A): hello detection ≈300 ms plus LSA
+	// propagation, far below netemu's 40 s BGP convergence.
+	if worst > time.Second {
+		t.Fatalf("outage %v, want sub-second reroute", worst)
+	}
+	// Traffic keeps flowing on the detour for the rest of the run.
+	last := deliveredAt[len(deliveredAt)-1]
+	if last < 9*time.Second {
+		t.Fatalf("stream died at %v", last)
+	}
+}
+
+func TestMulticastFlowDeliversToMembers(t *testing.T) {
+	s := startSimple(t, 3, diamondLinks(nil), nil)
+	defer s.Stop()
+	const g wire.GroupID = 77
+	c2, err := s.Session(2).Connect(500)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	c2.Join(g)
+	c4, err := s.Session(4).Connect(500)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	c4.Join(g)
+	c3, err := s.Session(3).Connect(500)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	s.Settle()
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{Group: g, DstPort: 500, LinkProto: wire.LPBestEffort})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := flow.Send([]byte("m")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	s.RunFor(time.Second)
+	if got := len(c2.Deliveries()); got != 10 {
+		t.Fatalf("member 2 got %d/10", got)
+	}
+	if got := len(c4.Deliveries()); got != 10 {
+		t.Fatalf("member 4 got %d/10", got)
+	}
+	if got := len(c3.Deliveries()); got != 0 {
+		t.Fatalf("non-member 3 got %d", got)
+	}
+	// Leaving stops delivery.
+	c4.Leave(g)
+	s.Settle()
+	if err := flow.Send([]byte("m")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if got := len(c4.Deliveries()); got != 0 {
+		t.Fatalf("left member still got %d", got)
+	}
+	if got := len(c2.Deliveries()); got != 1 {
+		t.Fatalf("remaining member got %d/1", got)
+	}
+}
+
+func TestAnycastFlowPicksNearest(t *testing.T) {
+	s := startSimple(t, 4, diamondLinks(nil), nil)
+	defer s.Stop()
+	const g wire.GroupID = 88
+	c2, err := s.Session(2).Connect(600)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	c2.Join(g)
+	c3, err := s.Session(3).Connect(600)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	c3.Join(g)
+	s.Settle()
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{Group: g, Anycast: true, DstPort: 600})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	if err := flow.Send([]byte("a")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if got := len(c2.Deliveries()); got != 1 {
+		t.Fatalf("nearest member got %d/1", got)
+	}
+	if got := len(c3.Deliveries()); got != 0 {
+		t.Fatalf("farther member got %d/0", got)
+	}
+}
+
+func TestDisjointPathsSurviveCompromise(t *testing.T) {
+	s, err := BuildSimple(5, diamondLinks(nil))
+	if err != nil {
+		t.Fatalf("BuildSimple: %v", err)
+	}
+	// Node 2 is compromised and blackholes data.
+	s.pendingCfg[2] = func(cfg *node.Config) {
+		cfg.Compromised = node.Compromise{DropData: true}
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Stop()
+	s.Settle()
+	dst, err := s.Session(4).Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	// Single shortest path dies in the blackhole.
+	single, err := src.OpenFlow(session.FlowSpec{DstNode: 4, DstPort: 100})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	if err := single.Send([]byte("x")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if got := len(dst.Deliveries()); got != 0 {
+		t.Fatalf("single-path delivery through blackhole: %d", got)
+	}
+	// Two node-disjoint paths tolerate one compromised node (§IV-B).
+	disjoint, err := src.OpenFlow(session.FlowSpec{DstNode: 4, DstPort: 100, DisjointK: 2})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	if err := disjoint.Send([]byte("y")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if got := len(dst.Deliveries()); got != 1 {
+		t.Fatalf("disjoint-path delivery = %d, want 1", got)
+	}
+}
+
+func TestDissemGraphFlow(t *testing.T) {
+	s := startSimple(t, 6, diamondLinks(nil), nil)
+	defer s.Stop()
+	dst, err := s.Session(4).Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{
+		DstNode: 4, DstPort: 100,
+		Dissem: topology.ProblemSource,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	if err := flow.Send([]byte("d")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if got := len(dst.Deliveries()); got != 1 {
+		t.Fatalf("delivered %d, want 1 (dedup of dissemination copies)", got)
+	}
+	if s.Node(4).Stats().Duplicates == 0 {
+		t.Fatal("dissemination graph produced no redundant copies")
+	}
+}
+
+func TestUnorderedDeadlineDiscardsLate(t *testing.T) {
+	// Path latency 20 ms but deadline 15 ms: every packet is late.
+	s := startSimple(t, 7, diamondLinks(nil), nil)
+	defer s.Stop()
+	dst, err := s.Session(4).Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{
+		DstNode: 4, DstPort: 100, Deadline: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := flow.Send([]byte("late")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	s.RunFor(time.Second)
+	if got := len(dst.Deliveries()); got != 0 {
+		t.Fatalf("late packets delivered: %d", got)
+	}
+	if dst.Stats().Late != 5 {
+		t.Fatalf("Late = %d, want 5", dst.Stats().Late)
+	}
+}
+
+func TestOrderedDeadlineFlushesGaps(t *testing.T) {
+	// Best-effort ordered flow over a lossy link: gaps never fill, so the
+	// hold-back buffer must flush at each packet's deadline and delivered
+	// sequences stay monotonic.
+	links := []SimpleLink{{A: 1, B: 2, Latency: 10 * time.Millisecond, Loss: netemu.Bernoulli{P: 0.25}}}
+	s := startSimple(t, 8, links, nil)
+	defer s.Stop()
+	dst, err := s.Session(2).Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{
+		DstNode: 2, DstPort: 100,
+		Ordered: true, Deadline: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	const n = 400
+	for i := 0; i < n; i++ {
+		i := i
+		s.Sched.After(time.Duration(i)*5*time.Millisecond, func() {
+			if err := flow.Send([]byte("v")); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		})
+	}
+	s.RunFor(30 * time.Second)
+	got := dst.Deliveries()
+	if len(got) < n/2 || len(got) >= n {
+		t.Fatalf("delivered %d of %d, want lossy subset", len(got), n)
+	}
+	last := uint32(0)
+	for _, d := range got {
+		if d.Seq <= last {
+			t.Fatalf("non-monotonic delivery: %d after %d", d.Seq, last)
+		}
+		last = d.Seq
+		if d.Latency > 101*time.Millisecond {
+			t.Fatalf("held packet delivered %v after origin, deadline 100ms", d.Latency)
+		}
+	}
+}
+
+func TestMultihomedLinkSurvivesISPBrownOut(t *testing.T) {
+	// Two ISPs serve the single overlay link; ISP 1 dies completely.
+	o := New(9, netemu.DefaultConfig())
+	siteA := o.AddSite("A")
+	siteB := o.AddSite("B")
+	isp1 := o.AddISP("isp-1")
+	isp2 := o.AddISP("isp-2")
+	if _, err := o.AddFiber(isp1, siteA, siteB, 10*time.Millisecond, 0, nil); err != nil {
+		t.Fatalf("AddFiber: %v", err)
+	}
+	if _, err := o.AddFiber(isp2, siteA, siteB, 11*time.Millisecond, 0, nil); err != nil {
+		t.Fatalf("AddFiber: %v", err)
+	}
+	o.AddNode(1, siteA)
+	o.AddNode(2, siteB)
+	if _, err := o.AddLink(1, 2, 10*time.Millisecond, isp1, isp2); err != nil {
+		t.Fatalf("AddLink: %v", err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer o.Stop()
+	o.Settle()
+	// Total ISP-1 outage: all its traffic dies.
+	o.Net.SetISPExtraLoss(isp1, 1.0)
+	o.RunFor(3 * time.Second)
+	// The link must stay up via ISP 2 (hello failover), no down event.
+	if !o.Node(1).LinkStateManager().NeighborUp(2) {
+		t.Fatal("multihomed link declared down despite healthy second ISP")
+	}
+	if o.Node(1).LinkStateManager().Stats().Failovers == 0 {
+		t.Fatal("no ISP failover recorded")
+	}
+	// Traffic still flows.
+	dst, err := o.Session(2).Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src, err := o.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{DstNode: 2, DstPort: 100})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	if err := flow.Send([]byte("x")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	o.RunFor(time.Second)
+	if got := len(dst.Deliveries()); got != 1 {
+		t.Fatalf("delivered %d over failover ISP, want 1", got)
+	}
+}
+
+func TestPortAllocationAndConflicts(t *testing.T) {
+	s := startSimple(t, 10, diamondLinks(nil), nil)
+	defer s.Stop()
+	if _, err := s.Session(1).Connect(100); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := s.Session(1).Connect(100); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+	e1, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	e2, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if e1.Port() == e2.Port() {
+		t.Fatal("ephemeral ports collide")
+	}
+	e1.Close()
+	if _, err := s.Session(1).Connect(e1.Port()); err != nil {
+		t.Fatalf("Connect to released port: %v", err)
+	}
+}
+
+func TestFlowSpecValidation(t *testing.T) {
+	s := startSimple(t, 11, diamondLinks(nil), nil)
+	defer s.Stop()
+	c, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if _, err := c.OpenFlow(session.FlowSpec{}); err == nil {
+		t.Fatal("flow without destination accepted")
+	}
+	if _, err := c.OpenFlow(session.FlowSpec{DstNode: 2, Anycast: true}); err == nil {
+		t.Fatal("anycast flow without group accepted")
+	}
+}
+
+func TestGroupStateResyncAfterPartition(t *testing.T) {
+	s, err := BuildSimple(77, []SimpleLink{
+		{A: 1, B: 2, Latency: 10 * time.Millisecond},
+		{A: 2, B: 3, Latency: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("BuildSimple: %v", err)
+	}
+	// Group refresh effectively off: only link-recovery resync can carry
+	// membership across a healed partition.
+	s.SetNodeTemplate(func(cfg *node.Config) {
+		cfg.GroupRefresh = 10 * time.Minute
+	})
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Stop()
+	s.Settle()
+
+	// Partition node 1, then have node 3 join a group.
+	if err := s.CutLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * time.Second)
+	c3, err := s.Session(3).Connect(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3.Join(555)
+	s.RunFor(2 * time.Second)
+	if got := s.Node(1).Groups().Members(555); len(got) != 0 {
+		t.Fatalf("premise: partitioned node 1 sees members %v", got)
+	}
+
+	// Heal: membership must arrive via resync, not refresh.
+	if err := s.RestoreLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * time.Second) // restore convergence (5s) + detection
+	got := s.Node(1).Groups().Members(555)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("node 1 sees members %v after heal, want [3]", got)
+	}
+	// And traffic flows: multicast from 1 reaches 3.
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{Group: 555, DstPort: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flow.Send([]byte("post-heal")); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	if got := len(c3.Deliveries()); got != 1 {
+		t.Fatalf("delivered %d post-heal, want 1", got)
+	}
+}
+
+func TestOverlayBuildErrors(t *testing.T) {
+	o := New(1, netemu.Config{})
+	if _, err := o.AddLink(1, 2, time.Millisecond); err == nil {
+		t.Fatal("link with no ISPs accepted")
+	}
+	isp := o.AddISP("x")
+	a := o.AddSite("A")
+	o.AddNode(1, a)
+	o.AddNode(2, a)
+	if _, err := o.AddLink(1, 1, time.Millisecond, isp); err == nil {
+		t.Fatal("self link accepted")
+	}
+	if _, err := o.AddLink(1, 2, time.Millisecond, isp); err != nil {
+		t.Fatalf("AddLink: %v", err)
+	}
+	if err := o.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer o.Stop()
+	if err := o.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+}
+
+func TestSimpleLinkHelpersErrors(t *testing.T) {
+	s, err := BuildSimple(1, []SimpleLink{{A: 1, B: 2, Latency: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CutLink(1, 9); err == nil {
+		t.Fatal("cut of unknown link accepted")
+	}
+	if err := s.RestoreLink(1, 9); err == nil {
+		t.Fatal("restore of unknown link accepted")
+	}
+	if err := s.SetLinkExtraLoss(1, 9, 0.5); err == nil {
+		t.Fatal("loss on unknown link accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sonet/internal/link"
+	"sonet/internal/netemu"
+	"sonet/internal/node"
+	"sonet/internal/session"
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+// TestParallelOverlaysShareUnderlay runs two independent overlays — one
+// tuned for reliable delivery, one for real-time video — over the same
+// emulated Internet (§II-B: multiple overlays in parallel, each with its
+// own variant of the overlay software).
+func TestParallelOverlaysShareUnderlay(t *testing.T) {
+	sched := sim.NewScheduler(808)
+	net := netemu.New(sched, netemu.DefaultConfig())
+	a := net.AddSite("A")
+	b := net.AddSite("B")
+	c := net.AddSite("C")
+	isp := net.AddISP("shared-isp")
+	for _, f := range [][2]netemu.SiteID{{a, b}, {b, c}, {a, c}} {
+		if _, err := net.AddFiber(isp, f[0], f[1], 10*time.Millisecond, 0, netemu.Bernoulli{P: 0.02}); err != nil {
+			t.Fatalf("AddFiber: %v", err)
+		}
+	}
+
+	// Overlay 1: nodes 1-2-3, reliable messaging variant.
+	o1 := NewOnNetwork(sched, net)
+	o1.AddNode(1, a)
+	o1.AddNode(2, b)
+	o1.AddNode(3, c)
+	if _, err := o1.AddLink(1, 2, 10*time.Millisecond, isp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o1.AddLink(2, 3, 10*time.Millisecond, isp); err != nil {
+		t.Fatal(err)
+	}
+	if err := o1.Start(); err != nil {
+		t.Fatalf("o1.Start: %v", err)
+	}
+	defer o1.Stop()
+
+	// Overlay 2: nodes 11-12-13 in the same data centers, real-time
+	// variant with aggressive strikes.
+	o2 := NewOnNetwork(sched, net)
+	o2.SetNodeTemplate(func(cfg *node.Config) {
+		cfg.Strikes = link.StrikesConfig{N: 3, M: 2, Budget: 80 * time.Millisecond}
+	})
+	o2.AddNode(11, a)
+	o2.AddNode(12, b)
+	o2.AddNode(13, c)
+	if _, err := o2.AddLink(11, 12, 10*time.Millisecond, isp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o2.AddLink(12, 13, 10*time.Millisecond, isp); err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.Start(); err != nil {
+		t.Fatalf("o2.Start: %v", err)
+	}
+	defer o2.Stop()
+	sched.RunFor(time.Second)
+
+	// Reliable flow on overlay 1.
+	d1, err := o1.Session(3).Connect(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := o1.Session(1).Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := s1.OpenFlow(session.FlowSpec{
+		DstNode: 3, DstPort: 100, LinkProto: wire.LPReliable, Ordered: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real-time flow on overlay 2.
+	d2, err := o2.Session(13).Connect(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := o2.Session(11).Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s2.OpenFlow(session.FlowSpec{
+		DstNode: 13, DstPort: 100, LinkProto: wire.LPRealTime,
+		Ordered: true, Deadline: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		i := i
+		sched.After(time.Duration(i)*5*time.Millisecond, func() {
+			_ = f1.Send(nil)
+			_ = f2.Send(nil)
+		})
+	}
+	sched.RunFor(20 * time.Second)
+
+	if got := d1.Stats().Received; got != n {
+		t.Fatalf("overlay 1 delivered %d/%d", got, n)
+	}
+	if got := float64(d2.Stats().Received) / n; got < 0.99 {
+		t.Fatalf("overlay 2 delivered %.3f, want >= 0.99", got)
+	}
+	// Isolation: nothing crossed between overlays.
+	if o1.Session(3).NoClientDrops() != 0 || o2.Session(13).NoClientDrops() != 0 {
+		t.Fatal("cross-overlay packets arrived at clients")
+	}
+	if o1.Node(2).Stats().DroppedAuth+o2.Node(12).Stats().DroppedAuth != 0 {
+		t.Fatal("unexpected auth drops")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sonet/internal/netemu"
+	"sonet/internal/wire"
+)
+
+// SimpleLink describes one overlay link in a single-ISP world: the two
+// overlay nodes, the designed latency, and the link's loss behaviour.
+type SimpleLink struct {
+	// A and B are the endpoints.
+	A, B wire.NodeID
+	// Latency is the link's one-way latency.
+	Latency time.Duration
+	// Jitter adds uniform [0, Jitter) per-packet delay.
+	Jitter time.Duration
+	// Loss is the link's loss model (nil for lossless).
+	Loss netemu.LossModel
+}
+
+// Simple is an overlay where every node occupies its own data center and
+// every overlay link rides a dedicated fiber on a dedicated provider — the
+// minimal world for protocol experiments where ISP-level redundancy is not
+// under study. Dedicating a provider per link pins each overlay link to
+// exactly its own fiber: otherwise the emulated IP layer would route some
+// overlay links over other links' shorter fiber paths, and the measured
+// link latencies would diverge from the designed topology.
+type Simple struct {
+	*Overlay
+	// ISP is the provider of the first link (kept for provider-wide
+	// degradation in single-bottleneck scenarios; Simple worlds with
+	// several links have one provider per link, see ISPs).
+	ISP netemu.ISPID
+	// ISPs maps each overlay link to its dedicated provider.
+	ISPs map[wire.LinkID]netemu.ISPID
+	// Fibers maps each overlay link to its underlying fiber, for failure
+	// injection.
+	Fibers map[wire.LinkID]netemu.FiberID
+}
+
+// BuildSimple constructs (but does not start) a Simple world. Node
+// configuration can be adjusted via SetNodeTemplate or AddNodeWithConfig
+// before Start.
+func BuildSimple(seed uint64, links []SimpleLink) (*Simple, error) {
+	o := New(seed, netemu.DefaultConfig())
+	s := &Simple{
+		Overlay: o,
+		ISPs:    make(map[wire.LinkID]netemu.ISPID, len(links)),
+		Fibers:  make(map[wire.LinkID]netemu.FiberID, len(links)),
+	}
+	sites := make(map[wire.NodeID]netemu.SiteID)
+	siteFor := func(n wire.NodeID) netemu.SiteID {
+		if st, ok := sites[n]; ok {
+			return st
+		}
+		st := o.AddSite(fmt.Sprintf("site-%d", n))
+		sites[n] = st
+		o.AddNode(n, st)
+		return st
+	}
+	for i, l := range links {
+		sa, sb := siteFor(l.A), siteFor(l.B)
+		isp := o.AddISP(fmt.Sprintf("isp-%d", i+1))
+		if i == 0 {
+			s.ISP = isp
+		}
+		fid, err := o.AddFiber(isp, sa, sb, l.Latency, l.Jitter, l.Loss)
+		if err != nil {
+			return nil, fmt.Errorf("core: simple fiber %v-%v: %w", l.A, l.B, err)
+		}
+		lid, err := o.AddLink(l.A, l.B, l.Latency, isp)
+		if err != nil {
+			return nil, fmt.Errorf("core: simple link %v-%v: %w", l.A, l.B, err)
+		}
+		s.ISPs[lid] = isp
+		s.Fibers[lid] = fid
+	}
+	return s, nil
+}
+
+// SetAllISPExtraLoss applies a provider-wide degradation to every provider
+// in the Simple world (each link has its own).
+func (s *Simple) SetAllISPExtraLoss(p float64) {
+	for _, isp := range s.ISPs {
+		s.Net.SetISPExtraLoss(isp, p)
+	}
+}
+
+// SetLinkExtraLoss applies an added drop probability to the provider
+// carrying one overlay link (a regional degradation knob).
+func (s *Simple) SetLinkExtraLoss(a, b wire.NodeID, p float64) error {
+	l, ok := s.Graph.LinkBetween(a, b)
+	if !ok {
+		return fmt.Errorf("core: no link %v-%v", a, b)
+	}
+	s.Net.SetISPExtraLoss(s.ISPs[l.ID], p)
+	return nil
+}
+
+// CutLink severs the fiber under an overlay link.
+func (s *Simple) CutLink(a, b wire.NodeID) error {
+	l, ok := s.Graph.LinkBetween(a, b)
+	if !ok {
+		return fmt.Errorf("core: no link %v-%v", a, b)
+	}
+	s.Net.CutFiber(s.Fibers[l.ID])
+	return nil
+}
+
+// RestoreLink repairs the fiber under an overlay link.
+func (s *Simple) RestoreLink(a, b wire.NodeID) error {
+	l, ok := s.Graph.LinkBetween(a, b)
+	if !ok {
+		return fmt.Errorf("core: no link %v-%v", a, b)
+	}
+	s.Net.RestoreFiber(s.Fibers[l.ID])
+	return nil
+}

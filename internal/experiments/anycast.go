@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"time"
+
+	"sonet/internal/core"
+	"sonet/internal/metrics"
+	"sonet/internal/session"
+	"sonet/internal/wire"
+)
+
+// Anycast reproduces the §II-B anycast service: a message addressed to a
+// group is delivered to exactly one member — the nearest — giving lower
+// latency than unicasting to a fixed (or unlucky) replica, and re-resolving
+// automatically when the nearest member becomes unreachable.
+func Anycast(seed uint64) *Result {
+	r := &Result{
+		ID:    "EXP-ANYCAST",
+		Title: "Anycast to nearest group member (replicated service on MIA/SEA/DAL)",
+		PaperClaim: "anycast messages are delivered to exactly one member of the " +
+			"relevant group, selecting the best target from shared group state",
+		Table: metrics.NewTable("source", "scheme", "served_by", "latency"),
+	}
+	s, err := core.BuildSimple(seed, continentalLinks(nil))
+	if err != nil {
+		r.addFinding("ERROR: %v", err)
+		return r
+	}
+	if err := s.Start(); err != nil {
+		r.addFinding("ERROR: %v", err)
+		return r
+	}
+	defer s.Stop()
+	s.Settle()
+
+	const grp wire.GroupID = 3000
+	replicas := []wire.NodeID{MIA, SEA, DAL}
+	served := make(map[wire.NodeID]int)
+	var lastServer wire.NodeID
+	var lastLatency time.Duration
+	for _, rep := range replicas {
+		rep := rep
+		c, err := s.Session(rep).Connect(100)
+		if err != nil {
+			r.addFinding("ERROR: %v", err)
+			return r
+		}
+		c.Join(grp)
+		c.OnDeliver(func(d session.Delivery) {
+			served[rep]++
+			lastServer = rep
+			lastLatency = d.Latency
+		})
+	}
+	s.Settle()
+
+	sources := []wire.NodeID{NYC, SFO, CHI}
+	fixed := replicas[0] // naive client pinned to MIA
+	r.ShapeHolds = true
+	var anySum, fixedSum time.Duration
+	for _, srcNode := range sources {
+		src, err := s.Session(srcNode).Connect(0)
+		if err != nil {
+			r.addFinding("ERROR: %v", err)
+			return r
+		}
+		anyFlow, err := src.OpenFlow(session.FlowSpec{Group: grp, Anycast: true, DstPort: 100})
+		if err != nil {
+			r.addFinding("ERROR: %v", err)
+			return r
+		}
+		if err := anyFlow.Send(nil); err != nil {
+			r.addFinding("ERROR send: %v", err)
+			return r
+		}
+		s.RunFor(500 * time.Millisecond)
+		total := served[MIA] + served[SEA] + served[DAL]
+		if total != 1 {
+			r.ShapeHolds = false
+		}
+		anyLat := lastLatency
+		anySum += anyLat
+		r.Table.AddRow(continentalNames[srcNode], "anycast",
+			continentalNames[lastServer], anyLat)
+		for k := range served {
+			delete(served, k)
+		}
+
+		fixedFlow, err := src.OpenFlow(session.FlowSpec{DstNode: fixed, DstPort: 100})
+		if err != nil {
+			r.addFinding("ERROR: %v", err)
+			return r
+		}
+		if err := fixedFlow.Send(nil); err != nil {
+			r.addFinding("ERROR send: %v", err)
+			return r
+		}
+		s.RunFor(500 * time.Millisecond)
+		fixedSum += lastLatency
+		r.Table.AddRow(continentalNames[srcNode], "fixed replica",
+			continentalNames[lastServer], lastLatency)
+		if anyLat > lastLatency {
+			r.ShapeHolds = false
+		}
+		for k := range served {
+			delete(served, k)
+		}
+	}
+
+	// Failover: the nearest replica to SFO (SEA) becomes unreachable; the
+	// next anycast from SFO must re-resolve.
+	if st, ok := s.Net.NodeSite(SEA); ok {
+		s.Net.SetSiteUp(st, false)
+	}
+	s.RunFor(3 * time.Second)
+	sfo, err := s.Session(SFO).Connect(0)
+	if err != nil {
+		r.addFinding("ERROR: %v", err)
+		return r
+	}
+	flow, err := sfo.OpenFlow(session.FlowSpec{Group: grp, Anycast: true, DstPort: 100})
+	if err != nil {
+		r.addFinding("ERROR: %v", err)
+		return r
+	}
+	if err := flow.Send(nil); err != nil {
+		r.addFinding("ERROR failover send: %v", err)
+		return r
+	}
+	s.RunFor(500 * time.Millisecond)
+	r.Table.AddRow("SFO (SEA down)", "anycast", continentalNames[lastServer], lastLatency)
+	if lastServer == SEA || lastServer == 0 {
+		r.ShapeHolds = false
+	}
+
+	r.addFinding("mean anycast latency %.1fms vs fixed-replica %.1fms across 3 sources",
+		ms(anySum/3), ms(fixedSum/3))
+	r.addFinding("after SEA failure, SFO's anycast re-resolved to %s", continentalNames[lastServer])
+	if anySum >= fixedSum {
+		r.ShapeHolds = false
+	}
+	return r
+}

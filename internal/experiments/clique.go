@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sonet/internal/core"
+	"sonet/internal/metrics"
+	"sonet/internal/netemu"
+	"sonet/internal/session"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+	"sonet/internal/workload"
+)
+
+// cliqueOutcome is one topology's measured behaviour.
+type cliqueOutcome struct {
+	links        int
+	base         time.Duration
+	recMean      time.Duration
+	recP99       time.Duration
+	delivered    float64
+	hellosPerSec float64
+}
+
+// lossPerMs gives every fiber a loss rate proportional to its length, so
+// the sparse chain and the clique's long direct links see the same
+// end-to-end loss per unit distance — the comparison isolates topology.
+const lossPerMs = 0.0004
+
+// cliqueRun streams NYC→SFO reliable traffic over either the designed
+// sparse continental topology or a full clique of the same 14 cities
+// (direct links at the sparse topology's shortest-path distances).
+func cliqueRun(seed uint64, clique bool) (cliqueOutcome, error) {
+	sparse := continentalLinks(nil)
+	var links []core.SimpleLink
+	if !clique {
+		links = make([]core.SimpleLink, len(sparse))
+		copy(links, sparse)
+		for i := range links {
+			ms := float64(links[i].Latency) / float64(time.Millisecond)
+			links[i].Loss = netemu.Bernoulli{P: lossPerMs * ms}
+		}
+	} else {
+		// Clique: distances from the sparse design's shortest paths.
+		g := topology.NewGraph()
+		for _, l := range sparse {
+			if _, err := g.AddLink(l.A, l.B, l.Latency); err != nil {
+				return cliqueOutcome{}, err
+			}
+		}
+		v := topology.NewView(g)
+		nodes := g.Nodes()
+		for i, a := range nodes {
+			spt := topology.ShortestPaths(v, a, topology.LatencyMetric)
+			for _, b := range nodes[i+1:] {
+				lat, err := v.PathLatency(spt.Path(b))
+				if err != nil {
+					return cliqueOutcome{}, err
+				}
+				ms := float64(lat) / float64(time.Millisecond)
+				links = append(links, core.SimpleLink{
+					A: a, B: b, Latency: lat,
+					Loss: netemu.Bernoulli{P: lossPerMs * ms},
+				})
+			}
+		}
+	}
+	s, err := core.BuildSimple(seed, links)
+	if err != nil {
+		return cliqueOutcome{}, err
+	}
+	if err := s.Start(); err != nil {
+		return cliqueOutcome{}, err
+	}
+	defer s.Stop()
+	s.Settle()
+
+	dst, err := s.Session(SFO).Connect(100)
+	if err != nil {
+		return cliqueOutcome{}, err
+	}
+	var rec metrics.Latencies
+	var received uint64
+	dst.OnDeliver(func(d session.Delivery) {
+		received++
+		if d.Retransmitted {
+			rec.Add(d.Latency)
+		}
+	})
+	src, err := s.Session(NYC).Connect(0)
+	if err != nil {
+		return cliqueOutcome{}, err
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{
+		DstNode: SFO, DstPort: 100,
+		LinkProto: wire.LPReliable, Ordered: true,
+	})
+	if err != nil {
+		return cliqueOutcome{}, err
+	}
+	const span = 15 * time.Second
+	stream := &workload.CBR{
+		Clock:    s.Sched,
+		Interval: time.Millisecond,
+		Count:    int(span / time.Millisecond),
+		Send:     func(uint32, []byte) error { return flow.Send(nil) },
+	}
+	helloStart := s.Node(NYC).LinkStateManager().Stats().HellosSent
+	startAt := s.Now()
+	stream.Start()
+	s.RunFor(span + 5*time.Second)
+
+	hellos := s.Node(NYC).LinkStateManager().Stats().HellosSent - helloStart
+	elapsed := (s.Now() - startAt).Seconds()
+	view := s.Node(NYC).View()
+	spt := topology.ShortestPaths(view, NYC, topology.LatencyMetric)
+	base, _ := view.PathLatency(spt.Path(SFO))
+	return cliqueOutcome{
+		links:        s.Graph.NumLinks(),
+		base:         base,
+		recMean:      rec.Mean(),
+		recP99:       rec.Percentile(99),
+		delivered:    float64(received) / float64(stream.Sent()),
+		hellosPerSec: float64(hellos) / elapsed,
+	}, nil
+}
+
+// TopologyClique reproduces the §II-A design guidance: "because short
+// overlay links are preferred, it is not normally advised to build a
+// continent- or global-sized overlay as a clique". On a clique, the
+// NYC→SFO flow crosses one long direct link, so every loss is recovered
+// end-to-end at full-path RTT; on the designed sparse topology of ~10 ms
+// links the same losses recover hop-by-hop several times faster — and
+// each node probes 13 neighbors instead of ~3.
+func TopologyClique(seed uint64) *Result {
+	r := &Result{
+		ID:    "EXP-CLIQUE",
+		Title: "Topology ablation: designed sparse overlay vs full clique (14 cities)",
+		PaperClaim: "short overlay links are preferred; a continental overlay " +
+			"should not be built as a clique",
+		Table: metrics.NewTable("topology", "links", "delivered", "rec_mean", "rec_penalty", "rec_p99", "hellos/s/node"),
+	}
+	sparse, err := cliqueRun(seed, false)
+	if err != nil {
+		r.addFinding("ERROR sparse: %v", err)
+		return r
+	}
+	clique, err := cliqueRun(seed, true)
+	if err != nil {
+		r.addFinding("ERROR clique: %v", err)
+		return r
+	}
+	sparsePenalty := sparse.recMean - sparse.base
+	cliquePenalty := clique.recMean - clique.base
+	r.Table.AddRow("sparse (designed, ~10ms links)", sparse.links,
+		fmt.Sprintf("%.4f", sparse.delivered), sparse.recMean, sparsePenalty,
+		sparse.recP99, fmt.Sprintf("%.1f", sparse.hellosPerSec))
+	r.Table.AddRow("clique (direct links)", clique.links,
+		fmt.Sprintf("%.4f", clique.delivered), clique.recMean, cliquePenalty,
+		clique.recP99, fmt.Sprintf("%.1f", clique.hellosPerSec))
+
+	r.addFinding("same per-distance loss: the recovery penalty over the %.0fms path is %.0fms hop-by-hop vs %.0fms on the clique's direct link (%.1fx)",
+		ms(sparse.base), ms(sparsePenalty), ms(cliquePenalty),
+		float64(cliquePenalty)/float64(nonzero(sparsePenalty)))
+	r.addFinding("control overhead: %.1f vs %.1f hello probes/s per node",
+		sparse.hellosPerSec, clique.hellosPerSec)
+	r.ShapeHolds = sparse.delivered > 0.999 && clique.delivered > 0.999 &&
+		float64(cliquePenalty) > 1.7*float64(sparsePenalty) &&
+		clique.hellosPerSec > 3*sparse.hellosPerSec
+	return r
+}

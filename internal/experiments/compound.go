@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"time"
+
+	"sonet/internal/core"
+	"sonet/internal/metrics"
+	"sonet/internal/session"
+	"sonet/internal/wire"
+	"sonet/internal/workload"
+)
+
+// CompoundFlow reproduces §V-C: a live video stream is sent to an
+// in-network transcoding service (an anycast group with facilities at CHI
+// and DAL); the transcoder transforms the stream and multicasts the
+// result to CDN delivery sites. When the serving transcoder's data center
+// fails, rerouting selects the alternate facility and the transformed
+// delivery continues.
+func CompoundFlow(seed uint64) *Result {
+	r := &Result{
+		ID:    "EXP-COMPOUND",
+		Title: "Compound flow: stadium → transcoder (anycast) → CDN sites, with transcoder failover",
+		PaperClaim: "network conditions and failures may lead to rerouting that can " +
+			"include the selection of a transcoding facility at a different location",
+		Table: metrics.NewTable("phase", "transcoder", "cdn_deliveries", "gap"),
+	}
+	s, err := core.BuildSimple(seed, continentalLinks(nil))
+	if err != nil {
+		r.addFinding("ERROR: %v", err)
+		return r
+	}
+	if err := s.Start(); err != nil {
+		r.addFinding("ERROR: %v", err)
+		return r
+	}
+	defer s.Stop()
+	s.Settle()
+
+	const (
+		transcodeGroup wire.GroupID = 4000
+		cdnGroup       wire.GroupID = 4001
+		rawPort        wire.Port    = 100
+		tvPort         wire.Port    = 200
+	)
+
+	// Transcoding facilities at CHI and DAL: each receives raw frames on
+	// the transcode group and republishes transformed frames to the CDN
+	// group.
+	transcoded := func(raw []byte) []byte {
+		out := bytes.ToUpper(raw)
+		return append(out, []byte("|h264->h265")...)
+	}
+	servedBy := make(map[wire.NodeID]int)
+	for _, site := range []wire.NodeID{CHI, DAL} {
+		site := site
+		in, err := s.Session(site).Connect(rawPort)
+		if err != nil {
+			r.addFinding("ERROR: %v", err)
+			return r
+		}
+		in.Join(transcodeGroup)
+		out, err := s.Session(site).Connect(0)
+		if err != nil {
+			r.addFinding("ERROR: %v", err)
+			return r
+		}
+		outFlow, err := out.OpenFlow(session.FlowSpec{
+			Group: cdnGroup, DstPort: tvPort, LinkProto: wire.LPRealTime,
+		})
+		if err != nil {
+			r.addFinding("ERROR: %v", err)
+			return r
+		}
+		in.OnDeliver(func(d session.Delivery) {
+			servedBy[site]++
+			_ = outFlow.Send(transcoded(d.Payload))
+		})
+	}
+
+	// CDN delivery sites subscribe to the transformed stream.
+	var deliveries []time.Duration
+	var lastPayload []byte
+	for _, cdn := range []wire.NodeID{MIA, LAX} {
+		c, err := s.Session(cdn).Connect(tvPort)
+		if err != nil {
+			r.addFinding("ERROR: %v", err)
+			return r
+		}
+		c.Join(cdnGroup)
+		c.OnDeliver(func(d session.Delivery) {
+			deliveries = append(deliveries, s.Now())
+			lastPayload = d.Payload
+		})
+	}
+	s.Settle()
+
+	// The stadium at NYC anycasts raw frames to the transcoding service.
+	stadium, err := s.Session(NYC).Connect(0)
+	if err != nil {
+		r.addFinding("ERROR: %v", err)
+		return r
+	}
+	rawFlow, err := stadium.OpenFlow(session.FlowSpec{
+		Group: transcodeGroup, Anycast: true, DstPort: rawPort,
+		LinkProto: wire.LPRealTime,
+	})
+	if err != nil {
+		r.addFinding("ERROR: %v", err)
+		return r
+	}
+	stream := &workload.CBR{
+		Clock:    s.Sched,
+		Interval: 10 * time.Millisecond,
+		Count:    3000, // 30 s of video at 100 fps
+		Send:     func(uint32, []byte) error { return rawFlow.Send([]byte("frame")) },
+	}
+	stream.Start()
+
+	// Phase 1: 10 s healthy operation.
+	s.RunFor(10 * time.Second)
+	phase1 := len(deliveries)
+	primary := CHI
+	if servedBy[DAL] > servedBy[CHI] {
+		primary = DAL
+	}
+	r.Table.AddRow("healthy", continentalNames[primary], phase1, "-")
+
+	// Phase 2: the serving transcoder's data center fails.
+	failAt := s.Now()
+	if st, ok := s.Net.NodeSite(primary); ok {
+		s.Net.SetSiteUp(st, false)
+	}
+	s.RunFor(20 * time.Second)
+	phase2 := len(deliveries) - phase1
+	var worst time.Duration
+	for i := 1; i < len(deliveries); i++ {
+		if deliveries[i-1] < failAt {
+			continue
+		}
+		if gap := deliveries[i] - deliveries[i-1]; gap > worst {
+			worst = gap
+		}
+	}
+	alternate := CHI + DAL - primary
+	r.Table.AddRow("after site failure", continentalNames[alternate], phase2, worst)
+
+	served2 := servedBy[alternate]
+	r.addFinding("primary transcoder %s served %d frames; after its site failed, %s took over with a %.0fms delivery gap",
+		continentalNames[primary], servedBy[primary], continentalNames[alternate], ms(worst))
+	if len(lastPayload) > 0 {
+		r.addFinding("transformed payload verified end-to-end: %q", string(lastPayload))
+	}
+	r.ShapeHolds = phase1 > 1800 && // ~2 CDN sites × 10s × 100fps, minus latency tail
+		served2 > 0 && phase2 > 3000 &&
+		worst < 2*time.Second &&
+		bytes.Contains(lastPayload, []byte("FRAME|h264->h265"))
+	return r
+}

@@ -1,0 +1,75 @@
+// Package experiments contains one driver per reproduced figure, table,
+// or quantitative claim of the paper (see DESIGN.md §4 for the index).
+// Each driver builds an emulated world, runs the workload in virtual
+// time, and returns a Result whose table holds the same rows/series the
+// paper reports. The drivers are shared by the repository's testing.B
+// benchmarks (bench_test.go) and the cmd/benchrun binary, and their
+// checks are asserted by the package's tests.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sonet/internal/metrics"
+)
+
+// Result is one experiment's reproduction output.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "EXP-F3").
+	ID string
+	// Title names the experiment.
+	Title string
+	// PaperClaim restates what the paper says should happen.
+	PaperClaim string
+	// Table holds the reproduced series.
+	Table *metrics.Table
+	// Findings are the headline measured numbers.
+	Findings []string
+	// ShapeHolds reports whether the paper's qualitative claim held (who
+	// wins, by roughly what factor).
+	ShapeHolds bool
+}
+
+// String renders the result for the console.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper: %s\n\n", r.PaperClaim)
+	b.WriteString(r.Table.String())
+	b.WriteByte('\n')
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  • %s\n", f)
+	}
+	status := "HOLDS"
+	if !r.ShapeHolds {
+		status = "DOES NOT HOLD"
+	}
+	fmt.Fprintf(&b, "  ⇒ paper's shape %s\n", status)
+	return b.String()
+}
+
+// addFinding appends a formatted finding.
+func (r *Result) addFinding(format string, args ...any) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// All runs every experiment in DESIGN.md order with default seeds.
+func All() []*Result {
+	return []*Result{
+		Fig3HopByHop(1),
+		Fig4NMStrikes(2),
+		Reroute(3),
+		Multicast(4),
+		MonitoringControl(5),
+		IntrusionTolerance(6),
+		Fairness(7),
+		RemoteManipulation(8),
+		Anycast(9),
+		Multihoming(10),
+		CompoundFlow(11),
+		RoutingMetric(12),
+		GlobalCoverage(13),
+		TopologyClique(14),
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sonet/internal/core"
+	"sonet/internal/linkstate"
+	"sonet/internal/metrics"
+	"sonet/internal/netemu"
+	"sonet/internal/node"
+	"sonet/internal/session"
+	"sonet/internal/wire"
+	"sonet/internal/workload"
+)
+
+// rerouteOutcome is one mechanism's measured outage.
+type rerouteOutcome struct {
+	outage time.Duration
+	lost   int
+}
+
+// rerouteOverlay measures the delivery gap a 100 pkt/s stream suffers
+// when the fiber under its primary overlay link is cut, for a given hello
+// interval.
+func rerouteOverlay(seed uint64, hello time.Duration) (rerouteOutcome, error) {
+	s, err := core.BuildSimple(seed, diamondLinksForReroute())
+	if err != nil {
+		return rerouteOutcome{}, err
+	}
+	s.SetNodeTemplate(func(cfg *node.Config) {
+		cfg.LinkState = linkstate.Config{HelloInterval: hello}
+	})
+	if err := s.Start(); err != nil {
+		return rerouteOutcome{}, err
+	}
+	defer s.Stop()
+	s.Settle()
+	return runRerouteStream(s.Overlay, func() { _ = s.CutLink(1, 2) })
+}
+
+// rerouteBGP measures the same cut when only native IP rerouting exists:
+// the two endpoints share one overlay link whose ISP has an alternate
+// fiber path, so recovery waits for the provider's 40 s convergence
+// (§II-A).
+func rerouteBGP(seed uint64) (rerouteOutcome, error) {
+	o := core.New(seed, netemu.DefaultConfig())
+	a := o.AddSite("A")
+	b := o.AddSite("B")
+	c := o.AddSite("C")
+	isp := o.AddISP("isp-1")
+	direct, err := o.AddFiber(isp, a, b, 10*time.Millisecond, 0, nil)
+	if err != nil {
+		return rerouteOutcome{}, err
+	}
+	if _, err := o.AddFiber(isp, a, c, 15*time.Millisecond, 0, nil); err != nil {
+		return rerouteOutcome{}, err
+	}
+	if _, err := o.AddFiber(isp, c, b, 15*time.Millisecond, 0, nil); err != nil {
+		return rerouteOutcome{}, err
+	}
+	o.AddNode(1, a)
+	o.AddNode(2, b)
+	if _, err := o.AddLink(1, 2, 10*time.Millisecond, isp); err != nil {
+		return rerouteOutcome{}, err
+	}
+	// Hellos must not declare the link down during IP convergence — the
+	// "native" behaviour keeps waiting for BGP, so probe slowly and
+	// tolerantly.
+	o.SetNodeTemplate(func(cfg *node.Config) {
+		cfg.LinkState = linkstate.Config{
+			HelloInterval: 2 * time.Second,
+			HelloMiss:     1 << 30,
+		}
+	})
+	if err := o.Start(); err != nil {
+		return rerouteOutcome{}, err
+	}
+	defer o.Stop()
+	o.Settle()
+	return runRerouteStream(o, func() { o.Net.CutFiber(direct) })
+}
+
+// diamondLinksForReroute is the standard diamond without the slow chord.
+func diamondLinksForReroute() []core.SimpleLink {
+	ms := time.Millisecond
+	return []core.SimpleLink{
+		{A: 1, B: 2, Latency: 10 * ms},
+		{A: 2, B: 4, Latency: 10 * ms},
+		{A: 1, B: 3, Latency: 12 * ms},
+		{A: 3, B: 4, Latency: 12 * ms},
+	}
+}
+
+// runRerouteStream drives the stream, injects the failure at t+5s, and
+// returns the worst post-failure delivery gap and the packet deficit.
+func runRerouteStream(o *core.Overlay, inject func()) (rerouteOutcome, error) {
+	dst, err := o.Session(destNode(o)).Connect(100)
+	if err != nil {
+		return rerouteOutcome{}, err
+	}
+	var deliveredAt []time.Duration
+	dst.OnDeliver(func(session.Delivery) {
+		deliveredAt = append(deliveredAt, o.Now())
+	})
+	src, err := o.Session(1).Connect(0)
+	if err != nil {
+		return rerouteOutcome{}, err
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{
+		DstNode: destNode(o), DstPort: 100, LinkProto: wire.LPBestEffort,
+	})
+	if err != nil {
+		return rerouteOutcome{}, err
+	}
+	stream := &workload.CBR{
+		Clock:    o.Sched,
+		Interval: 10 * time.Millisecond,
+		Count:    6000, // 60 s at 100 pkt/s
+		Send:     func(uint32, []byte) error { return flow.Send(nil) },
+	}
+	stream.Start()
+	start := o.Now()
+	cutAt := start + 5*time.Second
+	o.Sched.At(cutAt, inject)
+	o.RunFor(62 * time.Second)
+
+	var worst time.Duration
+	for i := 1; i < len(deliveredAt); i++ {
+		if deliveredAt[i-1] < cutAt {
+			continue
+		}
+		if gap := deliveredAt[i] - deliveredAt[i-1]; gap > worst {
+			worst = gap
+		}
+	}
+	return rerouteOutcome{
+		outage: worst,
+		lost:   int(stream.Sent()) - len(deliveredAt),
+	}, nil
+}
+
+// destNode picks the stream destination: node 4 in the diamond, node 2 in
+// the two-node BGP world.
+func destNode(o *core.Overlay) wire.NodeID {
+	if o.Graph.HasNode(4) {
+		return 4
+	}
+	return 2
+}
+
+// Reroute reproduces the §II-A claim: the overlay routes around failures
+// at sub-second timescales by exploiting its shared global state, versus
+// the 40 seconds BGP may take to converge. Hello interval sweeps show the
+// detection-time knob.
+func Reroute(seed uint64) *Result {
+	r := &Result{
+		ID:    "EXP-REROUTE",
+		Title: "Sub-second overlay rerouting vs BGP convergence",
+		PaperClaim: "the overlay reroutes around problems at a sub-second scale, " +
+			"in contrast to the 40 seconds to minutes BGP may take",
+		Table: metrics.NewTable("mechanism", "outage", "packets_lost"),
+	}
+	intervals := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond,
+		200 * time.Millisecond, 500 * time.Millisecond,
+	}
+	var atDefault rerouteOutcome
+	for i, hello := range intervals {
+		out, err := rerouteOverlay(seed+uint64(i), hello)
+		if err != nil {
+			r.addFinding("ERROR overlay hello=%v: %v", hello, err)
+			return r
+		}
+		if hello == 100*time.Millisecond {
+			atDefault = out
+		}
+		r.Table.AddRow(fmt.Sprintf("overlay, hello=%v", hello), out.outage, out.lost)
+	}
+	bgp, err := rerouteBGP(seed + 50)
+	if err != nil {
+		r.addFinding("ERROR bgp: %v", err)
+		return r
+	}
+	r.Table.AddRow("native IP (BGP 40s convergence)", bgp.outage, bgp.lost)
+
+	r.addFinding("overlay outage %.0fms (hello=100ms) vs native %.1fs — %.0fx faster recovery",
+		ms(atDefault.outage), bgp.outage.Seconds(),
+		float64(bgp.outage)/float64(nonzero(atDefault.outage)))
+	r.ShapeHolds = atDefault.outage < time.Second && bgp.outage > 30*time.Second
+	return r
+}

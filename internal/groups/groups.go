@@ -1,0 +1,272 @@
+// Package groups implements the Group State component of the overlay node
+// software architecture (Fig. 2): every overlay node tracks which groups
+// its own connected clients belong to and shares a node-level membership
+// summary with all other overlay nodes, enabling multicast and anycast
+// services that the Internet does not natively provide (§II-B).
+//
+// The two-level client–daemon hierarchy keeps this state small: a node
+// advertises only "I have members of group G", never per-client detail, so
+// global group state scales with nodes × groups rather than clients.
+package groups
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"sonet/internal/wire"
+)
+
+// ErrBadAnnouncement reports a malformed group-state payload.
+var ErrBadAnnouncement = errors.New("malformed group-state announcement")
+
+// Env is what the manager needs from its host overlay node.
+type Env interface {
+	// FloodGroupState sends a group-state packet to every current
+	// neighbor except the one it came from (zero to send to all).
+	FloodGroupState(payload []byte, except wire.NodeID)
+	// SendGroupState sends a group-state packet to one neighbor
+	// (database resync on link recovery).
+	SendGroupState(neighbor wire.NodeID, payload []byte)
+	// GroupsChanged notifies the node that membership changed and cached
+	// multicast trees must be recomputed.
+	GroupsChanged()
+}
+
+// Announcement is one node's sequence-numbered full membership summary:
+// the set of groups for which the origin currently has local members.
+// Announcements are idempotent full state, so a lost flood is repaired by
+// the next refresh.
+type Announcement struct {
+	// Origin is the announcing node.
+	Origin wire.NodeID
+	// Seq orders announcements from one origin.
+	Seq uint32
+	// Groups is the origin's current locally-joined group set, sorted.
+	Groups []wire.GroupID
+}
+
+// Marshal encodes the announcement.
+func (a *Announcement) Marshal() []byte {
+	buf := make([]byte, 8, 8+4*len(a.Groups))
+	binary.BigEndian.PutUint16(buf[0:], uint16(a.Origin))
+	binary.BigEndian.PutUint32(buf[2:], a.Seq)
+	binary.BigEndian.PutUint16(buf[6:], uint16(len(a.Groups)))
+	var g [4]byte
+	for _, id := range a.Groups {
+		binary.BigEndian.PutUint32(g[:], uint32(id))
+		buf = append(buf, g[:]...)
+	}
+	return buf
+}
+
+// UnmarshalAnnouncement decodes a group-state payload.
+func UnmarshalAnnouncement(src []byte) (*Announcement, error) {
+	if len(src) < 8 {
+		return nil, fmt.Errorf("groups: header %d bytes: %w", len(src), ErrBadAnnouncement)
+	}
+	a := &Announcement{
+		Origin: wire.NodeID(binary.BigEndian.Uint16(src[0:])),
+		Seq:    binary.BigEndian.Uint32(src[2:]),
+	}
+	count := int(binary.BigEndian.Uint16(src[6:]))
+	src = src[8:]
+	if len(src) < 4*count {
+		return nil, fmt.Errorf("groups: %d groups in %d bytes: %w", count, len(src), ErrBadAnnouncement)
+	}
+	a.Groups = make([]wire.GroupID, count)
+	for i := 0; i < count; i++ {
+		a.Groups[i] = wire.GroupID(binary.BigEndian.Uint32(src[4*i:]))
+	}
+	return a, nil
+}
+
+// Manager is the Group State component for one node. All methods must be
+// called from the node's executor.
+type Manager struct {
+	env  Env
+	self wire.NodeID
+
+	// local holds reference counts of local client joins per group.
+	local map[wire.GroupID]int
+	// members maps each group to the set of overlay nodes with members.
+	members map[wire.GroupID]map[wire.NodeID]bool
+	// seen tracks the highest announcement sequence per origin.
+	seen map[wire.NodeID]uint32
+	// lastAnn retains the latest announcement payload per origin for
+	// link-recovery resync.
+	lastAnn map[wire.NodeID][]byte
+	// remote holds the last applied group set per origin, to diff.
+	remote map[wire.NodeID][]wire.GroupID
+
+	mySeq   uint32
+	version uint64
+}
+
+// NewManager returns a group-state manager for node self.
+func NewManager(env Env, self wire.NodeID) *Manager {
+	return &Manager{
+		env:     env,
+		self:    self,
+		local:   make(map[wire.GroupID]int),
+		members: make(map[wire.GroupID]map[wire.NodeID]bool),
+		seen:    make(map[wire.NodeID]uint32),
+		lastAnn: make(map[wire.NodeID][]byte),
+		remote:  make(map[wire.NodeID][]wire.GroupID),
+	}
+}
+
+// Version returns a counter incremented on every membership change, for
+// multicast tree cache invalidation.
+func (m *Manager) Version() uint64 { return m.version }
+
+// Join registers a local client's membership in a group. The first local
+// member triggers an announcement flood; only receivers need to join
+// (§III-B: any client can send to the group).
+func (m *Manager) Join(g wire.GroupID) {
+	m.local[g]++
+	if m.local[g] == 1 {
+		m.setMember(g, m.self, true)
+		m.announce()
+	}
+}
+
+// Leave unregisters a local client's membership. The last local member
+// leaving triggers an announcement flood.
+func (m *Manager) Leave(g wire.GroupID) {
+	n, ok := m.local[g]
+	if !ok {
+		return
+	}
+	if n <= 1 {
+		delete(m.local, g)
+		m.setMember(g, m.self, false)
+		m.announce()
+		return
+	}
+	m.local[g] = n - 1
+}
+
+// LocalMember reports whether this node has local members of g.
+func (m *Manager) LocalMember(g wire.GroupID) bool { return m.local[g] > 0 }
+
+// Members returns the overlay nodes currently holding members of g,
+// sorted by node ID.
+func (m *Manager) Members(g wire.GroupID) []wire.NodeID {
+	set := m.members[g]
+	out := make([]wire.NodeID, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Refresh refloods the node's current membership; the node calls this
+// periodically to repair lost announcements.
+func (m *Manager) Refresh() { m.announce() }
+
+// HandleAnnouncement processes a group-state packet received from a
+// neighbor, applying newer information and reflooding it.
+func (m *Manager) HandleAnnouncement(from wire.NodeID, p *wire.Packet) error {
+	a, err := UnmarshalAnnouncement(p.Payload)
+	if err != nil {
+		return err
+	}
+	if a.Origin == m.self {
+		return nil
+	}
+	if last, ok := m.seen[a.Origin]; ok && a.Seq <= last {
+		return nil
+	}
+	m.seen[a.Origin] = a.Seq
+	m.lastAnn[a.Origin] = append([]byte(nil), p.Payload...)
+
+	changed := m.applyRemote(a.Origin, a.Groups)
+	if changed {
+		m.version++
+		m.env.GroupsChanged()
+	}
+	m.env.FloodGroupState(p.Payload, from)
+	return nil
+}
+
+// applyRemote reconciles an origin's full group set against the previous
+// one, returning whether membership changed.
+func (m *Manager) applyRemote(origin wire.NodeID, groups []wire.GroupID) bool {
+	prev := m.remote[origin]
+	next := make(map[wire.GroupID]bool, len(groups))
+	for _, g := range groups {
+		next[g] = true
+	}
+	changed := false
+	for _, g := range prev {
+		if !next[g] {
+			m.setMemberRaw(g, origin, false)
+			changed = true
+		}
+	}
+	prevSet := make(map[wire.GroupID]bool, len(prev))
+	for _, g := range prev {
+		prevSet[g] = true
+	}
+	for _, g := range groups {
+		if !prevSet[g] {
+			m.setMemberRaw(g, origin, true)
+			changed = true
+		}
+	}
+	m.remote[origin] = append([]wire.GroupID(nil), groups...)
+	return changed
+}
+
+func (m *Manager) setMember(g wire.GroupID, n wire.NodeID, member bool) {
+	m.setMemberRaw(g, n, member)
+	m.version++
+	m.env.GroupsChanged()
+}
+
+func (m *Manager) setMemberRaw(g wire.GroupID, n wire.NodeID, member bool) {
+	set := m.members[g]
+	if member {
+		if set == nil {
+			set = make(map[wire.NodeID]bool)
+			m.members[g] = set
+		}
+		set[n] = true
+		return
+	}
+	if set != nil {
+		delete(set, n)
+		if len(set) == 0 {
+			delete(m.members, g)
+		}
+	}
+}
+
+// Resync pushes the latest known announcement of every origin, plus this
+// node's own membership, to one neighbor whose link just recovered.
+func (m *Manager) Resync(n wire.NodeID) {
+	origins := make([]wire.NodeID, 0, len(m.lastAnn))
+	for o := range m.lastAnn {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		m.env.SendGroupState(n, m.lastAnn[o])
+	}
+	m.announce()
+}
+
+// announce floods this node's full current membership.
+func (m *Manager) announce() {
+	m.mySeq++
+	groups := make([]wire.GroupID, 0, len(m.local))
+	for g := range m.local {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	a := Announcement{Origin: m.self, Seq: m.mySeq, Groups: groups}
+	m.env.FloodGroupState(a.Marshal(), 0)
+}

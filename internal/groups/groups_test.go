@@ -1,0 +1,214 @@
+package groups
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sonet/internal/wire"
+)
+
+// fabric connects managers with immediate synchronous flooding over a
+// clique, which suffices for membership logic tests (ordering and timing
+// are exercised at the node level).
+type fabric struct {
+	envs map[wire.NodeID]*fenv
+}
+
+type fenv struct {
+	f       *fabric
+	self    wire.NodeID
+	mgr     *Manager
+	changes int
+}
+
+func newFabric(nodes ...wire.NodeID) *fabric {
+	f := &fabric{envs: make(map[wire.NodeID]*fenv)}
+	for _, n := range nodes {
+		env := &fenv{f: f, self: n}
+		env.mgr = NewManager(env, n)
+		f.envs[n] = env
+	}
+	return f
+}
+
+func (e *fenv) FloodGroupState(payload []byte, except wire.NodeID) {
+	for peer, env := range e.f.envs {
+		if peer == e.self || peer == except {
+			continue
+		}
+		p := &wire.Packet{Type: wire.PTGroupState, Src: e.self, Payload: append([]byte(nil), payload...)}
+		if err := env.mgr.HandleAnnouncement(e.self, p); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (e *fenv) SendGroupState(peer wire.NodeID, payload []byte) {
+	p := &wire.Packet{Type: wire.PTGroupState, Src: e.self, Payload: append([]byte(nil), payload...)}
+	if env, ok := e.f.envs[peer]; ok {
+		if err := env.mgr.HandleAnnouncement(e.self, p); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (e *fenv) GroupsChanged() { e.changes++ }
+
+func TestJoinPropagatesToAllNodes(t *testing.T) {
+	f := newFabric(1, 2, 3)
+	f.envs[2].mgr.Join(100)
+	for n, env := range f.envs {
+		members := env.mgr.Members(100)
+		if len(members) != 1 || members[0] != 2 {
+			t.Fatalf("node %v sees members %v, want [2]", n, members)
+		}
+	}
+}
+
+func TestJoinRefcounting(t *testing.T) {
+	f := newFabric(1, 2)
+	m := f.envs[1].mgr
+	m.Join(5)
+	m.Join(5)
+	m.Leave(5)
+	if !m.LocalMember(5) {
+		t.Fatal("lost membership with one client remaining")
+	}
+	if got := f.envs[2].mgr.Members(5); len(got) != 1 {
+		t.Fatalf("peer sees %v, want [1]", got)
+	}
+	m.Leave(5)
+	if m.LocalMember(5) {
+		t.Fatal("membership survives last leave")
+	}
+	if got := f.envs[2].mgr.Members(5); len(got) != 0 {
+		t.Fatalf("peer sees %v after leave, want []", got)
+	}
+}
+
+func TestLeaveUnknownGroupIsNoop(t *testing.T) {
+	f := newFabric(1)
+	f.envs[1].mgr.Leave(42)
+	if f.envs[1].changes != 0 {
+		t.Fatal("leave of unknown group changed state")
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	f := newFabric(1, 2, 3, 4)
+	f.envs[3].mgr.Join(7)
+	f.envs[1].mgr.Join(7)
+	f.envs[4].mgr.Join(7)
+	got := f.envs[2].mgr.Members(7)
+	want := []wire.NodeID{1, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+}
+
+func TestStaleAnnouncementIgnored(t *testing.T) {
+	f := newFabric(1, 2)
+	f.envs[1].mgr.Join(9) // seq 1 from origin 1
+	f.envs[1].mgr.Join(8) // seq 2
+	// Replay an old empty announcement with seq 1.
+	old := Announcement{Origin: 1, Seq: 1}
+	p := &wire.Packet{Type: wire.PTGroupState, Payload: old.Marshal()}
+	if err := f.envs[2].mgr.HandleAnnouncement(1, p); err != nil {
+		t.Fatalf("HandleAnnouncement: %v", err)
+	}
+	if got := f.envs[2].mgr.Members(9); len(got) != 1 {
+		t.Fatalf("stale announcement wiped membership: %v", got)
+	}
+}
+
+func TestFullStateReconciliation(t *testing.T) {
+	f := newFabric(1, 2)
+	m1 := f.envs[1].mgr
+	m1.Join(1)
+	m1.Join(2)
+	m1.Leave(1)
+	m2 := f.envs[2].mgr
+	if got := m2.Members(1); len(got) != 0 {
+		t.Fatalf("group 1 members = %v, want []", got)
+	}
+	if got := m2.Members(2); len(got) != 1 {
+		t.Fatalf("group 2 members = %v, want [1]", got)
+	}
+}
+
+func TestVersionAdvances(t *testing.T) {
+	f := newFabric(1, 2)
+	v0 := f.envs[2].mgr.Version()
+	f.envs[1].mgr.Join(3)
+	if f.envs[2].mgr.Version() == v0 {
+		t.Fatal("version unchanged after remote join")
+	}
+}
+
+func TestRefreshRepairsLostState(t *testing.T) {
+	f := newFabric(1, 2)
+	// Simulate a lost announcement by applying state directly to a fresh
+	// manager pair: node 2 missed node 1's join.
+	lonely := newFabric(1, 2)
+	lonely.envs[1].mgr.local[77] = 1
+	lonely.envs[1].mgr.setMemberRaw(77, 1, true)
+	if got := lonely.envs[2].mgr.Members(77); len(got) != 0 {
+		t.Fatalf("premise broken: %v", got)
+	}
+	lonely.envs[1].mgr.Refresh()
+	if got := lonely.envs[2].mgr.Members(77); len(got) != 1 {
+		t.Fatalf("refresh did not repair: %v", got)
+	}
+	_ = f
+}
+
+func TestAnnouncementRoundTrip(t *testing.T) {
+	a := &Announcement{Origin: 3, Seq: 99, Groups: []wire.GroupID{1, 5, 0xffffffff}}
+	got, err := UnmarshalAnnouncement(a.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalAnnouncement: %v", err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", a, got)
+	}
+	empty := &Announcement{Origin: 1, Seq: 1, Groups: []wire.GroupID{}}
+	got, err = UnmarshalAnnouncement(empty.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalAnnouncement(empty): %v", err)
+	}
+	if got.Origin != 1 || len(got.Groups) != 0 {
+		t.Fatalf("empty round trip = %+v", got)
+	}
+}
+
+func TestAnnouncementTruncatedAndFuzz(t *testing.T) {
+	a := &Announcement{Origin: 3, Seq: 99, Groups: []wire.GroupID{1, 2}}
+	buf := a.Marshal()
+	for n := 0; n < len(buf); n++ {
+		if _, err := UnmarshalAnnouncement(buf[:n]); err == nil {
+			t.Fatalf("accepted %d/%d-byte prefix", n, len(buf))
+		}
+	}
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 1000; i++ {
+		junk := make([]byte, r.Intn(64))
+		r.Read(junk)
+		_, _ = UnmarshalAnnouncement(junk)
+	}
+}
+
+func TestOwnAnnouncementIgnored(t *testing.T) {
+	f := newFabric(1, 2)
+	a := Announcement{Origin: 1, Seq: 100, Groups: []wire.GroupID{4}}
+	p := &wire.Packet{Type: wire.PTGroupState, Payload: a.Marshal()}
+	if err := f.envs[1].mgr.HandleAnnouncement(2, p); err != nil {
+		t.Fatalf("HandleAnnouncement: %v", err)
+	}
+	if f.envs[1].mgr.LocalMember(4) {
+		t.Fatal("own reflected announcement created local membership")
+	}
+	if got := f.envs[1].mgr.Members(4); len(got) != 0 {
+		t.Fatalf("reflected announcement applied: %v", got)
+	}
+}

@@ -1,0 +1,251 @@
+package itmsg
+
+import (
+	"time"
+
+	"sonet/internal/link"
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+// SchedConfig parameterizes the fair link schedulers. The link's finite
+// transmission rate is what makes fairness meaningful: a flooding attacker
+// contends with honest sources for exactly this capacity.
+type SchedConfig struct {
+	// Rate is the link's transmission capacity in packets per second.
+	Rate float64
+	// BufferPerSource bounds stored packets per source (priority
+	// messaging) or per flow (reliable messaging).
+	BufferPerSource int
+	// DisableFairness replaces per-source/per-flow round-robin with a
+	// single FIFO queue — the baseline that resource-consumption attacks
+	// defeat (ablation for EXP-FAIR).
+	DisableFairness bool
+	// TotalBuffer bounds the FIFO queue in the unfair baseline.
+	TotalBuffer int
+}
+
+// DefaultSchedConfig returns production defaults: a 1000 pkt/s link with
+// 64-packet per-source buffers.
+func DefaultSchedConfig() SchedConfig {
+	return SchedConfig{Rate: 1000, BufferPerSource: 64, TotalBuffer: 512}
+}
+
+func (c SchedConfig) withDefaults() SchedConfig {
+	d := DefaultSchedConfig()
+	if c.Rate <= 0 {
+		c.Rate = d.Rate
+	}
+	if c.BufferPerSource <= 0 {
+		c.BufferPerSource = d.BufferPerSource
+	}
+	if c.TotalBuffer <= 0 {
+		c.TotalBuffer = d.TotalBuffer
+	}
+	return c
+}
+
+// interval returns the pacing interval between transmissions.
+func (c SchedConfig) interval() time.Duration {
+	return time.Duration(float64(time.Second) / c.Rate)
+}
+
+// PriorityLink is the Intrusion-Tolerant Priority link discipline
+// (§IV-B): storage is allocated per source, active sources are served
+// round-robin, and when a source's buffer fills its oldest lowest-priority
+// message is dropped so the highest-priority messages stay timely. A
+// compromised source can therefore only ever consume its own share of the
+// link.
+type PriorityLink struct {
+	env link.Env
+	cfg SchedConfig
+
+	// bufs holds the per-source buffers; order is the round-robin ring.
+	bufs  map[wire.NodeID]*srcBuf
+	order []wire.NodeID
+	next  int
+
+	// fifo is the single queue in the unfair baseline.
+	fifo []*wire.Packet
+
+	pacing bool
+	timer  sim.Timer
+	stats  link.Stats
+	// Evicted counts messages dropped by buffer policy.
+	evicted uint64
+	closed  bool
+	// enqSeq is a monotonically increasing enqueue stamp used as the
+	// oldest-first tiebreaker.
+	enqSeq uint64
+}
+
+type srcBuf struct {
+	entries []prioEntry
+}
+
+type prioEntry struct {
+	p   *wire.Packet
+	seq uint64
+}
+
+var _ link.Protocol = (*PriorityLink)(nil)
+
+// NewPriorityLink returns an IT-Priority endpoint.
+func NewPriorityLink(env link.Env, cfg SchedConfig) *PriorityLink {
+	return &PriorityLink{
+		env:  env,
+		cfg:  cfg.withDefaults(),
+		bufs: make(map[wire.NodeID]*srcBuf),
+	}
+}
+
+// Send implements link.Protocol: it enqueues under the fair-allocation
+// policy and lets the pacer transmit at link rate.
+func (l *PriorityLink) Send(p *wire.Packet) {
+	if l.closed {
+		return
+	}
+	if l.cfg.DisableFairness {
+		if len(l.fifo) >= l.cfg.TotalBuffer {
+			l.evicted++
+			l.stats.SendDropped++
+			return
+		}
+		l.fifo = append(l.fifo, p)
+		l.ensurePacing()
+		return
+	}
+	b, ok := l.bufs[p.Src]
+	if !ok {
+		b = &srcBuf{}
+		l.bufs[p.Src] = b
+		l.order = append(l.order, p.Src)
+	}
+	l.enqSeq++
+	if len(b.entries) >= l.cfg.BufferPerSource {
+		// Drop the oldest lowest-priority message of this source; if the
+		// newcomer is strictly lower priority than everything stored, it
+		// is itself the drop victim.
+		victim := -1
+		for i, e := range b.entries {
+			if victim == -1 || e.p.Priority < b.entries[victim].p.Priority ||
+				(e.p.Priority == b.entries[victim].p.Priority && e.seq < b.entries[victim].seq) {
+				victim = i
+			}
+		}
+		if victim >= 0 && p.Priority < b.entries[victim].p.Priority {
+			l.evicted++
+			l.stats.SendDropped++
+			return
+		}
+		b.entries = append(b.entries[:victim], b.entries[victim+1:]...)
+		l.evicted++
+		l.stats.SendDropped++
+	}
+	b.entries = append(b.entries, prioEntry{p: p, seq: l.enqSeq})
+	l.ensurePacing()
+}
+
+func (l *PriorityLink) ensurePacing() {
+	if l.pacing || l.closed {
+		return
+	}
+	l.pacing = true
+	l.timer = l.env.Clock().After(l.cfg.interval(), l.pace)
+}
+
+func (l *PriorityLink) pace() {
+	l.pacing = false
+	if l.closed {
+		return
+	}
+	p := l.dequeue()
+	if p == nil {
+		return
+	}
+	l.stats.DataSent++
+	l.env.Transmit(&wire.Frame{
+		Proto:    wire.LPITPriority,
+		Kind:     wire.FData,
+		SendTime: l.env.Clock().Now(),
+		Packet:   p,
+	})
+	if l.hasBacklog() {
+		l.ensurePacing()
+	}
+}
+
+func (l *PriorityLink) hasBacklog() bool {
+	if l.cfg.DisableFairness {
+		return len(l.fifo) > 0
+	}
+	for _, b := range l.bufs {
+		if len(b.entries) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dequeue applies the service discipline: round-robin over active sources,
+// highest priority first within a source, oldest first within a priority.
+func (l *PriorityLink) dequeue() *wire.Packet {
+	if l.cfg.DisableFairness {
+		if len(l.fifo) == 0 {
+			return nil
+		}
+		p := l.fifo[0]
+		l.fifo = l.fifo[1:]
+		return p
+	}
+	for range l.order {
+		src := l.order[l.next%len(l.order)]
+		l.next++
+		b := l.bufs[src]
+		if len(b.entries) == 0 {
+			continue
+		}
+		best := 0
+		for i, e := range b.entries {
+			if e.p.Priority > b.entries[best].p.Priority ||
+				(e.p.Priority == b.entries[best].p.Priority && e.seq < b.entries[best].seq) {
+				best = i
+			}
+		}
+		p := b.entries[best].p
+		b.entries = append(b.entries[:best], b.entries[best+1:]...)
+		return p
+	}
+	return nil
+}
+
+// HandleFrame implements link.Protocol.
+func (l *PriorityLink) HandleFrame(f *wire.Frame) {
+	if l.closed || f.Kind != wire.FData || f.Packet == nil {
+		return
+	}
+	l.stats.Delivered++
+	l.env.Deliver(f.Packet)
+}
+
+// Stats implements link.Protocol.
+func (l *PriorityLink) Stats() link.Stats { return l.stats }
+
+// Evicted returns messages dropped by the buffer-allocation policy.
+func (l *PriorityLink) Evicted() uint64 { return l.evicted }
+
+// QueuedFor returns the queue depth for one source (diagnostics).
+func (l *PriorityLink) QueuedFor(src wire.NodeID) int {
+	if b, ok := l.bufs[src]; ok {
+		return len(b.entries)
+	}
+	return 0
+}
+
+// Close implements link.Protocol.
+func (l *PriorityLink) Close() {
+	l.closed = true
+	if l.timer != nil {
+		l.timer.Stop()
+	}
+}

@@ -1,0 +1,209 @@
+package itmsg
+
+import (
+	"sonet/internal/link"
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+// FlowKey identifies a source→destination flow for per-flow resource
+// allocation. Reliable messaging allocates storage per flow rather than
+// per source so a compromised destination cannot block a source's traffic
+// to other destinations (§IV-B).
+type FlowKey struct {
+	// Src is the originating overlay node.
+	Src wire.NodeID
+	// Dst is the destination overlay node.
+	Dst wire.NodeID
+}
+
+// ReliableFairLink is the Intrusion-Tolerant Reliable link discipline
+// (§IV-B): per-flow buffers served round-robin over a paced link, with the
+// hop-by-hop Reliable Data Link underneath for loss recovery. When a
+// flow's buffer fills the link stops accepting new messages for that flow,
+// creating backpressure toward the source while other flows keep their
+// full fair share.
+type ReliableFairLink struct {
+	env link.Env
+	cfg SchedConfig
+
+	inner *link.Reliable
+
+	flows map[FlowKey]*flowQueue
+	order []FlowKey
+	next  int
+	fifo  []*wire.Packet
+
+	pacing bool
+	timer  sim.Timer
+	// rejected counts packets refused because their flow's buffer was
+	// full (the backpressure signal).
+	rejected uint64
+	closed   bool
+}
+
+type flowQueue struct {
+	entries []*wire.Packet
+}
+
+var _ link.Protocol = (*ReliableFairLink)(nil)
+
+// NewReliableFairLink returns an IT-Reliable endpoint. rel configures the
+// underlying hop-by-hop ARQ.
+func NewReliableFairLink(env link.Env, cfg SchedConfig, rel link.ReliableConfig) *ReliableFairLink {
+	l := &ReliableFairLink{
+		env:   env,
+		cfg:   cfg.withDefaults(),
+		flows: make(map[FlowKey]*flowQueue),
+	}
+	l.inner = link.NewReliable(&innerEnv{outer: env, proto: wire.LPITReliable}, rel)
+	return l
+}
+
+// innerEnv rebadges the inner ARQ's frames as IT-Reliable so the peer
+// demultiplexes them back to its ReliableFairLink.
+type innerEnv struct {
+	outer link.Env
+	proto wire.LinkProtoID
+}
+
+func (e *innerEnv) Clock() sim.Clock { return e.outer.Clock() }
+
+func (e *innerEnv) Transmit(f *wire.Frame) {
+	f.Proto = e.proto
+	e.outer.Transmit(f)
+}
+
+func (e *innerEnv) Deliver(p *wire.Packet) { e.outer.Deliver(p) }
+
+// Send implements link.Protocol: it enqueues under per-flow allocation;
+// the pacer feeds the underlying reliable link at capacity.
+func (l *ReliableFairLink) Send(p *wire.Packet) {
+	if l.closed {
+		return
+	}
+	if l.cfg.DisableFairness {
+		if len(l.fifo) >= l.cfg.TotalBuffer {
+			l.rejected++
+			return
+		}
+		l.fifo = append(l.fifo, p)
+		l.ensurePacing()
+		return
+	}
+	key := FlowKey{Src: p.Src, Dst: p.Dst}
+	q, ok := l.flows[key]
+	if !ok {
+		q = &flowQueue{}
+		l.flows[key] = q
+		l.order = append(l.order, key)
+	}
+	if len(q.entries) >= l.cfg.BufferPerSource {
+		// Backpressure: refuse new messages for the saturated flow.
+		l.rejected++
+		return
+	}
+	q.entries = append(q.entries, p)
+	l.ensurePacing()
+}
+
+// Accepts reports whether the flow currently has buffer space — the
+// backpressure signal an upstream hop or source consults before handing
+// over another message.
+func (l *ReliableFairLink) Accepts(key FlowKey) bool {
+	if l.cfg.DisableFairness {
+		return len(l.fifo) < l.cfg.TotalBuffer
+	}
+	q, ok := l.flows[key]
+	return !ok || len(q.entries) < l.cfg.BufferPerSource
+}
+
+func (l *ReliableFairLink) ensurePacing() {
+	if l.pacing || l.closed {
+		return
+	}
+	l.pacing = true
+	l.timer = l.env.Clock().After(l.cfg.interval(), l.pace)
+}
+
+func (l *ReliableFairLink) pace() {
+	l.pacing = false
+	if l.closed {
+		return
+	}
+	p := l.dequeue()
+	if p == nil {
+		return
+	}
+	l.inner.Send(p)
+	if l.hasBacklog() {
+		l.ensurePacing()
+	}
+}
+
+func (l *ReliableFairLink) hasBacklog() bool {
+	if l.cfg.DisableFairness {
+		return len(l.fifo) > 0
+	}
+	for _, q := range l.flows {
+		if len(q.entries) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// dequeue serves active flows round-robin, FIFO within a flow.
+func (l *ReliableFairLink) dequeue() *wire.Packet {
+	if l.cfg.DisableFairness {
+		if len(l.fifo) == 0 {
+			return nil
+		}
+		p := l.fifo[0]
+		l.fifo = l.fifo[1:]
+		return p
+	}
+	for range l.order {
+		key := l.order[l.next%len(l.order)]
+		l.next++
+		q := l.flows[key]
+		if len(q.entries) == 0 {
+			continue
+		}
+		p := q.entries[0]
+		q.entries = q.entries[1:]
+		return p
+	}
+	return nil
+}
+
+// HandleFrame implements link.Protocol, feeding the inner ARQ.
+func (l *ReliableFairLink) HandleFrame(f *wire.Frame) {
+	if l.closed {
+		return
+	}
+	l.inner.HandleFrame(f)
+}
+
+// Stats implements link.Protocol, reporting the inner ARQ's counters.
+func (l *ReliableFairLink) Stats() link.Stats { return l.inner.Stats() }
+
+// Rejected returns the number of messages refused by backpressure.
+func (l *ReliableFairLink) Rejected() uint64 { return l.rejected }
+
+// QueuedFor returns the queue depth for one flow (diagnostics).
+func (l *ReliableFairLink) QueuedFor(key FlowKey) int {
+	if q, ok := l.flows[key]; ok {
+		return len(q.entries)
+	}
+	return 0
+}
+
+// Close implements link.Protocol.
+func (l *ReliableFairLink) Close() {
+	l.closed = true
+	if l.timer != nil {
+		l.timer.Stop()
+	}
+	l.inner.Close()
+}

@@ -1,0 +1,44 @@
+package link
+
+import "sonet/internal/wire"
+
+// BestEffort transmits each packet exactly once with no recovery — the
+// overlay analogue of plain IP forwarding, and the base link service for
+// traffic whose own protocol handles (or tolerates) loss.
+type BestEffort struct {
+	env   Env
+	stats Stats
+}
+
+var _ Protocol = (*BestEffort)(nil)
+
+// NewBestEffort returns a best-effort link endpoint.
+func NewBestEffort(env Env) *BestEffort {
+	return &BestEffort{env: env}
+}
+
+// Send implements Protocol.
+func (b *BestEffort) Send(p *wire.Packet) {
+	b.stats.DataSent++
+	b.env.Transmit(&wire.Frame{
+		Proto:    wire.LPBestEffort,
+		Kind:     wire.FData,
+		SendTime: b.env.Clock().Now(),
+		Packet:   p,
+	})
+}
+
+// HandleFrame implements Protocol.
+func (b *BestEffort) HandleFrame(f *wire.Frame) {
+	if f.Kind != wire.FData || f.Packet == nil {
+		return
+	}
+	b.stats.Delivered++
+	b.env.Deliver(f.Packet)
+}
+
+// Stats implements Protocol.
+func (b *BestEffort) Stats() Stats { return b.stats }
+
+// Close implements Protocol.
+func (b *BestEffort) Close() {}

@@ -1,0 +1,165 @@
+// Package link implements the link-level protocols of the overlay node
+// software architecture (Fig. 2): Best Effort, the hop-by-hop Reliable Data
+// Link with ARQ and out-of-order forwarding (§III-A), and the NM-Strikes
+// real-time recovery protocol with its single-strike VoIP predecessor
+// (§IV-A, Fig. 4).
+//
+// A Protocol instance runs on one endpoint of one overlay link. The node
+// hosting it supplies an Env: a clock, a way to transmit frames to the
+// peer, and a way to deliver received packets up to the routing level.
+// Protocols are single-threaded: all calls into a Protocol are serialized
+// by the owning node's executor.
+package link
+
+import (
+	"time"
+
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+// Env is what a link protocol instance needs from its host overlay node.
+type Env interface {
+	// Clock returns the node's clock.
+	Clock() sim.Clock
+	// Transmit sends a frame to the link's peer over the underlay.
+	Transmit(f *wire.Frame)
+	// Deliver hands a packet received on this link up to the node's
+	// forwarding plane.
+	Deliver(p *wire.Packet)
+}
+
+// Protocol is one endpoint of a link-level protocol instance.
+type Protocol interface {
+	// Send transmits a routing-level packet to the peer, applying the
+	// protocol's recovery discipline.
+	Send(p *wire.Packet)
+	// HandleFrame processes a frame received from the peer.
+	HandleFrame(f *wire.Frame)
+	// Stats returns a snapshot of the instance's counters.
+	Stats() Stats
+	// Close cancels all pending timers.
+	Close()
+}
+
+// Stats counts link-protocol activity on one link endpoint. The overhead
+// analyses (e.g. NM-Strikes' 1 + M·p cost, §IV-A) are computed from these.
+type Stats struct {
+	// DataSent counts first transmissions of data frames.
+	DataSent uint64
+	// Retransmissions counts repeated transmissions of data frames.
+	Retransmissions uint64
+	// Requests counts retransmission requests sent to the peer.
+	Requests uint64
+	// Acks counts acknowledgment frames sent to the peer.
+	Acks uint64
+	// Delivered counts distinct packets delivered upward.
+	Delivered uint64
+	// DuplicatesDropped counts received data frames whose sequence was
+	// already delivered.
+	DuplicatesDropped uint64
+	// SendDropped counts packets dropped at the sender (window or buffer
+	// overflow).
+	SendDropped uint64
+}
+
+// seqWindow tracks which link sequence numbers have been seen, supporting
+// cumulative-plus-bitmap acknowledgment and duplicate suppression. It
+// handles the sequences 1,2,3,… used by the link protocols. The window is
+// a ring buffer, so recording and advancing are O(1) amortized.
+//
+// The zero value tracks nothing; use newSeqWindow.
+type seqWindow struct {
+	// cum is the highest sequence such that all of 1..cum were seen.
+	cum uint32
+	// bits marks sequences cum+1+i as seen at ring position (start+i).
+	bits  []bool
+	start int
+}
+
+func newSeqWindow(capacity int) *seqWindow {
+	return &seqWindow{bits: make([]bool, capacity)}
+}
+
+func (w *seqWindow) at(i int) bool {
+	return w.bits[(w.start+i)%len(w.bits)]
+}
+
+// Seen reports whether seq was recorded.
+func (w *seqWindow) Seen(seq uint32) bool {
+	if seq <= w.cum {
+		return true
+	}
+	idx := int(seq - w.cum - 1)
+	return idx < len(w.bits) && w.at(idx)
+}
+
+// Record marks seq as seen and advances the cumulative edge. It reports
+// whether the sequence was newly recorded (false for duplicates and for
+// sequences too far ahead of the window, which are dropped).
+func (w *seqWindow) Record(seq uint32) bool {
+	if seq <= w.cum {
+		return false
+	}
+	idx := int(seq - w.cum - 1)
+	if idx >= len(w.bits) {
+		return false
+	}
+	pos := (w.start + idx) % len(w.bits)
+	if w.bits[pos] {
+		return false
+	}
+	w.bits[pos] = true
+	for w.bits[w.start] {
+		w.bits[w.start] = false
+		w.start = (w.start + 1) % len(w.bits)
+		w.cum++
+	}
+	return true
+}
+
+// Cum returns the cumulative edge: every sequence <= Cum has been seen.
+func (w *seqWindow) Cum() uint32 { return w.cum }
+
+// AckBits encodes the out-of-order sequences above the cumulative edge as
+// the selective-ack bitmap used in FAck frames.
+func (w *seqWindow) AckBits() uint64 {
+	var bits uint64
+	n := len(w.bits)
+	if n > 64 {
+		n = 64
+	}
+	for i := 0; i < n; i++ {
+		if w.at(i) {
+			bits |= 1 << i
+		}
+	}
+	return bits
+}
+
+// Missing returns the sequences in (cum, upTo] not yet seen, capped at max
+// entries — the gaps a receiver should request.
+func (w *seqWindow) Missing(upTo uint32, max int) []uint32 {
+	var out []uint32
+	for seq := w.cum + 1; seq <= upTo && len(out) < max; seq++ {
+		if !w.Seen(seq) {
+			out = append(out, seq)
+		}
+	}
+	return out
+}
+
+// stopTimer stops t if non-nil.
+func stopTimer(t sim.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// clampDur returns d clamped to at least lo.
+func clampDur(d, lo time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	return d
+}

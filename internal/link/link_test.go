@@ -1,0 +1,203 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+// pipe wires two protocol endpoints through a latency/loss channel,
+// marshaling every frame through the wire encoding.
+type pipe struct {
+	sched *sim.Scheduler
+	a, b  *pipeEnd
+}
+
+type pipeEnd struct {
+	sched     *sim.Scheduler
+	peer      *pipeEnd
+	latency   time.Duration
+	drop      func(f *wire.Frame) bool
+	proto     Protocol
+	delivered []*wire.Packet
+	sentWire  int
+}
+
+func newPipe(sched *sim.Scheduler, latency time.Duration) *pipe {
+	p := &pipe{sched: sched}
+	p.a = &pipeEnd{sched: sched, latency: latency}
+	p.b = &pipeEnd{sched: sched, latency: latency}
+	p.a.peer = p.b
+	p.b.peer = p.a
+	return p
+}
+
+func (e *pipeEnd) Clock() sim.Clock { return e.sched }
+
+func (e *pipeEnd) Transmit(f *wire.Frame) {
+	e.sentWire++
+	buf, err := f.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	if e.drop != nil && e.drop(f) {
+		return
+	}
+	e.sched.After(e.latency, func() {
+		g, _, err := wire.UnmarshalFrame(buf)
+		if err != nil {
+			panic(err)
+		}
+		if e.peer.proto != nil {
+			e.peer.proto.HandleFrame(g)
+		}
+	})
+}
+
+func (e *pipeEnd) Deliver(p *wire.Packet) {
+	e.delivered = append(e.delivered, p)
+}
+
+func dataPacket(seq uint32) *wire.Packet {
+	return &wire.Packet{
+		Type:    wire.PTData,
+		Route:   wire.RouteLinkState,
+		Src:     1,
+		Dst:     2,
+		FlowSeq: seq,
+		Payload: []byte{byte(seq), byte(seq >> 8)},
+	}
+}
+
+func deliveredSeqs(end *pipeEnd) []uint32 {
+	out := make([]uint32, 0, len(end.delivered))
+	for _, p := range end.delivered {
+		out = append(out, p.FlowSeq)
+	}
+	return out
+}
+
+// --- seqWindow ---
+
+func TestSeqWindowBasic(t *testing.T) {
+	w := newSeqWindow(64)
+	if w.Seen(1) {
+		t.Fatal("fresh window saw seq 1")
+	}
+	if !w.Record(1) || !w.Record(2) {
+		t.Fatal("Record of fresh seqs = false")
+	}
+	if w.Cum() != 2 {
+		t.Fatalf("Cum = %d, want 2", w.Cum())
+	}
+	if w.Record(1) {
+		t.Fatal("Record duplicate = true")
+	}
+	if !w.Record(4) {
+		t.Fatal("Record(4) = false")
+	}
+	if w.Cum() != 2 {
+		t.Fatalf("Cum = %d, want 2 (gap at 3)", w.Cum())
+	}
+	if w.AckBits() != 0b10 {
+		t.Fatalf("AckBits = %b, want 10", w.AckBits())
+	}
+	miss := w.Missing(4, 10)
+	if len(miss) != 1 || miss[0] != 3 {
+		t.Fatalf("Missing = %v, want [3]", miss)
+	}
+	if !w.Record(3) {
+		t.Fatal("Record(3) = false")
+	}
+	if w.Cum() != 4 {
+		t.Fatalf("Cum = %d, want 4", w.Cum())
+	}
+}
+
+func TestSeqWindowFarAheadDropped(t *testing.T) {
+	w := newSeqWindow(8)
+	if w.Record(100) {
+		t.Fatal("Record far beyond window = true")
+	}
+}
+
+// TestSeqWindowMatchesReference compares the ring implementation against a
+// map-based reference over random in-window insertion orders.
+func TestSeqWindowMatchesReference(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := newSeqWindow(32)
+		ref := make(map[uint32]bool)
+		refCum := uint32(0)
+		for i := 0; i < 500; i++ {
+			// Bias toward the valid window around the reference cum.
+			seq := refCum + uint32(r.Intn(40)) + 1
+			if r.Intn(4) == 0 && refCum > 0 {
+				seq = uint32(r.Intn(int(refCum))) + 1
+			}
+			inWindow := seq > refCum && seq <= refCum+32
+			wantNew := inWindow && !ref[seq] && seq > refCum
+			got := w.Record(seq)
+			if inWindow && !ref[seq] {
+				ref[seq] = true
+				for ref[refCum+1] {
+					delete(ref, refCum+1)
+					refCum++
+				}
+			}
+			if got != wantNew {
+				return false
+			}
+			if w.Cum() != refCum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- BestEffort ---
+
+func TestBestEffortDelivers(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	p := newPipe(sched, 10*time.Millisecond)
+	p.a.proto = NewBestEffort(p.a)
+	p.b.proto = NewBestEffort(p.b)
+	for i := uint32(1); i <= 10; i++ {
+		p.a.proto.Send(dataPacket(i))
+	}
+	sched.Run()
+	if len(p.b.delivered) != 10 {
+		t.Fatalf("delivered %d, want 10", len(p.b.delivered))
+	}
+	st := p.a.proto.Stats()
+	if st.DataSent != 10 || st.Retransmissions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBestEffortNoRecovery(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	p := newPipe(sched, 10*time.Millisecond)
+	n := 0
+	p.a.drop = func(f *wire.Frame) bool {
+		n++
+		return n%5 == 0 // drop every 5th frame
+	}
+	p.a.proto = NewBestEffort(p.a)
+	p.b.proto = NewBestEffort(p.b)
+	for i := uint32(1); i <= 100; i++ {
+		p.a.proto.Send(dataPacket(i))
+	}
+	sched.Run()
+	if len(p.b.delivered) != 80 {
+		t.Fatalf("delivered %d, want 80 (no recovery)", len(p.b.delivered))
+	}
+}

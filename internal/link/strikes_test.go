@@ -1,0 +1,294 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+func strikesPair(sched *sim.Scheduler, latency time.Duration, cfg StrikesConfig) *pipe {
+	p := newPipe(sched, latency)
+	p.a.proto = NewStrikes(p.a, cfg)
+	p.b.proto = NewStrikes(p.b, cfg)
+	return p
+}
+
+// continentalStrikes returns the paper's live-TV setting: a 40 ms path
+// with a 160 ms recovery budget (§IV-A).
+func continentalStrikes() StrikesConfig {
+	return StrikesConfig{N: 3, M: 2, Budget: 160 * time.Millisecond, RTT: 80 * time.Millisecond}
+}
+
+func TestStrikesLosslessDelivery(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	p := strikesPair(sched, 10*time.Millisecond, StrikesConfig{})
+	for i := uint32(1); i <= 50; i++ {
+		p.a.proto.Send(dataPacket(i))
+	}
+	sched.RunFor(time.Second)
+	if len(p.b.delivered) != 50 {
+		t.Fatalf("delivered %d, want 50", len(p.b.delivered))
+	}
+	st := p.a.proto.Stats()
+	if st.Retransmissions != 0 || p.b.proto.Stats().Requests != 0 {
+		t.Fatalf("lossless run recovered: %+v", st)
+	}
+}
+
+func TestStrikesRecoversSingleLoss(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	p := strikesPair(sched, 20*time.Millisecond, continentalStrikes())
+	dropped := false
+	p.a.drop = func(f *wire.Frame) bool {
+		if f.Kind == wire.FData && f.Seq == 2 && !dropped {
+			dropped = true
+			return true
+		}
+		return false
+	}
+	var recoveredAt time.Duration
+	sendAt := make(map[uint32]time.Duration)
+	base := p.b.proto
+	p.b.proto = &deliverHook{Protocol: base, hook: func(pk *wire.Packet) {
+		if pk.FlowSeq == 2 && recoveredAt == 0 {
+			recoveredAt = sched.Now()
+		}
+	}}
+	for i := uint32(1); i <= 5; i++ {
+		i := i
+		sched.After(time.Duration(i-1)*10*time.Millisecond, func() {
+			sendAt[i] = sched.Now()
+			p.a.proto.Send(dataPacket(i))
+		})
+	}
+	sched.RunFor(2 * time.Second)
+	if len(p.b.delivered) != 5 {
+		t.Fatalf("delivered %d, want 5", len(p.b.delivered))
+	}
+	if recoveredAt == 0 {
+		t.Fatal("seq 2 never recovered")
+	}
+	// Loss revealed at 40ms (seq 3 arrival at 20+20); first request
+	// immediately, sender replies at 60ms, recovery lands at 80ms. One-way
+	// extra delay = 80 - (10 + 20) = 50ms ≈ one RTT + detection gap.
+	if recoveredAt != 80*time.Millisecond {
+		t.Fatalf("recovered at %v, want 80ms", recoveredAt)
+	}
+}
+
+func TestStrikesSurvivesRequestLoss(t *testing.T) {
+	// The first request dies; the second spaced strike recovers the
+	// packet — the core burst-dodging behaviour of Fig. 4.
+	sched := sim.NewScheduler(1)
+	cfg := StrikesConfig{N: 3, M: 1, Budget: 150 * time.Millisecond, RTT: 20 * time.Millisecond}
+	p := strikesPair(sched, 10*time.Millisecond, cfg)
+	dropData := true
+	p.a.drop = func(f *wire.Frame) bool {
+		if f.Kind == wire.FData && f.Seq == 1 && dropData {
+			dropData = false
+			return true
+		}
+		return false
+	}
+	reqsDropped := 0
+	p.b.drop = func(f *wire.Frame) bool {
+		if f.Kind == wire.FReq && reqsDropped == 0 {
+			reqsDropped++
+			return true
+		}
+		return false
+	}
+	p.a.proto.Send(dataPacket(1))
+	sched.After(10*time.Millisecond, func() { p.a.proto.Send(dataPacket(2)) })
+	sched.RunFor(time.Second)
+	if len(p.b.delivered) != 2 {
+		t.Fatalf("delivered %d, want 2", len(p.b.delivered))
+	}
+	if got := p.b.proto.Stats().Requests; got < 2 {
+		t.Fatalf("requests = %d, want >= 2 (first was dropped)", got)
+	}
+}
+
+func TestStrikesCancelsRemainingRequestsOnRecovery(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	cfg := StrikesConfig{N: 5, M: 1, Budget: 500 * time.Millisecond, RTT: 20 * time.Millisecond}
+	p := strikesPair(sched, 10*time.Millisecond, cfg)
+	dropData := true
+	p.a.drop = func(f *wire.Frame) bool {
+		if f.Kind == wire.FData && f.Seq == 1 && dropData {
+			dropData = false
+			return true
+		}
+		return false
+	}
+	p.a.proto.Send(dataPacket(1))
+	sched.After(10*time.Millisecond, func() { p.a.proto.Send(dataPacket(2)) })
+	sched.RunFor(5 * time.Second)
+	if len(p.b.delivered) != 2 {
+		t.Fatalf("delivered %d, want 2", len(p.b.delivered))
+	}
+	// Recovery arrives ~20ms after the first request; the remaining 4
+	// scheduled strikes (spaced 96ms apart) must be cancelled.
+	if got := p.b.proto.Stats().Requests; got != 1 {
+		t.Fatalf("requests = %d, want 1 (rest cancelled)", got)
+	}
+}
+
+func TestStrikesGivesUpAfterBudget(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	cfg := StrikesConfig{N: 2, M: 2, Budget: 100 * time.Millisecond, RTT: 20 * time.Millisecond}
+	p := strikesPair(sched, 10*time.Millisecond, cfg)
+	p.a.drop = func(f *wire.Frame) bool { return f.Kind == wire.FData && f.Seq == 1 }
+	p.b.drop = func(f *wire.Frame) bool { return false }
+	p.a.proto.Send(dataPacket(1))
+	sched.After(10*time.Millisecond, func() { p.a.proto.Send(dataPacket(2)) })
+	sched.RunFor(5 * time.Second)
+	if len(p.b.delivered) != 1 {
+		t.Fatalf("delivered %d, want 1 (seq 1 unrecoverable)", len(p.b.delivered))
+	}
+	// Requests bounded by N; afterwards the pending state must be gone.
+	st := p.b.proto.Stats()
+	if st.Requests > 2 {
+		t.Fatalf("requests = %d, want <= N=2", st.Requests)
+	}
+	strikes, ok := p.b.proto.(*Strikes)
+	if !ok {
+		t.Fatal("not a Strikes")
+	}
+	if len(strikes.pending) != 0 {
+		t.Fatalf("pending strikes not cleaned: %d", len(strikes.pending))
+	}
+}
+
+func TestStrikesSenderSchedulesMRetransmissions(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	cfg := StrikesConfig{N: 1, M: 3, Budget: 200 * time.Millisecond, RTT: 20 * time.Millisecond}
+	p := strikesPair(sched, 10*time.Millisecond, cfg)
+	// Drop the original and all retransmissions so all M copies go out.
+	p.a.drop = func(f *wire.Frame) bool { return f.Kind == wire.FData && f.Seq == 1 }
+	p.a.proto.Send(dataPacket(1))
+	sched.After(10*time.Millisecond, func() { p.a.proto.Send(dataPacket(2)) })
+	sched.RunFor(5 * time.Second)
+	if got := p.a.proto.Stats().Retransmissions; got != 3 {
+		t.Fatalf("retransmissions = %d, want M=3", got)
+	}
+}
+
+func TestStrikesDuplicateRetransmissionsSuppressed(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	cfg := StrikesConfig{N: 1, M: 3, Budget: 200 * time.Millisecond, RTT: 20 * time.Millisecond}
+	p := strikesPair(sched, 10*time.Millisecond, cfg)
+	dropOnce := true
+	p.a.drop = func(f *wire.Frame) bool {
+		if f.Kind == wire.FData && f.Seq == 1 && dropOnce {
+			dropOnce = false
+			return true
+		}
+		return false
+	}
+	p.a.proto.Send(dataPacket(1))
+	sched.After(10*time.Millisecond, func() { p.a.proto.Send(dataPacket(2)) })
+	sched.RunFor(5 * time.Second)
+	if len(p.b.delivered) != 2 {
+		t.Fatalf("delivered %d, want 2 distinct", len(p.b.delivered))
+	}
+	// M=3 copies answered one request; two arrive as duplicates.
+	if got := p.b.proto.Stats().DuplicatesDropped; got != 2 {
+		t.Fatalf("duplicates = %d, want 2", got)
+	}
+}
+
+func TestStrikesSingleStrikeConfig(t *testing.T) {
+	cfg := SingleStrikeConfig(60*time.Millisecond, 20*time.Millisecond)
+	if cfg.N != 1 || cfg.M != 1 {
+		t.Fatalf("SingleStrikeConfig N=%d M=%d, want 1/1", cfg.N, cfg.M)
+	}
+	sched := sim.NewScheduler(1)
+	p := strikesPair(sched, 10*time.Millisecond, cfg)
+	p.a.drop = func(f *wire.Frame) bool { return f.Kind == wire.FData && f.Seq == 1 }
+	p.a.proto.Send(dataPacket(1))
+	sched.After(10*time.Millisecond, func() { p.a.proto.Send(dataPacket(2)) })
+	sched.RunFor(time.Second)
+	st := p.b.proto.Stats()
+	if st.Requests != 1 {
+		t.Fatalf("requests = %d, want exactly 1", st.Requests)
+	}
+	if got := p.a.proto.Stats().Retransmissions; got != 1 {
+		t.Fatalf("retransmissions = %d, want exactly 1", got)
+	}
+}
+
+func TestStrikesOverheadMatchesAnalytic(t *testing.T) {
+	// §IV-A: sender-side cost is 1 + M·p. With p = 0.1 and M = 2 the
+	// transmission overhead must be ≈ 1.2.
+	sched := sim.NewScheduler(99)
+	cfg := StrikesConfig{N: 3, M: 2, Budget: 160 * time.Millisecond, RTT: 20 * time.Millisecond}
+	p := strikesPair(sched, 10*time.Millisecond, cfg)
+	r := rand.New(rand.NewSource(5))
+	const lossP = 0.10
+	p.a.drop = func(f *wire.Frame) bool {
+		return f.Kind == wire.FData && r.Float64() < lossP
+	}
+	const n = 5000
+	for i := uint32(1); i <= n; i++ {
+		i := i
+		sched.After(time.Duration(i-1)*time.Millisecond, func() {
+			p.a.proto.Send(dataPacket(i))
+		})
+	}
+	sched.RunFor(time.Minute)
+	st := p.a.proto.Stats()
+	overhead := float64(st.DataSent+st.Retransmissions) / float64(n)
+	want := 1 + float64(cfg.M)*lossP
+	if overhead < 1.02 || overhead > want+0.08 {
+		t.Fatalf("overhead = %.3f, want in (1.02, %.3f]", overhead, want+0.08)
+	}
+	// Nearly everything must be delivered despite pure timeliness goals.
+	if got := float64(p.b.proto.Stats().Delivered) / n; got < 0.995 {
+		t.Fatalf("delivery ratio %.4f, want >= 0.995", got)
+	}
+}
+
+func TestStrikesHistoryEviction(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	cfg := StrikesConfig{N: 1, M: 1, Budget: 100 * time.Millisecond, RTT: 20 * time.Millisecond, HistoryLimit: 10}
+	p := strikesPair(sched, 10*time.Millisecond, cfg)
+	for i := uint32(1); i <= 50; i++ {
+		p.a.proto.Send(dataPacket(i))
+	}
+	s, ok := p.a.proto.(*Strikes)
+	if !ok {
+		t.Fatal("not a Strikes")
+	}
+	if len(s.history) != 10 {
+		t.Fatalf("history = %d entries, want 10", len(s.history))
+	}
+	// A request for an evicted sequence is ignored.
+	s.HandleFrame(&wire.Frame{Proto: wire.LPRealTime, Kind: wire.FReq, Seq: 1})
+	sched.RunFor(time.Second)
+	if got := p.a.proto.Stats().Retransmissions; got != 0 {
+		t.Fatalf("retransmitted evicted seq: %d", got)
+	}
+}
+
+func TestStrikesCloseCancelsTimers(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	cfg := StrikesConfig{N: 5, M: 3, Budget: time.Second, RTT: 20 * time.Millisecond}
+	p := strikesPair(sched, 10*time.Millisecond, cfg)
+	p.a.drop = func(f *wire.Frame) bool { return f.Kind == wire.FData && f.Seq == 1 }
+	p.a.proto.Send(dataPacket(1))
+	sched.After(10*time.Millisecond, func() { p.a.proto.Send(dataPacket(2)) })
+	sched.After(40*time.Millisecond, func() {
+		p.a.proto.Close()
+		p.b.proto.Close()
+	})
+	reqsAtClose := uint64(0)
+	sched.After(41*time.Millisecond, func() { reqsAtClose = p.b.proto.Stats().Requests })
+	sched.RunFor(5 * time.Second)
+	if got := p.b.proto.Stats().Requests; got != reqsAtClose {
+		t.Fatalf("requests kept firing after Close: %d → %d", reqsAtClose, got)
+	}
+}

@@ -1,0 +1,107 @@
+package linkstate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"sonet/internal/wire"
+)
+
+// ErrBadAdvertisement reports a malformed link-state payload.
+var ErrBadAdvertisement = errors.New("malformed link-state advertisement")
+
+// Entry is one link's advertised condition.
+type Entry struct {
+	// Link identifies the advertised overlay link.
+	Link wire.LinkID
+	// Up is the link's availability.
+	Up bool
+	// Latency is the measured one-way latency.
+	Latency time.Duration
+	// Loss is the measured one-way loss fraction.
+	Loss float64
+}
+
+// Advertisement is one node's sequence-numbered report of the condition of
+// its adjacent overlay links — the unit of Connectivity Graph Maintenance
+// flooding.
+type Advertisement struct {
+	// Origin is the advertising node.
+	Origin wire.NodeID
+	// Seq orders advertisements from one origin; receivers keep the
+	// highest.
+	Seq uint32
+	// Entries lists the origin's adjacent links.
+	Entries []Entry
+}
+
+// advEntryLen is the encoded size of one entry: link(2) up(1) latency
+// µs(4) loss ‱(2).
+const advEntryLen = 9
+
+// advHeaderLen is origin(2) seq(4) count(1).
+const advHeaderLen = 7
+
+// Marshal encodes the advertisement.
+func (a *Advertisement) Marshal() []byte {
+	buf := make([]byte, advHeaderLen, advHeaderLen+len(a.Entries)*advEntryLen)
+	binary.BigEndian.PutUint16(buf[0:], uint16(a.Origin))
+	binary.BigEndian.PutUint32(buf[2:], a.Seq)
+	buf[6] = byte(len(a.Entries))
+	var e [advEntryLen]byte
+	for _, entry := range a.Entries {
+		binary.BigEndian.PutUint16(e[0:], uint16(entry.Link))
+		if entry.Up {
+			e[2] = 1
+		} else {
+			e[2] = 0
+		}
+		us := entry.Latency / time.Microsecond
+		if us < 0 {
+			us = 0
+		}
+		if us > 1<<32-1 {
+			us = 1<<32 - 1
+		}
+		binary.BigEndian.PutUint32(e[3:], uint32(us))
+		loss := entry.Loss
+		if loss < 0 {
+			loss = 0
+		}
+		if loss > 1 {
+			loss = 1
+		}
+		binary.BigEndian.PutUint16(e[7:], uint16(loss*10000))
+		buf = append(buf, e[:]...)
+	}
+	return buf
+}
+
+// UnmarshalAdvertisement decodes a link-state payload.
+func UnmarshalAdvertisement(src []byte) (*Advertisement, error) {
+	if len(src) < advHeaderLen {
+		return nil, fmt.Errorf("linkstate: header %d bytes: %w", len(src), ErrBadAdvertisement)
+	}
+	a := &Advertisement{
+		Origin: wire.NodeID(binary.BigEndian.Uint16(src[0:])),
+		Seq:    binary.BigEndian.Uint32(src[2:]),
+	}
+	count := int(src[6])
+	src = src[advHeaderLen:]
+	if len(src) < count*advEntryLen {
+		return nil, fmt.Errorf("linkstate: %d entries in %d bytes: %w", count, len(src), ErrBadAdvertisement)
+	}
+	a.Entries = make([]Entry, count)
+	for i := 0; i < count; i++ {
+		e := src[i*advEntryLen:]
+		a.Entries[i] = Entry{
+			Link:    wire.LinkID(binary.BigEndian.Uint16(e[0:])),
+			Up:      e[2] == 1,
+			Latency: time.Duration(binary.BigEndian.Uint32(e[3:])) * time.Microsecond,
+			Loss:    float64(binary.BigEndian.Uint16(e[7:])) / 10000,
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,559 @@
+// Package linkstate implements the Connectivity Graph Maintenance
+// component of the overlay node software architecture (Fig. 2): hello
+// probing of neighbors, failure detection, multihomed path failover,
+// measurement of per-link latency and loss, and sequence-numbered flooding
+// of link-state advertisements so that every overlay node maintains the
+// same global view of the overlay's condition (§II-B).
+//
+// Because a structured overlay has only a few tens of nodes, the full
+// global state is small and can be updated in a timely manner, giving the
+// overlay its sub-second rerouting (§II-A) in contrast to BGP's tens of
+// seconds.
+package linkstate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sonet/internal/sim"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// Env is what the manager needs from its host overlay node.
+type Env interface {
+	// Clock returns the node's clock.
+	Clock() sim.Clock
+	// SendControl transmits a control frame (hello or hello-ack) to a
+	// neighbor over the link's current path.
+	SendControl(neighbor wire.NodeID, f *wire.Frame)
+	// FloodLSA sends a link-state packet to every current neighbor except
+	// the one it came from (zero to send to all).
+	FloodLSA(payload []byte, except wire.NodeID)
+	// SendLSA sends a link-state packet to one neighbor (database resync
+	// on link recovery).
+	SendLSA(neighbor wire.NodeID, payload []byte)
+	// PathCount returns how many distinct underlay paths (ISP choices)
+	// exist for the link to a neighbor (§II-A multihoming).
+	PathCount(neighbor wire.NodeID) int
+	// SetPath switches the link to a neighbor onto underlay path index
+	// path.
+	SetPath(neighbor wire.NodeID, path uint8)
+	// ViewChanged notifies the node that the shared view changed and
+	// routes must be recomputed.
+	ViewChanged()
+}
+
+// Config parameterizes connectivity maintenance.
+type Config struct {
+	// HelloInterval is the neighbor probe period. Detection latency is
+	// roughly HelloInterval × HelloMiss per path, so the defaults detect
+	// single-homed link failures in ~300 ms.
+	HelloInterval time.Duration
+	// HelloMiss is how many consecutive unanswered hellos trigger
+	// failover to the next path, or a down declaration when no paths
+	// remain.
+	HelloMiss int
+	// DownProbeInterval is the probe period for links declared down.
+	DownProbeInterval time.Duration
+	// RefreshInterval is the period of full link-state refloods, which
+	// repair any lost advertisements.
+	RefreshInterval time.Duration
+	// LossWindow is the number of hellos over which loss is estimated.
+	LossWindow int
+	// LatencyChangeFrac is the relative latency change that triggers an
+	// advertisement outside the refresh cycle.
+	LatencyChangeFrac float64
+	// LossChangeAbs is the absolute loss-rate change that triggers an
+	// advertisement outside the refresh cycle.
+	LossChangeAbs float64
+	// LossFailover is the measured one-way loss rate at which a
+	// multihomed link re-homes onto its next underlay path (§II-A:
+	// "choosing a different combination of ISPs to use for a given
+	// overlay link"). Zero disables loss-driven failover; hard outages
+	// still fail over via missed hellos.
+	LossFailover float64
+}
+
+// DefaultConfig returns production defaults (sub-second detection).
+func DefaultConfig() Config {
+	return Config{
+		HelloInterval:     100 * time.Millisecond,
+		HelloMiss:         3,
+		DownProbeInterval: time.Second,
+		RefreshInterval:   2 * time.Second,
+		LossWindow:        50,
+		LatencyChangeFrac: 0.25,
+		LossChangeAbs:     0.02,
+		LossFailover:      0.15,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.HelloInterval <= 0 {
+		c.HelloInterval = d.HelloInterval
+	}
+	if c.HelloMiss <= 0 {
+		c.HelloMiss = d.HelloMiss
+	}
+	if c.DownProbeInterval <= 0 {
+		c.DownProbeInterval = d.DownProbeInterval
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = d.RefreshInterval
+	}
+	if c.LossWindow <= 0 {
+		c.LossWindow = d.LossWindow
+	}
+	if c.LatencyChangeFrac <= 0 {
+		c.LatencyChangeFrac = d.LatencyChangeFrac
+	}
+	if c.LossChangeAbs <= 0 {
+		c.LossChangeAbs = d.LossChangeAbs
+	}
+	if c.LossFailover == 0 {
+		c.LossFailover = d.LossFailover
+	}
+	return c
+}
+
+// Stats counts connectivity-maintenance activity.
+type Stats struct {
+	// HellosSent counts hello probes transmitted.
+	HellosSent uint64
+	// LSAsSent counts link-state advertisements originated.
+	LSAsSent uint64
+	// LSAsForwarded counts advertisements reflooded for other origins.
+	LSAsForwarded uint64
+	// Failovers counts multihoming path switches.
+	Failovers uint64
+	// DownDetections counts links declared down.
+	DownDetections uint64
+	// UpDetections counts links declared back up.
+	UpDetections uint64
+}
+
+// neighborState tracks hello liveness for one adjacent overlay link.
+type neighborState struct {
+	linkID wire.LinkID
+	// owner is true when this node is the link's lower-ID endpoint: the
+	// owner is the single source of truth for the link's advertised
+	// latency and loss, so every node routes on identical values and
+	// equal-cost decisions cannot disagree (divergent per-endpoint
+	// measurements caused transient forwarding loops).
+	owner   bool
+	up      bool
+	curPath uint8
+	missed  int
+	// pendingAck marks a hello in flight awaiting its ack.
+	pendingAck bool
+	// rtt is the smoothed round-trip estimate.
+	rtt time.Duration
+	// window loss accounting.
+	helloCount int
+	ackCount   int
+	loss       float64
+	// advertised values, to rate-limit LSA floods.
+	advLatency time.Duration
+	advLoss    float64
+	advUp      bool
+	timer      sim.Timer
+}
+
+// Manager is the Connectivity Graph Maintenance component for one node.
+// All methods must be called from the node's executor.
+type Manager struct {
+	env  Env
+	self wire.NodeID
+	view *topology.View
+	cfg  Config
+
+	neighbors map[wire.NodeID]*neighborState
+	// order lists neighbors in ascending ID order for deterministic
+	// iteration.
+	order []wire.NodeID
+	// seen tracks the highest advertisement sequence per origin.
+	seen map[wire.NodeID]uint32
+	// lastAdv retains the latest advertisement payload per origin, so a
+	// recovering link can be brought up to date immediately instead of
+	// waiting for every origin's next refresh.
+	lastAdv map[wire.NodeID][]byte
+	mySeq   uint32
+	stats   Stats
+	closed  bool
+	// version increments on every view change; routing caches key on it.
+	version uint64
+
+	refreshTimer sim.Timer
+}
+
+// NewManager returns a manager for node self sharing view. The view must
+// already contain the designed topology; neighbors are registered with
+// AddNeighbor before Start.
+func NewManager(env Env, self wire.NodeID, view *topology.View, cfg Config) *Manager {
+	return &Manager{
+		env:       env,
+		self:      self,
+		view:      view,
+		cfg:       cfg.withDefaults(),
+		neighbors: make(map[wire.NodeID]*neighborState),
+		seen:      make(map[wire.NodeID]uint32),
+		lastAdv:   make(map[wire.NodeID][]byte),
+	}
+}
+
+// AddNeighbor registers the adjacent link to a neighbor.
+func (m *Manager) AddNeighbor(n wire.NodeID, link wire.LinkID) {
+	st := m.view.State[link]
+	m.neighbors[n] = &neighborState{
+		linkID:     link,
+		owner:      m.self < n,
+		up:         true,
+		advUp:      true,
+		advLatency: st.Latency,
+		rtt:        2 * st.Latency,
+	}
+	m.order = append(m.order, n)
+	sort.Slice(m.order, func(i, j int) bool { return m.order[i] < m.order[j] })
+}
+
+// Start begins hello probing and periodic refresh flooding, announcing the
+// node's initial link states immediately.
+func (m *Manager) Start() {
+	for _, n := range m.order {
+		m.scheduleHello(n, m.cfg.HelloInterval)
+	}
+	m.originateLSA()
+	m.scheduleRefresh()
+}
+
+// Stop cancels all timers.
+func (m *Manager) Stop() {
+	m.closed = true
+	for _, st := range m.neighbors {
+		stopTimer(st.timer)
+	}
+	stopTimer(m.refreshTimer)
+}
+
+// View returns the shared connectivity view.
+func (m *Manager) View() *topology.View { return m.view }
+
+// Version returns a counter incremented on every view change, for route
+// cache invalidation.
+func (m *Manager) Version() uint64 { return m.version }
+
+// Stats returns a snapshot of counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// NeighborUp reports whether the link to a neighbor is considered up.
+func (m *Manager) NeighborUp(n wire.NodeID) bool {
+	st, ok := m.neighbors[n]
+	return ok && st.up
+}
+
+// NeighborRTT returns the smoothed hello RTT for a neighbor.
+func (m *Manager) NeighborRTT(n wire.NodeID) (time.Duration, bool) {
+	st, ok := m.neighbors[n]
+	if !ok {
+		return 0, false
+	}
+	return st.rtt, true
+}
+
+func (m *Manager) scheduleHello(n wire.NodeID, after time.Duration) {
+	st := m.neighbors[n]
+	stopTimer(st.timer)
+	st.timer = m.env.Clock().After(after, func() { m.helloTick(n) })
+}
+
+// helloTick sends one probe and accounts for the previous one.
+func (m *Manager) helloTick(n wire.NodeID) {
+	if m.closed {
+		return
+	}
+	st := m.neighbors[n]
+	if st.pendingAck {
+		// Previous hello went unanswered; it was already counted in the
+		// loss window when sent.
+		st.missed++
+		m.noteHelloWindow(n, st)
+		if st.missed >= m.cfg.HelloMiss {
+			m.helloTimeout(n, st)
+		}
+	}
+	st.pendingAck = true
+	st.helloCount++
+	m.stats.HellosSent++
+	// Hellos carry the sender's current path index so the two endpoints
+	// converge on the same provider (§II-A on-net links): the lower node
+	// ID owns the choice and the peer adopts it.
+	m.env.SendControl(n, &wire.Frame{
+		Proto:    wire.LPBestEffort,
+		Kind:     wire.FHello,
+		Seq:      uint32(st.curPath),
+		SendTime: m.env.Clock().Now(),
+	})
+	interval := m.cfg.HelloInterval
+	if !st.up {
+		interval = m.cfg.DownProbeInterval
+	}
+	m.scheduleHello(n, interval)
+}
+
+// helloTimeout handles HelloMiss consecutive losses: fail over to the next
+// underlay path if one remains, otherwise declare the link down.
+func (m *Manager) helloTimeout(n wire.NodeID, st *neighborState) {
+	st.missed = 0
+	paths := m.env.PathCount(n)
+	if int(st.curPath)+1 < paths && st.up {
+		st.curPath++
+		m.stats.Failovers++
+		m.env.SetPath(n, st.curPath)
+		return
+	}
+	// Cycle back to the first path for down-probing.
+	if st.curPath != 0 {
+		st.curPath = 0
+		m.env.SetPath(n, 0)
+	}
+	if st.up {
+		st.up = false
+		m.stats.DownDetections++
+		m.applyLocal(st, false)
+		m.originateLSA()
+	}
+}
+
+// HandleControl processes hello traffic arriving from a neighbor.
+func (m *Manager) HandleControl(n wire.NodeID, f *wire.Frame) {
+	if m.closed {
+		return
+	}
+	switch f.Kind {
+	case wire.FHello:
+		// The link owner (lower node ID) dictates the underlay path; the
+		// other endpoint adopts the path carried in the owner's hellos so
+		// the link stays on-net (same provider both ways).
+		if m.self > n {
+			if st, ok := m.neighbors[n]; ok {
+				if p := uint8(f.Seq); p != st.curPath && int(p) < m.env.PathCount(n) {
+					st.curPath = p
+					m.env.SetPath(n, p)
+				}
+			}
+		}
+		m.env.SendControl(n, &wire.Frame{
+			Proto:    wire.LPBestEffort,
+			Kind:     wire.FHelloAck,
+			SendTime: f.SendTime,
+		})
+	case wire.FHelloAck:
+		m.onHelloAck(n, f)
+	}
+}
+
+func (m *Manager) onHelloAck(n wire.NodeID, f *wire.Frame) {
+	st, ok := m.neighbors[n]
+	if !ok {
+		return
+	}
+	st.pendingAck = false
+	st.missed = 0
+	st.ackCount++
+	m.noteHelloWindow(n, st)
+	rtt := m.env.Clock().Now() - f.SendTime
+	if rtt > 0 {
+		if st.rtt == 0 {
+			st.rtt = rtt
+		} else {
+			st.rtt = (7*st.rtt + rtt) / 8
+		}
+	}
+	if !st.up {
+		st.up = true
+		st.missed = 0
+		m.stats.UpDetections++
+		m.applyLocal(st, true)
+		m.originateLSA()
+		// Database resync: the peer may have missed arbitrary updates
+		// while the link was down; push every origin's latest known
+		// advertisement instead of waiting for their refresh cycles.
+		m.resync(n)
+		return
+	}
+	// The owner publishes the link's measured latency; the other
+	// endpoint receives it via the owner's advertisements.
+	if st.owner {
+		m.view.State[st.linkID].Latency = st.rtt / 2
+		m.maybeAdvertise(st)
+	}
+}
+
+// noteHelloWindow closes a measurement window when enough hellos have been
+// counted, deriving the link loss estimate and re-homing a degraded
+// multihomed link onto its next underlay path.
+func (m *Manager) noteHelloWindow(n wire.NodeID, st *neighborState) {
+	if st.helloCount < m.cfg.LossWindow {
+		return
+	}
+	missRate := 1 - float64(st.ackCount)/float64(st.helloCount)
+	// A hello round trip crosses the link twice; halve to estimate
+	// one-way loss.
+	st.loss = missRate / 2
+	st.helloCount, st.ackCount = 0, 0
+	// Loss-driven re-homing is the owner's decision; the peer follows via
+	// the path index in the owner's hellos.
+	if m.cfg.LossFailover > 0 && st.up && m.self < n && st.loss >= m.cfg.LossFailover {
+		if paths := m.env.PathCount(n); paths > 1 {
+			st.curPath = uint8((int(st.curPath) + 1) % paths)
+			m.stats.Failovers++
+			m.env.SetPath(n, st.curPath)
+			// The closed window measured the old path; start clean so the
+			// new path gets a fair measurement.
+			st.loss = 0
+		}
+	}
+	if st.up && st.owner {
+		m.view.State[st.linkID].Loss = st.loss
+		m.maybeAdvertise(st)
+	}
+}
+
+// applyLocal updates the local view for an adjacent link state change.
+func (m *Manager) applyLocal(st *neighborState, up bool) {
+	m.view.SetUp(st.linkID, up)
+	m.version++
+	m.env.ViewChanged()
+}
+
+// maybeAdvertise floods an update when measurements drifted materially
+// from the last advertised values.
+func (m *Manager) maybeAdvertise(st *neighborState) {
+	cur := m.view.State[st.linkID]
+	latDrift := float64(cur.Latency-st.advLatency) / float64(max(int64(st.advLatency), 1))
+	if latDrift < 0 {
+		latDrift = -latDrift
+	}
+	lossDrift := cur.Loss - st.advLoss
+	if lossDrift < 0 {
+		lossDrift = -lossDrift
+	}
+	if latDrift >= m.cfg.LatencyChangeFrac || lossDrift >= m.cfg.LossChangeAbs || st.advUp != st.up {
+		m.version++
+		m.env.ViewChanged()
+		m.originateLSA()
+	}
+}
+
+func (m *Manager) scheduleRefresh() {
+	m.refreshTimer = m.env.Clock().After(m.cfg.RefreshInterval, func() {
+		if m.closed {
+			return
+		}
+		m.originateLSA()
+		m.scheduleRefresh()
+	})
+}
+
+// originateLSA floods this node's current adjacent link states.
+func (m *Manager) originateLSA() {
+	m.mySeq++
+	entries := make([]Entry, 0, len(m.neighbors))
+	for _, n := range m.order {
+		st := m.neighbors[n]
+		cur := m.view.State[st.linkID]
+		entries = append(entries, Entry{
+			Link:    st.linkID,
+			Up:      st.up,
+			Latency: cur.Latency,
+			Loss:    cur.Loss,
+		})
+		st.advUp = st.up
+		st.advLatency = cur.Latency
+		st.advLoss = cur.Loss
+	}
+	adv := Advertisement{Origin: m.self, Seq: m.mySeq, Entries: entries}
+	m.stats.LSAsSent++
+	m.env.FloodLSA(adv.Marshal(), 0)
+}
+
+// resync pushes the latest known advertisement of every origin to one
+// neighbor.
+func (m *Manager) resync(n wire.NodeID) {
+	for _, origin := range sortedOrigins(m.lastAdv) {
+		m.env.SendLSA(n, m.lastAdv[origin])
+	}
+}
+
+// sortedOrigins returns map keys in ascending order for deterministic
+// iteration.
+func sortedOrigins(m map[wire.NodeID][]byte) []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HandleLSA processes a link-state packet received from a neighbor,
+// applying newer information and reflooding it.
+func (m *Manager) HandleLSA(from wire.NodeID, p *wire.Packet) error {
+	adv, err := UnmarshalAdvertisement(p.Payload)
+	if err != nil {
+		return fmt.Errorf("linkstate: bad advertisement from %v: %w", from, err)
+	}
+	if adv.Origin == m.self {
+		return nil
+	}
+	if last, ok := m.seen[adv.Origin]; ok && adv.Seq <= last {
+		return nil
+	}
+	m.seen[adv.Origin] = adv.Seq
+	m.lastAdv[adv.Origin] = append([]byte(nil), p.Payload...)
+	changed := false
+	for _, e := range adv.Entries {
+		l, ok := m.view.G.Link(e.Link)
+		if !ok {
+			continue
+		}
+		// Only an endpoint of a link may advertise it.
+		if l.A != adv.Origin && l.B != adv.Origin {
+			continue
+		}
+		cur := &m.view.State[e.Link]
+		if l.A == adv.Origin {
+			// The owner's entry is authoritative for quality — including
+			// at the link's other endpoint, so both ends route on the
+			// same values.
+			if cur.Latency != e.Latency || cur.Loss != e.Loss {
+				cur.Latency = e.Latency
+				cur.Loss = e.Loss
+				changed = true
+			}
+		}
+		// Availability is sensed at both ends: either endpoint's report
+		// changes it, except for our own adjacent links, where local
+		// hello state governs.
+		if l.A != m.self && l.B != m.self && cur.Up != e.Up {
+			cur.Up = e.Up
+			changed = true
+		}
+	}
+	if changed {
+		m.version++
+		m.env.ViewChanged()
+	}
+	m.stats.LSAsForwarded++
+	m.env.FloodLSA(p.Payload, from)
+	return nil
+}
+
+func stopTimer(t sim.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}

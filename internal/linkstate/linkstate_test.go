@@ -1,0 +1,467 @@
+package linkstate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"sonet/internal/sim"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// world wires Managers together through an in-test control fabric with
+// per-link latency, link kill switches, and per-path kill switches for
+// multihoming tests.
+type world struct {
+	t       *testing.T
+	sched   *sim.Scheduler
+	graph   *topology.Graph
+	envs    map[wire.NodeID]*nodeEnv
+	latency time.Duration
+	// deadLinks drops every frame and LSA crossing the link.
+	deadLinks map[wire.LinkID]bool
+	// deadPaths drops frames sent on a specific (link, path) pair.
+	deadPaths map[pathKey]bool
+	// pathCount is the number of underlay paths per link (default 1).
+	pathCount int
+}
+
+type pathKey struct {
+	link wire.LinkID
+	path uint8
+}
+
+type nodeEnv struct {
+	w           *world
+	self        wire.NodeID
+	mgr         *Manager
+	curPath     map[wire.NodeID]uint8
+	viewChanges int
+}
+
+func newWorld(t *testing.T, g *topology.Graph, cfg Config, pathCount int) *world {
+	t.Helper()
+	w := &world{
+		t:         t,
+		sched:     sim.NewScheduler(77),
+		graph:     g,
+		envs:      make(map[wire.NodeID]*nodeEnv),
+		latency:   10 * time.Millisecond,
+		deadLinks: make(map[wire.LinkID]bool),
+		deadPaths: make(map[pathKey]bool),
+		pathCount: pathCount,
+	}
+	for _, n := range g.Nodes() {
+		env := &nodeEnv{w: w, self: n, curPath: make(map[wire.NodeID]uint8)}
+		env.mgr = NewManager(env, n, topology.NewView(g), cfg)
+		w.envs[n] = env
+		for _, lid := range g.Incident(n) {
+			l, _ := g.Link(lid)
+			peer, _ := l.Other(n)
+			env.mgr.AddNeighbor(peer, lid)
+		}
+	}
+	for _, env := range w.envs {
+		env.mgr.Start()
+	}
+	return w
+}
+
+func (w *world) linkBetween(a, b wire.NodeID) wire.LinkID {
+	l, ok := w.graph.LinkBetween(a, b)
+	if !ok {
+		w.t.Fatalf("no link %v-%v", a, b)
+	}
+	return l.ID
+}
+
+func (e *nodeEnv) Clock() sim.Clock { return e.w.sched }
+
+func (e *nodeEnv) SendControl(neighbor wire.NodeID, f *wire.Frame) {
+	lid := e.w.linkBetween(e.self, neighbor)
+	if e.w.deadLinks[lid] {
+		return
+	}
+	if e.w.deadPaths[pathKey{link: lid, path: e.curPath[neighbor]}] {
+		return
+	}
+	cp := *f
+	e.w.sched.After(e.w.latency, func() {
+		peer := e.w.envs[neighbor]
+		peer.mgr.HandleControl(e.self, &cp)
+	})
+}
+
+func (e *nodeEnv) FloodLSA(payload []byte, except wire.NodeID) {
+	for _, lid := range e.w.graph.Incident(e.self) {
+		l, _ := e.w.graph.Link(lid)
+		peer, _ := l.Other(e.self)
+		if peer == except {
+			continue
+		}
+		if e.w.deadLinks[lid] {
+			continue
+		}
+		if e.w.deadPaths[pathKey{link: lid, path: e.curPath[peer]}] {
+			continue
+		}
+		data := append([]byte(nil), payload...)
+		from := e.self
+		e.w.sched.After(e.w.latency, func() {
+			p := &wire.Packet{Type: wire.PTLinkState, Src: from, Payload: data}
+			if err := e.w.envs[peer].mgr.HandleLSA(from, p); err != nil {
+				e.w.t.Errorf("HandleLSA: %v", err)
+			}
+		})
+	}
+}
+
+func (e *nodeEnv) SendLSA(neighbor wire.NodeID, payload []byte) {
+	lid := e.w.linkBetween(e.self, neighbor)
+	if e.w.deadLinks[lid] || e.w.deadPaths[pathKey{link: lid, path: e.curPath[neighbor]}] {
+		return
+	}
+	data := append([]byte(nil), payload...)
+	from := e.self
+	e.w.sched.After(e.w.latency, func() {
+		p := &wire.Packet{Type: wire.PTLinkState, Src: from, Payload: data}
+		if err := e.w.envs[neighbor].mgr.HandleLSA(from, p); err != nil {
+			e.w.t.Errorf("HandleLSA: %v", err)
+		}
+	})
+}
+
+func (e *nodeEnv) PathCount(wire.NodeID) int { return e.w.pathCount }
+
+func (e *nodeEnv) SetPath(neighbor wire.NodeID, path uint8) {
+	e.curPath[neighbor] = path
+}
+
+func (e *nodeEnv) ViewChanged() { e.viewChanges++ }
+
+func chain3(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph()
+	if _, err := g.AddLink(1, 2, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLink(2, 3, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestHelloKeepsLinksUp(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	w.sched.RunFor(3 * time.Second)
+	for n, env := range w.envs {
+		for _, lid := range w.graph.Incident(n) {
+			if !env.mgr.View().Usable(lid) {
+				t.Fatalf("node %v sees link %d down on healthy network", n, lid)
+			}
+		}
+	}
+	rtt, ok := w.envs[1].mgr.NeighborRTT(2)
+	if !ok {
+		t.Fatal("no RTT for neighbor")
+	}
+	if rtt != 20*time.Millisecond {
+		t.Fatalf("RTT = %v, want 20ms", rtt)
+	}
+	if w.envs[1].mgr.Stats().DownDetections != 0 {
+		t.Fatal("down detection on healthy network")
+	}
+}
+
+func TestLinkFailureDetectedSubSecond(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	w.sched.RunFor(time.Second)
+	lid := w.linkBetween(1, 2)
+	failAt := w.sched.Now()
+	w.deadLinks[lid] = true
+
+	// Detection within HelloMiss × HelloInterval plus one interval slack.
+	var detectedAt time.Duration
+	for w.sched.Now() < failAt+2*time.Second {
+		w.sched.RunFor(10 * time.Millisecond)
+		if !w.envs[2].mgr.View().Usable(lid) {
+			detectedAt = w.sched.Now()
+			break
+		}
+	}
+	if detectedAt == 0 {
+		t.Fatal("failure never detected")
+	}
+	if d := detectedAt - failAt; d > 600*time.Millisecond {
+		t.Fatalf("detection took %v, want sub-second (≈300ms)", d)
+	}
+	// The third node learns via flooding.
+	w.sched.RunFor(time.Second)
+	if w.envs[3].mgr.View().Usable(lid) {
+		t.Fatal("node 3 never learned of remote link failure")
+	}
+	if w.envs[2].mgr.Stats().DownDetections != 1 {
+		t.Fatalf("DownDetections = %d, want 1", w.envs[2].mgr.Stats().DownDetections)
+	}
+}
+
+func TestLinkRecoveryDetected(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	lid := w.linkBetween(1, 2)
+	w.sched.RunFor(time.Second)
+	w.deadLinks[lid] = true
+	w.sched.RunFor(2 * time.Second)
+	if w.envs[3].mgr.View().Usable(lid) {
+		t.Fatal("failure not propagated")
+	}
+	w.deadLinks[lid] = false
+	w.sched.RunFor(4 * time.Second)
+	for n := wire.NodeID(1); n <= 3; n++ {
+		if !w.envs[n].mgr.View().Usable(lid) {
+			t.Fatalf("node %v did not learn of recovery", n)
+		}
+	}
+	if w.envs[2].mgr.Stats().UpDetections == 0 {
+		t.Fatal("no up detection recorded")
+	}
+}
+
+func TestMultihomingFailoverKeepsLinkUp(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 2)
+	lid := w.linkBetween(1, 2)
+	w.sched.RunFor(time.Second)
+	// Kill path 0 in both directions; path 1 stays healthy.
+	w.deadPaths[pathKey{link: lid, path: 0}] = true
+	w.sched.RunFor(3 * time.Second)
+	if !w.envs[1].mgr.View().Usable(lid) || !w.envs[2].mgr.View().Usable(lid) {
+		t.Fatal("dual-homed link declared down despite healthy second path")
+	}
+	if w.envs[1].mgr.Stats().Failovers == 0 && w.envs[2].mgr.Stats().Failovers == 0 {
+		t.Fatal("no failover recorded")
+	}
+	if w.envs[1].mgr.Stats().DownDetections+w.envs[2].mgr.Stats().DownDetections != 0 {
+		t.Fatal("down detection despite multihoming")
+	}
+}
+
+func TestAllPathsDeadDeclaresDown(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 2)
+	lid := w.linkBetween(1, 2)
+	w.sched.RunFor(time.Second)
+	w.deadPaths[pathKey{link: lid, path: 0}] = true
+	w.deadPaths[pathKey{link: lid, path: 1}] = true
+	w.sched.RunFor(3 * time.Second)
+	if w.envs[1].mgr.View().Usable(lid) {
+		t.Fatal("link with all paths dead still up")
+	}
+}
+
+func TestStaleLSAIgnored(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	w.sched.RunFor(time.Second)
+	mgr3 := w.envs[3].mgr
+	lid := w.linkBetween(1, 2)
+	// Deliver a forged "down" advertisement with an old sequence.
+	adv := Advertisement{Origin: 1, Seq: 1, Entries: []Entry{{Link: lid, Up: false}}}
+	p := &wire.Packet{Type: wire.PTLinkState, Src: 1, Payload: adv.Marshal()}
+	if err := mgr3.HandleLSA(2, p); err != nil {
+		t.Fatalf("HandleLSA: %v", err)
+	}
+	if !mgr3.View().Usable(lid) {
+		t.Fatal("stale sequence advertisement was applied")
+	}
+}
+
+func TestNonEndpointLSARejected(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	lid12 := w.linkBetween(1, 2)
+	// Node 3 advertises a link it is not an endpoint of: must be ignored.
+	adv := Advertisement{Origin: 3, Seq: 1 << 30, Entries: []Entry{{Link: lid12, Up: false}}}
+	p := &wire.Packet{Type: wire.PTLinkState, Src: 3, Payload: adv.Marshal()}
+	if err := w.envs[1].mgr.HandleLSA(2, p); err != nil {
+		t.Fatalf("HandleLSA: %v", err)
+	}
+	if !w.envs[1].mgr.View().Usable(lid12) {
+		t.Fatal("non-endpoint advertisement was applied")
+	}
+}
+
+func TestVersionAdvancesOnChange(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	w.sched.RunFor(500 * time.Millisecond)
+	v0 := w.envs[2].mgr.Version()
+	w.deadLinks[w.linkBetween(1, 2)] = true
+	w.sched.RunFor(2 * time.Second)
+	if w.envs[2].mgr.Version() == v0 {
+		t.Fatal("version did not advance on link failure")
+	}
+}
+
+func TestLossEstimation(t *testing.T) {
+	cfg := Config{LossWindow: 40}
+	w := newWorld(t, chain3(t), cfg, 1)
+	// Drop ~30% of hello probes from 1→2 only.
+	lid := w.linkBetween(1, 2)
+	env1 := w.envs[1]
+	origSend := 0
+	_ = origSend
+	r := rand.New(rand.NewSource(4))
+	// Wrap by replacing deadPaths per frame is not possible; instead use
+	// a stochastic kill on the path by toggling deadPaths each event.
+	// Simpler: interpose on the scheduler via a custom env method is not
+	// available, so simulate loss by toggling the dead flag around each
+	// hello tick.
+	stop := false
+	var toggle func()
+	toggle = func() {
+		if stop {
+			return
+		}
+		w.deadPaths[pathKey{link: lid, path: 0}] = r.Float64() < 0.30
+		w.sched.After(env1.mgr.cfg.HelloInterval, toggle)
+	}
+	w.sched.After(0, toggle)
+	w.sched.RunFor(30 * time.Second)
+	stop = true
+	st := env1.mgr.neighbors[2]
+	if st.loss < 0.05 || st.loss > 0.30 {
+		t.Fatalf("loss estimate %.3f, want around 0.15 (half of 30%% round-trip miss)", st.loss)
+	}
+}
+
+func TestAdvertisementRoundTrip(t *testing.T) {
+	adv := &Advertisement{
+		Origin: 7,
+		Seq:    123456,
+		Entries: []Entry{
+			{Link: 3, Up: true, Latency: 12345 * time.Microsecond, Loss: 0.0123},
+			{Link: 250, Up: false, Latency: 50 * time.Millisecond, Loss: 1},
+		},
+	}
+	got, err := UnmarshalAdvertisement(adv.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalAdvertisement: %v", err)
+	}
+	if !reflect.DeepEqual(adv, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", adv, got)
+	}
+}
+
+func TestAdvertisementTruncated(t *testing.T) {
+	adv := &Advertisement{Origin: 1, Seq: 2, Entries: []Entry{{Link: 1, Up: true}}}
+	buf := adv.Marshal()
+	for n := 0; n < len(buf); n++ {
+		if _, err := UnmarshalAdvertisement(buf[:n]); err == nil {
+			t.Fatalf("accepted %d/%d-byte prefix", n, len(buf))
+		}
+	}
+}
+
+func TestAdvertisementFuzzNoPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 1000; i++ {
+		buf := make([]byte, r.Intn(100))
+		r.Read(buf)
+		_, _ = UnmarshalAdvertisement(buf)
+	}
+}
+
+func TestStopCancelsTimers(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	w.sched.RunFor(time.Second)
+	for _, env := range w.envs {
+		env.mgr.Stop()
+	}
+	sent := w.envs[1].mgr.Stats().HellosSent
+	w.sched.RunFor(5 * time.Second)
+	if got := w.envs[1].mgr.Stats().HellosSent; got != sent {
+		t.Fatalf("hellos kept flowing after Stop: %d → %d", sent, got)
+	}
+}
+
+func TestLossFailoverRehomesDegradedLink(t *testing.T) {
+	cfg := Config{LossWindow: 30, LossFailover: 0.15}
+	w := newWorld(t, chain3(t), cfg, 2)
+	lid := w.linkBetween(1, 2)
+	w.sched.RunFor(time.Second)
+	// Path 0 becomes a 40% brown-out; path 1 stays clean. Hellos mostly
+	// survive, so only loss-threshold re-homing can move the link.
+	r := rand.New(rand.NewSource(6))
+	stop := false
+	var toggle func()
+	toggle = func() {
+		if stop {
+			return
+		}
+		w.deadPaths[pathKey{link: lid, path: 0}] = r.Float64() < 0.40
+		w.sched.After(50*time.Millisecond, toggle)
+	}
+	w.sched.After(0, toggle)
+	w.sched.RunFor(15 * time.Second)
+	stop = true
+	env1 := w.envs[1]
+	if env1.mgr.Stats().Failovers == 0 && w.envs[2].mgr.Stats().Failovers == 0 {
+		t.Fatal("no loss-driven failover despite 40% brown-out")
+	}
+	if !env1.mgr.NeighborUp(2) {
+		t.Fatal("link declared down instead of re-homed")
+	}
+	// At least one endpoint moved off the degraded path.
+	if env1.curPath[2] == 0 && w.envs[2].curPath[1] == 0 {
+		t.Fatal("both endpoints still on the degraded path")
+	}
+}
+
+func TestLossFailoverDisabledWithSinglePath(t *testing.T) {
+	cfg := Config{LossWindow: 20, LossFailover: 0.15}
+	w := newWorld(t, chain3(t), cfg, 1)
+	lid := w.linkBetween(1, 2)
+	r := rand.New(rand.NewSource(6))
+	stop := false
+	var toggle func()
+	toggle = func() {
+		if stop {
+			return
+		}
+		w.deadPaths[pathKey{link: lid, path: 0}] = r.Float64() < 0.40
+		w.sched.After(50*time.Millisecond, toggle)
+	}
+	w.sched.After(0, toggle)
+	w.sched.RunFor(10 * time.Second)
+	stop = true
+	if w.envs[1].mgr.Stats().Failovers != 0 {
+		t.Fatal("failover recorded on a single-path link")
+	}
+}
+
+func TestResyncOnLinkRecovery(t *testing.T) {
+	// Refresh is effectively off: only the recovery resync can repair a
+	// partition-era divergence.
+	cfg := Config{RefreshInterval: 10 * time.Minute}
+	w := newWorld(t, chain3(t), cfg, 1)
+	lid12 := w.linkBetween(1, 2)
+	lid23 := w.linkBetween(2, 3)
+	w.sched.RunFor(time.Second)
+
+	// Partition node 1, then lose link 2-3 behind its back.
+	w.deadLinks[lid12] = true
+	w.sched.RunFor(time.Second)
+	w.deadLinks[lid23] = true
+	w.sched.RunFor(2 * time.Second)
+	if w.envs[1].mgr.View().Usable(lid23) != true {
+		t.Fatal("premise: partitioned node 1 must still believe 2-3 is up")
+	}
+	if w.envs[2].mgr.View().Usable(lid23) {
+		t.Fatal("premise: node 2 must have detected 2-3 down")
+	}
+
+	// Heal the partition: node 2's recovery resync must teach node 1
+	// about 2-3 without waiting for any refresh.
+	w.deadLinks[lid12] = false
+	w.sched.RunFor(3 * time.Second)
+	if w.envs[1].mgr.View().Usable(lid23) {
+		t.Fatal("node 1 never learned of 2-3 failure after partition healed")
+	}
+}

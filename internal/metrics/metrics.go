@@ -1,0 +1,229 @@
+// Package metrics collects and summarizes the delivery measurements the
+// experiments report: one-way latency distributions, jitter, on-time
+// fractions under deadlines, and transmission-overhead ratios.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Latencies accumulates one-way delivery latencies for a flow.
+//
+// The zero value is ready to use.
+type Latencies struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one delivery latency.
+func (l *Latencies) Add(d time.Duration) {
+	l.samples = append(l.samples, d)
+	l.sorted = false
+}
+
+// Count returns the number of samples.
+func (l *Latencies) Count() int { return len(l.samples) }
+
+// Min returns the smallest sample, or zero when empty.
+func (l *Latencies) Min() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[0]
+}
+
+// Max returns the largest sample, or zero when empty.
+func (l *Latencies) Max() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	return l.samples[len(l.samples)-1]
+}
+
+// Mean returns the arithmetic mean, or zero when empty.
+func (l *Latencies) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank, or zero when empty.
+func (l *Latencies) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	l.sort()
+	if p <= 0 {
+		return l.samples[0]
+	}
+	if p >= 100 {
+		return l.samples[len(l.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(l.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return l.samples[rank-1]
+}
+
+// OnTime returns the fraction of samples at or under the deadline; it
+// returns 0 when empty.
+func (l *Latencies) OnTime(deadline time.Duration) float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range l.samples {
+		if s <= deadline {
+			n++
+		}
+	}
+	return float64(n) / float64(len(l.samples))
+}
+
+// Jitter returns the mean absolute difference between successive latency
+// samples (RFC 3550-style smoothness indicator), or zero with fewer than
+// two samples.
+func (l *Latencies) Jitter() time.Duration {
+	if len(l.samples) < 2 {
+		return 0
+	}
+	var sum time.Duration
+	for i := 1; i < len(l.samples); i++ {
+		d := l.samples[i] - l.samples[i-1]
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples)-1)
+}
+
+// Samples returns the recorded samples. They are in arrival order unless a
+// summary statistic (Min, Max, Percentile) has already sorted them in
+// place. The caller must not modify the returned slice.
+func (l *Latencies) Samples() []time.Duration { return l.samples }
+
+func (l *Latencies) sort() {
+	if l.sorted {
+		return
+	}
+	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+	l.sorted = true
+}
+
+// FlowStats tracks end-to-end delivery accounting for one flow.
+//
+// The zero value is ready to use.
+type FlowStats struct {
+	// Sent counts packets the source emitted.
+	Sent uint64
+	// Received counts distinct packets delivered to the application.
+	Received uint64
+	// Duplicates counts redundant deliveries suppressed at the destination.
+	Duplicates uint64
+	// Late counts packets that arrived after their deadline and were
+	// discarded.
+	Late uint64
+	// Latency holds per-delivery one-way latencies.
+	Latency Latencies
+}
+
+// DeliveryRatio returns Received / Sent, or 0 when nothing was sent.
+func (f *FlowStats) DeliveryRatio() float64 {
+	if f.Sent == 0 {
+		return 0
+	}
+	return float64(f.Received) / float64(f.Sent)
+}
+
+// LossRatio returns 1 − DeliveryRatio, or 0 when nothing was sent.
+func (f *FlowStats) LossRatio() float64 {
+	if f.Sent == 0 {
+		return 0
+	}
+	return 1 - f.DeliveryRatio()
+}
+
+// Table formats experiment output as fixed-width rows so every benchmark
+// prints series the way the paper's evaluation would tabulate them.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// fmtDuration renders durations in fractional milliseconds, the unit the
+// paper reasons in.
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}

@@ -1,0 +1,138 @@
+// Package netemu emulates the underlay the structured overlay runs over:
+// data-center sites joined by per-ISP fiber graphs, with per-fiber latency,
+// jitter, and loss (including bursty Gilbert–Elliott loss), scheduled
+// failures, and BGP-like convergence delays after topology changes.
+//
+// This substitutes for the paper's commercial multi-ISP Internet substrate
+// (see DESIGN.md §2): overlay code sees the same abstraction it would see
+// in deployment — lossy, delaying, multihomed paths between overlay node
+// sites, where a single fiber cut can affect several overlay links at once
+// and native IP rerouting takes tens of seconds.
+package netemu
+
+import (
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// LossModel decides per-packet drops on one fiber. Implementations may be
+// stateful (burst models); each fiber owns its model instance. Models are
+// driven by the simulation's deterministic random stream and the current
+// virtual time, so burst durations are durations of wall time rather than
+// packet counts.
+type LossModel interface {
+	// Drop reports whether a packet crossing the fiber at time now is
+	// lost.
+	Drop(now time.Duration, rng *rand.Rand) bool
+}
+
+// NoLoss never drops packets.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(time.Duration, *rand.Rand) bool { return false }
+
+// Bernoulli drops each packet independently with probability P.
+type Bernoulli struct {
+	// P is the drop probability in [0, 1].
+	P float64
+}
+
+// Drop implements LossModel.
+func (b Bernoulli) Drop(_ time.Duration, rng *rand.Rand) bool {
+	return rng.Float64() < b.P
+}
+
+// GilbertElliott is the classic two-state burst-loss chain: the channel
+// alternates between a Good and a Bad state, dropping packets at
+// state-dependent rates. The chain advances in fixed time steps (Step,
+// default 1 ms), so a Bad period is a burst in *time* — every packet
+// crossing the fiber during the burst tends to die together, which is the
+// correlated loss window the NM-Strikes protocol (§IV-A) is designed to
+// bypass with spaced retransmissions.
+type GilbertElliott struct {
+	// PGoodBad is the per-step probability of entering the Bad state.
+	PGoodBad float64
+	// PBadGood is the per-step probability of leaving the Bad state.
+	PBadGood float64
+	// LossGood is the drop probability while Good (often 0 or tiny).
+	LossGood float64
+	// LossBad is the drop probability while Bad (often near 1).
+	LossBad float64
+	// Step is the chain's time step.
+	Step time.Duration
+
+	bad  bool
+	last time.Duration
+	init bool
+}
+
+// NewGilbertElliott returns a burst-loss model with the given parameters,
+// starting in the Good state with a 1 ms chain step.
+func NewGilbertElliott(pGoodBad, pBadGood, lossGood, lossBad float64) *GilbertElliott {
+	return &GilbertElliott{
+		PGoodBad: pGoodBad,
+		PBadGood: pBadGood,
+		LossGood: lossGood,
+		LossBad:  lossBad,
+		Step:     time.Millisecond,
+	}
+}
+
+// AverageLoss returns the steady-state packet loss rate of the chain.
+func (g *GilbertElliott) AverageLoss() float64 {
+	denom := g.PGoodBad + g.PBadGood
+	if denom == 0 {
+		if g.bad {
+			return g.LossBad
+		}
+		return g.LossGood
+	}
+	fracBad := g.PGoodBad / denom
+	return fracBad*g.LossBad + (1-fracBad)*g.LossGood
+}
+
+// Drop implements LossModel, advancing the chain to the current time.
+func (g *GilbertElliott) Drop(now time.Duration, rng *rand.Rand) bool {
+	g.advance(now, rng)
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	return rng.Float64() < p
+}
+
+// advance steps the chain from its last observation to now using the
+// closed-form k-step transition of the two-state chain: the stationary bad
+// probability is π = PGoodBad/(PGoodBad+PBadGood) and the state relaxes
+// toward it geometrically with rate λ = 1−PGoodBad−PBadGood per step.
+func (g *GilbertElliott) advance(now time.Duration, rng *rand.Rand) {
+	step := g.Step
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	if !g.init {
+		g.init = true
+		g.last = now
+		return
+	}
+	if now <= g.last {
+		return
+	}
+	k := float64(now-g.last) / float64(step)
+	g.last = now
+	denom := g.PGoodBad + g.PBadGood
+	if denom <= 0 {
+		return
+	}
+	pi := g.PGoodBad / denom
+	lam := math.Pow(1-denom, k)
+	var pBad float64
+	if g.bad {
+		pBad = pi + (1-pi)*lam
+	} else {
+		pBad = pi * (1 - lam)
+	}
+	g.bad = rng.Float64() < pBad
+}

@@ -1,0 +1,388 @@
+package netemu
+
+import (
+	"fmt"
+	"time"
+
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+// SiteID identifies a data center hosting overlay nodes.
+type SiteID uint16
+
+// ISPID identifies an Internet service provider backbone.
+type ISPID uint8
+
+// FiberID identifies one fiber span (a direct site-to-site physical path
+// within one ISP's backbone).
+type FiberID int
+
+// Handler receives packets delivered to an overlay node's address.
+type Handler func(from wire.NodeID, data []byte)
+
+// Config parameterizes the emulated underlay.
+type Config struct {
+	// ConvergenceDelay is how long native IP routing takes to route
+	// around a failure — the BGP convergence the paper contrasts against
+	// ("the 40 seconds to minutes that BGP may take to converge during
+	// some network faults", §II-A).
+	ConvergenceDelay time.Duration
+	// RestoreDelay is how long routing takes to reuse a repaired fiber;
+	// route re-announcement is much faster than withdrawal convergence.
+	RestoreDelay time.Duration
+}
+
+// DefaultConfig matches the paper's stated BGP behaviour.
+func DefaultConfig() Config {
+	return Config{ConvergenceDelay: 40 * time.Second, RestoreDelay: 5 * time.Second}
+}
+
+// Stats counts packet fates across the underlay.
+type Stats struct {
+	// Sent counts Send calls.
+	Sent uint64
+	// Delivered counts packets handed to destination handlers.
+	Delivered uint64
+	// DroppedLoss counts packets lost to the stochastic loss models.
+	DroppedLoss uint64
+	// DroppedDown counts packets that hit a cut fiber or dead site before
+	// routing converged around it.
+	DroppedDown uint64
+	// DroppedNoRoute counts packets with no usable converged route.
+	DroppedNoRoute uint64
+}
+
+type site struct {
+	name string
+	up   bool
+}
+
+type fiber struct {
+	id      FiberID
+	isp     ISPID
+	a, b    SiteID
+	latency time.Duration
+	jitter  time.Duration
+	loss    LossModel
+	cut     bool
+}
+
+// isp holds one provider's backbone graph and its converged routing state.
+type isp struct {
+	name string
+	// extraLoss models provider-wide degradation (brown-out) as an added
+	// independent drop probability on every fiber of this ISP.
+	extraLoss float64
+	// fibers of this provider.
+	fibers []FiberID
+	// converged holds the fiber up/down state routing currently believes;
+	// it lags reality by ConvergenceDelay.
+	converged map[FiberID]bool
+}
+
+// Network is the emulated underlay. All methods must be called from the
+// simulation goroutine (the scheduler's event context); the emulator is
+// intentionally single-threaded for determinism.
+type Network struct {
+	sched *sim.Scheduler
+	cfg   Config
+
+	sites  []site
+	isps   []isp
+	fibers []fiber
+
+	attach   map[wire.NodeID]SiteID
+	handlers map[wire.NodeID]Handler
+
+	stats Stats
+}
+
+// New returns an empty underlay driven by sched.
+func New(sched *sim.Scheduler, cfg Config) *Network {
+	if cfg.ConvergenceDelay <= 0 {
+		cfg.ConvergenceDelay = DefaultConfig().ConvergenceDelay
+	}
+	if cfg.RestoreDelay <= 0 {
+		cfg.RestoreDelay = DefaultConfig().RestoreDelay
+	}
+	return &Network{
+		sched:    sched,
+		cfg:      cfg,
+		attach:   make(map[wire.NodeID]SiteID),
+		handlers: make(map[wire.NodeID]Handler),
+	}
+}
+
+// AddSite registers a data center and returns its ID.
+func (n *Network) AddSite(name string) SiteID {
+	n.sites = append(n.sites, site{name: name, up: true})
+	return SiteID(len(n.sites) - 1)
+}
+
+// AddISP registers a provider backbone and returns its ID.
+func (n *Network) AddISP(name string) ISPID {
+	n.isps = append(n.isps, isp{name: name, converged: make(map[FiberID]bool)})
+	return ISPID(len(n.isps) - 1)
+}
+
+// AddFiber lays a fiber span between two sites within one ISP's backbone.
+// Jitter adds a uniform [0, jitter) delay per packet.
+func (n *Network) AddFiber(provider ISPID, a, b SiteID, latency, jitter time.Duration, loss LossModel) (FiberID, error) {
+	if int(provider) >= len(n.isps) {
+		return 0, fmt.Errorf("netemu: unknown ISP %d", provider)
+	}
+	if int(a) >= len(n.sites) || int(b) >= len(n.sites) || a == b {
+		return 0, fmt.Errorf("netemu: bad fiber endpoints %d-%d", a, b)
+	}
+	if loss == nil {
+		loss = NoLoss{}
+	}
+	id := FiberID(len(n.fibers))
+	n.fibers = append(n.fibers, fiber{
+		id: id, isp: provider, a: a, b: b,
+		latency: latency, jitter: jitter, loss: loss,
+	})
+	n.isps[provider].fibers = append(n.isps[provider].fibers, id)
+	n.isps[provider].converged[id] = true
+	return id, nil
+}
+
+// AttachNode places an overlay node in a site and registers its packet
+// handler.
+func (n *Network) AttachNode(node wire.NodeID, at SiteID, h Handler) error {
+	if int(at) >= len(n.sites) {
+		return fmt.Errorf("netemu: unknown site %d", at)
+	}
+	n.attach[node] = at
+	n.handlers[node] = h
+	return nil
+}
+
+// NodeSite returns the site a node is attached to.
+func (n *Network) NodeSite(node wire.NodeID) (SiteID, bool) {
+	s, ok := n.attach[node]
+	return s, ok
+}
+
+// Stats returns a snapshot of underlay counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Send transmits data from one overlay node to another over the given
+// provider's backbone. Like IP, it never reports delivery failure to the
+// sender: packets are silently dropped on loss, on fibers that are cut but
+// not yet routed around, or when no route exists.
+func (n *Network) Send(from, to wire.NodeID, provider ISPID, data []byte) {
+	n.stats.Sent++
+	srcSite, ok := n.attach[from]
+	if !ok {
+		n.stats.DroppedNoRoute++
+		return
+	}
+	dstSite, ok := n.attach[to]
+	if !ok {
+		n.stats.DroppedNoRoute++
+		return
+	}
+	if !n.sites[srcSite].up || !n.sites[dstSite].up {
+		n.stats.DroppedDown++
+		return
+	}
+	if int(provider) >= len(n.isps) {
+		n.stats.DroppedNoRoute++
+		return
+	}
+
+	path, ok := n.convergedPath(provider, srcSite, dstSite)
+	if !ok {
+		n.stats.DroppedNoRoute++
+		return
+	}
+
+	var latency time.Duration
+	prov := &n.isps[provider]
+	for _, fid := range path {
+		f := &n.fibers[fid]
+		// Reality check: routing may still believe in a fiber that has
+		// just been cut, or traverse a site that has just died.
+		if f.cut || !n.sites[f.a].up || !n.sites[f.b].up {
+			n.stats.DroppedDown++
+			return
+		}
+		if f.loss.Drop(n.sched.Now(), n.sched.Rand()) {
+			n.stats.DroppedLoss++
+			return
+		}
+		if prov.extraLoss > 0 && n.sched.Rand().Float64() < prov.extraLoss {
+			n.stats.DroppedLoss++
+			return
+		}
+		latency += f.latency
+		if f.jitter > 0 {
+			latency += time.Duration(n.sched.Rand().Int64N(int64(f.jitter)))
+		}
+	}
+
+	payload := append([]byte(nil), data...)
+	n.sched.After(latency, func() {
+		h, ok := n.handlers[to]
+		if !ok {
+			return
+		}
+		st, ok := n.attach[to]
+		if !ok || !n.sites[st].up {
+			n.stats.DroppedDown++
+			return
+		}
+		n.stats.Delivered++
+		h(from, payload)
+	})
+}
+
+// PathLatency returns the current converged route's nominal latency
+// between two nodes on one provider, for planning and tests.
+func (n *Network) PathLatency(from, to wire.NodeID, provider ISPID) (time.Duration, bool) {
+	srcSite, ok := n.attach[from]
+	if !ok {
+		return 0, false
+	}
+	dstSite, ok := n.attach[to]
+	if !ok {
+		return 0, false
+	}
+	path, ok := n.convergedPath(provider, srcSite, dstSite)
+	if !ok {
+		return 0, false
+	}
+	var latency time.Duration
+	for _, fid := range path {
+		latency += n.fibers[fid].latency
+	}
+	return latency, true
+}
+
+// CutFiber severs a fiber immediately; native routing notices after the
+// convergence delay.
+func (n *Network) CutFiber(id FiberID) {
+	if int(id) >= len(n.fibers) || n.fibers[id].cut {
+		return
+	}
+	n.fibers[id].cut = true
+	n.scheduleConvergence(n.fibers[id].isp, id)
+}
+
+// RestoreFiber repairs a fiber; routing reuses it after the convergence
+// delay.
+func (n *Network) RestoreFiber(id FiberID) {
+	if int(id) >= len(n.fibers) || !n.fibers[id].cut {
+		return
+	}
+	n.fibers[id].cut = false
+	n.scheduleConvergence(n.fibers[id].isp, id)
+}
+
+// FiberCut reports whether a fiber is currently severed.
+func (n *Network) FiberCut(id FiberID) bool {
+	return int(id) < len(n.fibers) && n.fibers[id].cut
+}
+
+// SetSiteUp marks a whole data center up or down. Traffic to, from, or
+// through a dead site is dropped.
+func (n *Network) SetSiteUp(id SiteID, up bool) {
+	if int(id) < len(n.sites) {
+		n.sites[id].up = up
+	}
+}
+
+// SetISPExtraLoss models a provider-wide degradation: an added independent
+// drop probability applied on every fiber of the provider.
+func (n *Network) SetISPExtraLoss(provider ISPID, p float64) {
+	if int(provider) < len(n.isps) {
+		n.isps[provider].extraLoss = p
+	}
+}
+
+func (n *Network) scheduleConvergence(provider ISPID, id FiberID) {
+	delay := n.cfg.ConvergenceDelay
+	if !n.fibers[id].cut {
+		delay = n.cfg.RestoreDelay
+	}
+	n.sched.After(delay, func() {
+		// Converge to the fiber's state *now*, not the state at scheduling
+		// time, so rapid flap sequences settle on reality.
+		n.isps[provider].converged[id] = !n.fibers[id].cut
+	})
+}
+
+// convergedPath computes the shortest (by latency) fiber path between two
+// sites using the provider's converged view of its topology.
+func (n *Network) convergedPath(provider ISPID, src, dst SiteID) ([]FiberID, bool) {
+	if src == dst {
+		return nil, true
+	}
+	prov := &n.isps[provider]
+	const inf = time.Duration(1<<63 - 1)
+	dist := make(map[SiteID]time.Duration, len(n.sites))
+	prevFiber := make(map[SiteID]FiberID, len(n.sites))
+	visited := make(map[SiteID]bool, len(n.sites))
+	dist[src] = 0
+	for {
+		// Small site counts: linear extraction is fine and allocation-free.
+		best := SiteID(0)
+		bestDist := inf
+		found := false
+		for s, d := range dist {
+			if visited[s] {
+				continue
+			}
+			if d < bestDist || (d == bestDist && found && s < best) {
+				best, bestDist, found = s, d, true
+			}
+		}
+		if !found {
+			break
+		}
+		if best == dst {
+			break
+		}
+		visited[best] = true
+		for _, fid := range prov.fibers {
+			if !prov.converged[fid] {
+				continue
+			}
+			f := &n.fibers[fid]
+			var next SiteID
+			switch best {
+			case f.a:
+				next = f.b
+			case f.b:
+				next = f.a
+			default:
+				continue
+			}
+			nd := bestDist + f.latency
+			if cur, ok := dist[next]; !ok || nd < cur {
+				dist[next] = nd
+				prevFiber[next] = fid
+			}
+		}
+	}
+	if _, ok := dist[dst]; !ok {
+		return nil, false
+	}
+	var rev []FiberID
+	for s := dst; s != src; {
+		fid := prevFiber[s]
+		rev = append(rev, fid)
+		f := &n.fibers[fid]
+		if s == f.a {
+			s = f.b
+		} else {
+			s = f.a
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}

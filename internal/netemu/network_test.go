@@ -1,0 +1,341 @@
+package netemu
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+// twoSiteWorld wires nodes 1 and 2 into sites A and B joined by one fiber
+// on one ISP, returning the received payload log for node 2.
+func twoSiteWorld(t *testing.T, loss LossModel) (*sim.Scheduler, *Network, FiberID, *[]string) {
+	t.Helper()
+	sched := sim.NewScheduler(11)
+	net := New(sched, DefaultConfig())
+	a := net.AddSite("A")
+	b := net.AddSite("B")
+	isp := net.AddISP("isp1")
+	fid, err := net.AddFiber(isp, a, b, 10*time.Millisecond, 0, loss)
+	if err != nil {
+		t.Fatalf("AddFiber: %v", err)
+	}
+	var got []string
+	if err := net.AttachNode(1, a, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+	err = net.AttachNode(2, b, func(from wire.NodeID, data []byte) {
+		got = append(got, string(data))
+	})
+	if err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+	return sched, net, fid, &got
+}
+
+func TestSendDeliversWithLatency(t *testing.T) {
+	sched, net, _, got := twoSiteWorld(t, NoLoss{})
+	var deliveredAt time.Duration
+	net.handlers[2] = func(from wire.NodeID, data []byte) {
+		deliveredAt = sched.Now()
+		*got = append(*got, string(data))
+	}
+	net.Send(1, 2, 0, []byte("hello"))
+	sched.Run()
+	if len(*got) != 1 || (*got)[0] != "hello" {
+		t.Fatalf("received %v, want [hello]", *got)
+	}
+	if deliveredAt != 10*time.Millisecond {
+		t.Fatalf("delivered at %v, want 10ms", deliveredAt)
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	sched, net, _, got := twoSiteWorld(t, NoLoss{})
+	buf := []byte("abc")
+	net.Send(1, 2, 0, buf)
+	buf[0] = 'X'
+	sched.Run()
+	if (*got)[0] != "abc" {
+		t.Fatalf("payload mutated in flight: %q", (*got)[0])
+	}
+}
+
+func TestBernoulliLossRate(t *testing.T) {
+	sched, net, _, got := twoSiteWorld(t, Bernoulli{P: 0.3})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		net.Send(1, 2, 0, []byte("x"))
+	}
+	sched.Run()
+	rate := 1 - float64(len(*got))/n
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("observed loss %.3f, want ~0.30", rate)
+	}
+}
+
+func TestCutFiberDropsUntilConvergence(t *testing.T) {
+	sched, net, fid, got := twoSiteWorld(t, NoLoss{})
+	net.CutFiber(fid)
+	net.Send(1, 2, 0, []byte("during"))
+	sched.RunFor(time.Second)
+	if len(*got) != 0 {
+		t.Fatalf("packet crossed a cut fiber: %v", *got)
+	}
+	if net.Stats().DroppedDown != 1 {
+		t.Fatalf("DroppedDown = %d, want 1", net.Stats().DroppedDown)
+	}
+	// After convergence there is no alternate route: drops become NoRoute.
+	sched.RunFor(45 * time.Second)
+	net.Send(1, 2, 0, []byte("after"))
+	sched.RunFor(time.Second)
+	if len(*got) != 0 {
+		t.Fatalf("packet delivered with no route: %v", *got)
+	}
+	if net.Stats().DroppedNoRoute != 1 {
+		t.Fatalf("DroppedNoRoute = %d, want 1", net.Stats().DroppedNoRoute)
+	}
+}
+
+func TestRerouteAfterConvergence(t *testing.T) {
+	// Triangle: A-B direct (10ms) plus A-C-B detour (15+15ms).
+	sched := sim.NewScheduler(5)
+	net := New(sched, Config{ConvergenceDelay: 40 * time.Second})
+	a := net.AddSite("A")
+	b := net.AddSite("B")
+	c := net.AddSite("C")
+	isp := net.AddISP("isp1")
+	direct, err := net.AddFiber(isp, a, b, 10*time.Millisecond, 0, NoLoss{})
+	if err != nil {
+		t.Fatalf("AddFiber: %v", err)
+	}
+	if _, err := net.AddFiber(isp, a, c, 15*time.Millisecond, 0, NoLoss{}); err != nil {
+		t.Fatalf("AddFiber: %v", err)
+	}
+	if _, err := net.AddFiber(isp, c, b, 15*time.Millisecond, 0, NoLoss{}); err != nil {
+		t.Fatalf("AddFiber: %v", err)
+	}
+	var deliveries []time.Duration
+	var sentAt []time.Duration
+	if err := net.AttachNode(1, a, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+	err = net.AttachNode(2, b, func(wire.NodeID, []byte) {
+		deliveries = append(deliveries, sched.Now())
+	})
+	if err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+
+	if lat, ok := net.PathLatency(1, 2, isp); !ok || lat != 10*time.Millisecond {
+		t.Fatalf("PathLatency = %v,%v, want 10ms", lat, ok)
+	}
+
+	net.CutFiber(direct)
+	// During convergence the old route is used and dies at the cut.
+	net.Send(1, 2, isp, []byte("x"))
+	sentAt = append(sentAt, sched.Now())
+	sched.RunFor(41 * time.Second)
+	if len(deliveries) != 0 {
+		t.Fatal("delivered across cut fiber during convergence")
+	}
+	// After convergence the detour carries traffic at 30ms.
+	if lat, ok := net.PathLatency(1, 2, isp); !ok || lat != 30*time.Millisecond {
+		t.Fatalf("post-convergence PathLatency = %v,%v, want 30ms", lat, ok)
+	}
+	start := sched.Now()
+	net.Send(1, 2, isp, []byte("y"))
+	sched.RunFor(time.Second)
+	if len(deliveries) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(deliveries))
+	}
+	if d := deliveries[0] - start; d != 30*time.Millisecond {
+		t.Fatalf("detour latency = %v, want 30ms", d)
+	}
+	// Restoration also takes convergence time.
+	net.RestoreFiber(direct)
+	sched.RunFor(41 * time.Second)
+	if lat, ok := net.PathLatency(1, 2, isp); !ok || lat != 10*time.Millisecond {
+		t.Fatalf("post-restore PathLatency = %v,%v, want 10ms", lat, ok)
+	}
+	_ = sentAt
+}
+
+func TestMultipleISPsAreIndependent(t *testing.T) {
+	sched := sim.NewScheduler(5)
+	net := New(sched, DefaultConfig())
+	a := net.AddSite("A")
+	b := net.AddSite("B")
+	isp1 := net.AddISP("isp1")
+	isp2 := net.AddISP("isp2")
+	f1, err := net.AddFiber(isp1, a, b, 10*time.Millisecond, 0, NoLoss{})
+	if err != nil {
+		t.Fatalf("AddFiber: %v", err)
+	}
+	if _, err = net.AddFiber(isp2, a, b, 12*time.Millisecond, 0, NoLoss{}); err != nil {
+		t.Fatalf("AddFiber: %v", err)
+	}
+	var got int
+	if err := net.AttachNode(1, a, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+	if err := net.AttachNode(2, b, func(wire.NodeID, []byte) { got++ }); err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+	net.CutFiber(f1)
+	net.Send(1, 2, isp1, []byte("dead"))
+	net.Send(1, 2, isp2, []byte("alive"))
+	sched.RunFor(time.Second)
+	if got != 1 {
+		t.Fatalf("delivered %d, want 1 (only via isp2)", got)
+	}
+}
+
+func TestISPExtraLossBrownOut(t *testing.T) {
+	sched, net, _, got := twoSiteWorld(t, NoLoss{})
+	net.SetISPExtraLoss(0, 0.5)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		net.Send(1, 2, 0, []byte("x"))
+	}
+	sched.Run()
+	rate := 1 - float64(len(*got))/n
+	if math.Abs(rate-0.5) > 0.03 {
+		t.Fatalf("brown-out loss %.3f, want ~0.5", rate)
+	}
+}
+
+func TestSiteFailureKillsTraffic(t *testing.T) {
+	sched, net, _, got := twoSiteWorld(t, NoLoss{})
+	net.SetSiteUp(1, false) // site B
+	net.Send(1, 2, 0, []byte("x"))
+	sched.Run()
+	if len(*got) != 0 {
+		t.Fatal("delivered to a dead site")
+	}
+}
+
+func TestSiteFailureMidFlight(t *testing.T) {
+	sched, net, _, got := twoSiteWorld(t, NoLoss{})
+	net.Send(1, 2, 0, []byte("x"))
+	sched.After(5*time.Millisecond, func() { net.SetSiteUp(1, false) })
+	sched.Run()
+	if len(*got) != 0 {
+		t.Fatal("delivered to a site that died mid-flight")
+	}
+}
+
+func TestJitterWithinBounds(t *testing.T) {
+	sched := sim.NewScheduler(9)
+	net := New(sched, DefaultConfig())
+	a := net.AddSite("A")
+	b := net.AddSite("B")
+	isp := net.AddISP("isp1")
+	if _, err := net.AddFiber(isp, a, b, 10*time.Millisecond, 5*time.Millisecond, NoLoss{}); err != nil {
+		t.Fatalf("AddFiber: %v", err)
+	}
+	var lats []time.Duration
+	if err := net.AttachNode(1, a, func(wire.NodeID, []byte) {}); err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+	var sendTime time.Duration
+	err := net.AttachNode(2, b, func(wire.NodeID, []byte) {
+		lats = append(lats, sched.Now()-sendTime)
+	})
+	if err != nil {
+		t.Fatalf("AttachNode: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		sendTime = sched.Now()
+		net.Send(1, 2, isp, []byte("x"))
+		sched.Run()
+	}
+	varied := false
+	for _, l := range lats {
+		if l < 10*time.Millisecond || l >= 15*time.Millisecond {
+			t.Fatalf("latency %v outside [10ms,15ms)", l)
+		}
+		if l != lats[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced identical latencies")
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	ge := NewGilbertElliott(0.01, 0.25, 0, 1)
+	const n = 200000
+	losses := make([]bool, n)
+	lost := 0
+	for i := range losses {
+		// One packet per chain step: per-packet and per-time behaviour
+		// coincide.
+		losses[i] = ge.Drop(time.Duration(i)*time.Millisecond, rng)
+		if losses[i] {
+			lost++
+		}
+	}
+	rate := float64(lost) / n
+	want := ge.AverageLoss()
+	if math.Abs(rate-want) > 0.01 {
+		t.Fatalf("observed loss %.4f, steady-state %.4f", rate, want)
+	}
+	// Burstiness: P(loss | previous loss) must far exceed the base rate.
+	both, prev := 0, 0
+	for i := 1; i < n; i++ {
+		if losses[i-1] {
+			prev++
+			if losses[i] {
+				both++
+			}
+		}
+	}
+	condLoss := float64(both) / float64(prev)
+	if condLoss < 3*rate {
+		t.Fatalf("conditional loss %.3f not bursty vs base %.3f", condLoss, rate)
+	}
+}
+
+func TestGilbertElliottDegenerate(t *testing.T) {
+	ge := NewGilbertElliott(0, 0, 0.1, 1)
+	_ = ge.Drop(0, rand.New(rand.NewPCG(1, 1)))
+	if got := ge.AverageLoss(); got != 0.1 {
+		t.Fatalf("AverageLoss = %v, want 0.1 (stuck good)", got)
+	}
+	ge.bad = true
+	if got := ge.AverageLoss(); got != 1.0 {
+		t.Fatalf("AverageLoss = %v, want 1.0 (stuck bad)", got)
+	}
+}
+
+func TestAddFiberValidation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	net := New(sched, DefaultConfig())
+	a := net.AddSite("A")
+	if _, err := net.AddFiber(9, a, a, time.Millisecond, 0, nil); err == nil {
+		t.Fatal("AddFiber accepted unknown ISP")
+	}
+	isp := net.AddISP("isp1")
+	if _, err := net.AddFiber(isp, a, a, time.Millisecond, 0, nil); err == nil {
+		t.Fatal("AddFiber accepted self-loop")
+	}
+}
+
+func TestSendToUnknownNodeCountsNoRoute(t *testing.T) {
+	sched, net, _, _ := twoSiteWorld(t, NoLoss{})
+	net.Send(1, 99, 0, []byte("x"))
+	sched.Run()
+	if net.Stats().DroppedNoRoute != 1 {
+		t.Fatalf("DroppedNoRoute = %d, want 1", net.Stats().DroppedNoRoute)
+	}
+}

@@ -1,0 +1,56 @@
+package node
+
+import "sonet/internal/wire"
+
+// dedupKey identifies a routing-level packet for duplicate suppression
+// across redundant dissemination (flooding, masks, multicast).
+type dedupKey struct {
+	src     wire.NodeID
+	srcPort wire.Port
+	dst     wire.NodeID
+	dstPort wire.Port
+	group   wire.GroupID
+	flowSeq uint32
+}
+
+// dedupTable is a capacity-bounded first-seen set with FIFO eviction: the
+// overlay node's "ample memory" (§II-B) put to use tracking received
+// messages so redundantly transmitted copies can be de-duplicated in the
+// middle of the network.
+type dedupTable struct {
+	seen map[dedupKey]struct{}
+	ring []dedupKey
+	next int
+	full bool
+}
+
+func newDedupTable(capacity int) *dedupTable {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &dedupTable{
+		seen: make(map[dedupKey]struct{}, capacity),
+		ring: make([]dedupKey, capacity),
+	}
+}
+
+// Observe records the key and reports whether this was its first sighting.
+func (d *dedupTable) Observe(k dedupKey) bool {
+	if _, ok := d.seen[k]; ok {
+		return false
+	}
+	if d.full {
+		delete(d.seen, d.ring[d.next])
+	}
+	d.ring[d.next] = k
+	d.seen[k] = struct{}{}
+	d.next++
+	if d.next == len(d.ring) {
+		d.next = 0
+		d.full = true
+	}
+	return true
+}
+
+// Len returns the number of tracked keys.
+func (d *dedupTable) Len() int { return len(d.seen) }

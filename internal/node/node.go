@@ -1,0 +1,612 @@
+// Package node assembles the overlay node of Fig. 2: the session-facing
+// packet origination and delivery interface on top, the routing level
+// (routing engine, Connectivity Graph Maintenance, Group State) in the
+// middle, and the per-neighbor link-level protocol instances at the
+// bottom, all over an abstract underlay.
+//
+// A Node is single-threaded: every entry point must be called from the
+// node's executor (the simulation scheduler in emulation, the daemon's
+// event loop in deployment).
+package node
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sonet/internal/groups"
+	"sonet/internal/itmsg"
+	"sonet/internal/link"
+	"sonet/internal/linkstate"
+	"sonet/internal/routing"
+	"sonet/internal/sim"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// Underlay is the substrate a node transmits frames over: the emulated
+// multi-ISP Internet in experiments, UDP sockets in deployment.
+type Underlay interface {
+	// Send transmits marshaled frame bytes to a neighbor over the given
+	// underlay path (ISP choice) of the connecting overlay link.
+	Send(neighbor wire.NodeID, path uint8, data []byte)
+	// PathCount returns how many underlay paths serve the link to a
+	// neighbor (§II-A multihoming).
+	PathCount(neighbor wire.NodeID) int
+}
+
+// Compromise configures Byzantine behaviour for intrusion-tolerance
+// experiments (§IV-B): a compromised node keeps its credentials and
+// participates in routing but subverts the data plane.
+type Compromise struct {
+	// DropData blackholes data packets while continuing to participate in
+	// control protocols (the stealthy data-plane attacker).
+	DropData bool
+	// CorruptData flips payload bytes of forwarded data packets; under an
+	// authenticated overlay the tampered copies fail signature
+	// verification downstream.
+	CorruptData bool
+	// DropAll drops everything, control included (a crashed-or-isolated
+	// node).
+	DropAll bool
+	// DelayData defers forwarding of data packets by this much.
+	DelayData time.Duration
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// ID is the node's overlay identifier (required, nonzero).
+	ID wire.NodeID
+	// Clock drives all timers (required).
+	Clock sim.Clock
+	// Underlay transmits frames (required).
+	Underlay Underlay
+	// Graph is the designed overlay topology (required).
+	Graph *topology.Graph
+	// Metric scores links for routing; nil selects the loss-penalized
+	// expected-latency metric.
+	Metric topology.Metric
+	// LinkState configures connectivity maintenance.
+	LinkState linkstate.Config
+	// Reliable configures the hop-by-hop Reliable Data Link.
+	Reliable link.ReliableConfig
+	// Strikes configures the NM-Strikes real-time protocol. A zero RTT is
+	// replaced per link with twice the link's designed latency.
+	Strikes link.StrikesConfig
+	// SingleStrike configures the single-strike VoIP protocol, with the
+	// same per-link RTT defaulting.
+	SingleStrike link.StrikesConfig
+	// ITSched configures the intrusion-tolerant fair schedulers.
+	ITSched itmsg.SchedConfig
+	// Keyring enables authentication: frames are MACed per link and
+	// intrusion-tolerant data packets are signed and verified.
+	Keyring *itmsg.Keyring
+	// DedupCapacity bounds the duplicate-suppression table.
+	DedupCapacity int
+	// GroupRefresh is the period of group-state refresh floods.
+	GroupRefresh time.Duration
+	// DefaultTTL stamps originated packets lacking one.
+	DefaultTTL uint8
+	// Compromised switches the node to Byzantine behaviour.
+	Compromised Compromise
+}
+
+// Stats counts node-level packet handling.
+type Stats struct {
+	// Originated counts packets injected by local clients.
+	Originated uint64
+	// Forwarded counts packet transmissions toward neighbors.
+	Forwarded uint64
+	// DeliveredLocal counts packets handed to the session level.
+	DeliveredLocal uint64
+	// Duplicates counts redundant copies suppressed by the dedup table.
+	Duplicates uint64
+	// DroppedTTL counts packets dropped at TTL expiry.
+	DroppedTTL uint64
+	// DroppedNoRoute counts packets with no forwarding decision.
+	DroppedNoRoute uint64
+	// DroppedAuth counts packets and frames failing authentication.
+	DroppedAuth uint64
+	// Blackholed counts data packets absorbed by compromised behaviour.
+	Blackholed uint64
+}
+
+// neighborLink is the node's endpoint of one adjacent overlay link.
+type neighborLink struct {
+	neighbor wire.NodeID
+	linkID   wire.LinkID
+	latency  time.Duration
+	path     uint8
+	protos   map[wire.LinkProtoID]link.Protocol
+}
+
+// Node is one overlay node.
+type Node struct {
+	cfg    Config
+	id     wire.NodeID
+	clock  sim.Clock
+	under  Underlay
+	lsMgr  *linkstate.Manager
+	grpMgr *groups.Manager
+	engine *routing.Engine
+
+	neighbors map[wire.NodeID]*neighborLink
+	// neighborOrder lists neighbors in ascending ID order so fan-out
+	// (flooding, broadcasts) is deterministic.
+	neighborOrder []wire.NodeID
+	byLink        map[wire.LinkID]*neighborLink
+	dedup         *dedupTable
+
+	deliver      func(*wire.Packet)
+	onViewChange func()
+
+	stats        Stats
+	refreshTimer sim.Timer
+	closed       bool
+}
+
+// New assembles a node. The deliver sink receives packets addressed to
+// local clients; the session level supplies it.
+func New(cfg Config) (*Node, error) {
+	if cfg.ID == 0 {
+		return nil, fmt.Errorf("node: zero ID")
+	}
+	if cfg.Clock == nil || cfg.Underlay == nil || cfg.Graph == nil {
+		return nil, fmt.Errorf("node %v: missing clock, underlay, or graph", cfg.ID)
+	}
+	if !cfg.Graph.HasNode(cfg.ID) {
+		return nil, fmt.Errorf("node %v: not in topology", cfg.ID)
+	}
+	if cfg.DefaultTTL == 0 {
+		cfg.DefaultTTL = 32
+	}
+	if cfg.GroupRefresh <= 0 {
+		cfg.GroupRefresh = 2 * time.Second
+	}
+	n := &Node{
+		cfg:       cfg,
+		id:        cfg.ID,
+		clock:     cfg.Clock,
+		under:     cfg.Underlay,
+		neighbors: make(map[wire.NodeID]*neighborLink),
+		byLink:    make(map[wire.LinkID]*neighborLink),
+		dedup:     newDedupTable(cfg.DedupCapacity),
+		deliver:   func(*wire.Packet) {},
+	}
+	view := topology.NewView(cfg.Graph)
+	n.lsMgr = linkstate.NewManager(&lsEnv{n: n}, n.id, view, cfg.LinkState)
+	n.grpMgr = groups.NewManager(&grpEnv{n: n}, n.id)
+	n.engine = routing.NewEngine(n.id, n.lsMgr, n.grpMgr, cfg.Metric)
+	for _, lid := range cfg.Graph.Incident(n.id) {
+		l, _ := cfg.Graph.Link(lid)
+		peer, _ := l.Other(n.id)
+		nl := &neighborLink{
+			neighbor: peer,
+			linkID:   lid,
+			latency:  l.Latency,
+			protos:   make(map[wire.LinkProtoID]link.Protocol),
+		}
+		n.neighbors[peer] = nl
+		n.neighborOrder = append(n.neighborOrder, peer)
+		n.byLink[lid] = nl
+		n.lsMgr.AddNeighbor(peer, lid)
+	}
+	sort.Slice(n.neighborOrder, func(i, j int) bool {
+		return n.neighborOrder[i] < n.neighborOrder[j]
+	})
+	return n, nil
+}
+
+// Start begins connectivity and group-state maintenance.
+func (n *Node) Start() {
+	n.lsMgr.Start()
+	n.scheduleGroupRefresh()
+}
+
+// Stop cancels all timers and closes link protocol instances.
+func (n *Node) Stop() {
+	n.closed = true
+	n.lsMgr.Stop()
+	if n.refreshTimer != nil {
+		n.refreshTimer.Stop()
+	}
+	for _, nl := range n.neighbors {
+		for _, p := range nl.protos {
+			p.Close()
+		}
+	}
+}
+
+// ID returns the node's overlay identifier.
+func (n *Node) ID() wire.NodeID { return n.id }
+
+// Clock returns the node's clock.
+func (n *Node) Clock() sim.Clock { return n.clock }
+
+// View returns the node's copy of the shared connectivity view.
+func (n *Node) View() *topology.View { return n.lsMgr.View() }
+
+// Engine returns the node's routing engine.
+func (n *Node) Engine() *routing.Engine { return n.engine }
+
+// Groups returns the node's group-state manager.
+func (n *Node) Groups() *groups.Manager { return n.grpMgr }
+
+// LinkStateManager returns the node's connectivity manager.
+func (n *Node) LinkStateManager() *linkstate.Manager { return n.lsMgr }
+
+// Stats returns a snapshot of node counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// SetDeliver installs the session-level delivery sink.
+func (n *Node) SetDeliver(fn func(*wire.Packet)) {
+	if fn == nil {
+		fn = func(*wire.Packet) {}
+	}
+	n.deliver = fn
+}
+
+// SetOnViewChange installs a hook invoked whenever the shared view or
+// group state changes (used by compound-flow rerouting and experiments).
+func (n *Node) SetOnViewChange(fn func()) { n.onViewChange = fn }
+
+// LinkStats returns the aggregate link-protocol counters for the link to
+// one neighbor.
+func (n *Node) LinkStats(neighbor wire.NodeID) map[wire.LinkProtoID]link.Stats {
+	nl, ok := n.neighbors[neighbor]
+	if !ok {
+		return nil
+	}
+	out := make(map[wire.LinkProtoID]link.Stats, len(nl.protos))
+	for id, p := range nl.protos {
+		out[id] = p.Stats()
+	}
+	return out
+}
+
+// scheduleGroupRefresh refloods membership periodically.
+func (n *Node) scheduleGroupRefresh() {
+	n.refreshTimer = n.clock.After(n.cfg.GroupRefresh, func() {
+		if n.closed {
+			return
+		}
+		n.grpMgr.Refresh()
+		n.scheduleGroupRefresh()
+	})
+}
+
+// Originate injects a packet from the session level into the overlay. It
+// stamps TTL and origin time, resolves anycast, signs intrusion-tolerant
+// traffic, and routes.
+func (n *Node) Originate(p *wire.Packet) error {
+	if p.TTL == 0 {
+		p.TTL = n.cfg.DefaultTTL
+	}
+	p.Src = n.id
+	p.Origin = n.clock.Now()
+	if p.Flags.Has(wire.FAnycast) {
+		target, ok := n.engine.AnycastResolve(p.Group)
+		if !ok {
+			n.stats.DroppedNoRoute++
+			return fmt.Errorf("node %v: anycast group %v has no reachable members", n.id, p.Group)
+		}
+		p.Dst = target
+	}
+	if n.requiresSignature(p) {
+		if err := n.cfg.Keyring.SignPacket(p); err != nil {
+			return fmt.Errorf("node %v: %w", n.id, err)
+		}
+	}
+	n.stats.Originated++
+	n.route(p, routing.NoLink)
+	return nil
+}
+
+// Resend reinjects a previously originated packet for end-to-end
+// recovery, preserving its original origin timestamp so measured latency
+// reflects the full recovery delay.
+func (n *Node) Resend(p *wire.Packet) error {
+	if p.Src != n.id {
+		return fmt.Errorf("node %v: resend of foreign packet from %v", n.id, p.Src)
+	}
+	p.TTL = n.cfg.DefaultTTL
+	n.route(p, routing.NoLink)
+	return nil
+}
+
+// requiresSignature reports whether the packet must carry a source
+// signature: intrusion-tolerant link protocols under an authenticated
+// overlay.
+func (n *Node) requiresSignature(p *wire.Packet) bool {
+	if n.cfg.Keyring == nil || p.Type != wire.PTData {
+		return false
+	}
+	return p.LinkProto == wire.LPITPriority || p.LinkProto == wire.LPITReliable
+}
+
+// HandleUnderlay processes raw frame bytes arriving from a neighbor.
+func (n *Node) HandleUnderlay(from wire.NodeID, data []byte) {
+	if n.closed || n.cfg.Compromised.DropAll {
+		return
+	}
+	f, _, err := wire.UnmarshalFrame(data)
+	if err != nil {
+		return
+	}
+	if n.cfg.Keyring != nil && !n.cfg.Keyring.VerifyFrame(f, from) {
+		n.stats.DroppedAuth++
+		return
+	}
+	switch f.Kind {
+	case wire.FHello, wire.FHelloAck:
+		n.lsMgr.HandleControl(from, f)
+	default:
+		nl, ok := n.neighbors[from]
+		if !ok {
+			return
+		}
+		n.protoFor(nl, f.Proto).HandleFrame(f)
+	}
+}
+
+// receiveFromLink accepts a routing-level packet delivered by a link
+// protocol instance.
+func (n *Node) receiveFromLink(from wire.NodeID, p *wire.Packet) {
+	if n.closed {
+		return
+	}
+	switch p.Type {
+	case wire.PTLinkState:
+		if err := n.lsMgr.HandleLSA(from, p); err != nil {
+			return
+		}
+	case wire.PTGroupState:
+		if err := n.grpMgr.HandleAnnouncement(from, p); err != nil {
+			return
+		}
+	case wire.PTData, wire.PTSessionCtl:
+		nl, ok := n.neighbors[from]
+		if !ok {
+			return
+		}
+		n.handleData(p, nl.linkID)
+	}
+}
+
+// handleData routes a data packet arriving on link arrived, applying
+// compromise behaviour, authentication, and duplicate suppression.
+func (n *Node) handleData(p *wire.Packet, arrived wire.LinkID) {
+	if n.cfg.Compromised.DropData {
+		n.stats.Blackholed++
+		return
+	}
+	if n.cfg.Compromised.DelayData > 0 {
+		cp := p.Clone()
+		n.clock.After(n.cfg.Compromised.DelayData, func() {
+			if !n.closed {
+				n.routeAuthed(cp, arrived)
+			}
+		})
+		return
+	}
+	n.routeAuthed(p, arrived)
+}
+
+func (n *Node) routeAuthed(p *wire.Packet, arrived wire.LinkID) {
+	if n.requiresSignature(p) && !n.cfg.Keyring.VerifyPacket(p) {
+		n.stats.DroppedAuth++
+		return
+	}
+	// A corrupting compromised node tampers after its own (honest-looking)
+	// verification, forwarding copies that downstream signature checks
+	// will reject.
+	if n.cfg.Compromised.CorruptData && len(p.Payload) > 0 {
+		p = p.Clone()
+		p.Payload[0] ^= 0xff
+	}
+	n.route(p, arrived)
+}
+
+// route applies the routing decision: local delivery and per-link
+// forwarding with TTL accounting.
+func (n *Node) route(p *wire.Packet, arrived wire.LinkID) {
+	firstSeen := true
+	if p.Route != wire.RouteLinkState {
+		firstSeen = n.dedup.Observe(dedupKey{
+			src: p.Src, srcPort: p.SrcPort,
+			dst: p.Dst, dstPort: p.DstPort,
+			group: p.Group, flowSeq: p.FlowSeq,
+		})
+		if !firstSeen {
+			n.stats.Duplicates++
+		}
+	}
+	d := n.engine.Decide(p, arrived, firstSeen)
+	if d.DeliverLocal {
+		n.stats.DeliveredLocal++
+		n.deliver(p)
+	}
+	if len(d.Forward) == 0 {
+		if !d.DeliverLocal && firstSeen {
+			n.stats.DroppedNoRoute++
+		}
+		return
+	}
+	if p.TTL <= 1 {
+		n.stats.DroppedTTL++
+		return
+	}
+	for _, lid := range d.Forward {
+		nl, ok := n.byLink[lid]
+		if !ok {
+			continue
+		}
+		cp := p.Clone()
+		cp.TTL--
+		n.stats.Forwarded++
+		n.protoFor(nl, cp.LinkProto).Send(cp)
+	}
+}
+
+// protoFor lazily instantiates the link protocol endpoint for one
+// neighbor link.
+func (n *Node) protoFor(nl *neighborLink, id wire.LinkProtoID) link.Protocol {
+	if p, ok := nl.protos[id]; ok {
+		return p
+	}
+	env := &linkEnv{n: n, peer: nl.neighbor}
+	var p link.Protocol
+	switch id {
+	case wire.LPReliable:
+		p = link.NewReliable(env, n.cfg.Reliable)
+	case wire.LPRealTime:
+		cfg := n.cfg.Strikes
+		if cfg.RTT <= 0 {
+			cfg.RTT = 2 * nl.latency
+		}
+		p = link.NewStrikes(env, cfg)
+	case wire.LPSingleStrike:
+		env.rebadge = wire.LPSingleStrike
+		cfg := n.cfg.SingleStrike
+		cfg.N, cfg.M = 1, 1
+		if cfg.RTT <= 0 {
+			cfg.RTT = 2 * nl.latency
+		}
+		p = link.NewStrikes(env, cfg)
+	case wire.LPITPriority:
+		p = itmsg.NewPriorityLink(env, n.cfg.ITSched)
+	case wire.LPITReliable:
+		p = itmsg.NewReliableFairLink(env, n.cfg.ITSched, n.cfg.Reliable)
+	default:
+		p = link.NewBestEffort(env)
+	}
+	nl.protos[id] = p
+	return p
+}
+
+// linkEnv adapts the node to link.Env for one neighbor.
+type linkEnv struct {
+	n    *Node
+	peer wire.NodeID
+	// rebadge overrides the frame protocol ID when nonzero.
+	rebadge wire.LinkProtoID
+}
+
+func (e *linkEnv) Clock() sim.Clock { return e.n.clock }
+
+func (e *linkEnv) Transmit(f *wire.Frame) {
+	if e.rebadge != 0 {
+		f.Proto = e.rebadge
+	}
+	e.n.transmitFrame(e.peer, f)
+}
+
+func (e *linkEnv) Deliver(p *wire.Packet) { e.n.receiveFromLink(e.peer, p) }
+
+// transmitFrame MACs (when authenticated), marshals, and sends a frame to
+// a neighbor over the link's current underlay path.
+func (n *Node) transmitFrame(peer wire.NodeID, f *wire.Frame) {
+	nl, ok := n.neighbors[peer]
+	if !ok {
+		return
+	}
+	if n.cfg.Keyring != nil {
+		if err := n.cfg.Keyring.MacFrame(f, peer); err != nil {
+			return
+		}
+	}
+	buf, err := f.Marshal()
+	if err != nil {
+		return
+	}
+	n.under.Send(peer, nl.path, buf)
+}
+
+// lsEnv adapts the node to linkstate.Env.
+type lsEnv struct{ n *Node }
+
+func (e *lsEnv) Clock() sim.Clock { return e.n.clock }
+
+func (e *lsEnv) SendControl(neighbor wire.NodeID, f *wire.Frame) {
+	e.n.transmitFrame(neighbor, f)
+}
+
+func (e *lsEnv) FloodLSA(payload []byte, except wire.NodeID) {
+	e.n.floodControl(wire.PTLinkState, payload, except)
+}
+
+func (e *lsEnv) SendLSA(neighbor wire.NodeID, payload []byte) {
+	e.n.sendControl(wire.PTLinkState, neighbor, payload)
+	// Group state recovers over the same healed link.
+	e.n.grpMgr.Resync(neighbor)
+}
+
+func (e *lsEnv) PathCount(neighbor wire.NodeID) int {
+	return e.n.under.PathCount(neighbor)
+}
+
+func (e *lsEnv) SetPath(neighbor wire.NodeID, path uint8) {
+	if nl, ok := e.n.neighbors[neighbor]; ok {
+		nl.path = path
+	}
+}
+
+func (e *lsEnv) ViewChanged() {
+	e.n.engine.Invalidate()
+	if e.n.onViewChange != nil {
+		e.n.onViewChange()
+	}
+}
+
+// grpEnv adapts the node to groups.Env.
+type grpEnv struct{ n *Node }
+
+func (e *grpEnv) FloodGroupState(payload []byte, except wire.NodeID) {
+	e.n.floodControl(wire.PTGroupState, payload, except)
+}
+
+func (e *grpEnv) SendGroupState(neighbor wire.NodeID, payload []byte) {
+	e.n.sendControl(wire.PTGroupState, neighbor, payload)
+}
+
+func (e *grpEnv) GroupsChanged() {
+	e.n.engine.Invalidate()
+	if e.n.onViewChange != nil {
+		e.n.onViewChange()
+	}
+}
+
+// sendControl sends one control packet to a single neighbor over the
+// best-effort link protocol.
+func (n *Node) sendControl(t wire.PacketType, neighbor wire.NodeID, payload []byte) {
+	nl, ok := n.neighbors[neighbor]
+	if !ok {
+		return
+	}
+	p := &wire.Packet{
+		Type:    t,
+		Route:   wire.RouteFlood,
+		TTL:     n.cfg.DefaultTTL,
+		Src:     n.id,
+		Payload: payload,
+	}
+	n.protoFor(nl, wire.LPBestEffort).Send(p)
+}
+
+// floodControl sends a control packet over the best-effort link protocol
+// to every neighbor except one.
+func (n *Node) floodControl(t wire.PacketType, payload []byte, except wire.NodeID) {
+	p := &wire.Packet{
+		Type:    t,
+		Route:   wire.RouteFlood,
+		TTL:     n.cfg.DefaultTTL,
+		Src:     n.id,
+		Payload: payload,
+	}
+	for _, peer := range n.neighborOrder {
+		if peer == except {
+			continue
+		}
+		n.protoFor(n.neighbors[peer], wire.LPBestEffort).Send(p.Clone())
+	}
+}

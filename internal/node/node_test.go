@@ -1,0 +1,617 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"sonet/internal/itmsg"
+	"sonet/internal/linkstate"
+	"sonet/internal/sim"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// fabric is a direct frame patch-panel between nodes: per-link latency,
+// optional drop hook, per-path kill switches.
+type fabric struct {
+	sched *sim.Scheduler
+	graph *topology.Graph
+	nodes map[wire.NodeID]*Node
+	// drop, when set, decides per transmission whether to lose the frame.
+	drop func(from, to wire.NodeID, path uint8, data []byte) bool
+	// paths is the number of underlay paths per link.
+	paths int
+}
+
+type port struct {
+	f    *fabric
+	self wire.NodeID
+}
+
+func (p *port) Send(neighbor wire.NodeID, path uint8, data []byte) {
+	l, ok := p.f.graph.LinkBetween(p.self, neighbor)
+	if !ok {
+		return
+	}
+	if p.f.drop != nil && p.f.drop(p.self, neighbor, path, data) {
+		return
+	}
+	buf := append([]byte(nil), data...)
+	from := p.self
+	p.f.sched.After(l.Latency, func() {
+		if dst, ok := p.f.nodes[neighbor]; ok {
+			dst.HandleUnderlay(from, buf)
+		}
+	})
+}
+
+func (p *port) PathCount(wire.NodeID) int { return p.f.paths }
+
+// buildWorld assembles started nodes over g. mutate lets tests adjust each
+// node's config before construction.
+func buildWorld(t *testing.T, g *topology.Graph, mutate func(*Config)) *fabric {
+	t.Helper()
+	f := &fabric{
+		sched: sim.NewScheduler(2017),
+		graph: g,
+		nodes: make(map[wire.NodeID]*Node),
+		paths: 1,
+	}
+	for _, id := range g.Nodes() {
+		cfg := Config{
+			ID:       id,
+			Clock:    f.sched,
+			Underlay: &port{f: f, self: id},
+			Graph:    g,
+			Metric:   topology.LatencyMetric,
+			LinkState: linkstate.Config{
+				HelloInterval: 100 * time.Millisecond,
+			},
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%v): %v", id, err)
+		}
+		f.nodes[id] = n
+	}
+	for _, n := range f.nodes {
+		n.Start()
+	}
+	return f
+}
+
+func diamondGraph(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph()
+	add := func(a, b wire.NodeID, lat time.Duration) {
+		if _, err := g.AddLink(a, b, lat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, 2, 10*time.Millisecond)
+	add(2, 4, 10*time.Millisecond)
+	add(1, 3, 12*time.Millisecond)
+	add(3, 4, 12*time.Millisecond)
+	return g
+}
+
+// collect installs a delivery recorder on a node.
+func collect(n *Node) *[]*wire.Packet {
+	var got []*wire.Packet
+	sink := &got
+	n.SetDeliver(func(p *wire.Packet) { *sink = append(*sink, p) })
+	return sink
+}
+
+func TestUnicastEndToEnd(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	sendTime := f.sched.Now()
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState,
+		LinkProto: wire.LPReliable, Dst: 4, DstPort: 7, FlowSeq: 1,
+		Payload: []byte("hello overlay"),
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	var deliveredAt time.Duration
+	for f.sched.Now() < sendTime+time.Second && len(*got) == 0 {
+		f.sched.RunFor(time.Millisecond)
+	}
+	deliveredAt = f.sched.Now()
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(*got))
+	}
+	if string((*got)[0].Payload) != "hello overlay" {
+		t.Fatalf("payload %q", (*got)[0].Payload)
+	}
+	// Two 10ms hops.
+	if lat := deliveredAt - sendTime; lat < 20*time.Millisecond || lat > 25*time.Millisecond {
+		t.Fatalf("latency %v, want ~20ms", lat)
+	}
+	if f.nodes[2].Stats().Forwarded == 0 {
+		t.Fatal("intermediate node forwarded nothing")
+	}
+}
+
+func TestUnicastReroutesAroundFailure(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	// Kill the 1-2 link (both directions, all frames).
+	f.drop = func(from, to wire.NodeID, _ uint8, _ []byte) bool {
+		return (from == 1 && to == 2) || (from == 2 && to == 1)
+	}
+	f.sched.RunFor(2 * time.Second) // let hellos detect and LSAs flood
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState,
+		LinkProto: wire.LPBestEffort, Dst: 4, FlowSeq: 2,
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d after reroute, want 1", len(*got))
+	}
+	// It must have traveled via node 3.
+	if f.nodes[3].Stats().Forwarded == 0 {
+		t.Fatal("reroute did not pass through node 3")
+	}
+}
+
+func TestFloodDeliversEverywhereOnce(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	sinks := map[wire.NodeID]*[]*wire.Packet{
+		2: collect(f.nodes[2]), 3: collect(f.nodes[3]), 4: collect(f.nodes[4]),
+	}
+	f.sched.RunFor(500 * time.Millisecond)
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteFlood,
+		LinkProto: wire.LPBestEffort, Dst: 4, FlowSeq: 3,
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	// Flood is addressed to node 4: only node 4 delivers, exactly once
+	// despite redundant copies.
+	if got := len(*sinks[4]); got != 1 {
+		t.Fatalf("node 4 delivered %d, want 1", got)
+	}
+	if len(*sinks[2]) != 0 || len(*sinks[3]) != 0 {
+		t.Fatal("non-destination nodes delivered flood packet")
+	}
+	if f.nodes[4].Stats().Duplicates == 0 {
+		t.Fatal("diamond flood produced no duplicates at destination")
+	}
+}
+
+func TestSourceMaskRouting(t *testing.T) {
+	g := diamondGraph(t)
+	f := buildWorld(t, g, nil)
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	// Two node-disjoint paths from the shared view of node 1.
+	view := f.nodes[1].View()
+	paths, err := topology.KDisjointPaths(view, 1, 4, 2, topology.LatencyMetric)
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("KDisjointPaths: %v (%d)", err, len(paths))
+	}
+	mask, err := topology.DisjointMask(view, paths)
+	if err != nil {
+		t.Fatalf("DisjointMask: %v", err)
+	}
+	err = f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteSourceMask,
+		LinkProto: wire.LPBestEffort, Dst: 4, FlowSeq: 4, Mask: mask,
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d, want 1 (dedup of two copies)", len(*got))
+	}
+	if f.nodes[4].Stats().Duplicates != 1 {
+		t.Fatalf("Duplicates = %d, want 1 (second disjoint copy)", f.nodes[4].Stats().Duplicates)
+	}
+}
+
+func TestMulticastGroupDelivery(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	sink2 := collect(f.nodes[2])
+	sink3 := collect(f.nodes[3])
+	sink4 := collect(f.nodes[4])
+	f.sched.RunFor(200 * time.Millisecond)
+	const g wire.GroupID = 500
+	f.nodes[2].Groups().Join(g)
+	f.nodes[4].Groups().Join(g)
+	f.sched.RunFor(500 * time.Millisecond) // let membership flood
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteMulticast,
+		LinkProto: wire.LPBestEffort, Group: g, FlowSeq: 5,
+		Payload: []byte("mc"),
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*sink2) != 1 || len(*sink4) != 1 {
+		t.Fatalf("members delivered %d/%d, want 1/1", len(*sink2), len(*sink4))
+	}
+	if len(*sink3) != 0 {
+		t.Fatal("non-member delivered multicast")
+	}
+}
+
+func TestAnycastDeliversToNearest(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	sink2 := collect(f.nodes[2])
+	sink3 := collect(f.nodes[3])
+	f.sched.RunFor(200 * time.Millisecond)
+	const g wire.GroupID = 600
+	f.nodes[2].Groups().Join(g) // 10ms from node 1
+	f.nodes[3].Groups().Join(g) // 12ms from node 1
+	f.sched.RunFor(500 * time.Millisecond)
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState, Flags: wire.FAnycast,
+		LinkProto: wire.LPBestEffort, Group: g, FlowSeq: 6,
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*sink2) != 1 || len(*sink3) != 0 {
+		t.Fatalf("anycast delivered to 2:%d 3:%d, want nearest only", len(*sink2), len(*sink3))
+	}
+}
+
+func TestAnycastNoMembersErrors(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	f.sched.RunFor(200 * time.Millisecond)
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState, Flags: wire.FAnycast,
+		LinkProto: wire.LPBestEffort, Group: 999,
+	})
+	if err == nil {
+		t.Fatal("anycast to empty group succeeded")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState,
+		LinkProto: wire.LPBestEffort, Dst: 4, TTL: 2, FlowSeq: 7,
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	// TTL 2: node 1 forwards (TTL 1 on wire), node 2 cannot forward on.
+	if len(*got) != 0 {
+		t.Fatal("packet outlived its TTL")
+	}
+	if f.nodes[2].Stats().DroppedTTL != 1 {
+		t.Fatalf("DroppedTTL = %d at node 2, want 1", f.nodes[2].Stats().DroppedTTL)
+	}
+}
+
+func TestCompromisedNodeBlackholes(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), func(cfg *Config) {
+		if cfg.ID == 2 {
+			cfg.Compromised = Compromise{DropData: true}
+		}
+	})
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	// Shortest path goes through the compromised node 2: single-path
+	// traffic dies.
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState,
+		LinkProto: wire.LPBestEffort, Dst: 4, FlowSeq: 8,
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 0 {
+		t.Fatal("blackholed packet delivered")
+	}
+	if f.nodes[2].Stats().Blackholed != 1 {
+		t.Fatalf("Blackholed = %d, want 1", f.nodes[2].Stats().Blackholed)
+	}
+	// Constrained flooding defeats the single compromised node.
+	err = f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteFlood,
+		LinkProto: wire.LPBestEffort, Dst: 4, FlowSeq: 9,
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("flood delivered %d through compromise, want 1", len(*got))
+	}
+}
+
+func TestAuthenticatedOverlayRejectsForgedFrames(t *testing.T) {
+	g := diamondGraph(t)
+	all := g.Nodes()
+	seed := []byte("it-deployment")
+	f := buildWorld(t, g, func(cfg *Config) {
+		cfg.Keyring = itmsg.NewDeterministicKeyring(cfg.ID, all, seed)
+	})
+	f.sched.RunFor(500 * time.Millisecond)
+	// Hellos and LSAs flow MACed; the overlay must behave normally.
+	if !f.nodes[1].LinkStateManager().NeighborUp(2) {
+		t.Fatal("authenticated overlay failed hello exchange")
+	}
+	// Inject an unauthenticated forged frame: must be dropped.
+	forged := &wire.Frame{Proto: wire.LPBestEffort, Kind: wire.FData, Packet: &wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState, Src: 1, Dst: 2,
+	}}
+	buf, err := forged.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.nodes[2].Stats().DroppedAuth
+	f.nodes[2].HandleUnderlay(1, buf)
+	if f.nodes[2].Stats().DroppedAuth != before+1 {
+		t.Fatal("forged frame not dropped")
+	}
+}
+
+func TestITTrafficSignedAndVerified(t *testing.T) {
+	g := diamondGraph(t)
+	all := g.Nodes()
+	seed := []byte("it-deployment")
+	f := buildWorld(t, g, func(cfg *Config) {
+		cfg.Keyring = itmsg.NewDeterministicKeyring(cfg.ID, all, seed)
+		cfg.ITSched = itmsg.SchedConfig{Rate: 10000}
+	})
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteFlood,
+		LinkProto: wire.LPITPriority, Dst: 4, FlowSeq: 10,
+		Payload: []byte("signed control"),
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(*got))
+	}
+	if !(*got)[0].Flags.Has(wire.FSigned) {
+		t.Fatal("delivered packet not signed")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := diamondGraph(t)
+	sched := sim.NewScheduler(1)
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := New(Config{ID: 9, Clock: sched, Underlay: &port{}, Graph: g}); err == nil {
+		t.Fatal("node absent from topology accepted")
+	}
+}
+
+func TestDedupTable(t *testing.T) {
+	d := newDedupTable(4)
+	k := func(i uint32) dedupKey { return dedupKey{src: 1, flowSeq: i} }
+	for i := uint32(1); i <= 4; i++ {
+		if !d.Observe(k(i)) {
+			t.Fatalf("first observation of %d = false", i)
+		}
+	}
+	if d.Observe(k(1)) {
+		t.Fatal("duplicate observed as new")
+	}
+	// Eviction: adding a 5th evicts the oldest (1).
+	if !d.Observe(k(5)) {
+		t.Fatal("new key after eviction = false")
+	}
+	if !d.Observe(k(1)) {
+		t.Fatal("evicted key not treated as new")
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+}
+
+func TestStopQuiescesNode(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	f.sched.RunFor(time.Second)
+	for _, n := range f.nodes {
+		n.Stop()
+	}
+	pendingBefore := f.sched.Pending()
+	f.sched.RunFor(10 * time.Second)
+	if f.sched.Pending() > pendingBefore {
+		t.Fatalf("timers kept rescheduling after Stop: %d → %d", pendingBefore, f.sched.Pending())
+	}
+}
+
+func TestCorruptingNodeDefeatedByAuthentication(t *testing.T) {
+	g := diamondGraph(t)
+	all := g.Nodes()
+	seed := []byte("auth-seed")
+	f := buildWorld(t, g, func(cfg *Config) {
+		cfg.Keyring = itmsg.NewDeterministicKeyring(cfg.ID, all, seed)
+		cfg.ITSched = itmsg.SchedConfig{Rate: 100000}
+		if cfg.ID == 2 {
+			cfg.Compromised = Compromise{CorruptData: true}
+		}
+	})
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	// Signed traffic through the corrupting node 2: the tampered copy
+	// fails verification at node 4 and is dropped.
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState,
+		LinkProto: wire.LPITPriority, Dst: 4, FlowSeq: 1,
+		Payload: []byte("set breaker"),
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 0 {
+		t.Fatalf("tampered packet delivered: %q", (*got)[0].Payload)
+	}
+	if f.nodes[4].Stats().DroppedAuth == 0 {
+		t.Fatal("tampering not caught by signature verification")
+	}
+	// Constrained flooding routes a correct copy around the tamperer.
+	err = f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteFlood,
+		LinkProto: wire.LPITPriority, Dst: 4, FlowSeq: 2,
+		Payload: []byte("set breaker"),
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 1 || string((*got)[0].Payload) != "set breaker" {
+		t.Fatalf("flooded packet not delivered intact: %v", *got)
+	}
+}
+
+func TestDelayingCompromisedNode(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), func(cfg *Config) {
+		if cfg.ID == 2 {
+			cfg.Compromised = Compromise{DelayData: 300 * time.Millisecond}
+		}
+	})
+	got := collect(f.nodes[4])
+	var deliveredAt time.Duration
+	f.nodes[4].SetDeliver(func(p *wire.Packet) {
+		*got = append(*got, p)
+		deliveredAt = f.sched.Now()
+	})
+	f.sched.RunFor(500 * time.Millisecond)
+	start := f.sched.Now()
+	err := f.nodes[1].Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState,
+		LinkProto: wire.LPBestEffort, Dst: 4, FlowSeq: 1,
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d, want 1 (delayed, not dropped)", len(*got))
+	}
+	if lat := deliveredAt - start; lat < 320*time.Millisecond {
+		t.Fatalf("latency %v, want >= 320ms through the delaying node", lat)
+	}
+}
+
+func TestNodeAccessorsAndLinkStats(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	n := f.nodes[1]
+	if n.ID() != 1 || n.Clock() == nil || n.Engine() == nil {
+		t.Fatal("accessors broken")
+	}
+	changes := 0
+	n.SetOnViewChange(func() { changes++ })
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	err := n.Originate(&wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState,
+		LinkProto: wire.LPReliable, Dst: 4, FlowSeq: 1,
+	})
+	if err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d", len(*got))
+	}
+	ls := n.LinkStats(2)
+	if ls[wire.LPReliable].DataSent == 0 {
+		t.Fatalf("LinkStats = %+v", ls)
+	}
+	if n.LinkStats(99) != nil {
+		t.Fatal("LinkStats for non-neighbor")
+	}
+	// Link churn fires the view-change hook.
+	f.drop = func(from, to wire.NodeID, _ uint8, _ []byte) bool {
+		return (from == 1 && to == 2) || (from == 2 && to == 1)
+	}
+	f.sched.RunFor(2 * time.Second)
+	if changes == 0 {
+		t.Fatal("view-change hook never fired")
+	}
+}
+
+func TestNodeResendPreservesOrigin(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), nil)
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	n := f.nodes[1]
+	p := &wire.Packet{
+		Type: wire.PTData, Route: wire.RouteLinkState,
+		LinkProto: wire.LPBestEffort, Dst: 4, FlowSeq: 1,
+	}
+	if err := n.Originate(p); err != nil {
+		t.Fatalf("Originate: %v", err)
+	}
+	origOrigin := p.Origin
+	f.sched.RunFor(time.Second)
+	// Resend much later: origin must be preserved.
+	cp := p.Clone()
+	if err := n.Resend(cp); err != nil {
+		t.Fatalf("Resend: %v", err)
+	}
+	f.sched.RunFor(time.Second)
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(*got))
+	}
+	if (*got)[1].Origin != origOrigin {
+		t.Fatalf("resend origin %v, want preserved %v", (*got)[1].Origin, origOrigin)
+	}
+	// A node may only resend its own packets.
+	foreign := p.Clone()
+	foreign.Src = 3
+	if err := n.Resend(foreign); err == nil {
+		t.Fatal("resend of foreign packet accepted")
+	}
+}
+
+func TestAllLinkProtocolsInstantiable(t *testing.T) {
+	f := buildWorld(t, diamondGraph(t), func(cfg *Config) {
+		cfg.ITSched = itmsg.SchedConfig{Rate: 100000}
+	})
+	got := collect(f.nodes[4])
+	f.sched.RunFor(500 * time.Millisecond)
+	protos := []wire.LinkProtoID{
+		wire.LPBestEffort, wire.LPReliable, wire.LPRealTime,
+		wire.LPSingleStrike, wire.LPITPriority, wire.LPITReliable,
+	}
+	for i, proto := range protos {
+		err := f.nodes[1].Originate(&wire.Packet{
+			Type: wire.PTData, Route: wire.RouteLinkState,
+			LinkProto: proto, Dst: 4, FlowSeq: uint32(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("Originate(%v): %v", proto, err)
+		}
+	}
+	f.sched.RunFor(5 * time.Second)
+	if len(*got) != len(protos) {
+		t.Fatalf("delivered %d/%d across protocols", len(*got), len(protos))
+	}
+}

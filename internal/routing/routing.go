@@ -1,0 +1,222 @@
+// Package routing implements the routing level of the overlay node
+// software architecture (Fig. 2): it decides, for each packet, whether to
+// deliver it to local clients and on which overlay links to forward it,
+// according to the packet's routing service — Link State, Source Based
+// (bitmask), Multicast tree, or Constrained Flooding (§II-B).
+//
+// The engine is a pure decision component: it inspects the shared
+// connectivity view and group state but performs no I/O, which makes every
+// routing behaviour unit-testable in isolation.
+package routing
+
+import (
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// NoLink is the arrival-link sentinel for locally originated packets.
+const NoLink wire.LinkID = 0xffff
+
+// GroupSource provides the shared group state (Fig. 2 Group State
+// component).
+type GroupSource interface {
+	// Members returns the overlay nodes holding members of g.
+	Members(g wire.GroupID) []wire.NodeID
+	// LocalMember reports whether this node has local members of g.
+	LocalMember(g wire.GroupID) bool
+	// Version increments on membership changes.
+	Version() uint64
+}
+
+// ViewSource provides the shared connectivity state (Fig. 2 Connectivity
+// Graph Maintenance component).
+type ViewSource interface {
+	// View returns the current shared view.
+	View() *topology.View
+	// Version increments on connectivity changes.
+	Version() uint64
+}
+
+// Decision is the routing outcome for one packet at one node.
+type Decision struct {
+	// DeliverLocal indicates the packet must be handed to the session
+	// level for local client delivery.
+	DeliverLocal bool
+	// Forward lists the overlay links to transmit the packet on.
+	Forward []wire.LinkID
+}
+
+// Engine computes routing decisions for one overlay node.
+type Engine struct {
+	self   wire.NodeID
+	views  ViewSource
+	groups GroupSource
+	metric topology.Metric
+
+	// Cached shortest-path tree rooted at self for link-state unicast.
+	spt        *topology.SPT
+	sptVersion uint64
+	sptValid   bool
+
+	// Cached multicast trees keyed by (source, group).
+	trees map[treeKey]*cachedTree
+}
+
+type treeKey struct {
+	src   wire.NodeID
+	group wire.GroupID
+}
+
+type cachedTree struct {
+	mask         wire.Bitmask
+	viewVersion  uint64
+	groupVersion uint64
+}
+
+// NewEngine returns a routing engine for node self. metric defaults to
+// the loss-penalized expected-latency metric used by Spines-style
+// overlays.
+func NewEngine(self wire.NodeID, views ViewSource, groups GroupSource, metric topology.Metric) *Engine {
+	if metric == nil {
+		metric = topology.ExpectedLatencyMetric
+	}
+	return &Engine{
+		self:   self,
+		views:  views,
+		groups: groups,
+		metric: metric,
+		trees:  make(map[treeKey]*cachedTree),
+	}
+}
+
+// Invalidate drops cached routes; the node calls it on view or group
+// changes (cache keys would catch staleness anyway, but eager invalidation
+// keeps memory tidy when topology churns).
+func (e *Engine) Invalidate() {
+	e.sptValid = false
+	for k := range e.trees {
+		delete(e.trees, k)
+	}
+}
+
+// Decide computes the routing decision for p arriving on link arrived
+// (NoLink when locally originated). firstSeen reports whether the node's
+// duplicate-suppression table saw this packet for the first time; flood,
+// mask, and multicast forwarding only fan out on first sight.
+func (e *Engine) Decide(p *wire.Packet, arrived wire.LinkID, firstSeen bool) Decision {
+	switch p.Route {
+	case wire.RouteLinkState:
+		return e.decideUnicast(p)
+	case wire.RouteSourceMask:
+		return e.decideMask(p, p.Mask, arrived, firstSeen)
+	case wire.RouteFlood:
+		return e.decideMask(p, e.viewNow().FloodMask(), arrived, firstSeen)
+	case wire.RouteMulticast:
+		return e.decideMulticast(p, arrived, firstSeen)
+	default:
+		return Decision{}
+	}
+}
+
+func (e *Engine) viewNow() *topology.View { return e.views.View() }
+
+func (e *Engine) decideUnicast(p *wire.Packet) Decision {
+	if p.Dst == e.self {
+		return Decision{DeliverLocal: true}
+	}
+	spt := e.selfSPT()
+	next, ok := spt.NextHop(p.Dst)
+	if !ok {
+		return Decision{}
+	}
+	return Decision{Forward: []wire.LinkID{next}}
+}
+
+// decideMask forwards over the subgraph given by mask: on every usable
+// masked link incident to this node except the arrival link. Duplicate
+// copies deliver locally at most once and never fan out again.
+func (e *Engine) decideMask(p *wire.Packet, mask wire.Bitmask, arrived wire.LinkID, firstSeen bool) Decision {
+	var d Decision
+	if firstSeen {
+		d.DeliverLocal = e.shouldDeliver(p)
+	}
+	if !firstSeen {
+		return d
+	}
+	v := e.viewNow()
+	for _, lid := range v.G.Incident(e.self) {
+		if lid == arrived || !mask.Has(lid) || !v.Usable(lid) {
+			continue
+		}
+		d.Forward = append(d.Forward, lid)
+	}
+	return d
+}
+
+func (e *Engine) decideMulticast(p *wire.Packet, arrived wire.LinkID, firstSeen bool) Decision {
+	if !firstSeen {
+		return Decision{}
+	}
+	d := Decision{DeliverLocal: e.groups.LocalMember(p.Group)}
+	mask := e.multicastMask(p.Src, p.Group)
+	v := e.viewNow()
+	for _, lid := range v.G.Incident(e.self) {
+		if lid == arrived || !mask.Has(lid) || !v.Usable(lid) {
+			continue
+		}
+		d.Forward = append(d.Forward, lid)
+	}
+	return d
+}
+
+// shouldDeliver reports whether a mask/flood-routed packet is addressed to
+// this node: explicitly, or via a group with local members.
+func (e *Engine) shouldDeliver(p *wire.Packet) bool {
+	if p.Dst == e.self {
+		return true
+	}
+	return p.Dst == 0 && p.Group != 0 && e.groups.LocalMember(p.Group)
+}
+
+// selfSPT returns the cached shortest-path tree rooted at this node,
+// recomputing it when the shared view changed.
+func (e *Engine) selfSPT() *topology.SPT {
+	cur := e.views.Version()
+	if !e.sptValid || e.sptVersion != cur {
+		e.spt = topology.ShortestPaths(e.viewNow(), e.self, e.metric)
+		e.sptVersion = cur
+		e.sptValid = true
+	}
+	return e.spt
+}
+
+// multicastMask returns the cached source-rooted tree for (src, group).
+// Every node computes the identical tree from identical shared state, so
+// tree forwarding is consistent without per-packet coordination.
+func (e *Engine) multicastMask(src wire.NodeID, group wire.GroupID) wire.Bitmask {
+	key := treeKey{src: src, group: group}
+	vv, gv := e.views.Version(), e.groups.Version()
+	if c, ok := e.trees[key]; ok && c.viewVersion == vv && c.groupVersion == gv {
+		return c.mask
+	}
+	mask, _ := topology.MulticastTree(e.viewNow(), src, e.groups.Members(group), e.metric)
+	e.trees[key] = &cachedTree{mask: mask, viewVersion: vv, groupVersion: gv}
+	return mask
+}
+
+// AnycastResolve selects the destination node for an anycast packet: the
+// nearest group member under the engine's metric.
+func (e *Engine) AnycastResolve(group wire.GroupID) (wire.NodeID, bool) {
+	return topology.AnycastTarget(e.viewNow(), e.self, e.groups.Members(group), e.metric)
+}
+
+// PathTo returns the current link-state path from this node to dst (for
+// diagnostics and planning).
+func (e *Engine) PathTo(dst wire.NodeID) []wire.NodeID {
+	return e.selfSPT().Path(dst)
+}
+
+// Reachable reports whether dst is currently reachable.
+func (e *Engine) Reachable(dst wire.NodeID) bool {
+	return e.selfSPT().Reachable(dst)
+}

@@ -1,0 +1,225 @@
+package session
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sonet/internal/wire"
+)
+
+// End-to-end recovery gives ordered unicast flows without a deadline the
+// "completely reliable" service the paper's control traffic needs
+// (§III-B, §IV-B Reliable messaging): hop-by-hop ARQ recovers link loss,
+// but packets in flight on a link that dies are gone and must be recovered
+// end to end. The destination session detects flow-sequence gaps and
+// NACKs them to the source, which retains a bounded history and reinjects
+// the missing packets (with their original origin timestamps, so measured
+// latency stays honest).
+
+// nackHeaderLen is origin(2) port(2) count(2).
+const nackHeaderLen = 6
+
+// maxNackSeqs bounds sequences per NACK packet.
+const maxNackSeqs = 64
+
+// nack identifies missing flow sequences back to the source flow.
+type nack struct {
+	// origin is the destination node sending the NACK.
+	origin wire.NodeID
+	// port is the destination client's port (the flow's DstPort).
+	port wire.Port
+	// seqs lists the missing flow sequences.
+	seqs []uint32
+}
+
+func (k *nack) marshal() []byte {
+	buf := make([]byte, nackHeaderLen, nackHeaderLen+4*len(k.seqs))
+	binary.BigEndian.PutUint16(buf[0:], uint16(k.origin))
+	binary.BigEndian.PutUint16(buf[2:], uint16(k.port))
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(k.seqs)))
+	var s [4]byte
+	for _, seq := range k.seqs {
+		binary.BigEndian.PutUint32(s[:], seq)
+		buf = append(buf, s[:]...)
+	}
+	return buf
+}
+
+func unmarshalNack(src []byte) (*nack, error) {
+	if len(src) < nackHeaderLen {
+		return nil, fmt.Errorf("session: nack header %d bytes", len(src))
+	}
+	k := &nack{
+		origin: wire.NodeID(binary.BigEndian.Uint16(src[0:])),
+		port:   wire.Port(binary.BigEndian.Uint16(src[2:])),
+	}
+	count := int(binary.BigEndian.Uint16(src[4:]))
+	src = src[nackHeaderLen:]
+	if len(src) < 4*count {
+		return nil, fmt.Errorf("session: nack with %d seqs in %d bytes", count, len(src))
+	}
+	k.seqs = make([]uint32, count)
+	for i := range k.seqs {
+		k.seqs[i] = binary.BigEndian.Uint32(src[4*i:])
+	}
+	return k, nil
+}
+
+// wantsE2ERecovery reports whether a flow uses the reliable transport
+// service: ordered unicast with no deadline.
+func wantsE2ERecovery(spec FlowSpec) bool {
+	return spec.Ordered && spec.Deadline == 0 && spec.DstNode != 0 && spec.Group == 0
+}
+
+// packetWantsE2E mirrors wantsE2ERecovery on the receive side.
+func packetWantsE2E(p *wire.Packet) bool {
+	return p.Flags.Has(wire.FOrdered) && p.Deadline == 0 && p.Group == 0
+}
+
+// armNack schedules (or reschedules) the gap-recovery timer for one flow's
+// reorder state.
+func (c *Client) armNack(id flowID, st *reorderState) {
+	if st.nackTimer != nil || c.closed {
+		return
+	}
+	st.nackTimer = c.mgr.clock.After(c.mgr.NackInterval, func() {
+		st.nackTimer = nil
+		c.nackTick(id, st)
+	})
+}
+
+// nackTick requests the flow's missing sequences from the source, giving
+// up (and flushing past the gap) after NackMaxTries attempts.
+func (c *Client) nackTick(id flowID, st *reorderState) {
+	if c.closed {
+		return
+	}
+	missing := st.missing(maxNackSeqs)
+	if len(missing) == 0 {
+		st.nackTries = 0
+		return
+	}
+	st.nackTries++
+	if st.nackTries > c.mgr.NackMaxTries {
+		// The source is gone or its history no longer covers the gap;
+		// deliver what we have rather than stalling forever.
+		st.nackTries = 0
+		c.flushTo(id, st.maxSeen)
+		return
+	}
+	k := nack{origin: c.mgr.n.ID(), port: c.port, seqs: missing}
+	p := &wire.Packet{
+		Type:      wire.PTSessionCtl,
+		Route:     wire.RouteLinkState,
+		LinkProto: wire.LPReliable,
+		Dst:       id.src,
+		DstPort:   id.srcPort,
+		SrcPort:   c.port,
+		Payload:   k.marshal(),
+	}
+	_ = c.mgr.n.Originate(p)
+	c.armNack(id, st)
+}
+
+// missing returns up to max sequences in (next-1, maxSeen] absent from the
+// hold-back buffer.
+func (st *reorderState) missing(max int) []uint32 {
+	var out []uint32
+	for seq := st.next; seq <= st.maxSeen && len(out) < max; seq++ {
+		if _, ok := st.pending[seq]; !ok {
+			out = append(out, seq)
+		}
+	}
+	return out
+}
+
+// handleNack retransmits the requested sequences of the flow addressed by
+// the NACK's destination port.
+func (m *Manager) handleNack(p *wire.Packet) {
+	f, ok := m.flowPorts[p.DstPort]
+	if !ok {
+		m.noClient++
+		return
+	}
+	k, err := unmarshalNack(p.Payload)
+	if err != nil {
+		return
+	}
+	if f.spec.DstNode != k.origin || f.spec.DstPort != k.port {
+		return
+	}
+	for _, seq := range k.seqs {
+		f.resend(seq)
+	}
+}
+
+// resend reinjects one sequence from the flow's history.
+func (f *Flow) resend(seq uint32) {
+	p, ok := f.history[seq]
+	if !ok {
+		return
+	}
+	cp := p.Clone()
+	cp.Flags |= wire.FRetrans
+	f.stats.Duplicates++
+	_ = f.client.mgr.n.Resend(cp)
+}
+
+// remember retains a sent packet for end-to-end recovery, evicting the
+// oldest beyond the history limit.
+func (f *Flow) remember(p *wire.Packet) {
+	if f.history == nil {
+		f.history = make(map[uint32]*wire.Packet)
+	}
+	f.history[p.FlowSeq] = p
+	f.histOrder = append(f.histOrder, p.FlowSeq)
+	for len(f.histOrder) > f.client.mgr.HistoryLimit {
+		old := f.histOrder[0]
+		f.histOrder = f.histOrder[1:]
+		delete(f.history, old)
+	}
+}
+
+// armTailFlush (re)schedules the tail-protection timer: if the flow goes
+// quiet, the last packet is re-sent a bounded number of times so the
+// destination learns about (and can NACK) any trailing losses.
+func (f *Flow) armTailFlush() {
+	if f.tailTimer != nil {
+		f.tailTimer.Stop()
+	}
+	f.tailTries = 0
+	f.scheduleTail()
+}
+
+func (f *Flow) scheduleTail() {
+	interval := f.client.mgr.TailFlushInterval << f.tailTries
+	f.tailTimer = f.client.mgr.clock.After(interval, func() {
+		f.tailTimer = nil
+		if f.client.closed || f.tailTries >= f.client.mgr.TailFlushTries {
+			return
+		}
+		f.tailTries++
+		f.resend(f.seq)
+		f.scheduleTail()
+	})
+}
+
+// stopTailTimers cancels tail-protection timers on client close.
+func (c *Client) stopTailTimers() {
+	for _, f := range c.flows {
+		if f.tailTimer != nil {
+			f.tailTimer.Stop()
+			f.tailTimer = nil
+		}
+	}
+}
+
+// stopNackTimers cancels gap-recovery timers on client close.
+func (c *Client) stopNackTimers() {
+	for _, st := range c.reorder {
+		if st.nackTimer != nil {
+			st.nackTimer.Stop()
+			st.nackTimer = nil
+		}
+	}
+}

@@ -1,0 +1,527 @@
+// Package session implements the session interface of the overlay node
+// software architecture (Fig. 2): client connections on virtual ports,
+// per-flow service selection (routing service × link protocol × delivery
+// semantics), flow origination, and destination-side delivery — including
+// the in-order hold-back buffering and deadline-based late discard that
+// the paper assigns to the final destination (§III-A, §IV-A).
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"sonet/internal/metrics"
+	"sonet/internal/node"
+	"sonet/internal/sim"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// FlowSpec selects the overlay services for one application flow (§II-C:
+// a flow consists of a source, one or more destinations, and the overlay
+// services selected for that flow).
+type FlowSpec struct {
+	// DstNode and DstPort address a unicast destination client.
+	DstNode wire.NodeID
+	// DstPort is the destination virtual port (also used for group
+	// flows: members listen on this port).
+	DstPort wire.Port
+	// Group addresses a multicast or anycast group instead of a node.
+	Group wire.GroupID
+	// Anycast delivers to exactly one member of Group.
+	Anycast bool
+	// LinkProto selects the link-level protocol on every hop; zero means
+	// Best Effort.
+	LinkProto wire.LinkProtoID
+	// DisjointK, when positive, routes over K node-disjoint paths via the
+	// source-based bitmask mechanism (§IV-B).
+	DisjointK int
+	// Dissem, when set, routes over a dissemination graph tailored to the
+	// given problem area (§V-A). Takes precedence over DisjointK.
+	Dissem topology.ProblemArea
+	// Flood routes by constrained flooding over the whole topology.
+	Flood bool
+	// Ordered asks the destination to deliver in sequence order.
+	Ordered bool
+	// Deadline is the one-way latency budget; late packets are discarded
+	// at the destination and ordered flows flush their hold-back buffer
+	// when it expires.
+	Deadline time.Duration
+	// Priority orders messages within intrusion-tolerant priority flows.
+	Priority uint8
+}
+
+// Delivery is one packet handed to a client.
+type Delivery struct {
+	// From identifies the source client.
+	From wire.NodeID
+	// SrcPort is the source client's virtual port.
+	SrcPort wire.Port
+	// Seq is the flow sequence number.
+	Seq uint32
+	// Group is set for multicast deliveries.
+	Group wire.GroupID
+	// Latency is the one-way delay from origination.
+	Latency time.Duration
+	// Retransmitted marks packets whose delivered copy was recovered by a
+	// link-level retransmission somewhere along the path.
+	Retransmitted bool
+	// Payload is the application data.
+	Payload []byte
+}
+
+// Manager is the session level of one overlay node.
+type Manager struct {
+	// NackInterval is the destination's gap-recovery request period for
+	// reliable (ordered, no-deadline) flows.
+	NackInterval time.Duration
+	// NackMaxTries bounds gap-recovery attempts before flushing past the
+	// gap.
+	NackMaxTries int
+	// HistoryLimit bounds per-flow sent-packet history retained for
+	// end-to-end recovery.
+	HistoryLimit int
+	// TailFlushInterval is the idle period after which a reliable flow's
+	// source re-sends its last packet: trailing losses are invisible to
+	// the destination's gap detection (nothing later reveals them), so
+	// the tail is protected from the sending side.
+	TailFlushInterval time.Duration
+	// TailFlushTries bounds tail re-sends per quiet period.
+	TailFlushTries int
+
+	n             *node.Node
+	clock         sim.Clock
+	clients       map[wire.Port]*Client
+	flowPorts     map[wire.Port]*Flow
+	nextEphemeral wire.Port
+	// noClient counts packets for ports nobody listens on.
+	noClient uint64
+}
+
+// NewManager attaches a session manager to a node, installing itself as
+// the node's delivery sink.
+func NewManager(n *node.Node) *Manager {
+	m := &Manager{
+		NackInterval:      100 * time.Millisecond,
+		NackMaxTries:      100,
+		HistoryLimit:      8192,
+		TailFlushInterval: 250 * time.Millisecond,
+		TailFlushTries:    8,
+		n:                 n,
+		clock:             n.Clock(),
+		clients:           make(map[wire.Port]*Client),
+		flowPorts:         make(map[wire.Port]*Flow),
+		nextEphemeral:     49152,
+	}
+	n.SetDeliver(m.handleDelivery)
+	return m
+}
+
+// Node returns the underlying overlay node.
+func (m *Manager) Node() *node.Node { return m.n }
+
+// Connect registers a client on a virtual port. Port zero allocates an
+// ephemeral port. Clients are identified overlay-wide by the node's ID
+// plus this port, mimicking IP address + port addressing (§II-B).
+func (m *Manager) Connect(port wire.Port) (*Client, error) {
+	if port == 0 {
+		port = m.allocEphemeral()
+	}
+	if m.portInUse(port) {
+		return nil, fmt.Errorf("session: port %d in use on node %v", port, m.n.ID())
+	}
+	c := &Client{
+		mgr:     m,
+		port:    port,
+		reorder: make(map[flowID]*reorderState),
+	}
+	m.clients[port] = c
+	return c, nil
+}
+
+// portInUse reports whether a virtual port is taken by a client or flow.
+func (m *Manager) portInUse(port wire.Port) bool {
+	if _, ok := m.clients[port]; ok {
+		return true
+	}
+	_, ok := m.flowPorts[port]
+	return ok
+}
+
+// allocEphemeral returns a fresh ephemeral virtual port.
+func (m *Manager) allocEphemeral() wire.Port {
+	for m.portInUse(m.nextEphemeral) || m.nextEphemeral == 0 {
+		m.nextEphemeral++
+		if m.nextEphemeral == 0 {
+			m.nextEphemeral = 49152
+		}
+	}
+	port := m.nextEphemeral
+	m.nextEphemeral++
+	return port
+}
+
+// NoClientDrops returns packets that arrived for ports without clients.
+func (m *Manager) NoClientDrops() uint64 { return m.noClient }
+
+// handleDelivery dispatches a packet delivered by the node to the client
+// on its destination port.
+func (m *Manager) handleDelivery(p *wire.Packet) {
+	if p.Type == wire.PTSessionCtl {
+		m.handleNack(p)
+		return
+	}
+	c, ok := m.clients[p.DstPort]
+	if !ok {
+		m.noClient++
+		return
+	}
+	c.receive(p)
+}
+
+// flowID keys destination-side per-flow state.
+type flowID struct {
+	src     wire.NodeID
+	srcPort wire.Port
+}
+
+// Client is one application endpoint attached to an overlay node.
+type Client struct {
+	mgr  *Manager
+	port wire.Port
+	// onDeliver, when set, receives deliveries synchronously; otherwise
+	// they are queued for Deliveries().
+	onDeliver func(Delivery)
+	queue     []Delivery
+	closed    bool
+
+	flows   []*Flow
+	reorder map[flowID]*reorderState
+	stats   metrics.FlowStats
+}
+
+// reorderState is the destination hold-back buffer for one ordered flow.
+type reorderState struct {
+	next    uint32
+	maxSeen uint32
+	pending map[uint32]*heldPacket
+
+	// Gap-recovery state for reliable flows.
+	nackTimer sim.Timer
+	nackTries int
+}
+
+type heldPacket struct {
+	p     *wire.Packet
+	timer sim.Timer
+}
+
+// Port returns the client's virtual port.
+func (c *Client) Port() wire.Port { return c.port }
+
+// OnDeliver installs a synchronous delivery callback; once set, the
+// internal queue is bypassed.
+func (c *Client) OnDeliver(fn func(Delivery)) { c.onDeliver = fn }
+
+// Deliveries drains and returns queued deliveries.
+func (c *Client) Deliveries() []Delivery {
+	out := c.queue
+	c.queue = nil
+	return out
+}
+
+// Stats returns the client's receive-side accounting.
+func (c *Client) Stats() *metrics.FlowStats { return &c.stats }
+
+// Join subscribes the client's node to a multicast group.
+func (c *Client) Join(g wire.GroupID) { c.mgr.n.Groups().Join(g) }
+
+// Leave unsubscribes from a multicast group.
+func (c *Client) Leave(g wire.GroupID) { c.mgr.n.Groups().Leave(g) }
+
+// Close releases the client's port and cancels pending reorder timers.
+func (c *Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, st := range c.reorder {
+		for _, held := range st.pending {
+			if held.timer != nil {
+				held.timer.Stop()
+			}
+		}
+	}
+	c.stopNackTimers()
+	c.stopTailTimers()
+	for _, f := range c.flows {
+		delete(c.mgr.flowPorts, f.srcPort)
+	}
+	delete(c.mgr.clients, c.port)
+}
+
+// OpenFlow creates a flow with the given service selection.
+func (c *Client) OpenFlow(spec FlowSpec) (*Flow, error) {
+	if spec.Group == 0 && spec.DstNode == 0 {
+		return nil, fmt.Errorf("session: flow needs a destination node or group")
+	}
+	if spec.Group == 0 && spec.Anycast {
+		return nil, fmt.Errorf("session: anycast flow needs a group")
+	}
+	f := &Flow{client: c, spec: spec, srcPort: c.mgr.allocEphemeral()}
+	c.mgr.flowPorts[f.srcPort] = f
+	c.flows = append(c.flows, f)
+	return f, nil
+}
+
+// receive applies the flow's delivery semantics.
+func (c *Client) receive(p *wire.Packet) {
+	now := c.mgr.clock.Now()
+	lat := now - p.Origin
+	if !p.Flags.Has(wire.FOrdered) {
+		if p.Deadline > 0 && lat > p.Deadline {
+			c.stats.Late++
+			return
+		}
+		c.deliverUp(p, lat)
+		return
+	}
+	c.receiveOrdered(p, lat)
+}
+
+// receiveOrdered implements the destination hold-back buffer: deliver in
+// sequence, flushing past gaps when a held packet's deadline expires, and
+// discarding packets that arrive after later packets were delivered
+// (§IV-A).
+func (c *Client) receiveOrdered(p *wire.Packet, lat time.Duration) {
+	id := flowID{src: p.Src, srcPort: p.SrcPort}
+	st, ok := c.reorder[id]
+	if !ok {
+		st = &reorderState{next: 1, pending: make(map[uint32]*heldPacket)}
+		c.reorder[id] = st
+	}
+	if p.FlowSeq > st.maxSeen {
+		st.maxSeen = p.FlowSeq
+	}
+	if p.FlowSeq < st.next {
+		if p.Flags.Has(wire.FRetrans) {
+			// A redundant tail or recovery copy of something already
+			// delivered.
+			c.stats.Duplicates++
+		} else {
+			// Recovered too late: later packets were already delivered.
+			c.stats.Late++
+		}
+		return
+	}
+	if _, dup := st.pending[p.FlowSeq]; dup {
+		c.stats.Duplicates++
+		return
+	}
+	held := &heldPacket{p: p}
+	st.pending[p.FlowSeq] = held
+	if p.Deadline > 0 {
+		// Flush the buffer when this packet's delivery deadline passes.
+		wait := p.Origin + p.Deadline - c.mgr.clock.Now()
+		held.timer = c.mgr.clock.After(wait, func() { c.flushTo(id, p.FlowSeq) })
+	}
+	c.drain(id, st)
+	// Reliable flows recover remaining gaps end to end.
+	if packetWantsE2E(p) && len(st.missing(1)) > 0 {
+		c.armNack(id, st)
+	}
+}
+
+// drain delivers consecutively sequenced held packets.
+func (c *Client) drain(id flowID, st *reorderState) {
+	for {
+		held, ok := st.pending[st.next]
+		if !ok {
+			return
+		}
+		delete(st.pending, st.next)
+		if held.timer != nil {
+			held.timer.Stop()
+		}
+		st.next++
+		c.deliverUp(held.p, c.mgr.clock.Now()-held.p.Origin)
+	}
+}
+
+// flushTo advances the flow past any gaps up to and including seq, then
+// drains: the deadline has passed, so waiting longer only hurts.
+func (c *Client) flushTo(id flowID, seq uint32) {
+	if c.closed {
+		return
+	}
+	st, ok := c.reorder[id]
+	if !ok || seq < st.next {
+		return
+	}
+	// Deliver everything held at or below seq in order, skipping gaps.
+	for s := st.next; s <= seq; s++ {
+		if held, ok := st.pending[s]; ok {
+			delete(st.pending, s)
+			if held.timer != nil {
+				held.timer.Stop()
+			}
+			c.deliverUp(held.p, c.mgr.clock.Now()-held.p.Origin)
+		}
+	}
+	st.next = seq + 1
+	c.drain(id, st)
+}
+
+func (c *Client) deliverUp(p *wire.Packet, lat time.Duration) {
+	if c.closed {
+		return
+	}
+	c.stats.Received++
+	c.stats.Latency.Add(lat)
+	d := Delivery{
+		From:          p.Src,
+		SrcPort:       p.SrcPort,
+		Seq:           p.FlowSeq,
+		Group:         p.Group,
+		Latency:       lat,
+		Retransmitted: p.Flags.Has(wire.FRetrans),
+		Payload:       p.Payload,
+	}
+	if c.onDeliver != nil {
+		c.onDeliver(d)
+		return
+	}
+	c.queue = append(c.queue, d)
+}
+
+// Flow is one application data flow with fixed service selection.
+type Flow struct {
+	client *Client
+	spec   FlowSpec
+	// srcPort uniquely identifies this flow overlay-wide (Src node +
+	// SrcPort), keeping dedup keys and destination reorder state disjoint
+	// across flows.
+	srcPort wire.Port
+	seq     uint32
+	// mask caching across sends.
+	mask        wire.Bitmask
+	maskVersion uint64
+	maskValid   bool
+	// history retains sent packets for end-to-end recovery on reliable
+	// flows.
+	history   map[uint32]*wire.Packet
+	histOrder []uint32
+	tailTimer sim.Timer
+	tailTries int
+	closed    bool
+	stats     metrics.FlowStats
+}
+
+// Spec returns the flow's service selection.
+func (f *Flow) Spec() FlowSpec { return f.spec }
+
+// Close releases the flow's source port, retained history, and timers.
+// The client stays usable; sends on a closed flow fail.
+func (f *Flow) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	if f.tailTimer != nil {
+		f.tailTimer.Stop()
+		f.tailTimer = nil
+	}
+	f.history = nil
+	f.histOrder = nil
+	delete(f.client.mgr.flowPorts, f.srcPort)
+}
+
+// Stats returns the flow's send-side accounting.
+func (f *Flow) Stats() *metrics.FlowStats { return &f.stats }
+
+// Send transmits one application message on the flow.
+func (f *Flow) Send(payload []byte) error {
+	if f.client.closed {
+		return fmt.Errorf("session: send on closed client")
+	}
+	if f.closed {
+		return fmt.Errorf("session: send on closed flow")
+	}
+	f.seq++
+	p := &wire.Packet{
+		Type:      wire.PTData,
+		Route:     wire.RouteLinkState,
+		LinkProto: f.spec.LinkProto,
+		Priority:  f.spec.Priority,
+		SrcPort:   f.srcPort,
+		Dst:       f.spec.DstNode,
+		DstPort:   f.spec.DstPort,
+		Group:     f.spec.Group,
+		FlowSeq:   f.seq,
+		Deadline:  f.spec.Deadline,
+		Payload:   payload,
+	}
+	if p.LinkProto == 0 {
+		p.LinkProto = wire.LPBestEffort
+	}
+	if f.spec.Ordered {
+		p.Flags |= wire.FOrdered
+	}
+	switch {
+	case f.spec.Flood:
+		p.Route = wire.RouteFlood
+	case f.spec.Dissem != 0 || f.spec.DisjointK > 0:
+		mask, err := f.sourceMask()
+		if err != nil {
+			return err
+		}
+		p.Route = wire.RouteSourceMask
+		p.Mask = mask
+	case f.spec.Group != 0 && f.spec.Anycast:
+		p.Flags |= wire.FAnycast
+	case f.spec.Group != 0:
+		p.Route = wire.RouteMulticast
+		p.Dst = 0
+	}
+	f.stats.Sent++
+	if err := f.client.mgr.n.Originate(p); err != nil {
+		return err
+	}
+	if wantsE2ERecovery(f.spec) {
+		f.remember(p)
+		f.armTailFlush()
+	}
+	return nil
+}
+
+// sourceMask computes (and caches per view version) the flow's
+// source-route bitmask: a dissemination graph or K node-disjoint paths.
+func (f *Flow) sourceMask() (wire.Bitmask, error) {
+	n := f.client.mgr.n
+	ver := n.LinkStateManager().Version()
+	if f.maskValid && f.maskVersion == ver {
+		return f.mask, nil
+	}
+	view := n.View()
+	var mask wire.Bitmask
+	var err error
+	if f.spec.Dissem != 0 {
+		mask, err = topology.DissemGraph(view, n.ID(), f.spec.DstNode, f.spec.Dissem, topology.LatencyMetric)
+	} else {
+		var paths [][]wire.NodeID
+		paths, err = topology.KDisjointPaths(view, n.ID(), f.spec.DstNode, f.spec.DisjointK, topology.LatencyMetric)
+		if err == nil {
+			if len(paths) == 0 {
+				return mask, fmt.Errorf("session: no path to %v", f.spec.DstNode)
+			}
+			mask, err = topology.DisjointMask(view, paths)
+		}
+	}
+	if err != nil {
+		return mask, fmt.Errorf("session: source mask: %w", err)
+	}
+	f.mask = mask
+	f.maskVersion = ver
+	f.maskValid = true
+	return mask, nil
+}

@@ -1,0 +1,519 @@
+package session
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"sonet/internal/node"
+	"sonet/internal/sim"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// testWorld is a two-node overlay (10 ms link) over a direct in-test
+// fabric with optional Bernoulli loss, avoiding the core package (which
+// imports session).
+type testWorld struct {
+	sched *sim.Scheduler
+	nodes map[wire.NodeID]*node.Node
+	loss  float64
+	rng   *rand.Rand
+}
+
+type testPort struct {
+	w    *testWorld
+	self wire.NodeID
+}
+
+func (p *testPort) Send(neighbor wire.NodeID, _ uint8, data []byte) {
+	if p.w.loss > 0 && p.w.rng.Float64() < p.w.loss {
+		return
+	}
+	buf := append([]byte(nil), data...)
+	from := p.self
+	p.w.sched.After(10*time.Millisecond, func() {
+		if dst, ok := p.w.nodes[neighbor]; ok {
+			dst.HandleUnderlay(from, buf)
+		}
+	})
+}
+
+func (p *testPort) PathCount(wire.NodeID) int { return 1 }
+
+// RunFor advances virtual time.
+func (w *testWorld) RunFor(d time.Duration) { w.sched.RunFor(d) }
+
+// Sched exposes the scheduler for timed sends.
+func (w *testWorld) Sched() *sim.Scheduler { return w.sched }
+
+func world(t *testing.T, loss float64) (*testWorld, *Manager, *Manager) {
+	t.Helper()
+	g := topology.NewGraph()
+	if _, err := g.AddLink(1, 2, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sched := sim.NewScheduler(99)
+	w := &testWorld{
+		sched: sched,
+		nodes: make(map[wire.NodeID]*node.Node),
+		loss:  loss,
+		rng:   rand.New(rand.NewPCG(7, 7)),
+	}
+	mgrs := make(map[wire.NodeID]*Manager, 2)
+	for _, id := range []wire.NodeID{1, 2} {
+		n, err := node.New(node.Config{
+			ID:       id,
+			Clock:    sched,
+			Underlay: &testPort{w: w, self: id},
+			Graph:    g,
+		})
+		if err != nil {
+			t.Fatalf("node.New: %v", err)
+		}
+		w.nodes[id] = n
+		mgrs[id] = NewManager(n)
+	}
+	for _, n := range w.nodes {
+		n.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range w.nodes {
+			n.Stop()
+		}
+	})
+	w.RunFor(time.Second)
+	return w, mgrs[1], mgrs[2]
+}
+
+func TestFlowsGetDistinctSourcePorts(t *testing.T) {
+	_, m1, _ := world(t, 0)
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	f1, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	f2, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	if f1.srcPort == f2.srcPort {
+		t.Fatalf("flows share source port %d", f1.srcPort)
+	}
+	if f1.srcPort == c.Port() || f2.srcPort == c.Port() {
+		t.Fatal("flow port collides with client port")
+	}
+}
+
+func TestTwoFlowsSameDestinationDoNotCollide(t *testing.T) {
+	// Redundant routing dedups by (src, srcPort, …, seq): two flows with
+	// identical destinations and overlapping sequence numbers must both
+	// deliver.
+	s, m1, m2 := world(t, 0)
+	dst, err := m2.Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	fa, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100, Flood: true})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	fb, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100, Flood: true})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := fa.Send([]byte("a")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		if err := fb.Send([]byte("b")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	s.RunFor(time.Second)
+	if got := len(dst.Deliveries()); got != 10 {
+		t.Fatalf("delivered %d, want 10 (flows collided in dedup)", got)
+	}
+}
+
+func TestEndToEndRecoveryRepairsDroppedPacket(t *testing.T) {
+	// A reliable (ordered, no deadline) flow must survive packets that
+	// vanish wholesale — here the first transmission window crosses a
+	// 30% lossy link with best-effort hops, so recovery is purely the
+	// session layer's NACK machinery.
+	s, m1, m2 := world(t, 0.3)
+	dst, err := m2.Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	// Best-effort link protocol: the hop does not recover; end-to-end
+	// NACKs must.
+	flow, err := c.OpenFlow(FlowSpec{
+		DstNode: 2, DstPort: 100,
+		LinkProto: wire.LPBestEffort, Ordered: true,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		i := i
+		s.Sched().After(time.Duration(i)*10*time.Millisecond, func() {
+			if err := flow.Send([]byte{byte(i)}); err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		})
+	}
+	s.RunFor(30 * time.Second)
+	got := dst.Deliveries()
+	if len(got) != n {
+		t.Fatalf("delivered %d/%d over 30%% loss with e2e recovery", len(got), n)
+	}
+	for i, d := range got {
+		if d.Seq != uint32(i+1) {
+			t.Fatalf("out of order at %d: seq %d", i, d.Seq)
+		}
+	}
+	// Recovery happened: some deliveries carry the retransmission mark.
+	recovered := 0
+	for _, d := range got {
+		if d.Retransmitted {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no packet was recovered end to end")
+	}
+}
+
+func TestEndToEndRecoveryGivesUpAfterMaxTries(t *testing.T) {
+	s, m1, m2 := world(t, 0)
+	m2.NackMaxTries = 3
+	dst, err := m2.Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100, Ordered: true})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	// Send seq 1..3, then wipe the source history so NACKs cannot be
+	// answered, then send 4: the gap never fills and must be flushed.
+	for i := 0; i < 3; i++ {
+		if err := flow.Send([]byte("x")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	s.RunFor(100 * time.Millisecond)
+	// Simulate total loss of seq 4 by forging the flow sequence forward:
+	// the destination sees 5 after 3 and waits for 4 forever.
+	flow.seq++ // 4 is never sent
+	flow.history = nil
+	flow.histOrder = nil
+	if err := flow.Send([]byte("y")); err != nil { // seq 5
+		t.Fatalf("Send: %v", err)
+	}
+	s.RunFor(10 * time.Second)
+	got := dst.Deliveries()
+	if len(got) != 4 {
+		t.Fatalf("delivered %d, want 4 (gap flushed after give-up)", len(got))
+	}
+	last := got[len(got)-1]
+	if last.Seq != 5 {
+		t.Fatalf("last delivered seq %d, want 5", last.Seq)
+	}
+}
+
+func TestOrderedDeadlineLateDiscard(t *testing.T) {
+	s, m1, m2 := world(t, 0)
+	dst, err := m2.Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	// Deadline shorter than the 10 ms link: everything is late.
+	flow, err := c.OpenFlow(FlowSpec{
+		DstNode: 2, DstPort: 100,
+		Ordered: true, Deadline: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := flow.Send(nil); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	s.RunFor(time.Second)
+	// Held packets flush at their (already passed) deadline on arrival;
+	// they deliver immediately rather than stall.
+	if got := len(dst.Deliveries()); got != 3 {
+		t.Fatalf("delivered %d, want 3 immediate flushes", got)
+	}
+}
+
+func TestClientCloseReleasesFlowPorts(t *testing.T) {
+	_, m1, _ := world(t, 0)
+	c, err := m1.Connect(500)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	f, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	port := f.srcPort
+	if _, ok := m1.flowPorts[port]; !ok {
+		t.Fatal("flow port not registered")
+	}
+	c.Close()
+	if _, ok := m1.flowPorts[port]; ok {
+		t.Fatal("flow port leaked after client close")
+	}
+	if _, err := m1.Connect(500); err != nil {
+		t.Fatalf("port 500 not released: %v", err)
+	}
+}
+
+func TestSendOnClosedClient(t *testing.T) {
+	_, m1, _ := world(t, 0)
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	f, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	c.Close()
+	if err := f.Send(nil); err == nil {
+		t.Fatal("send on closed client succeeded")
+	}
+}
+
+func TestNackEncodingRoundTrip(t *testing.T) {
+	k := &nack{origin: 7, port: 900, seqs: []uint32{3, 5, 1 << 30}}
+	got, err := unmarshalNack(k.marshal())
+	if err != nil {
+		t.Fatalf("unmarshalNack: %v", err)
+	}
+	if got.origin != k.origin || got.port != k.port || len(got.seqs) != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	for i := range k.seqs {
+		if got.seqs[i] != k.seqs[i] {
+			t.Fatalf("seqs[%d] = %d, want %d", i, got.seqs[i], k.seqs[i])
+		}
+	}
+	if _, err := unmarshalNack([]byte{1, 2}); err == nil {
+		t.Fatal("truncated nack accepted")
+	}
+	if _, err := unmarshalNack([]byte{0, 7, 3, 132, 0, 9}); err == nil {
+		t.Fatal("nack with missing seqs accepted")
+	}
+}
+
+func TestEphemeralPortWrapAround(t *testing.T) {
+	_, m1, _ := world(t, 0)
+	m1.nextEphemeral = 65534
+	a, err := m1.Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	b, err := m1.Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if a.Port() == 0 || b.Port() == 0 || c.Port() == 0 {
+		t.Fatal("allocated port zero")
+	}
+	if a.Port() == c.Port() || b.Port() == c.Port() {
+		t.Fatal("wrapped allocation collided")
+	}
+}
+
+func TestFlowSpecVariantsInPackage(t *testing.T) {
+	s, m1, m2 := world(t, 0)
+	dst, err := m2.Connect(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Delivery
+	dst.OnDeliver(func(d Delivery) { got = append(got, d) })
+	dst.Join(77)
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	// Multicast, anycast, and disjoint-path flows in one world.
+	mc, err := c.OpenFlow(FlowSpec{Group: 77, DstPort: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := c.OpenFlow(FlowSpec{Group: 77, Anycast: true, DstPort: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100, DisjointK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Send([]byte("m")); err != nil {
+		t.Fatalf("multicast send: %v", err)
+	}
+	if err := ac.Send([]byte("a")); err != nil {
+		t.Fatalf("anycast send: %v", err)
+	}
+	if err := dj.Send([]byte("d")); err != nil {
+		t.Fatalf("disjoint send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if len(got) != 3 {
+		t.Fatalf("delivered %d, want 3", len(got))
+	}
+	if dj.Spec().DisjointK != 1 || dj.Stats().Sent != 1 {
+		t.Fatalf("flow accessors: %+v %+v", dj.Spec(), dj.Stats())
+	}
+	dst.Leave(77)
+	s.RunFor(time.Second)
+	if err := mc.Send([]byte("m2")); err != nil {
+		t.Fatalf("send after leave: %v", err)
+	}
+	s.RunFor(time.Second)
+	if len(got) != 3 {
+		t.Fatalf("delivered to departed member: %d", len(got))
+	}
+	if m1.Node() == nil || m1.NoClientDrops() != 0 {
+		t.Fatalf("manager accessors: drops=%d", m1.NoClientDrops())
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	s, m1, m2 := world(t, 0)
+	m1.HistoryLimit = 8
+	if _, err := m2.Connect(100); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100, Ordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := flow.Send(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunFor(time.Second)
+	if len(flow.history) != 8 {
+		t.Fatalf("history holds %d entries, want 8", len(flow.history))
+	}
+	if _, ok := flow.history[20]; !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if _, ok := flow.history[1]; ok {
+		t.Fatal("oldest entry retained")
+	}
+	// A NACK for an evicted sequence is silently unanswerable.
+	flow.resend(1)
+	flow.resend(20) // answerable
+	s.RunFor(time.Second)
+}
+
+func TestDissemFlowInPackage(t *testing.T) {
+	s, m1, m2 := world(t, 0)
+	dst, err := m2.Connect(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := c.OpenFlow(FlowSpec{
+		DstNode: 2, DstPort: 100,
+		Dissem: topology.ProblemSource,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flow.Send([]byte("x")); err != nil {
+		t.Fatalf("dissem send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if got := len(dst.Deliveries()); got != 1 {
+		t.Fatalf("delivered %d, want 1", got)
+	}
+	// The mask is cached across sends while the view is unchanged.
+	if !flow.maskValid {
+		t.Fatal("mask not cached")
+	}
+	if err := flow.Send([]byte("y")); err != nil {
+		t.Fatalf("second send: %v", err)
+	}
+}
+
+func TestFlowClose(t *testing.T) {
+	s, m1, m2 := world(t, 0)
+	if _, err := m2.Connect(100); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m1.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100, Ordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	port := f.srcPort
+	f.Close()
+	f.Close() // idempotent
+	if err := f.Send(nil); err == nil {
+		t.Fatal("send on closed flow succeeded")
+	}
+	if _, ok := m1.flowPorts[port]; ok {
+		t.Fatal("flow port retained after Close")
+	}
+	if f.history != nil {
+		t.Fatal("history retained after Close")
+	}
+	// The client itself stays usable.
+	f2, err := c.OpenFlow(FlowSpec{DstNode: 2, DstPort: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+}

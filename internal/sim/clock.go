@@ -1,0 +1,45 @@
+// Package sim provides the discrete-event simulation core used to run
+// structured overlay networks in deterministic virtual time, together with
+// the Clock and Executor abstractions that let the very same protocol code
+// run over real wall-clock time in a deployed daemon.
+//
+// All protocol state machines in this repository are written against Clock
+// and never read the wall clock directly. In emulation mode a single
+// Scheduler drives every overlay node, yielding bit-for-bit reproducible
+// experiments from a seed. In deployment mode a RealtimeClock dispatches
+// timer callbacks onto the daemon's event loop.
+package sim
+
+import "time"
+
+// Timer is a handle to a scheduled callback. Stopping a timer prevents its
+// callback from running if it has not fired yet.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call prevented the
+	// callback from firing (false if the callback already ran or the timer
+	// was already stopped).
+	Stop() bool
+}
+
+// Clock provides virtual or real time to protocol code.
+//
+// Now returns the time elapsed since the clock's epoch. Implementations
+// guarantee that callbacks scheduled on the same Clock never run
+// concurrently with each other: protocol code using a single Clock needs no
+// locking.
+type Clock interface {
+	// Now returns the current time relative to the clock's epoch.
+	Now() time.Duration
+
+	// After schedules fn to run once, d from now. A non-positive d schedules
+	// the callback to run as soon as possible, still asynchronously.
+	After(d time.Duration, fn func()) Timer
+}
+
+// Executor serializes closures onto a single logical thread of execution.
+// Implementations must run posted closures in FIFO order and never
+// concurrently.
+type Executor interface {
+	// Post enqueues fn for execution.
+	Post(fn func())
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Loop is a real-time Executor: a single goroutine that runs posted
+// closures in FIFO order. Deployed daemons use one Loop per process so that
+// protocol code sees the same single-threaded execution model it sees under
+// the discrete-event Scheduler.
+type Loop struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func()
+	closed bool
+	done   chan struct{}
+}
+
+// NewLoop starts a loop goroutine and returns the executor.
+func NewLoop() *Loop {
+	l := &Loop{done: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	go l.run()
+	return l
+}
+
+// Post enqueues fn; it is safe to call from any goroutine. Posting to a
+// closed loop drops the closure.
+func (l *Loop) Post(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.queue = append(l.queue, fn)
+	l.cond.Signal()
+}
+
+// Close stops the loop after the already-queued closures run and waits for
+// the loop goroutine to exit.
+func (l *Loop) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return
+	}
+	l.closed = true
+	l.cond.Signal()
+	l.mu.Unlock()
+	<-l.done
+}
+
+func (l *Loop) run() {
+	defer close(l.done)
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if len(l.queue) == 0 && l.closed {
+			l.mu.Unlock()
+			return
+		}
+		batch := l.queue
+		l.queue = nil
+		l.mu.Unlock()
+		for _, fn := range batch {
+			fn()
+		}
+	}
+}
+
+// RealtimeClock implements Clock over the wall clock, dispatching timer
+// callbacks onto an Executor so that protocol code remains single-threaded.
+type RealtimeClock struct {
+	exec  Executor
+	epoch time.Time
+}
+
+var _ Clock = (*RealtimeClock)(nil)
+
+// NewRealtimeClock returns a clock whose epoch is the moment of creation
+// and whose callbacks run on exec.
+func NewRealtimeClock(exec Executor) *RealtimeClock {
+	return &RealtimeClock{exec: exec, epoch: time.Now()}
+}
+
+// Now returns the wall-clock time elapsed since the clock's epoch.
+func (c *RealtimeClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// After schedules fn on the executor d from now.
+func (c *RealtimeClock) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	rt := &realTimer{}
+	rt.t = time.AfterFunc(d, func() {
+		rt.mu.Lock()
+		stopped := rt.stopped
+		rt.mu.Unlock()
+		if stopped {
+			return
+		}
+		c.exec.Post(func() {
+			rt.mu.Lock()
+			stopped := rt.stopped
+			rt.fired = true
+			rt.mu.Unlock()
+			if !stopped {
+				fn()
+			}
+		})
+	})
+	return rt
+}
+
+// realTimer adapts time.Timer to the Timer interface with exactly-once
+// semantics across the AfterFunc goroutine and the executor.
+type realTimer struct {
+	mu      sync.Mutex
+	t       *time.Timer
+	stopped bool
+	fired   bool
+}
+
+func (rt *realTimer) Stop() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.stopped || rt.fired {
+		return false
+	}
+	rt.stopped = true
+	rt.t.Stop()
+	return true
+}

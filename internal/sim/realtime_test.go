@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoopRunsPostedClosuresInOrder(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	for i := 0; i < 100; i++ {
+		i := i
+		l.Post(func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+			if i == 99 {
+				close(done)
+			}
+		})
+	}
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("closures ran out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestLoopCloseDrainsQueue(t *testing.T) {
+	l := NewLoop()
+	ran := 0
+	for i := 0; i < 10; i++ {
+		l.Post(func() { ran++ })
+	}
+	l.Close()
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10", ran)
+	}
+}
+
+func TestLoopPostAfterCloseIsDropped(t *testing.T) {
+	l := NewLoop()
+	l.Close()
+	l.Post(func() { t.Error("closure ran after Close") })
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestRealtimeClockFiresTimer(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	c := NewRealtimeClock(l)
+	done := make(chan time.Duration, 1)
+	c.After(5*time.Millisecond, func() { done <- c.Now() })
+	select {
+	case at := <-done:
+		if at < 5*time.Millisecond {
+			t.Fatalf("timer fired early at %v", at)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestRealtimeClockStopPreventsCallback(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	c := NewRealtimeClock(l)
+	fired := make(chan struct{}, 1)
+	tm := c.After(50*time.Millisecond, func() { fired <- struct{}{} })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	select {
+	case <-fired:
+		t.Fatal("stopped timer fired")
+	case <-time.After(120 * time.Millisecond):
+	}
+}
+
+func TestRealtimeClockNowAdvances(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	c := NewRealtimeClock(l)
+	a := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	if b := c.Now(); b <= a {
+		t.Fatalf("Now() did not advance: %v then %v", a, b)
+	}
+}

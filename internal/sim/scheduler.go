@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand/v2"
+	"time"
+)
+
+// Scheduler is a deterministic discrete-event scheduler with a virtual
+// clock. Events scheduled for the same instant run in scheduling order.
+//
+// Scheduler implements Clock and Executor. It is not safe for concurrent
+// use: the entire simulated world runs on the goroutine that calls Run,
+// Step, or RunUntil, which is exactly what makes simulations reproducible.
+type Scheduler struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	ran    uint64
+}
+
+// NewScheduler returns a scheduler whose virtual clock starts at zero and
+// whose random stream is derived from seed.
+func NewScheduler(seed uint64) *Scheduler {
+	return &Scheduler{
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random stream.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// EventsRun returns the number of events executed so far.
+func (s *Scheduler) EventsRun() uint64 { return s.ran }
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// After schedules fn to run d from now and returns a cancellable handle.
+// Non-positive delays schedule fn at the current instant (it still runs
+// asynchronously, after the currently executing event returns).
+func (s *Scheduler) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// At schedules fn to run at absolute virtual time t. Times in the past are
+// clamped to now.
+func (s *Scheduler) At(t time.Duration, fn func()) Timer {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// Post schedules fn at the current instant, implementing Executor.
+func (s *Scheduler) Post(fn func()) { s.After(0, fn) }
+
+// Step runs the single earliest pending event. It reports whether an event
+// was run (false when the queue is empty).
+func (s *Scheduler) Step() bool {
+	for len(s.events) > 0 {
+		ev, ok := heap.Pop(&s.events).(*event)
+		if !ok {
+			return false
+		}
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		s.ran++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty. Protocols with periodic
+// timers never drain the queue; such simulations must use RunUntil.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the clock
+// to t.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for {
+		ev := s.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for a span of d virtual time starting from now.
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+func (s *Scheduler) peek() *event {
+	for len(s.events) > 0 {
+		if s.events[0].stopped {
+			heap.Pop(&s.events)
+			continue
+		}
+		return s.events[0]
+	}
+	return nil
+}
+
+// event is a scheduled callback; it doubles as the Timer handle.
+type event struct {
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+var _ Timer = (*event)(nil)
+
+// Stop cancels the event; it reports whether cancellation happened before
+// the callback ran.
+func (e *event) Stop() bool {
+	if e.fired || e.stopped {
+		return false
+	}
+	e.stopped = true
+	return true
+}
+
+// eventHeap orders events by time, breaking ties by scheduling order.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsEventsInTimeOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerTieBreaksBySchedulingOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []time.Duration
+	s.After(10*time.Millisecond, func() {
+		s.After(5*time.Millisecond, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 1 || fired[0] != 15*time.Millisecond {
+		t.Fatalf("nested event fired at %v, want [15ms]", fired)
+	}
+}
+
+func TestTimerStopPreventsCallback(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	tm := s.After(10*time.Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false before firing, want true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("stopped timer still fired")
+	}
+}
+
+func TestTimerStopAfterFireReturnsFalse(t *testing.T) {
+	s := NewScheduler(1)
+	tm := s.After(time.Millisecond, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop() after firing = true, want false")
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	s := NewScheduler(1)
+	s.RunUntil(time.Second)
+	if s.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", s.Now())
+	}
+}
+
+func TestRunUntilDoesNotRunLaterEvents(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	s.After(2*time.Second, func() { ran = true })
+	s.RunUntil(time.Second)
+	if ran {
+		t.Fatal("event after horizon ran")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+	s.RunFor(time.Second)
+	if !ran {
+		t.Fatal("event at horizon did not run")
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	s := NewScheduler(1)
+	s.RunUntil(time.Second)
+	var at time.Duration = -1
+	s.After(-5*time.Millisecond, func() { at = s.Now() })
+	s.Run()
+	if at != time.Second {
+		t.Fatalf("negative-delay event ran at %v, want 1s", at)
+	}
+}
+
+func TestPostRunsAsynchronously(t *testing.T) {
+	s := NewScheduler(1)
+	order := make([]string, 0, 2)
+	s.Post(func() {
+		s.Post(func() { order = append(order, "inner") })
+		order = append(order, "outer")
+	})
+	s.Run()
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v, want [outer inner]", order)
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func(seed uint64) []int64 {
+		s := NewScheduler(seed)
+		var trace []int64
+		var tick func()
+		tick = func() {
+			trace = append(trace, int64(s.Now()), s.Rand().Int64N(1000))
+			if s.Now() < 100*time.Millisecond {
+				s.After(time.Duration(1+s.Rand().Int64N(10))*time.Millisecond, tick)
+			}
+		}
+		s.After(0, tick)
+		s.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestSchedulerEventCountProperty checks, for arbitrary batches of delays,
+// that every scheduled event runs exactly once and the clock ends at the
+// maximum delay.
+func TestSchedulerEventCountProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		s := NewScheduler(7)
+		ran := 0
+		var maxAt time.Duration
+		for _, d := range delays {
+			at := time.Duration(d) * time.Microsecond
+			if at > maxAt {
+				maxAt = at
+			}
+			s.After(at, func() { ran++ })
+		}
+		s.Run()
+		if ran != len(delays) {
+			return false
+		}
+		return len(delays) == 0 || s.Now() == maxAt
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsRunCounter(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.EventsRun() != 5 {
+		t.Fatalf("EventsRun() = %d, want 5", s.EventsRun())
+	}
+}

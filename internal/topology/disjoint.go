@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"sonet/internal/wire"
+)
+
+// KDisjointPaths computes up to k node-disjoint paths from src to dst over
+// the usable links of v, minimizing total metric cost (successive
+// shortest-path min-cost flow over the node-split graph, the classic
+// Suurballe construction generalized to node disjointness).
+//
+// It returns the paths found (possibly fewer than k if the graph's
+// connectivity is insufficient), ordered by increasing cost. With k
+// node-disjoint paths, a source tolerates k−1 compromised nodes anywhere in
+// the network (§IV-B).
+func KDisjointPaths(v *View, src, dst wire.NodeID, k int, metric Metric) ([][]wire.NodeID, error) {
+	if src == dst {
+		return nil, fmt.Errorf("topology: disjoint paths: src == dst (%v)", src)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	if !v.G.HasNode(src) || !v.G.HasNode(dst) {
+		return nil, fmt.Errorf("topology: disjoint paths: unknown endpoint %v or %v", src, dst)
+	}
+
+	// Node splitting: node i becomes in-vertex 2i and out-vertex 2i+1.
+	idx := make(map[wire.NodeID]int, v.G.NumNodes())
+	nodes := v.G.Nodes()
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	nv := 2 * len(nodes)
+	f := newFlowNet(nv)
+	const inf = math.MaxInt32
+	for i, n := range nodes {
+		cap := 1
+		if n == src || n == dst {
+			cap = inf
+		}
+		f.addEdge(2*i, 2*i+1, cap, 0)
+	}
+	for _, l := range v.G.Links() {
+		if !v.Usable(l.ID) {
+			continue
+		}
+		w := metric(l, v.State[l.ID])
+		if w <= 0 || math.IsInf(w, 1) || math.IsNaN(w) {
+			continue
+		}
+		a, b := idx[l.A], idx[l.B]
+		f.addEdge(2*a+1, 2*b, 1, w)
+		f.addEdge(2*b+1, 2*a, 1, w)
+	}
+
+	s, t := 2*idx[src], 2*idx[dst]+1
+	found := 0
+	for found < k {
+		if !f.augment(s, t) {
+			break
+		}
+		found++
+	}
+	if found == 0 {
+		return nil, nil
+	}
+
+	// Decompose the flow into paths by walking saturated edges from src.
+	paths := make([][]wire.NodeID, 0, found)
+	for p := 0; p < found; p++ {
+		path := []wire.NodeID{src}
+		cur := 2*idx[src] + 1 // src out-vertex
+		for cur != t {
+			advanced := false
+			for ei := range f.adj[cur] {
+				e := &f.edges[f.adj[cur][ei]]
+				if e.flow <= 0 {
+					continue
+				}
+				e.flow--
+				cur = e.to
+				if cur%2 == 0 {
+					path = append(path, nodes[cur/2])
+					// Cross the split edge to the out-vertex, consuming
+					// its flow unless it is the destination.
+					if cur == t-1 && nodes[cur/2] == dst {
+						// dst in-vertex: t = dst out-vertex; consume split.
+					}
+					for ej := range f.adj[cur] {
+						se := &f.edges[f.adj[cur][ej]]
+						if se.to == cur+1 && se.flow > 0 {
+							se.flow--
+							break
+						}
+					}
+					cur++
+				}
+				advanced = true
+				break
+			}
+			if !advanced {
+				return nil, fmt.Errorf("topology: flow decomposition stuck at vertex %d", cur)
+			}
+		}
+		paths = append(paths, path)
+	}
+
+	// Order paths by current metric cost, cheapest first.
+	cost := func(p []wire.NodeID) float64 {
+		var c float64
+		for i := 0; i+1 < len(p); i++ {
+			l, ok := v.G.LinkBetween(p[i], p[i+1])
+			if !ok {
+				return math.Inf(1)
+			}
+			c += metric(l, v.State[l.ID])
+		}
+		return c
+	}
+	for i := 1; i < len(paths); i++ {
+		for j := i; j > 0 && cost(paths[j]) < cost(paths[j-1]); j-- {
+			paths[j], paths[j-1] = paths[j-1], paths[j]
+		}
+	}
+	return paths, nil
+}
+
+// DisjointMask returns the union bitmask of a set of paths.
+func DisjointMask(v *View, paths [][]wire.NodeID) (wire.Bitmask, error) {
+	var m wire.Bitmask
+	for _, p := range paths {
+		pm, err := v.PathMask(p)
+		if err != nil {
+			return m, err
+		}
+		m.Or(pm)
+	}
+	return m, nil
+}
+
+// flowNet is a small min-cost-flow network with unit-ish capacities.
+type flowNet struct {
+	adj   [][]int
+	edges []flowEdge
+}
+
+type flowEdge struct {
+	to   int
+	cap  int
+	flow int
+	cost float64
+}
+
+func newFlowNet(n int) *flowNet {
+	return &flowNet{adj: make([][]int, n)}
+}
+
+// addEdge adds a directed edge and its zero-capacity reverse.
+func (f *flowNet) addEdge(from, to, cap int, cost float64) {
+	f.adj[from] = append(f.adj[from], len(f.edges))
+	f.edges = append(f.edges, flowEdge{to: to, cap: cap, cost: cost})
+	f.adj[to] = append(f.adj[to], len(f.edges))
+	f.edges = append(f.edges, flowEdge{to: from, cap: 0, cost: -cost})
+}
+
+// augment pushes one unit of flow along a minimum-cost residual path using
+// Bellman-Ford (residual costs may be negative). It reports whether a path
+// was found.
+func (f *flowNet) augment(s, t int) bool {
+	n := len(f.adj)
+	dist := make([]float64, n)
+	prevEdge := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[s] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			for _, ei := range f.adj[u] {
+				e := f.edges[ei]
+				if e.cap-e.flow <= 0 {
+					continue
+				}
+				if nd := dist[u] + e.cost; nd < dist[e.to]-1e-12 {
+					dist[e.to] = nd
+					prevEdge[e.to] = ei
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if math.IsInf(dist[t], 1) {
+		return false
+	}
+	for v := t; v != s; {
+		ei := prevEdge[v]
+		f.edges[ei].flow++
+		f.edges[ei^1].flow--
+		v = f.edges[ei^1].to
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sonet/internal/wire"
+)
+
+// checkNodeDisjoint verifies that paths are valid src→dst walks over
+// usable links sharing no intermediate nodes.
+func checkNodeDisjoint(t *testing.T, v *View, src, dst wire.NodeID, paths [][]wire.NodeID) {
+	t.Helper()
+	seen := make(map[wire.NodeID]bool)
+	for _, p := range paths {
+		if len(p) < 2 || p[0] != src || p[len(p)-1] != dst {
+			t.Fatalf("path %v does not run %v→%v", p, src, dst)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			l, ok := v.G.LinkBetween(p[i], p[i+1])
+			if !ok {
+				t.Fatalf("path %v uses nonexistent link %v-%v", p, p[i], p[i+1])
+			}
+			if !v.Usable(l.ID) {
+				t.Fatalf("path %v uses down link %v-%v", p, p[i], p[i+1])
+			}
+		}
+		for _, n := range p[1 : len(p)-1] {
+			if seen[n] {
+				t.Fatalf("paths share intermediate node %v: %v", n, paths)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestKDisjointPathsDiamond(t *testing.T) {
+	_, v := diamond(t)
+	paths, err := KDisjointPaths(v, 1, 4, 2, LatencyMetric)
+	if err != nil {
+		t.Fatalf("KDisjointPaths: %v", err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("found %d paths, want 2: %v", len(paths), paths)
+	}
+	checkNodeDisjoint(t, v, 1, 4, paths)
+	// Cheapest path first: via node 2 (20ms) before via node 3 (24ms).
+	if len(paths[0]) != 3 || paths[0][1] != 2 {
+		t.Fatalf("cheapest path = %v, want via 2", paths[0])
+	}
+}
+
+func TestKDisjointPathsUsesChordForThird(t *testing.T) {
+	_, v := diamond(t)
+	paths, err := KDisjointPaths(v, 1, 4, 3, LatencyMetric)
+	if err != nil {
+		t.Fatalf("KDisjointPaths: %v", err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("found %d paths, want 3 (two detours + chord): %v", len(paths), paths)
+	}
+	checkNodeDisjoint(t, v, 1, 4, paths)
+}
+
+func TestKDisjointPathsLimitedByConnectivity(t *testing.T) {
+	g := NewGraph()
+	// 1-2-3: single path only.
+	mustLink(t, g, 1, 2, time.Millisecond)
+	mustLink(t, g, 2, 3, time.Millisecond)
+	v := NewView(g)
+	paths, err := KDisjointPaths(v, 1, 3, 4, HopMetric)
+	if err != nil {
+		t.Fatalf("KDisjointPaths: %v", err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("found %d paths on a line, want 1", len(paths))
+	}
+}
+
+func TestKDisjointPathsNoRoute(t *testing.T) {
+	g := NewGraph()
+	mustLink(t, g, 1, 2, time.Millisecond)
+	g.AddNode(3)
+	v := NewView(g)
+	paths, err := KDisjointPaths(v, 1, 3, 2, HopMetric)
+	if err != nil {
+		t.Fatalf("KDisjointPaths: %v", err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("found %d paths to isolated node, want 0", len(paths))
+	}
+}
+
+func TestKDisjointPathsRespectsDownLinks(t *testing.T) {
+	g, v := diamond(t)
+	l, _ := g.LinkBetween(2, 4)
+	v.SetUp(l.ID, false)
+	paths, err := KDisjointPaths(v, 1, 4, 3, LatencyMetric)
+	if err != nil {
+		t.Fatalf("KDisjointPaths: %v", err)
+	}
+	// With 2-4 down, only the 1-3-4 route and the chord remain.
+	if len(paths) != 2 {
+		t.Fatalf("found %d paths, want 2: %v", len(paths), paths)
+	}
+	checkNodeDisjoint(t, v, 1, 4, paths)
+}
+
+func TestKDisjointPathsSrcEqualsDst(t *testing.T) {
+	_, v := diamond(t)
+	if _, err := KDisjointPaths(v, 1, 1, 2, HopMetric); err == nil {
+		t.Fatal("src == dst accepted")
+	}
+}
+
+// TestKDisjointPathsRandomGraphs exercises the flow computation on random
+// connected graphs: every returned path set must be valid and node
+// disjoint, and on 3-connected-ish dense graphs at least one path must be
+// found whenever dst is reachable.
+func TestKDisjointPathsRandomGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(2017))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + r.Intn(10)
+		g := NewGraph()
+		// Random spanning chain guarantees connectivity, then extra links.
+		for i := 2; i <= n; i++ {
+			mustLink(t, g, wire.NodeID(i-1), wire.NodeID(i), time.Duration(1+r.Intn(20))*time.Millisecond)
+		}
+		extra := r.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			a := wire.NodeID(1 + r.Intn(n))
+			b := wire.NodeID(1 + r.Intn(n))
+			if a == b {
+				continue
+			}
+			if _, ok := g.LinkBetween(a, b); ok {
+				continue
+			}
+			if g.NumLinks() >= wire.MaxLinks {
+				break
+			}
+			mustLink(t, g, a, b, time.Duration(1+r.Intn(20))*time.Millisecond)
+		}
+		v := NewView(g)
+		src := wire.NodeID(1 + r.Intn(n))
+		dst := wire.NodeID(1 + r.Intn(n))
+		if src == dst {
+			continue
+		}
+		k := 1 + r.Intn(4)
+		paths, err := KDisjointPaths(v, src, dst, k, LatencyMetric)
+		if err != nil {
+			t.Fatalf("trial %d: KDisjointPaths: %v", trial, err)
+		}
+		if len(paths) == 0 {
+			t.Fatalf("trial %d: no path on connected graph %v→%v", trial, src, dst)
+		}
+		if len(paths) > k {
+			t.Fatalf("trial %d: %d paths exceeds k=%d", trial, len(paths), k)
+		}
+		checkNodeDisjoint(t, v, src, dst, paths)
+	}
+}
+
+func TestDisjointMaskUnion(t *testing.T) {
+	_, v := diamond(t)
+	paths, err := KDisjointPaths(v, 1, 4, 2, LatencyMetric)
+	if err != nil {
+		t.Fatalf("KDisjointPaths: %v", err)
+	}
+	mask, err := DisjointMask(v, paths)
+	if err != nil {
+		t.Fatalf("DisjointMask: %v", err)
+	}
+	if mask.Count() != 4 {
+		t.Fatalf("mask count = %d, want 4 (two 2-hop paths)", mask.Count())
+	}
+}

@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"fmt"
+
+	"sonet/internal/wire"
+)
+
+// ProblemArea classifies where current network trouble is concentrated for
+// a flow, steering dissemination-graph selection (§V-A: dissemination
+// graphs can be tailored based on current network conditions to add
+// targeted redundancy in problematic areas of the network).
+type ProblemArea uint8
+
+// Problem areas.
+const (
+	// ProblemNone selects the static two-node-disjoint-paths graph.
+	ProblemNone ProblemArea = iota + 1
+	// ProblemSource adds targeted redundancy around the source.
+	ProblemSource
+	// ProblemDest adds targeted redundancy around the destination.
+	ProblemDest
+	// ProblemBoth adds redundancy around both endpoints.
+	ProblemBoth
+)
+
+// String returns a short mnemonic for the problem area.
+func (p ProblemArea) String() string {
+	switch p {
+	case ProblemNone:
+		return "none"
+	case ProblemSource:
+		return "source"
+	case ProblemDest:
+		return "dest"
+	case ProblemBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("problem(%d)", uint8(p))
+	}
+}
+
+// DissemGraph computes a dissemination graph — an arbitrary subgraph of the
+// overlay topology, expressed as a link bitmask — for a src→dst flow under
+// the given problem classification, following the approach of Babay et al.
+// (ICDCS 2017 dissemination-graph paper, cited as [2]):
+//
+//   - ProblemNone: the union of two node-disjoint paths, robust to any
+//     single intermediate node or link failure at roughly twice unicast
+//     cost.
+//   - ProblemSource: a source-problem graph that fans out from the source
+//     on all of its links, then converges: each source neighbor contributes
+//     its shortest path to the destination (computed avoiding the source so
+//     redundancy is real), unioned with the two-disjoint base.
+//   - ProblemDest: the symmetric destination-problem graph.
+//   - ProblemBoth: the union of the source- and destination-problem graphs.
+func DissemGraph(v *View, src, dst wire.NodeID, area ProblemArea, metric Metric) (wire.Bitmask, error) {
+	base, err := KDisjointPaths(v, src, dst, 2, metric)
+	if err != nil {
+		return wire.Bitmask{}, fmt.Errorf("topology: dissemination graph base: %w", err)
+	}
+	mask, err := DisjointMask(v, base)
+	if err != nil {
+		return wire.Bitmask{}, err
+	}
+	switch area {
+	case ProblemNone, 0:
+		return mask, nil
+	case ProblemSource:
+		fan, err := endpointFan(v, src, dst, metric)
+		if err != nil {
+			return mask, err
+		}
+		mask.Or(fan)
+		return mask, nil
+	case ProblemDest:
+		fan, err := endpointFan(v, dst, src, metric)
+		if err != nil {
+			return mask, err
+		}
+		mask.Or(fan)
+		return mask, nil
+	case ProblemBoth:
+		sf, err := endpointFan(v, src, dst, metric)
+		if err != nil {
+			return mask, err
+		}
+		df, err := endpointFan(v, dst, src, metric)
+		if err != nil {
+			return mask, err
+		}
+		mask.Or(sf)
+		mask.Or(df)
+		return mask, nil
+	default:
+		return mask, fmt.Errorf("topology: unknown problem area %v", area)
+	}
+}
+
+// endpointFan builds the targeted-redundancy component around endpoint ep
+// for traffic between ep and other: every usable link incident to ep, plus
+// each ep-neighbor's shortest path to other computed on a view with ep's
+// links removed (so the alternates do not collapse back through ep).
+func endpointFan(v *View, ep, other wire.NodeID, metric Metric) (wire.Bitmask, error) {
+	var mask wire.Bitmask
+	pruned := v.Clone()
+	neighbors := make([]wire.NodeID, 0, len(v.G.Incident(ep)))
+	for _, id := range v.G.Incident(ep) {
+		if !v.Usable(id) {
+			continue
+		}
+		mask.Set(id)
+		l, _ := v.G.Link(id)
+		n, _ := l.Other(ep)
+		neighbors = append(neighbors, n)
+		pruned.SetUp(id, false)
+	}
+	// Shortest paths toward `other` over the pruned view; computing one SPT
+	// from `other` covers every neighbor at once.
+	t := ShortestPaths(pruned, other, metric)
+	for _, n := range neighbors {
+		if n == other || !t.Reachable(n) {
+			continue
+		}
+		for cur := n; cur != other; cur = t.parent[cur] {
+			mask.Set(t.via[cur])
+		}
+	}
+	return mask, nil
+}

@@ -1,0 +1,246 @@
+// Package topology models the overlay graph — the logical network of
+// overlay nodes and overlay links from Fig. 1 — and implements the routing
+// computations of §II-B: shortest paths, k node-disjoint paths, multicast
+// trees, constrained-flooding masks, and dissemination graphs.
+//
+// The Graph is the designed topology; a View layers the current dynamic
+// state (link up/down, measured latency and loss) over it. Every node in a
+// structured overlay maintains the same View via the Connectivity Graph
+// Maintenance component, so all nodes deterministically compute identical
+// routes.
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"sonet/internal/wire"
+)
+
+// Link is a designed overlay link: a logical edge between two overlay
+// nodes, realized over one or more ISP backbone paths.
+type Link struct {
+	// ID is the link's index in the topology's link registry; it is also
+	// the link's bit position in source-route bitmasks.
+	ID wire.LinkID
+	// A and B are the endpoints, with A < B canonically.
+	A, B wire.NodeID
+	// Latency is the designed one-way latency of the link (§II-A keeps
+	// overlay links short, on the order of 10 ms).
+	Latency time.Duration
+}
+
+// Other returns the endpoint of l opposite to n, and false if n is not an
+// endpoint.
+func (l Link) Other(n wire.NodeID) (wire.NodeID, bool) {
+	switch n {
+	case l.A:
+		return l.B, true
+	case l.B:
+		return l.A, true
+	default:
+		return 0, false
+	}
+}
+
+// Graph is the designed overlay topology. The zero value is an empty
+// graph; nodes and links are added with AddNode and AddLink.
+type Graph struct {
+	nodes []wire.NodeID
+	links []Link
+	adj   map[wire.NodeID][]wire.LinkID
+}
+
+// NewGraph returns an empty overlay topology.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[wire.NodeID][]wire.LinkID)}
+}
+
+// AddNode registers an overlay node. Adding an existing node is a no-op.
+func (g *Graph) AddNode(n wire.NodeID) {
+	if _, ok := g.adj[n]; ok {
+		return
+	}
+	g.nodes = append(g.nodes, n)
+	g.adj[n] = nil
+}
+
+// AddLink registers an overlay link between a and b with the given designed
+// latency, adding the endpoints if needed, and returns its LinkID.
+func (g *Graph) AddLink(a, b wire.NodeID, latency time.Duration) (wire.LinkID, error) {
+	if a == b {
+		return 0, fmt.Errorf("topology: self link on %v", a)
+	}
+	if len(g.links) >= wire.MaxLinks {
+		return 0, fmt.Errorf("topology: link limit %d reached", wire.MaxLinks)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	id := wire.LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b, Latency: latency})
+	g.adj[a] = append(g.adj[a], id)
+	g.adj[b] = append(g.adj[b], id)
+	return id, nil
+}
+
+// Nodes returns the node IDs in insertion order. The caller must not
+// modify the returned slice.
+func (g *Graph) Nodes() []wire.NodeID { return g.nodes }
+
+// NumNodes returns the number of overlay nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of overlay links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id wire.LinkID) (Link, bool) {
+	if int(id) >= len(g.links) {
+		return Link{}, false
+	}
+	return g.links[id], true
+}
+
+// Links returns all links. The caller must not modify the returned slice.
+func (g *Graph) Links() []Link { return g.links }
+
+// Incident returns the IDs of the links incident to n. The caller must not
+// modify the returned slice.
+func (g *Graph) Incident(n wire.NodeID) []wire.LinkID { return g.adj[n] }
+
+// LinkBetween returns the link joining a and b, if one exists.
+func (g *Graph) LinkBetween(a, b wire.NodeID) (Link, bool) {
+	for _, id := range g.adj[a] {
+		l := g.links[id]
+		if other, ok := l.Other(a); ok && other == b {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// HasNode reports whether n is in the graph.
+func (g *Graph) HasNode(n wire.NodeID) bool {
+	_, ok := g.adj[n]
+	return ok
+}
+
+// LinkState is the dynamic condition of one overlay link as maintained by
+// the Connectivity Graph Maintenance component: availability plus the
+// current measured latency and loss rate shared among all nodes (§II-B).
+type LinkState struct {
+	// Up reports whether the link is currently usable.
+	Up bool
+	// Latency is the current measured one-way latency.
+	Latency time.Duration
+	// Loss is the current measured loss fraction in [0, 1].
+	Loss float64
+}
+
+// View is the designed topology combined with current link state — the
+// global state every overlay node maintains.
+type View struct {
+	// G is the designed topology.
+	G *Graph
+	// State holds per-link dynamic state, indexed by LinkID.
+	State []LinkState
+}
+
+// NewView returns a view of g with every link up at its designed latency
+// and zero loss.
+func NewView(g *Graph) *View {
+	st := make([]LinkState, g.NumLinks())
+	for i, l := range g.Links() {
+		st[i] = LinkState{Up: true, Latency: l.Latency}
+	}
+	return &View{G: g, State: st}
+}
+
+// Clone returns an independent copy of the view sharing the immutable
+// designed topology.
+func (v *View) Clone() *View {
+	st := make([]LinkState, len(v.State))
+	copy(st, v.State)
+	return &View{G: v.G, State: st}
+}
+
+// Usable reports whether the link with the given ID is currently up.
+func (v *View) Usable(id wire.LinkID) bool {
+	return int(id) < len(v.State) && v.State[id].Up
+}
+
+// SetUp marks a link up or down.
+func (v *View) SetUp(id wire.LinkID, up bool) {
+	if int(id) < len(v.State) {
+		v.State[id].Up = up
+	}
+}
+
+// FloodMask returns the bitmask of all currently usable links — the
+// constrained-flooding dissemination set (§IV-B).
+func (v *View) FloodMask() wire.Bitmask {
+	var m wire.Bitmask
+	for id := range v.State {
+		if v.State[id].Up {
+			m.Set(wire.LinkID(id))
+		}
+	}
+	return m
+}
+
+// Metric scores a link for routing; lower is better. Metrics must be
+// positive for usable links.
+type Metric func(Link, LinkState) float64
+
+// HopMetric counts every usable link as cost 1 (shortest hop count).
+func HopMetric(Link, LinkState) float64 { return 1 }
+
+// LatencyMetric uses the link's current latency in milliseconds.
+func LatencyMetric(_ Link, st LinkState) float64 {
+	return float64(st.Latency) / float64(time.Millisecond)
+}
+
+// ExpectedLatencyMetric penalizes lossy links the way Spines-style overlays
+// do: the cost of a link grows with the expected number of transmissions
+// needed to cross it, so routing prefers clean paths but will tolerate some
+// loss when the latency advantage is large.
+func ExpectedLatencyMetric(l Link, st LinkState) float64 {
+	loss := st.Loss
+	if loss > 0.99 {
+		loss = 0.99
+	}
+	ms := float64(st.Latency) / float64(time.Millisecond)
+	if ms <= 0 {
+		ms = 0.001
+	}
+	return ms * (1 + 50*loss)
+}
+
+// PathMask returns the bitmask of the links along a node path.
+func (v *View) PathMask(path []wire.NodeID) (wire.Bitmask, error) {
+	var m wire.Bitmask
+	for i := 0; i+1 < len(path); i++ {
+		l, ok := v.G.LinkBetween(path[i], path[i+1])
+		if !ok {
+			return m, fmt.Errorf("topology: no link %v-%v in path", path[i], path[i+1])
+		}
+		m.Set(l.ID)
+	}
+	return m, nil
+}
+
+// PathLatency sums current link latencies along a node path.
+func (v *View) PathLatency(path []wire.NodeID) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i+1 < len(path); i++ {
+		l, ok := v.G.LinkBetween(path[i], path[i+1])
+		if !ok {
+			return 0, fmt.Errorf("topology: no link %v-%v in path", path[i], path[i+1])
+		}
+		total += v.State[l.ID].Latency
+	}
+	return total, nil
+}

@@ -1,0 +1,58 @@
+package topology
+
+import (
+	"math"
+
+	"sonet/internal/wire"
+)
+
+// MulticastTree computes the source-rooted shortest-path tree covering the
+// member nodes, returned as the set of links (bitmask) plus the covered
+// members. Every overlay node computes the identical tree from the shared
+// connectivity and group state, so tree forwarding needs no per-packet
+// coordination (§III-A: the overlay constructs the most efficient multicast
+// tree to route messages to all overlay nodes that have clients in the
+// group).
+//
+// Members that are currently unreachable from src are omitted from covered.
+func MulticastTree(v *View, src wire.NodeID, members []wire.NodeID, metric Metric) (mask wire.Bitmask, covered []wire.NodeID) {
+	t := ShortestPaths(v, src, metric)
+	covered = make([]wire.NodeID, 0, len(members))
+	for _, m := range members {
+		if m == src {
+			covered = append(covered, m)
+			continue
+		}
+		if !t.Reachable(m) {
+			continue
+		}
+		covered = append(covered, m)
+		for n := m; n != src; n = t.parent[n] {
+			mask.Set(t.via[n])
+		}
+	}
+	return mask, covered
+}
+
+// AnycastTarget selects the group member nearest to the ingress node under
+// the metric — the overlay's anycast service (§II-B: anycast messages are
+// delivered to exactly one member of the relevant group).
+func AnycastTarget(v *View, from wire.NodeID, members []wire.NodeID, metric Metric) (wire.NodeID, bool) {
+	t := ShortestPaths(v, from, metric)
+	best := wire.NodeID(0)
+	bestDist := math.Inf(1)
+	found := false
+	for _, m := range members {
+		if m == from {
+			return m, true
+		}
+		d, ok := t.Dist(m)
+		if !ok {
+			continue
+		}
+		if d < bestDist || (d == bestDist && m < best) {
+			best, bestDist, found = m, d, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,197 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sonet/internal/wire"
+)
+
+func TestMulticastTreeCoversMembers(t *testing.T) {
+	_, v := diamond(t)
+	mask, covered := MulticastTree(v, 1, []wire.NodeID{2, 3, 4}, LatencyMetric)
+	if len(covered) != 3 {
+		t.Fatalf("covered = %v, want all three members", covered)
+	}
+	// Tree: 1-2, 2-4, 1-3. Three links.
+	if mask.Count() != 3 {
+		t.Fatalf("tree has %d links, want 3: %v", mask.Count(), mask.Links())
+	}
+}
+
+func TestMulticastTreeSourceOnlyMember(t *testing.T) {
+	_, v := diamond(t)
+	mask, covered := MulticastTree(v, 1, []wire.NodeID{1}, LatencyMetric)
+	if len(covered) != 1 || covered[0] != 1 {
+		t.Fatalf("covered = %v, want [1]", covered)
+	}
+	if !mask.Empty() {
+		t.Fatalf("tree for source-only group not empty: %v", mask.Links())
+	}
+}
+
+func TestMulticastTreeOmitsUnreachable(t *testing.T) {
+	g := NewGraph()
+	mustLink(t, g, 1, 2, time.Millisecond)
+	g.AddNode(3)
+	v := NewView(g)
+	_, covered := MulticastTree(v, 1, []wire.NodeID{2, 3}, HopMetric)
+	if len(covered) != 1 || covered[0] != 2 {
+		t.Fatalf("covered = %v, want [2]", covered)
+	}
+}
+
+func TestMulticastTreeSharesTrunk(t *testing.T) {
+	// Star-of-chain: 1-2, then 2-3 and 2-4. Members 3,4 share trunk 1-2.
+	g := NewGraph()
+	mustLink(t, g, 1, 2, time.Millisecond)
+	mustLink(t, g, 2, 3, time.Millisecond)
+	mustLink(t, g, 2, 4, time.Millisecond)
+	v := NewView(g)
+	mask, covered := MulticastTree(v, 1, []wire.NodeID{3, 4}, HopMetric)
+	if len(covered) != 2 {
+		t.Fatalf("covered = %v", covered)
+	}
+	if mask.Count() != 3 {
+		t.Fatalf("tree has %d links, want 3 (trunk shared once)", mask.Count())
+	}
+}
+
+func TestAnycastTargetNearest(t *testing.T) {
+	_, v := diamond(t)
+	target, ok := AnycastTarget(v, 1, []wire.NodeID{3, 4}, LatencyMetric)
+	if !ok || target != 3 {
+		t.Fatalf("AnycastTarget = %v,%v, want 3", target, ok)
+	}
+}
+
+func TestAnycastTargetSelfMember(t *testing.T) {
+	_, v := diamond(t)
+	target, ok := AnycastTarget(v, 2, []wire.NodeID{4, 2}, LatencyMetric)
+	if !ok || target != 2 {
+		t.Fatalf("AnycastTarget = %v,%v, want self", target, ok)
+	}
+}
+
+func TestAnycastTargetNoReachableMember(t *testing.T) {
+	g := NewGraph()
+	mustLink(t, g, 1, 2, time.Millisecond)
+	g.AddNode(3)
+	v := NewView(g)
+	if _, ok := AnycastTarget(v, 1, []wire.NodeID{3}, HopMetric); ok {
+		t.Fatal("AnycastTarget found unreachable member")
+	}
+}
+
+func TestDissemGraphNoneIsTwoDisjoint(t *testing.T) {
+	_, v := diamond(t)
+	mask, err := DissemGraph(v, 1, 4, ProblemNone, LatencyMetric)
+	if err != nil {
+		t.Fatalf("DissemGraph: %v", err)
+	}
+	if mask.Count() != 4 {
+		t.Fatalf("ProblemNone graph has %d links, want 4", mask.Count())
+	}
+}
+
+func TestDissemGraphSourceProblemFansOut(t *testing.T) {
+	_, v := diamond(t)
+	mask, err := DissemGraph(v, 1, 4, ProblemSource, LatencyMetric)
+	if err != nil {
+		t.Fatalf("DissemGraph: %v", err)
+	}
+	// Source fan must include every link incident to node 1.
+	for _, id := range v.G.Incident(1) {
+		if !mask.Has(id) {
+			t.Fatalf("source-problem graph missing source link %d: %v", id, mask.Links())
+		}
+	}
+	base, err := DissemGraph(v, 1, 4, ProblemNone, LatencyMetric)
+	if err != nil {
+		t.Fatalf("DissemGraph: %v", err)
+	}
+	for _, id := range base.Links() {
+		if !mask.Has(id) {
+			t.Fatalf("source-problem graph missing base link %d", id)
+		}
+	}
+}
+
+func TestDissemGraphBothSuperset(t *testing.T) {
+	_, v := diamond(t)
+	src, err := DissemGraph(v, 1, 4, ProblemSource, LatencyMetric)
+	if err != nil {
+		t.Fatalf("DissemGraph: %v", err)
+	}
+	dst, err := DissemGraph(v, 1, 4, ProblemDest, LatencyMetric)
+	if err != nil {
+		t.Fatalf("DissemGraph: %v", err)
+	}
+	both, err := DissemGraph(v, 1, 4, ProblemBoth, LatencyMetric)
+	if err != nil {
+		t.Fatalf("DissemGraph: %v", err)
+	}
+	for _, id := range src.Links() {
+		if !both.Has(id) {
+			t.Fatalf("both-graph missing source-graph link %d", id)
+		}
+	}
+	for _, id := range dst.Links() {
+		if !both.Has(id) {
+			t.Fatalf("both-graph missing dest-graph link %d", id)
+		}
+	}
+}
+
+// TestMulticastTreeIsATreeProperty checks on random connected graphs that
+// the computed multicast subgraph is acyclic and connects the source to
+// every covered member (|edges| = |vertices| - 1 for the spanned set).
+func TestMulticastTreeIsATreeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(12)
+		g := NewGraph()
+		for i := 2; i <= n; i++ {
+			mustLink(t, g, wire.NodeID(1+r.Intn(i-1)), wire.NodeID(i), time.Duration(1+r.Intn(20))*time.Millisecond)
+		}
+		for i := 0; i < r.Intn(n); i++ {
+			a, b := wire.NodeID(1+r.Intn(n)), wire.NodeID(1+r.Intn(n))
+			if a == b {
+				continue
+			}
+			if _, ok := g.LinkBetween(a, b); ok {
+				continue
+			}
+			mustLink(t, g, a, b, time.Duration(1+r.Intn(20))*time.Millisecond)
+		}
+		v := NewView(g)
+		src := wire.NodeID(1 + r.Intn(n))
+		var members []wire.NodeID
+		for i := 0; i < 1+r.Intn(n); i++ {
+			members = append(members, wire.NodeID(1+r.Intn(n)))
+		}
+		mask, covered := MulticastTree(v, src, members, LatencyMetric)
+		if len(covered) == 0 {
+			continue
+		}
+		// Collect vertices spanned by the tree's links.
+		verts := map[wire.NodeID]bool{src: true}
+		edges := 0
+		for _, lid := range mask.Links() {
+			l, _ := g.Link(lid)
+			verts[l.A] = true
+			verts[l.B] = true
+			edges++
+		}
+		if edges != len(verts)-1 {
+			t.Fatalf("trial %d: %d edges spanning %d vertices — not a tree", trial, edges, len(verts))
+		}
+		// Every covered member must be spanned.
+		for _, m := range covered {
+			if m != src && !verts[m] {
+				t.Fatalf("trial %d: covered member %v not spanned by tree", trial, m)
+			}
+		}
+	}
+}

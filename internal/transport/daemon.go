@@ -1,0 +1,415 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sonet/internal/node"
+	"sonet/internal/session"
+	"sonet/internal/sim"
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// LinkDef declares one overlay link in a daemon's topology config.
+type LinkDef struct {
+	// A is one endpoint.
+	A wire.NodeID `json:"a"`
+	// B is the other endpoint.
+	B wire.NodeID `json:"b"`
+	// LatencyMs is the designed one-way latency in milliseconds.
+	LatencyMs int `json:"latency_ms"`
+}
+
+// DaemonConfig describes one overlay daemon deployment.
+type DaemonConfig struct {
+	// ID is this daemon's overlay node identifier.
+	ID wire.NodeID `json:"id"`
+	// BindUDP is the daemon-to-daemon frame socket ("host:port").
+	BindUDP string `json:"bind_udp"`
+	// BindTCP is the client session listener; empty disables it.
+	BindTCP string `json:"bind_tcp"`
+	// Peers maps every overlay node to its UDP addresses (one per
+	// underlay path; several addresses express multihoming).
+	Peers map[wire.NodeID][]string `json:"peers"`
+	// Links is the designed overlay topology (shared by all daemons).
+	Links []LinkDef `json:"links"`
+	// HelloIntervalMs optionally overrides failure-detection probing.
+	HelloIntervalMs int `json:"hello_interval_ms"`
+}
+
+// Daemon is one deployed overlay node: the node software over a UDP
+// underlay, plus the TCP session listener for clients.
+type Daemon struct {
+	cfg  DaemonConfig
+	loop *sim.Loop
+	node *node.Node
+	mgr  *session.Manager
+	udp  *UDPUnderlay
+	ln   net.Listener
+
+	mu      sync.Mutex
+	clients map[*clientConn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewDaemon builds and starts a daemon from config.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
+	g := topology.NewGraph()
+	for _, l := range cfg.Links {
+		if _, err := g.AddLink(l.A, l.B, time.Duration(l.LatencyMs)*time.Millisecond); err != nil {
+			return nil, fmt.Errorf("transport: link %v-%v: %w", l.A, l.B, err)
+		}
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		loop:    sim.NewLoop(),
+		clients: make(map[*clientConn]struct{}),
+	}
+	var nodeRef *node.Node
+	udp, err := NewUDPUnderlay(cfg.BindUDP, d.loop, func(from wire.NodeID, data []byte) {
+		if nodeRef != nil {
+			nodeRef.HandleUnderlay(from, data)
+		}
+	})
+	if err != nil {
+		d.loop.Close()
+		return nil, err
+	}
+	d.udp = udp
+	for id, addrs := range cfg.Peers {
+		if id == cfg.ID {
+			continue
+		}
+		if err := udp.AddPeer(id, addrs...); err != nil {
+			d.shutdownEarly()
+			return nil, err
+		}
+	}
+	ncfg := node.Config{
+		ID:       cfg.ID,
+		Clock:    sim.NewRealtimeClock(d.loop),
+		Underlay: udp,
+		Graph:    g,
+	}
+	if cfg.HelloIntervalMs > 0 {
+		ncfg.LinkState.HelloInterval = time.Duration(cfg.HelloIntervalMs) * time.Millisecond
+	}
+	n, err := node.New(ncfg)
+	if err != nil {
+		d.shutdownEarly()
+		return nil, err
+	}
+	d.node = n
+	d.mgr = session.NewManager(n)
+	done := make(chan struct{})
+	d.loop.Post(func() {
+		// Assigning on the loop serializes with the UDP handler, which
+		// also runs on the loop.
+		nodeRef = n
+		n.Start()
+		close(done)
+	})
+	<-done
+
+	if cfg.BindTCP != "" {
+		ln, err := net.Listen("tcp", cfg.BindTCP)
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("transport: client listener: %w", err)
+		}
+		d.ln = ln
+		d.wg.Add(1)
+		go d.acceptLoop()
+	}
+	return d, nil
+}
+
+func (d *Daemon) shutdownEarly() {
+	_ = d.udp.Close()
+	d.loop.Close()
+}
+
+// UDPAddr returns the daemon's bound frame address.
+func (d *Daemon) UDPAddr() string { return d.udp.LocalAddr() }
+
+// AddPeer registers (or updates) a peer's UDP addresses after start —
+// used when daemons bind ephemeral ports and exchange addresses out of
+// band.
+func (d *Daemon) AddPeer(id wire.NodeID, addrs ...string) error {
+	return d.udp.AddPeer(id, addrs...)
+}
+
+// TCPAddr returns the client listener address, if enabled.
+func (d *Daemon) TCPAddr() string {
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Node returns the daemon's overlay node. The node is single-threaded on
+// the daemon loop; cross-thread diagnostics should use NodeStats.
+func (d *Daemon) Node() *node.Node { return d.node }
+
+// NodeStats reads the node's counters on the daemon loop, safely from any
+// goroutine. It returns zeros after Close.
+func (d *Daemon) NodeStats() node.Stats {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return node.Stats{}
+	}
+	ch := make(chan node.Stats, 1)
+	d.loop.Post(func() { ch <- d.node.Stats() })
+	return <-ch
+}
+
+// Close stops the daemon: listener, client connections, node timers,
+// underlay socket, and the event loop.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	conns := make([]*clientConn, 0, len(d.clients))
+	for c := range d.clients {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+	if d.ln != nil {
+		_ = d.ln.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	done := make(chan struct{})
+	d.loop.Post(func() {
+		d.node.Stop()
+		close(done)
+	})
+	<-done
+	_ = d.udp.Close()
+	d.loop.Close()
+	d.wg.Wait()
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := &clientConn{d: d, conn: conn, out: make(chan []byte, 256)}
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		d.clients[c] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// clientConn bridges one TCP client to the session manager.
+type clientConn struct {
+	d    *Daemon
+	conn net.Conn
+	out  chan []byte
+
+	mu      sync.Mutex
+	closed  bool
+	session *session.Client
+	flows   map[uint16]*session.Flow
+}
+
+func (c *clientConn) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	close(c.out)
+	c.d.loop.Post(func() {
+		if c.session != nil {
+			c.session.Close()
+		}
+	})
+	c.d.mu.Lock()
+	delete(c.d.clients, c)
+	c.d.mu.Unlock()
+}
+
+// send queues a message toward the client, dropping when the client
+// cannot keep up (timely service beats unbounded buffering).
+func (c *clientConn) send(msg []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	select {
+	case c.out <- msg:
+	default:
+	}
+}
+
+func (c *clientConn) sendError(err error) {
+	c.send(append([]byte{msgError}, []byte(err.Error())...))
+}
+
+func (c *clientConn) writeLoop() {
+	defer c.d.wg.Done()
+	for msg := range c.out {
+		if err := writeFrame(c.conn, msg); err != nil {
+			return
+		}
+	}
+}
+
+func (c *clientConn) readLoop() {
+	defer c.d.wg.Done()
+	defer c.close()
+	for {
+		msg, err := readFrame(c.conn)
+		if err != nil {
+			return
+		}
+		if len(msg) == 0 {
+			continue
+		}
+		c.handle(msg[0], msg[1:])
+	}
+}
+
+// handle posts one client request onto the daemon loop.
+func (c *clientConn) handle(kind byte, body []byte) {
+	c.d.loop.Post(func() {
+		switch kind {
+		case msgConnect:
+			c.onConnect(body)
+		case msgJoin, msgLeave:
+			c.onJoinLeave(kind, body)
+		case msgOpenFlow:
+			c.onOpenFlow(body)
+		case msgSend:
+			c.onSend(body)
+		}
+	})
+}
+
+func (c *clientConn) onConnect(body []byte) {
+	if len(body) < 2 || c.session != nil {
+		c.sendError(fmt.Errorf("bad connect"))
+		return
+	}
+	port := wire.Port(binary.BigEndian.Uint16(body))
+	cl, err := c.d.mgr.Connect(port)
+	if err != nil {
+		c.sendError(err)
+		return
+	}
+	c.session = cl
+	c.flows = make(map[uint16]*session.Flow)
+	cl.OnDeliver(func(dv session.Delivery) { c.deliver(dv) })
+	ok := make([]byte, 3)
+	ok[0] = msgOK
+	binary.BigEndian.PutUint16(ok[1:], uint16(cl.Port()))
+	c.send(ok)
+}
+
+func (c *clientConn) onJoinLeave(kind byte, body []byte) {
+	if c.session == nil || len(body) < 4 {
+		return
+	}
+	g := wire.GroupID(binary.BigEndian.Uint32(body))
+	if kind == msgJoin {
+		c.session.Join(g)
+	} else {
+		c.session.Leave(g)
+	}
+}
+
+// Flow spec encoding: id(2) dst(2) dstport(2) group(4) flags(1)
+// linkproto(1) disjointk(1) dissem(1) deadline µs(4) priority(1).
+const (
+	flowFlagAnycast = 1 << iota
+	flowFlagOrdered
+	flowFlagFlood
+)
+
+func (c *clientConn) onOpenFlow(body []byte) {
+	if c.session == nil || len(body) < 19 {
+		c.sendError(fmt.Errorf("bad openflow"))
+		return
+	}
+	id := binary.BigEndian.Uint16(body[0:])
+	spec := session.FlowSpec{
+		DstNode:   wire.NodeID(binary.BigEndian.Uint16(body[2:])),
+		DstPort:   wire.Port(binary.BigEndian.Uint16(body[4:])),
+		Group:     wire.GroupID(binary.BigEndian.Uint32(body[6:])),
+		LinkProto: wire.LinkProtoID(body[11]),
+		DisjointK: int(body[12]),
+		Dissem:    topology.ProblemArea(body[13]),
+		Deadline:  time.Duration(binary.BigEndian.Uint32(body[14:])) * time.Microsecond,
+		Priority:  body[18],
+	}
+	flags := body[10]
+	spec.Anycast = flags&flowFlagAnycast != 0
+	spec.Ordered = flags&flowFlagOrdered != 0
+	spec.Flood = flags&flowFlagFlood != 0
+	f, err := c.session.OpenFlow(spec)
+	if err != nil {
+		c.sendError(err)
+		return
+	}
+	c.flows[id] = f
+	c.send([]byte{msgOK})
+}
+
+func (c *clientConn) onSend(body []byte) {
+	if c.session == nil || len(body) < 2 {
+		return
+	}
+	id := binary.BigEndian.Uint16(body)
+	f, ok := c.flows[id]
+	if !ok {
+		c.sendError(fmt.Errorf("unknown flow %d", id))
+		return
+	}
+	if err := f.Send(append([]byte(nil), body[2:]...)); err != nil {
+		c.sendError(err)
+	}
+}
+
+// deliver encodes one delivery toward the client:
+// from(2) srcport(2) seq(4) group(4) latency ns(8) recovered(1) payload.
+func (c *clientConn) deliver(dv session.Delivery) {
+	msg := make([]byte, 22, 22+len(dv.Payload))
+	msg[0] = msgDeliver
+	binary.BigEndian.PutUint16(msg[1:], uint16(dv.From))
+	binary.BigEndian.PutUint16(msg[3:], uint16(dv.SrcPort))
+	binary.BigEndian.PutUint32(msg[5:], dv.Seq)
+	binary.BigEndian.PutUint32(msg[9:], uint32(dv.Group))
+	binary.BigEndian.PutUint64(msg[13:], uint64(dv.Latency))
+	if dv.Retransmitted {
+		msg[21] = 1
+	}
+	msg = append(msg, dv.Payload...)
+	c.send(msg)
+}

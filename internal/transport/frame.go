@@ -1,0 +1,62 @@
+// Package transport runs the overlay over real networks: UDP datagrams
+// carry link-level frames between overlay daemons, and a framed TCP
+// protocol connects clients to their overlay node — the client–daemon
+// two-level hierarchy of §II-B over actual sockets.
+//
+// The same protocol state machines that run in the emulator run here,
+// driven by a real-time clock and a per-daemon event loop.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// maxMessage bounds a framed client message.
+const maxMessage = 1 << 20
+
+// writeFrame writes a length-prefixed message.
+func writeFrame(w io.Writer, msg []byte) error {
+	if len(msg) > maxMessage {
+		return fmt.Errorf("transport: message %d bytes exceeds %d", len(msg), maxMessage)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := w.Write(msg); err != nil {
+		return fmt.Errorf("transport: write frame body: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads a length-prefixed message.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxMessage {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds %d", n, maxMessage)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Client–daemon message kinds.
+const (
+	msgConnect byte = iota + 1
+	msgJoin
+	msgLeave
+	msgOpenFlow
+	msgSend
+	msgDeliver
+	msgError
+	msgOK
+)

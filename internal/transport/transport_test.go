@@ -1,0 +1,387 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sonet/internal/session"
+	"sonet/internal/wire"
+)
+
+// startChain spins up a daemon chain 1-2-…-n over loopback UDP with fast
+// hellos, wiring peer addresses after all sockets are bound.
+func startChain(t *testing.T, n int, clientsOn ...wire.NodeID) map[wire.NodeID]*Daemon {
+	t.Helper()
+	links := make([]LinkDef, 0, n-1)
+	for i := 1; i < n; i++ {
+		links = append(links, LinkDef{A: wire.NodeID(i), B: wire.NodeID(i + 1), LatencyMs: 1})
+	}
+	wantTCP := make(map[wire.NodeID]bool, len(clientsOn))
+	for _, id := range clientsOn {
+		wantTCP[id] = true
+	}
+	// First pass: bind every daemon on an ephemeral UDP port with no
+	// peers, collecting addresses.
+	daemons := make(map[wire.NodeID]*Daemon, n)
+	addrs := make(map[wire.NodeID][]string, n)
+	for i := 1; i <= n; i++ {
+		id := wire.NodeID(i)
+		cfg := DaemonConfig{
+			ID:              id,
+			BindUDP:         "127.0.0.1:0",
+			Links:           links,
+			HelloIntervalMs: 20,
+		}
+		if wantTCP[id] {
+			cfg.BindTCP = "127.0.0.1:0"
+		}
+		d, err := NewDaemon(cfg)
+		if err != nil {
+			t.Fatalf("NewDaemon(%d): %v", i, err)
+		}
+		daemons[id] = d
+		addrs[id] = []string{d.UDPAddr()}
+		t.Cleanup(d.Close)
+	}
+	// Second pass: register neighbor addresses.
+	for id, d := range daemons {
+		for peer, as := range addrs {
+			if peer == id {
+				continue
+			}
+			if err := d.udp.AddPeer(peer, as...); err != nil {
+				t.Fatalf("AddPeer: %v", err)
+			}
+		}
+	}
+	return daemons
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("hello")); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if err := writeFrame(&buf, nil); err != nil {
+		t.Fatalf("writeFrame(empty): %v", err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("readFrame = %q, %v", got, err)
+	}
+	got, err = readFrame(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("readFrame(empty) = %q, %v", got, err)
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, maxMessage+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// A forged oversized header must be rejected on read.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+}
+
+func TestUDPUnderlayDelivery(t *testing.T) {
+	type rx struct {
+		from wire.NodeID
+		data []byte
+	}
+	got := make(chan rx, 10)
+	exec := directExec{}
+	a, err := NewUDPUnderlay("127.0.0.1:0", exec, func(from wire.NodeID, data []byte) {
+		got <- rx{from: from, data: data}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := NewUDPUnderlay("127.0.0.1:0", exec, func(wire.NodeID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+	if err := a.AddPeer(2, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(1, a.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	b.Send(1, 0, []byte("frame"))
+	select {
+	case r := <-got:
+		if r.from != 2 || string(r.data) != "frame" {
+			t.Fatalf("received %v %q", r.from, r.data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frame never arrived")
+	}
+}
+
+func TestUDPUnderlayIgnoresUnknownSenders(t *testing.T) {
+	exec := directExec{}
+	got := make(chan struct{}, 1)
+	a, err := NewUDPUnderlay("127.0.0.1:0", exec, func(wire.NodeID, []byte) {
+		got <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	stranger, err := NewUDPUnderlay("127.0.0.1:0", exec, func(wire.NodeID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = stranger.Close() }()
+	if err := stranger.AddPeer(1, a.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	stranger.Send(1, 0, []byte("spoof"))
+	select {
+	case <-got:
+		t.Fatal("frame from unregistered sender delivered")
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+// directExec runs closures inline (test-only; production uses sim.Loop).
+type directExec struct{}
+
+func (directExec) Post(fn func()) { fn() }
+
+func TestDaemonChainEndToEnd(t *testing.T) {
+	daemons := startChain(t, 3, 1, 3)
+
+	var mu sync.Mutex
+	var got []session.Delivery
+	recv, err := Dial(daemons[3].TCPAddr(), 700, func(d session.Delivery) {
+		mu.Lock()
+		got = append(got, d)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = recv.Close() }()
+	send, err := Dial(daemons[1].TCPAddr(), 0, nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = send.Close() }()
+	if send.Port() == 0 {
+		t.Fatal("ephemeral port not assigned")
+	}
+	flow, err := send.OpenFlow(session.FlowSpec{
+		DstNode: 3, DstPort: 700,
+		LinkProto: wire.LPReliable, Ordered: true,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	// Give hellos a moment to converge, then stream.
+	time.Sleep(200 * time.Millisecond)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := flow.Send([]byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		count := len(got)
+		mu.Unlock()
+		if count == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d", count, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, d := range got {
+		if d.Seq != uint32(i+1) || d.From != 1 {
+			t.Fatalf("delivery %d = %+v", i, d)
+		}
+	}
+	if string(got[0].Payload) != "m0" {
+		t.Fatalf("payload %q", got[0].Payload)
+	}
+}
+
+func TestDaemonMulticastOverUDP(t *testing.T) {
+	daemons := startChain(t, 3, 1, 2, 3)
+	const grp wire.GroupID = 42
+
+	recvAt := func(id wire.NodeID) (*Client, *sync.Mutex, *int) {
+		var mu sync.Mutex
+		count := 0
+		c, err := Dial(daemons[id].TCPAddr(), 800, func(session.Delivery) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("Dial(%d): %v", id, err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		if err := c.Join(grp); err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		return c, &mu, &count
+	}
+	_, mu2, n2 := recvAt(2)
+	_, mu3, n3 := recvAt(3)
+
+	send, err := Dial(daemons[1].TCPAddr(), 0, nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = send.Close() }()
+	flow, err := send.OpenFlow(session.FlowSpec{Group: grp, DstPort: 800})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond) // membership flood
+	for i := 0; i < 10; i++ {
+		if err := flow.Send([]byte("mc")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu2.Lock()
+		a := *n2
+		mu2.Unlock()
+		mu3.Lock()
+		b := *n3
+		mu3.Unlock()
+		if a == 10 && b == 10 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("members received %d/%d of 10", a, b)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDaemonRejectsDuplicatePort(t *testing.T) {
+	daemons := startChain(t, 2, 1)
+	c1, err := Dial(daemons[1].TCPAddr(), 900, nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = c1.Close() }()
+	if _, err := Dial(daemons[1].TCPAddr(), 900, nil); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+}
+
+func TestDaemonCloseIsIdempotent(t *testing.T) {
+	daemons := startChain(t, 2)
+	daemons[1].Close()
+	daemons[1].Close()
+}
+
+func TestDaemonFailureTriggersReroute(t *testing.T) {
+	// Diamond over real UDP: 1-2-4 and 1-3-4. Daemon 2 dies mid-stream;
+	// the overlay detects the dead neighbor via hellos and reroutes the
+	// flow through daemon 3.
+	links := []LinkDef{
+		{A: 1, B: 2, LatencyMs: 1}, {A: 2, B: 4, LatencyMs: 1},
+		{A: 1, B: 3, LatencyMs: 2}, {A: 3, B: 4, LatencyMs: 2},
+	}
+	daemons := make(map[wire.NodeID]*Daemon, 4)
+	addrs := make(map[wire.NodeID][]string, 4)
+	for i := 1; i <= 4; i++ {
+		id := wire.NodeID(i)
+		cfg := DaemonConfig{
+			ID: id, BindUDP: "127.0.0.1:0",
+			Links: links, HelloIntervalMs: 20,
+		}
+		if id == 1 || id == 4 {
+			cfg.BindTCP = "127.0.0.1:0"
+		}
+		d, err := NewDaemon(cfg)
+		if err != nil {
+			t.Fatalf("NewDaemon(%d): %v", i, err)
+		}
+		daemons[id] = d
+		addrs[id] = []string{d.UDPAddr()}
+		t.Cleanup(d.Close)
+	}
+	for id, d := range daemons {
+		for peer, as := range addrs {
+			if peer != id {
+				if err := d.udp.AddPeer(peer, as...); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	received := 0
+	recv, err := Dial(daemons[4].TCPAddr(), 700, func(session.Delivery) {
+		mu.Lock()
+		received++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = recv.Close() }()
+	send, err := Dial(daemons[1].TCPAddr(), 0, nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer func() { _ = send.Close() }()
+	flow, err := send.OpenFlow(session.FlowSpec{
+		DstNode: 4, DstPort: 700,
+		LinkProto: wire.LPReliable, Ordered: true,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond) // hello convergence
+
+	// Stream 20 msg/s; kill daemon 2 a third of the way in.
+	const n = 60
+	for i := 0; i < n; i++ {
+		if i == n/3 {
+			daemons[2].Close()
+		}
+		if err := flow.Send([]byte("x")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		count := received
+		mu.Unlock()
+		if count == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d after daemon failure", count, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The surviving detour must have carried traffic.
+	if fwd := daemons[3].NodeStats().Forwarded; fwd == 0 {
+		t.Fatal("detour daemon forwarded nothing")
+	}
+}

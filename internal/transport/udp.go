@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+// UDPUnderlay carries link-level frames between overlay daemons as UDP
+// datagrams. It implements node.Underlay: each neighbor has one or more
+// remote addresses (one per underlay path, supporting multihoming across
+// provider-specific addresses).
+type UDPUnderlay struct {
+	conn *net.UDPConn
+	exec sim.Executor
+
+	mu sync.Mutex
+	// peers maps a neighbor to its per-path addresses.
+	peers map[wire.NodeID][]*net.UDPAddr
+	// senders maps a source address to the neighbor it belongs to.
+	senders map[string]wire.NodeID
+	// handler receives frames on the executor.
+	handler func(from wire.NodeID, data []byte)
+
+	closed  bool
+	done    chan struct{}
+	dropped uint64
+}
+
+// NewUDPUnderlay binds a UDP socket and starts the receive loop; frames
+// are handed to handler on exec (the daemon's event loop), preserving the
+// single-threaded protocol model.
+func NewUDPUnderlay(bind string, exec sim.Executor, handler func(from wire.NodeID, data []byte)) (*UDPUnderlay, error) {
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
+	}
+	u := &UDPUnderlay{
+		conn:    conn,
+		exec:    exec,
+		peers:   make(map[wire.NodeID][]*net.UDPAddr),
+		senders: make(map[string]wire.NodeID),
+		handler: handler,
+		done:    make(chan struct{}),
+	}
+	go u.readLoop()
+	return u, nil
+}
+
+// LocalAddr returns the bound address.
+func (u *UDPUnderlay) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// AddPeer registers a neighbor's addresses, one per underlay path.
+func (u *UDPUnderlay) AddPeer(id wire.NodeID, addrs ...string) error {
+	if len(addrs) == 0 {
+		return fmt.Errorf("transport: peer %v needs at least one address", id)
+	}
+	resolved := make([]*net.UDPAddr, 0, len(addrs))
+	for _, a := range addrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return fmt.Errorf("transport: resolve peer %v addr %q: %w", id, a, err)
+		}
+		resolved = append(resolved, ua)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.peers[id] = resolved
+	for _, ua := range resolved {
+		u.senders[ua.String()] = id
+	}
+	return nil
+}
+
+// Send implements node.Underlay.
+func (u *UDPUnderlay) Send(neighbor wire.NodeID, path uint8, data []byte) {
+	u.mu.Lock()
+	addrs := u.peers[neighbor]
+	closed := u.closed
+	u.mu.Unlock()
+	if closed || len(addrs) == 0 {
+		return
+	}
+	addr := addrs[int(path)%len(addrs)]
+	// Best-effort, like IP: errors are indistinguishable from loss.
+	if _, err := u.conn.WriteToUDP(data, addr); err != nil {
+		u.mu.Lock()
+		u.dropped++
+		u.mu.Unlock()
+	}
+}
+
+// PathCount implements node.Underlay.
+func (u *UDPUnderlay) PathCount(neighbor wire.NodeID) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if n := len(u.peers[neighbor]); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// Close shuts the socket and stops the receive loop.
+func (u *UDPUnderlay) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	err := u.conn.Close()
+	<-u.done
+	return err
+}
+
+func (u *UDPUnderlay) readLoop() {
+	defer close(u.done)
+	buf := make([]byte, 1<<16)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		u.mu.Lock()
+		id, ok := u.senders[from.String()]
+		closed := u.closed
+		u.mu.Unlock()
+		if closed {
+			return
+		}
+		if !ok {
+			// Unknown senders are dropped: only registered overlay
+			// neighbors may inject frames.
+			continue
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		u.exec.Post(func() { u.handler(id, data) })
+	}
+}

@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// FrameKind discriminates link-level frames.
+type FrameKind uint8
+
+// Frame kinds.
+const (
+	// FData carries a routing-level packet one hop.
+	FData FrameKind = iota + 1
+	// FAck acknowledges link sequence numbers (cumulative + selective).
+	FAck
+	// FReq requests retransmission of a link sequence number (NM-Strikes
+	// and Reliable Data Link NACK).
+	FReq
+	// FHello probes a neighbor for liveness and link metrics.
+	FHello
+	// FHelloAck answers an FHello, echoing its send time.
+	FHelloAck
+)
+
+// String returns a short mnemonic for the frame kind.
+func (k FrameKind) String() string {
+	switch k {
+	case FData:
+		return "data"
+	case FAck:
+		return "ack"
+	case FReq:
+		return "req"
+	case FHello:
+		return "hello"
+	case FHelloAck:
+		return "helloack"
+	default:
+		return fmt.Sprintf("fk(%d)", uint8(k))
+	}
+}
+
+// frameFixedLen is the size of the fixed portion of the frame header.
+const frameFixedLen = 28
+
+const (
+	frameHasPacket = 1 << iota
+	frameHasAuth
+)
+
+// Frame is the link-level unit exchanged between neighboring overlay
+// nodes. Link protocols (Fig. 2 link level) wrap routing-level Packets in
+// frames, adding per-hop sequencing, acknowledgment, and recovery state.
+type Frame struct {
+	// Proto identifies the link protocol instance this frame belongs to;
+	// each overlay link multiplexes independent protocol instances.
+	Proto LinkProtoID
+	// Kind discriminates data from control frames.
+	Kind FrameKind
+	// Seq is the link-level sequence number of a data frame, or the
+	// requested sequence number in an FReq.
+	Seq uint32
+	// Ack is the cumulative acknowledgment: every sequence <= Ack has been
+	// received.
+	Ack uint32
+	// AckBits selectively acknowledges sequences Ack+1..Ack+64: bit i set
+	// means Ack+1+i was received.
+	AckBits uint64
+	// SendTime is the sender's clock when the frame was transmitted, echoed
+	// in hello exchanges to measure RTT.
+	SendTime time.Duration
+	// Auth is an optional per-link HMAC over the frame (intrusion-tolerant
+	// overlays authenticate every hop).
+	Auth []byte
+	// Packet is the wrapped routing-level packet for FData frames.
+	Packet *Packet
+}
+
+// AppendMarshal appends the encoding of f to dst.
+func (f *Frame) AppendMarshal(dst []byte) ([]byte, error) {
+	if len(f.Auth) > 255 {
+		return dst, fmt.Errorf("wire: frame auth %d bytes: %w", len(f.Auth), ErrTooLarge)
+	}
+	var hdr [frameFixedLen]byte
+	hdr[0] = byte(f.Proto)
+	hdr[1] = byte(f.Kind)
+	var flags byte
+	if f.Packet != nil {
+		flags |= frameHasPacket
+	}
+	if len(f.Auth) > 0 {
+		flags |= frameHasAuth
+	}
+	hdr[2] = flags
+	binary.BigEndian.PutUint32(hdr[4:], f.Seq)
+	binary.BigEndian.PutUint32(hdr[8:], f.Ack)
+	binary.BigEndian.PutUint64(hdr[12:], f.AckBits)
+	binary.BigEndian.PutUint64(hdr[20:], uint64(f.SendTime))
+	dst = append(dst, hdr[:]...)
+	if len(f.Auth) > 0 {
+		dst = append(dst, byte(len(f.Auth)))
+		dst = append(dst, f.Auth...)
+	}
+	if f.Packet != nil {
+		var err error
+		dst, err = f.Packet.AppendMarshal(dst)
+		if err != nil {
+			return dst, fmt.Errorf("wire: frame packet: %w", err)
+		}
+	}
+	return dst, nil
+}
+
+// Marshal encodes f into a fresh buffer.
+func (f *Frame) Marshal() ([]byte, error) {
+	size := frameFixedLen
+	if len(f.Auth) > 0 {
+		size += 1 + len(f.Auth)
+	}
+	if f.Packet != nil {
+		size += f.Packet.MarshaledSize()
+	}
+	return f.AppendMarshal(make([]byte, 0, size))
+}
+
+// UnmarshalFrame decodes a frame and returns any trailing bytes.
+func UnmarshalFrame(src []byte) (*Frame, []byte, error) {
+	if len(src) < frameFixedLen {
+		return nil, nil, fmt.Errorf("wire: frame header: %w", ErrTruncated)
+	}
+	f := &Frame{
+		Proto:    LinkProtoID(src[0]),
+		Kind:     FrameKind(src[1]),
+		Seq:      binary.BigEndian.Uint32(src[4:]),
+		Ack:      binary.BigEndian.Uint32(src[8:]),
+		AckBits:  binary.BigEndian.Uint64(src[12:]),
+		SendTime: time.Duration(binary.BigEndian.Uint64(src[20:])),
+	}
+	flags := src[2]
+	rest := src[frameFixedLen:]
+	if flags&frameHasAuth != 0 {
+		if len(rest) < 1 {
+			return nil, nil, fmt.Errorf("wire: frame auth length: %w", ErrTruncated)
+		}
+		authLen := int(rest[0])
+		rest = rest[1:]
+		if len(rest) < authLen {
+			return nil, nil, fmt.Errorf("wire: frame auth body: %w", ErrTruncated)
+		}
+		f.Auth = append([]byte(nil), rest[:authLen]...)
+		rest = rest[authLen:]
+	}
+	if flags&frameHasPacket != 0 {
+		var err error
+		f.Packet, rest, err = UnmarshalPacket(rest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wire: frame packet: %w", err)
+		}
+	}
+	return f, rest, nil
+}
+
+// AuthableBytes returns the canonical encoding of f used for per-link
+// HMACs: the Auth field is empty so the MAC covers everything else.
+func (f *Frame) AuthableBytes() ([]byte, error) {
+	cp := *f
+	cp.Auth = nil
+	return cp.Marshal()
+}

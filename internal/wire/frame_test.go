@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTripControl(t *testing.T) {
+	f := &Frame{
+		Proto:    LPReliable,
+		Kind:     FAck,
+		Seq:      42,
+		Ack:      40,
+		AckBits:  0b1011,
+		SendTime: 123 * time.Millisecond,
+	}
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, rest, err := UnmarshalFrame(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("UnmarshalFrame: %v (rest %d)", err, len(rest))
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", f, got)
+	}
+}
+
+func TestFrameRoundTripWithPacketAndAuth(t *testing.T) {
+	f := &Frame{
+		Proto:    LPITPriority,
+		Kind:     FData,
+		Seq:      7,
+		SendTime: time.Second,
+		Auth:     bytes.Repeat([]byte{0xcd}, 32),
+		Packet:   samplePacket(),
+	}
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, rest, err := UnmarshalFrame(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("UnmarshalFrame: %v (rest %d)", err, len(rest))
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", f, got)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	f := &Frame{Proto: LPBestEffort, Kind: FData, Packet: samplePacket(), Auth: []byte{1, 2, 3, 4}}
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for n := 0; n < len(buf); n++ {
+		if _, _, err := UnmarshalFrame(buf[:n]); err == nil {
+			t.Fatalf("UnmarshalFrame accepted %d/%d-byte prefix", n, len(buf))
+		}
+	}
+}
+
+func TestUnmarshalFrameNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, r.Intn(300))
+		r.Read(buf)
+		_, _, _ = UnmarshalFrame(buf) // must not panic
+	}
+}
+
+func TestAuthableBytesIgnoresAuth(t *testing.T) {
+	f := &Frame{Proto: LPITReliable, Kind: FData, Seq: 5, Packet: samplePacket()}
+	a, err := f.AuthableBytes()
+	if err != nil {
+		t.Fatalf("AuthableBytes: %v", err)
+	}
+	f.Auth = bytes.Repeat([]byte{9}, 32)
+	b, err := f.AuthableBytes()
+	if err != nil {
+		t.Fatalf("AuthableBytes: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("AuthableBytes changed when Auth set")
+	}
+	f.Seq = 6
+	c, err := f.AuthableBytes()
+	if err != nil {
+		t.Fatalf("AuthableBytes: %v", err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("AuthableBytes did not cover Seq")
+	}
+}

@@ -1,0 +1,192 @@
+// Package workload generates the synthetic traffic the experiments drive
+// through the overlay: constant-bit-rate video-like streams, Poisson
+// monitoring streams, request/response control exchanges, and flooding
+// attack traffic. These substitute for the paper's broadcast video and
+// cloud-monitoring feeds (see DESIGN.md §2): the reproduced claims depend
+// on packet rate, deadline, and loss pattern, all captured here.
+package workload
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"sonet/internal/sim"
+)
+
+// Sender emits one message; implementations wrap a session flow.
+type Sender func(seq uint32, payload []byte) error
+
+// CBR drives a constant-bit-rate stream: count packets of size bytes at
+// the given rate. It returns a stop function.
+//
+// Broadcast-quality video is the canonical CBR workload (§III-A).
+type CBR struct {
+	// Clock schedules transmissions.
+	Clock sim.Clock
+	// Interval is the inter-packet gap (e.g. 1 ms for 1000 pkt/s).
+	Interval time.Duration
+	// Size is the payload size in bytes.
+	Size int
+	// Count bounds the number of packets; zero means run until stopped.
+	Count int
+	// Send emits each packet.
+	Send Sender
+	// OnError, when set, receives send errors (default: ignore — IP-like
+	// sources keep streaming through outages).
+	OnError func(error)
+
+	seq     uint32
+	stopped bool
+	timer   sim.Timer
+}
+
+// Start begins the stream immediately.
+func (c *CBR) Start() {
+	if c.Size <= 0 {
+		c.Size = 1200
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Millisecond
+	}
+	c.tick()
+}
+
+// Stop halts the stream.
+func (c *CBR) Stop() {
+	c.stopped = true
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+}
+
+// Sent returns the number of packets emitted so far.
+func (c *CBR) Sent() uint32 { return c.seq }
+
+func (c *CBR) tick() {
+	if c.stopped || (c.Count > 0 && int(c.seq) >= c.Count) {
+		return
+	}
+	c.seq++
+	if err := c.Send(c.seq, make([]byte, c.Size)); err != nil && c.OnError != nil {
+		c.OnError(err)
+	}
+	c.timer = c.Clock.After(c.Interval, func() { c.tick() })
+}
+
+// Poisson drives a Poisson arrival process at the given mean rate —
+// monitoring telemetry and control commands arrive this way (§III-B).
+type Poisson struct {
+	// Clock schedules transmissions.
+	Clock sim.Clock
+	// Rand draws inter-arrival times.
+	Rand *rand.Rand
+	// MeanInterval is the mean inter-arrival gap.
+	MeanInterval time.Duration
+	// Size is the payload size in bytes.
+	Size int
+	// Count bounds the number of packets; zero means run until stopped.
+	Count int
+	// Send emits each packet.
+	Send Sender
+	// OnError, when set, receives send errors.
+	OnError func(error)
+
+	seq     uint32
+	stopped bool
+	timer   sim.Timer
+}
+
+// Start begins the process.
+func (p *Poisson) Start() {
+	if p.Size <= 0 {
+		p.Size = 200
+	}
+	if p.MeanInterval <= 0 {
+		p.MeanInterval = 10 * time.Millisecond
+	}
+	p.schedule()
+}
+
+// Stop halts the process.
+func (p *Poisson) Stop() {
+	p.stopped = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+}
+
+// Sent returns the number of packets emitted so far.
+func (p *Poisson) Sent() uint32 { return p.seq }
+
+func (p *Poisson) schedule() {
+	if p.stopped || (p.Count > 0 && int(p.seq) >= p.Count) {
+		return
+	}
+	gap := time.Duration(p.Rand.ExpFloat64() * float64(p.MeanInterval))
+	p.timer = p.Clock.After(gap, func() {
+		if p.stopped {
+			return
+		}
+		p.seq++
+		if err := p.Send(p.seq, make([]byte, p.Size)); err != nil && p.OnError != nil {
+			p.OnError(err)
+		}
+		p.schedule()
+	})
+}
+
+// Burst emits bursts of packets at a period — the resource-consumption
+// attacker of §IV-B, flooding well above link capacity.
+type Burst struct {
+	// Clock schedules bursts.
+	Clock sim.Clock
+	// Period is the gap between bursts.
+	Period time.Duration
+	// PerBurst is the number of packets per burst.
+	PerBurst int
+	// Size is the payload size in bytes.
+	Size int
+	// Send emits each packet.
+	Send Sender
+
+	seq     uint32
+	stopped bool
+	timer   sim.Timer
+}
+
+// Start begins bursting immediately.
+func (b *Burst) Start() {
+	if b.Size <= 0 {
+		b.Size = 1200
+	}
+	if b.PerBurst <= 0 {
+		b.PerBurst = 100
+	}
+	if b.Period <= 0 {
+		b.Period = 100 * time.Millisecond
+	}
+	b.tick()
+}
+
+// Stop halts the attack.
+func (b *Burst) Stop() {
+	b.stopped = true
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+}
+
+// Sent returns the number of packets emitted so far.
+func (b *Burst) Sent() uint32 { return b.seq }
+
+func (b *Burst) tick() {
+	if b.stopped {
+		return
+	}
+	for i := 0; i < b.PerBurst; i++ {
+		b.seq++
+		// Attack traffic ignores errors by design.
+		_ = b.Send(b.seq, make([]byte, b.Size))
+	}
+	b.timer = b.Clock.After(b.Period, func() { b.tick() })
+}

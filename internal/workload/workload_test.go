@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"sonet/internal/sim"
+)
+
+func TestCBRRateAndCount(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var at []time.Duration
+	c := &CBR{
+		Clock:    sched,
+		Interval: 10 * time.Millisecond,
+		Count:    50,
+		Send: func(seq uint32, payload []byte) error {
+			at = append(at, sched.Now())
+			if len(payload) != 1200 {
+				t.Errorf("payload %d bytes, want default 1200", len(payload))
+			}
+			return nil
+		},
+	}
+	c.Start()
+	sched.RunFor(10 * time.Second)
+	if len(at) != 50 {
+		t.Fatalf("sent %d, want 50", len(at))
+	}
+	for i := 1; i < len(at); i++ {
+		if at[i]-at[i-1] != 10*time.Millisecond {
+			t.Fatalf("gap %v at %d", at[i]-at[i-1], i)
+		}
+	}
+	if c.Sent() != 50 {
+		t.Fatalf("Sent() = %d", c.Sent())
+	}
+}
+
+func TestCBRStop(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	sent := 0
+	c := &CBR{
+		Clock:    sched,
+		Interval: 10 * time.Millisecond,
+		Send:     func(uint32, []byte) error { sent++; return nil },
+	}
+	c.Start()
+	sched.RunFor(95 * time.Millisecond)
+	c.Stop()
+	sched.RunFor(time.Second)
+	if sent != 10 {
+		t.Fatalf("sent %d after stop, want 10", sent)
+	}
+}
+
+func TestCBRErrorHook(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	errs := 0
+	c := &CBR{
+		Clock:    sched,
+		Interval: time.Millisecond,
+		Count:    5,
+		Send:     func(uint32, []byte) error { return errors.New("down") },
+		OnError:  func(error) { errs++ },
+	}
+	c.Start()
+	sched.RunFor(time.Second)
+	if errs != 5 {
+		t.Fatalf("OnError fired %d times, want 5", errs)
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	sent := 0
+	p := &Poisson{
+		Clock:        sched,
+		Rand:         rand.New(rand.NewPCG(1, 2)),
+		MeanInterval: 10 * time.Millisecond,
+		Send:         func(uint32, []byte) error { sent++; return nil },
+	}
+	p.Start()
+	sched.RunFor(60 * time.Second)
+	p.Stop()
+	// 100 pkt/s over 60 s → ~6000, CV ~1.3%.
+	if math.Abs(float64(sent)-6000) > 400 {
+		t.Fatalf("sent %d, want ≈6000", sent)
+	}
+}
+
+func TestBurstAttack(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	sent := 0
+	b := &Burst{
+		Clock:    sched,
+		Period:   100 * time.Millisecond,
+		PerBurst: 100,
+		Send:     func(uint32, []byte) error { sent++; return nil },
+	}
+	b.Start()
+	sched.RunFor(950 * time.Millisecond)
+	b.Stop()
+	sched.RunFor(time.Second)
+	if sent != 1000 {
+		t.Fatalf("sent %d, want 1000 (10 bursts × 100)", sent)
+	}
+}

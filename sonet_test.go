@@ -1,0 +1,384 @@
+package sonet
+
+import (
+	"testing"
+	"time"
+)
+
+// apiDiamond is the 4-node diamond expressed through the public API.
+func apiDiamond() []Link {
+	ms := time.Millisecond
+	return []Link{
+		{A: 1, B: 2, Latency: 10 * ms},
+		{A: 2, B: 4, Latency: 10 * ms},
+		{A: 1, B: 3, Latency: 12 * ms},
+		{A: 3, B: 4, Latency: 12 * ms},
+	}
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	net, err := New(1, apiDiamond())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer net.Close()
+	dst, err := net.Connect(4, 100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src, err := net.Connect(1, 0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(FlowSpec{To: 4, ToPort: 100, Service: Reliable, Ordered: true})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := flow.Send([]byte("hello")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	net.Run(time.Second)
+	got := dst.Deliveries()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d, want 10", len(got))
+	}
+	if string(got[0].Payload) != "hello" || got[0].From != 1 {
+		t.Fatalf("delivery = %+v", got[0])
+	}
+	if got[0].Latency != 20*time.Millisecond {
+		t.Fatalf("latency %v, want 20ms", got[0].Latency)
+	}
+	if flow.Sent() != 10 {
+		t.Fatalf("Sent() = %d", flow.Sent())
+	}
+}
+
+func TestPublicAPILossyReliable(t *testing.T) {
+	links := apiDiamond()
+	for i := range links {
+		links[i].LossRate = 0.05
+	}
+	net, err := New(2, links)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer net.Close()
+	dst, err := net.Connect(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.Connect(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := src.OpenFlow(FlowSpec{To: 4, ToPort: 100, Service: Reliable, Ordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		i := i
+		net.RunAt(time.Duration(i)*5*time.Millisecond, func() { _ = flow.Send(nil) })
+	}
+	net.Run(20 * time.Second)
+	st := dst.Stats()
+	if st.Received != 200 {
+		t.Fatalf("received %d/200 over lossy links", st.Received)
+	}
+	// Some deliveries must be marked recovered.
+	recovered := 0
+	for _, d := range dst.Deliveries() {
+		if d.Recovered {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no recovered deliveries at 5% loss")
+	}
+}
+
+func TestPublicAPIBurstLossRealTime(t *testing.T) {
+	links := []Link{{A: 1, B: 2, Latency: 40 * time.Millisecond,
+		BurstLoss: &BurstLoss{PGoodBad: 0.003, PBadGood: 0.08, LossGood: 0.0005, LossBad: 0.85}}}
+	net, err := New(3, links, WithStrikes(3, 2, 160*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	dst, err := net.Connect(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.Connect(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := src.OpenFlow(FlowSpec{
+		To: 2, ToPort: 100, Service: RealTime,
+		Ordered: true, Deadline: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		i := i
+		net.RunAt(time.Duration(i)*time.Millisecond, func() { _ = flow.Send(nil) })
+	}
+	net.Run(10 * time.Second)
+	st := dst.Stats()
+	if ratio := float64(st.Received) / n; ratio < 0.995 {
+		t.Fatalf("on-time delivery %.4f under bursty loss, want >= 0.995", ratio)
+	}
+	if st.P99Latency > 200*time.Millisecond {
+		t.Fatalf("p99 %v exceeds deadline", st.P99Latency)
+	}
+}
+
+func TestPublicAPIMulticastAndAnycast(t *testing.T) {
+	net, err := New(4, apiDiamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	const grp GroupID = 9
+	m2, err := net.Connect(2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Join(grp)
+	m4, err := net.Connect(4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4.Join(grp)
+	net.Settle()
+	src, err := net.Connect(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := src.OpenFlow(FlowSpec{Group: grp, ToPort: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Send([]byte("to-all")); err != nil {
+		t.Fatal(err)
+	}
+	ac, err := src.OpenFlow(FlowSpec{Group: grp, ToPort: 300, Anycast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Send([]byte("to-one")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(time.Second)
+	d2 := m2.Deliveries()
+	d4 := m4.Deliveries()
+	if len(d2)+len(d4) != 3 {
+		t.Fatalf("deliveries = %d + %d, want 3 (2 multicast + 1 anycast)", len(d2), len(d4))
+	}
+	if len(d2) != 2 {
+		t.Fatalf("nearest member got %d, want multicast + anycast", len(d2))
+	}
+}
+
+func TestPublicAPICompromiseAndDisjoint(t *testing.T) {
+	net, err := New(5, apiDiamond(),
+		WithAuthentication([]byte("trial")),
+		WithCompromisedNode(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	dst, err := net.Connect(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.Connect(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := src.OpenFlow(FlowSpec{To: 4, ToPort: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(time.Second)
+	if got := len(dst.Deliveries()); got != 0 {
+		t.Fatalf("blackholed path delivered %d", got)
+	}
+	disjoint, err := src.OpenFlow(FlowSpec{To: 4, ToPort: 100, DisjointPaths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disjoint.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(time.Second)
+	if got := len(dst.Deliveries()); got != 1 {
+		t.Fatalf("disjoint delivery = %d, want 1", got)
+	}
+	st, ok := net.NodeStats(2)
+	if !ok || st.Blackholed == 0 {
+		t.Fatalf("compromised node stats = %+v", st)
+	}
+}
+
+func TestPublicAPIFailureAndReroute(t *testing.T) {
+	net, err := New(6, apiDiamond(), WithHelloInterval(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	path := net.PathBetween(1, 4)
+	if len(path) != 3 || path[1] != 2 {
+		t.Fatalf("initial path %v, want via 2", path)
+	}
+	if err := net.CutLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(2 * time.Second)
+	path = net.PathBetween(1, 4)
+	if len(path) != 3 || path[1] != 3 {
+		t.Fatalf("post-cut path %v, want via 3", path)
+	}
+	if err := net.RestoreLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(8 * time.Second)
+	path = net.PathBetween(1, 4)
+	if len(path) != 3 || path[1] != 2 {
+		t.Fatalf("post-restore path %v, want via 2 again", path)
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	if _, err := New(1, nil); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	net, err := New(7, apiDiamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if _, err := net.Connect(99, 0); err == nil {
+		t.Fatal("connect to unknown node accepted")
+	}
+	if err := net.CutLink(1, 99); err == nil {
+		t.Fatal("cut of unknown link accepted")
+	}
+	c, err := net.Connect(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenFlow(FlowSpec{}); err == nil {
+		t.Fatal("flow without destination accepted")
+	}
+}
+
+func TestPublicAPIDelayAndCorruptOptions(t *testing.T) {
+	net, err := New(9, apiDiamond(),
+		WithAuthentication([]byte("k")),
+		WithCorruptingNode(2),
+		WithDelayingNode(3, 200*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	dst, err := net.Connect(4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.Connect(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signed flow via the corrupting node 2: dropped downstream.
+	f, err := src.OpenFlow(FlowSpec{To: 4, ToPort: 100, Service: ITPriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send([]byte("cmd")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(time.Second)
+	if got := dst.Stats().Received; got != 0 {
+		t.Fatalf("tampered delivery count %d", got)
+	}
+	// Flooded copy survives via the delaying node 3, just late.
+	ff, err := src.OpenFlow(FlowSpec{To: 4, ToPort: 100, Service: ITPriority, Flood: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ff.Send([]byte("cmd")); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(2 * time.Second)
+	st := dst.Stats()
+	if st.Received != 1 {
+		t.Fatalf("flood delivery count %d, want 1", st.Received)
+	}
+	if st.MeanLatency < 200*time.Millisecond {
+		t.Fatalf("latency %v, want delayed >= 200ms via node 3", st.MeanLatency)
+	}
+}
+
+func TestPublicAPINodeFailureAnycast(t *testing.T) {
+	net, err := New(10, apiDiamond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	const g GroupID = 31
+	m2, err := net.Connect(2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Join(g)
+	m3, err := net.Connect(3, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3.Join(g)
+	net.Settle()
+	src, err := net.Connect(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := src.OpenFlow(FlowSpec{Group: g, Anycast: true, ToPort: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flow.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(time.Second)
+	if len(m2.Deliveries()) != 1 {
+		t.Fatal("nearest member did not serve")
+	}
+	// The nearest member's data center fails: anycast re-resolves.
+	net.FailNode(2)
+	net.Run(3 * time.Second)
+	if err := flow.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(time.Second)
+	if got := len(m3.Deliveries()); got != 1 {
+		t.Fatalf("surviving member served %d, want 1", got)
+	}
+	// Restore and verify the node rejoins service.
+	net.RestoreNode(2)
+	net.Run(8 * time.Second)
+	if err := flow.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(time.Second)
+	if got := len(m2.Deliveries()); got != 1 {
+		t.Fatalf("restored member served %d, want 1", got)
+	}
+}
