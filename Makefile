@@ -2,19 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fuzz clean
+.PHONY: all check build vet test test-race race cover bench experiments examples fuzz clean
 
-all: build test
+all: check
+
+# The default gate: compile, static checks, unit tests, and the race
+# detector (the buffer-pool ownership rules make -race a required check).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
 	$(GO) vet ./...
+
+test:
 	$(GO) test ./...
 
-race:
+test-race:
 	$(GO) test -race ./...
+
+race: test-race
 
 cover:
 	$(GO) test -cover ./...
@@ -38,6 +46,7 @@ examples:
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalPacket -fuzztime 30s
 	$(GO) test ./internal/wire/ -fuzz FuzzUnmarshalFrame -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz FuzzFramePooledRoundTrip -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

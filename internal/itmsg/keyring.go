@@ -108,17 +108,22 @@ func (k *Keyring) VerifyPacket(p *wire.Packet) bool {
 	return ed25519.Verify(pub, msg, p.Sig)
 }
 
-// MacFrame attaches the pairwise HMAC for the link to peer.
+// MacFrame attaches the pairwise HMAC for the link to peer. The canonical
+// encoding is built in a pooled buffer, so MACing adds no per-frame buffer
+// allocation.
 func (k *Keyring) MacFrame(f *wire.Frame, peer wire.NodeID) error {
 	key, ok := k.linkKeys[peer]
 	if !ok {
 		return fmt.Errorf("itmsg: no link key for peer %v", peer)
 	}
 	f.Auth = nil
-	msg, err := f.AuthableBytes()
+	buf := wire.DefaultBufPool.Get(f.MarshaledSize())
+	defer buf.Release()
+	msg, err := f.AppendAuthable(buf.B)
 	if err != nil {
 		return fmt.Errorf("itmsg: mac: %w", err)
 	}
+	buf.B = msg
 	mac := hmac.New(sha256.New, key)
 	mac.Write(msg)
 	f.Auth = mac.Sum(nil)
@@ -132,10 +137,13 @@ func (k *Keyring) VerifyFrame(f *wire.Frame, peer wire.NodeID) bool {
 	if !ok || len(f.Auth) == 0 {
 		return false
 	}
-	msg, err := f.AuthableBytes()
+	buf := wire.DefaultBufPool.Get(f.MarshaledSize())
+	defer buf.Release()
+	msg, err := f.AppendAuthable(buf.B)
 	if err != nil {
 		return false
 	}
+	buf.B = msg
 	mac := hmac.New(sha256.New, key)
 	mac.Write(msg)
 	return hmac.Equal(mac.Sum(nil), f.Auth)

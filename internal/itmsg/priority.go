@@ -71,6 +71,8 @@ type PriorityLink struct {
 	pacing bool
 	timer  sim.Timer
 	stats  link.Stats
+	// tx is the reusable frame for paced transmits.
+	tx wire.Frame
 	// Evicted counts messages dropped by buffer policy.
 	evicted uint64
 	closed  bool
@@ -100,7 +102,8 @@ func NewPriorityLink(env link.Env, cfg SchedConfig) *PriorityLink {
 }
 
 // Send implements link.Protocol: it enqueues under the fair-allocation
-// policy and lets the pacer transmit at link rate.
+// policy and lets the pacer transmit at link rate. The packet is borrowed;
+// the queues store clones.
 func (l *PriorityLink) Send(p *wire.Packet) {
 	if l.closed {
 		return
@@ -111,7 +114,7 @@ func (l *PriorityLink) Send(p *wire.Packet) {
 			l.stats.SendDropped++
 			return
 		}
-		l.fifo = append(l.fifo, p)
+		l.fifo = append(l.fifo, p.Clone())
 		l.ensurePacing()
 		return
 	}
@@ -142,7 +145,7 @@ func (l *PriorityLink) Send(p *wire.Packet) {
 		l.evicted++
 		l.stats.SendDropped++
 	}
-	b.entries = append(b.entries, prioEntry{p: p, seq: l.enqSeq})
+	b.entries = append(b.entries, prioEntry{p: p.Clone(), seq: l.enqSeq})
 	l.ensurePacing()
 }
 
@@ -164,12 +167,13 @@ func (l *PriorityLink) pace() {
 		return
 	}
 	l.stats.DataSent++
-	l.env.Transmit(&wire.Frame{
+	l.tx = wire.Frame{
 		Proto:    wire.LPITPriority,
 		Kind:     wire.FData,
 		SendTime: l.env.Clock().Now(),
 		Packet:   p,
-	})
+	}
+	l.env.Transmit(&l.tx)
 	if l.hasBacklog() {
 		l.ensurePacing()
 	}
@@ -247,5 +251,11 @@ func (l *PriorityLink) Close() {
 	l.closed = true
 	if l.timer != nil {
 		l.timer.Stop()
+		l.timer = nil
 	}
+	for src := range l.bufs {
+		delete(l.bufs, src)
+	}
+	l.order = nil
+	l.fifo = nil
 }

@@ -77,7 +77,8 @@ func (e *innerEnv) Transmit(f *wire.Frame) {
 func (e *innerEnv) Deliver(p *wire.Packet) { e.outer.Deliver(p) }
 
 // Send implements link.Protocol: it enqueues under per-flow allocation;
-// the pacer feeds the underlying reliable link at capacity.
+// the pacer feeds the underlying reliable link at capacity. The packet is
+// borrowed; the flow queues store clones.
 func (l *ReliableFairLink) Send(p *wire.Packet) {
 	if l.closed {
 		return
@@ -87,7 +88,7 @@ func (l *ReliableFairLink) Send(p *wire.Packet) {
 			l.rejected++
 			return
 		}
-		l.fifo = append(l.fifo, p)
+		l.fifo = append(l.fifo, p.Clone())
 		l.ensurePacing()
 		return
 	}
@@ -103,7 +104,7 @@ func (l *ReliableFairLink) Send(p *wire.Packet) {
 		l.rejected++
 		return
 	}
-	q.entries = append(q.entries, p)
+	q.entries = append(q.entries, p.Clone())
 	l.ensurePacing()
 }
 
@@ -135,7 +136,9 @@ func (l *ReliableFairLink) pace() {
 	if p == nil {
 		return
 	}
-	l.inner.Send(p)
+	// The dequeued packet was cloned at Send, so ownership transfers to the
+	// inner ARQ without another copy.
+	l.inner.SendOwned(p)
 	if l.hasBacklog() {
 		l.ensurePacing()
 	}
@@ -204,6 +207,12 @@ func (l *ReliableFairLink) Close() {
 	l.closed = true
 	if l.timer != nil {
 		l.timer.Stop()
+		l.timer = nil
 	}
+	for key := range l.flows {
+		delete(l.flows, key)
+	}
+	l.order = nil
+	l.fifo = nil
 	l.inner.Close()
 }

@@ -4,10 +4,15 @@ import "sonet/internal/wire"
 
 // BestEffort transmits each packet exactly once with no recovery — the
 // overlay analogue of plain IP forwarding, and the base link service for
-// traffic whose own protocol handles (or tolerates) loss.
+// traffic whose own protocol handles (or tolerates) loss. It retains
+// nothing, so it never clones: a borrowed packet goes straight into a
+// scratch frame that Transmit marshals synchronously.
 type BestEffort struct {
 	env   Env
 	stats Stats
+	// tx is the reusable frame for the allocation-free send path; Transmit
+	// borrows it, so reusing it across Sends is safe.
+	tx wire.Frame
 }
 
 var _ Protocol = (*BestEffort)(nil)
@@ -20,12 +25,13 @@ func NewBestEffort(env Env) *BestEffort {
 // Send implements Protocol.
 func (b *BestEffort) Send(p *wire.Packet) {
 	b.stats.DataSent++
-	b.env.Transmit(&wire.Frame{
+	b.tx = wire.Frame{
 		Proto:    wire.LPBestEffort,
 		Kind:     wire.FData,
 		SendTime: b.env.Clock().Now(),
 		Packet:   p,
-	})
+	}
+	b.env.Transmit(&b.tx)
 }
 
 // HandleFrame implements Protocol.

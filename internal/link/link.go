@@ -19,26 +19,39 @@ import (
 )
 
 // Env is what a link protocol instance needs from its host overlay node.
+//
+// Buffer ownership: Transmit and Deliver both borrow their argument — the
+// callee uses it synchronously (marshal, route, deliver) and must not keep
+// a reference past the call, because frames may be protocol scratch space
+// and packets may alias pooled receive buffers (see DESIGN.md §6).
 type Env interface {
 	// Clock returns the node's clock.
 	Clock() sim.Clock
-	// Transmit sends a frame to the link's peer over the underlay.
+	// Transmit sends a frame to the link's peer over the underlay. The
+	// frame is borrowed: it is marshaled before Transmit returns and may
+	// be reused by the caller immediately after.
 	Transmit(f *wire.Frame)
 	// Deliver hands a packet received on this link up to the node's
-	// forwarding plane.
+	// forwarding plane. The packet is borrowed; the forwarding plane
+	// clones it if anything retains it past the call.
 	Deliver(p *wire.Packet)
 }
 
 // Protocol is one endpoint of a link-level protocol instance.
 type Protocol interface {
 	// Send transmits a routing-level packet to the peer, applying the
-	// protocol's recovery discipline.
+	// protocol's recovery discipline. The packet is borrowed: protocols
+	// that retain packets (retransmission history, pacing queues) clone
+	// internally, which keeps the common fan-out path allocation-free.
 	Send(p *wire.Packet)
-	// HandleFrame processes a frame received from the peer.
+	// HandleFrame processes a frame received from the peer. The frame and
+	// its packet are borrowed for the duration of the call.
 	HandleFrame(f *wire.Frame)
 	// Stats returns a snapshot of the instance's counters.
 	Stats() Stats
-	// Close cancels all pending timers.
+	// Close cancels all pending timers and releases retransmission
+	// buffers; a closed protocol ignores Send and HandleFrame, and none of
+	// its timers fire afterwards.
 	Close()
 }
 

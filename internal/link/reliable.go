@@ -108,6 +108,8 @@ type Reliable struct {
 
 	stats  Stats
 	closed bool
+	// tx is the reusable frame for synchronous transmits.
+	tx wire.Frame
 }
 
 type sentFrame struct {
@@ -136,8 +138,20 @@ func NewReliable(env Env, cfg ReliableConfig) *Reliable {
 	}
 }
 
-// Send implements Protocol.
+// Send implements Protocol. The packet is borrowed; the link clones it
+// into its retransmission state.
 func (r *Reliable) Send(p *wire.Packet) {
+	if r.closed {
+		return
+	}
+	r.SendOwned(p.Clone())
+}
+
+// SendOwned is Send for a packet whose ownership transfers to the link,
+// skipping the defensive clone. Callers that hand over packets they will
+// never touch again (e.g. a pacing queue that already cloned) use this to
+// avoid double-copying on the reliable path.
+func (r *Reliable) SendOwned(p *wire.Packet) {
 	if r.closed {
 		return
 	}
@@ -157,13 +171,14 @@ func (r *Reliable) transmitNew(p *wire.Packet) {
 	seq := r.nextSeq
 	r.unacked[seq] = &sentFrame{packet: p}
 	r.stats.DataSent++
-	r.env.Transmit(&wire.Frame{
+	r.tx = wire.Frame{
 		Proto:    wire.LPReliable,
 		Kind:     wire.FData,
 		Seq:      seq,
 		SendTime: r.env.Clock().Now(),
 		Packet:   p,
-	})
+	}
+	r.env.Transmit(&r.tx)
 	r.armRTO()
 }
 
@@ -212,7 +227,9 @@ func (r *Reliable) deliverUp(seq uint32, p *wire.Packet) {
 		r.env.Deliver(p)
 		return
 	}
-	r.inOrder[seq] = p
+	// Buffering retains the packet past HandleFrame, so take ownership of a
+	// copy (the original aliases the receive buffer).
+	r.inOrder[seq] = p.Clone()
 	r.flushInOrder()
 }
 
@@ -232,13 +249,14 @@ func (r *Reliable) flushInOrder() {
 
 func (r *Reliable) sendAck(echo time.Duration) {
 	r.stats.Acks++
-	r.env.Transmit(&wire.Frame{
+	r.tx = wire.Frame{
 		Proto:    wire.LPReliable,
 		Kind:     wire.FAck,
 		Ack:      r.recvWin.Cum(),
 		AckBits:  r.recvWin.AckBits(),
 		SendTime: echo,
-	})
+	}
+	r.env.Transmit(&r.tx)
 }
 
 func (r *Reliable) requestSeq(seq uint32) {
@@ -263,12 +281,13 @@ func (r *Reliable) requestSeq(seq uint32) {
 			return
 		}
 		r.stats.Requests++
-		r.env.Transmit(&wire.Frame{
+		r.tx = wire.Frame{
 			Proto:    wire.LPReliable,
 			Kind:     wire.FReq,
 			Seq:      seq,
 			SendTime: r.env.Clock().Now(),
-		})
+		}
+		r.env.Transmit(&r.tx)
 		req.timer = r.env.Clock().After(r.cfg.ReqInterval, fire)
 	}
 	fire()
@@ -319,15 +338,18 @@ func (r *Reliable) retransmit(seq uint32, entry *sentFrame) {
 		return
 	}
 	r.stats.Retransmissions++
-	pkt := entry.packet.Clone()
-	pkt.Flags |= wire.FRetrans
-	r.env.Transmit(&wire.Frame{
+	// The retained packet is link-owned, so the retransmission flag can be
+	// set in place; Transmit marshals synchronously and the flag is sticky
+	// for the remaining retries anyway.
+	entry.packet.Flags |= wire.FRetrans
+	r.tx = wire.Frame{
 		Proto:    wire.LPReliable,
 		Kind:     wire.FData,
 		Seq:      seq,
 		SendTime: r.env.Clock().Now(),
-		Packet:   pkt,
-	})
+		Packet:   entry.packet,
+	}
+	r.env.Transmit(&r.tx)
 }
 
 // armRTO (re)arms the sender retransmission timer when frames are in
@@ -369,7 +391,18 @@ func (r *Reliable) OutstandingFrames() int { return len(r.unacked) + len(r.queue
 func (r *Reliable) Close() {
 	r.closed = true
 	stopTimer(r.rtoTimer)
-	for _, req := range r.pendReqs {
+	r.rtoTimer = nil
+	for seq, req := range r.pendReqs {
 		stopTimer(req.timer)
+		delete(r.pendReqs, seq)
+	}
+	// Release retransmission and reordering buffers so a torn-down link
+	// holds no packet memory while awaiting GC.
+	for seq := range r.unacked {
+		delete(r.unacked, seq)
+	}
+	r.queue = nil
+	for seq := range r.inOrder {
+		delete(r.inOrder, seq)
 	}
 }

@@ -123,6 +123,9 @@ type Strikes struct {
 
 	stats  Stats
 	closed bool
+	// tx is the reusable frame for transmits (all calls are serialized by
+	// the node's executor, timers included).
+	tx wire.Frame
 }
 
 type strikeState struct {
@@ -145,14 +148,15 @@ func NewStrikes(env Env, cfg StrikesConfig) *Strikes {
 	}
 }
 
-// Send implements Protocol.
+// Send implements Protocol. The packet is borrowed; the retransmission
+// history keeps a clone.
 func (s *Strikes) Send(p *wire.Packet) {
 	if s.closed {
 		return
 	}
 	s.nextSeq++
 	seq := s.nextSeq
-	s.history[seq] = p
+	s.history[seq] = p.Clone()
 	s.histOrder = append(s.histOrder, seq)
 	for len(s.histOrder) > s.cfg.HistoryLimit {
 		old := s.histOrder[0]
@@ -166,13 +170,14 @@ func (s *Strikes) Send(p *wire.Packet) {
 		}
 	}
 	s.stats.DataSent++
-	s.env.Transmit(&wire.Frame{
+	s.tx = wire.Frame{
 		Proto:    wire.LPRealTime,
 		Kind:     wire.FData,
 		Seq:      seq,
 		SendTime: s.env.Clock().Now(),
 		Packet:   p,
-	})
+	}
+	s.env.Transmit(&s.tx)
 }
 
 // HandleFrame implements Protocol.
@@ -242,13 +247,14 @@ func (s *Strikes) scheduleRequests(seq uint32) {
 			// The request carries the remaining recovery budget (in
 			// microseconds, via the Ack field) so the sender can spread
 			// its M copies over exactly the useful window.
-			s.env.Transmit(&wire.Frame{
+			s.tx = wire.Frame{
 				Proto:    wire.LPRealTime,
 				Kind:     wire.FReq,
 				Seq:      seq,
 				Ack:      uint32(remaining / time.Microsecond),
 				SendTime: s.env.Clock().Now(),
-			})
+			}
+			s.env.Transmit(&s.tx)
 		})
 		st.timers = append(st.timers, timer)
 	}
@@ -296,16 +302,18 @@ func (s *Strikes) onReq(f *wire.Frame) {
 			if !still {
 				return
 			}
-			cp := pkt.Clone()
-			cp.Flags |= wire.FRetrans
+			// The history entry is link-owned, so the retransmission flag
+			// can be set in place.
+			pkt.Flags |= wire.FRetrans
 			s.stats.Retransmissions++
-			s.env.Transmit(&wire.Frame{
+			s.tx = wire.Frame{
 				Proto:    wire.LPRealTime,
 				Kind:     wire.FData,
 				Seq:      seq,
 				SendTime: s.env.Clock().Now(),
-				Packet:   cp,
-			})
+				Packet:   pkt,
+			}
+			s.env.Transmit(&s.tx)
 		}))
 	}
 	// The epoch spans the rest of the budget: later strikes for this
@@ -326,14 +334,22 @@ func (s *Strikes) Stats() Stats { return s.stats }
 // Close implements Protocol.
 func (s *Strikes) Close() {
 	s.closed = true
-	for _, st := range s.pending {
+	for seq, st := range s.pending {
 		for _, t := range st.timers {
 			stopTimer(t)
 		}
+		delete(s.pending, seq)
 	}
-	for _, timers := range s.retransEpoch {
+	for seq, timers := range s.retransEpoch {
 		for _, t := range timers {
 			stopTimer(t)
 		}
+		delete(s.retransEpoch, seq)
 	}
+	// Drop the retransmission history so a torn-down link holds no packet
+	// memory.
+	for seq := range s.history {
+		delete(s.history, seq)
+	}
+	s.histOrder = nil
 }

@@ -8,8 +8,54 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// PoolStats counts buffer-pool activity on the forwarding fast path. The
+// counters are atomic because pooled buffers cross goroutines in deployment
+// (UDP receive loop → event loop); in emulation everything is one thread
+// and the atomics cost a few nanoseconds per packet.
+//
+// The zero value is ready to use.
+type PoolStats struct {
+	// Hits counts Get calls served by a recycled buffer.
+	Hits atomic.Uint64
+	// Misses counts Get calls that had to allocate (empty pool or an
+	// oversized request no size class covers).
+	Misses atomic.Uint64
+	// Recycled counts buffer capacity (bytes) returned to the pool for
+	// reuse instead of being garbage.
+	Recycled atomic.Uint64
+}
+
+// PoolSnapshot is a point-in-time copy of PoolStats.
+type PoolSnapshot struct {
+	// Hits counts Get calls served by a recycled buffer.
+	Hits uint64
+	// Misses counts Get calls that allocated.
+	Misses uint64
+	// Recycled counts buffer bytes returned for reuse.
+	Recycled uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *PoolStats) Snapshot() PoolSnapshot {
+	return PoolSnapshot{
+		Hits:     s.Hits.Load(),
+		Misses:   s.Misses.Load(),
+		Recycled: s.Recycled.Load(),
+	}
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before the first Get.
+func (s PoolSnapshot) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
 
 // Latencies accumulates one-way delivery latencies for a flow.
 //

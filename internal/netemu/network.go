@@ -223,8 +223,13 @@ func (n *Network) Send(from, to wire.NodeID, provider ISPID, data []byte) {
 		}
 	}
 
-	payload := append([]byte(nil), data...)
+	// The sender borrows data, so the in-flight copy lives in a pooled
+	// buffer released once the destination handler returns (handlers borrow
+	// the bytes too).
+	buf := wire.DefaultBufPool.Get(len(data))
+	buf.B = append(buf.B, data...)
 	n.sched.After(latency, func() {
+		defer buf.Release()
 		h, ok := n.handlers[to]
 		if !ok {
 			return
@@ -235,7 +240,7 @@ func (n *Network) Send(from, to wire.NodeID, provider ISPID, data []byte) {
 			return
 		}
 		n.stats.Delivered++
-		h(from, payload)
+		h(from, buf.B)
 	})
 }
 

@@ -143,6 +143,13 @@ type Node struct {
 	stats        Stats
 	refreshTimer sim.Timer
 	closed       bool
+
+	// rxFrame and rxPacket are the receive-path decode scratch: every
+	// frame arriving from the underlay is decoded into them in place, so
+	// the per-hop pipeline allocates nothing. They alias the arriving
+	// datagram; any component that retains packet state clones it.
+	rxFrame  wire.Frame
+	rxPacket wire.Packet
 }
 
 // New assembles a node. The deliver sink receives packets addressed to
@@ -324,13 +331,16 @@ func (n *Node) requiresSignature(p *wire.Packet) bool {
 	return p.LinkProto == wire.LPITPriority || p.LinkProto == wire.LPITReliable
 }
 
-// HandleUnderlay processes raw frame bytes arriving from a neighbor.
+// HandleUnderlay processes raw frame bytes arriving from a neighbor. The
+// data buffer is borrowed for the duration of the call: the decoded frame
+// aliases it, and so does everything downstream until a retention point
+// clones.
 func (n *Node) HandleUnderlay(from wire.NodeID, data []byte) {
 	if n.closed || n.cfg.Compromised.DropAll {
 		return
 	}
-	f, _, err := wire.UnmarshalFrame(data)
-	if err != nil {
+	f := &n.rxFrame
+	if _, err := wire.UnmarshalFrameInto(f, &n.rxPacket, data); err != nil {
 		return
 	}
 	if n.cfg.Keyring != nil && !n.cfg.Keyring.VerifyFrame(f, from) {
@@ -407,8 +417,10 @@ func (n *Node) routeAuthed(p *wire.Packet, arrived wire.LinkID) {
 	n.route(p, arrived)
 }
 
-// route applies the routing decision: local delivery and per-link
-// forwarding with TTL accounting.
+// route applies the routing decision: per-link forwarding with TTL
+// accounting, then local delivery. Forwarding runs first because the
+// decision's Forward slice is engine-owned scratch and local delivery can
+// re-enter the engine (session code may synchronously originate packets).
 func (n *Node) route(p *wire.Packet, arrived wire.LinkID) {
 	firstSeen := true
 	if p.Route != wire.RouteLinkState {
@@ -422,29 +434,40 @@ func (n *Node) route(p *wire.Packet, arrived wire.LinkID) {
 		}
 	}
 	d := n.engine.Decide(p, arrived, firstSeen)
+	var local *wire.Packet
 	if d.DeliverLocal {
 		n.stats.DeliveredLocal++
-		n.deliver(p)
+		local = p
+		if arrived != routing.NoLink || len(d.Forward) > 0 {
+			// Wire-received packets alias the receive buffer and the
+			// session level retains delivered payloads; forwarding mutates
+			// TTL in place. Either way the delivered copy must be
+			// independent of p.
+			local = p.Clone()
+		}
 	}
 	if len(d.Forward) == 0 {
 		if !d.DeliverLocal && firstSeen {
 			n.stats.DroppedNoRoute++
 		}
-		return
-	}
-	if p.TTL <= 1 {
+	} else if p.TTL <= 1 {
 		n.stats.DroppedTTL++
-		return
-	}
-	for _, lid := range d.Forward {
-		nl, ok := n.byLink[lid]
-		if !ok {
-			continue
+	} else {
+		// One in-place decrement covers the whole fan-out: signatures
+		// exclude TTL, and every protocol that retains the packet clones
+		// it, so the borrowed p can feed all egress links.
+		p.TTL--
+		for _, lid := range d.Forward {
+			nl, ok := n.byLink[lid]
+			if !ok {
+				continue
+			}
+			n.stats.Forwarded++
+			n.protoFor(nl, p.LinkProto).Send(p)
 		}
-		cp := p.Clone()
-		cp.TTL--
-		n.stats.Forwarded++
-		n.protoFor(nl, cp.LinkProto).Send(cp)
+	}
+	if local != nil {
+		n.deliver(local)
 	}
 }
 
@@ -515,11 +538,17 @@ func (n *Node) transmitFrame(peer wire.NodeID, f *wire.Frame) {
 			return
 		}
 	}
-	buf, err := f.Marshal()
+	buf := wire.DefaultBufPool.Get(f.MarshaledSize())
+	b, err := f.AppendMarshal(buf.B)
 	if err != nil {
+		buf.Release()
 		return
 	}
-	n.under.Send(peer, nl.path, buf)
+	buf.B = b
+	// The underlay borrows the bytes: the emulator copies them into its own
+	// pooled delivery buffer and the UDP transport writes synchronously.
+	n.under.Send(peer, nl.path, buf.B)
+	buf.Release()
 }
 
 // lsEnv adapts the node to linkstate.Env.
@@ -603,10 +632,12 @@ func (n *Node) floodControl(t wire.PacketType, payload []byte, except wire.NodeI
 		Src:     n.id,
 		Payload: payload,
 	}
+	// Best-effort Send borrows the packet and marshals synchronously, so
+	// one packet value serves the whole fan-out.
 	for _, peer := range n.neighborOrder {
 		if peer == except {
 			continue
 		}
-		n.protoFor(n.neighbors[peer], wire.LPBestEffort).Send(p.Clone())
+		n.protoFor(n.neighbors[peer], wire.LPBestEffort).Send(p)
 	}
 }

@@ -42,7 +42,9 @@ type Decision struct {
 	// DeliverLocal indicates the packet must be handed to the session
 	// level for local client delivery.
 	DeliverLocal bool
-	// Forward lists the overlay links to transmit the packet on.
+	// Forward lists the overlay links to transmit the packet on. The slice
+	// is scratch space owned by the engine and is valid only until the next
+	// Decide call; callers that need it longer must copy it.
 	Forward []wire.LinkID
 }
 
@@ -60,6 +62,10 @@ type Engine struct {
 
 	// Cached multicast trees keyed by (source, group).
 	trees map[treeKey]*cachedTree
+
+	// fwd is the reusable backing array for Decision.Forward, so the
+	// per-packet decision allocates nothing on the forwarding fast path.
+	fwd []wire.LinkID
 }
 
 type treeKey struct {
@@ -129,7 +135,8 @@ func (e *Engine) decideUnicast(p *wire.Packet) Decision {
 	if !ok {
 		return Decision{}
 	}
-	return Decision{Forward: []wire.LinkID{next}}
+	e.fwd = append(e.fwd[:0], next)
+	return Decision{Forward: e.fwd}
 }
 
 // decideMask forwards over the subgraph given by mask: on every usable
@@ -144,11 +151,15 @@ func (e *Engine) decideMask(p *wire.Packet, mask wire.Bitmask, arrived wire.Link
 		return d
 	}
 	v := e.viewNow()
+	e.fwd = e.fwd[:0]
 	for _, lid := range v.G.Incident(e.self) {
 		if lid == arrived || !mask.Has(lid) || !v.Usable(lid) {
 			continue
 		}
-		d.Forward = append(d.Forward, lid)
+		e.fwd = append(e.fwd, lid)
+	}
+	if len(e.fwd) > 0 {
+		d.Forward = e.fwd
 	}
 	return d
 }
@@ -160,11 +171,15 @@ func (e *Engine) decideMulticast(p *wire.Packet, arrived wire.LinkID, firstSeen 
 	d := Decision{DeliverLocal: e.groups.LocalMember(p.Group)}
 	mask := e.multicastMask(p.Src, p.Group)
 	v := e.viewNow()
+	e.fwd = e.fwd[:0]
 	for _, lid := range v.G.Incident(e.self) {
 		if lid == arrived || !mask.Has(lid) || !v.Usable(lid) {
 			continue
 		}
-		d.Forward = append(d.Forward, lid)
+		e.fwd = append(e.fwd, lid)
+	}
+	if len(e.fwd) > 0 {
+		d.Forward = e.fwd
 	}
 	return d
 }

@@ -77,6 +77,9 @@ func (l *Loop) run() {
 type RealtimeClock struct {
 	exec  Executor
 	epoch time.Time
+
+	mu   sync.Mutex
+	last time.Duration
 }
 
 var _ Clock = (*RealtimeClock)(nil)
@@ -87,8 +90,24 @@ func NewRealtimeClock(exec Executor) *RealtimeClock {
 	return &RealtimeClock{exec: exec, epoch: time.Now()}
 }
 
-// Now returns the wall-clock time elapsed since the clock's epoch.
-func (c *RealtimeClock) Now() time.Duration { return time.Since(c.epoch) }
+// Now returns the time elapsed since the clock's epoch, clamped to be
+// non-decreasing. When the epoch carries no monotonic reading (it was
+// serialized, arithmetic stripped it, or it predates the process),
+// time.Since degrades to wall-clock subtraction, and an NTP step can make
+// successive readings go backwards — which would wreck RTT estimates,
+// timer deadlines, and origin timestamps that all assume time only moves
+// forward.
+func (c *RealtimeClock) Now() time.Duration {
+	d := time.Since(c.epoch)
+	c.mu.Lock()
+	if d < c.last {
+		d = c.last
+	} else {
+		c.last = d
+	}
+	c.mu.Unlock()
+	return d
+}
 
 // After schedules fn on the executor d from now.
 func (c *RealtimeClock) After(d time.Duration, fn func()) Timer {

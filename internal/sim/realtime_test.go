@@ -94,3 +94,47 @@ func TestRealtimeClockNowAdvances(t *testing.T) {
 		t.Fatalf("Now() did not advance: %v then %v", a, b)
 	}
 }
+
+// TestRealtimeClockNowMonotonicUnderEpochSkew simulates the wall clock
+// being stepped backwards under the clock (an NTP adjustment): the epoch is
+// moved into the future with its monotonic reading stripped, so raw
+// time.Since would report a large negative elapsed time. Now must clamp
+// instead of running backwards.
+func TestRealtimeClockNowMonotonicUnderEpochSkew(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	c := NewRealtimeClock(l)
+	before := c.Now()
+	if before < 0 {
+		t.Fatalf("Now() = %v before skew, want >= 0", before)
+	}
+	// Round(0) strips the monotonic reading; the future epoch makes the
+	// wall-clock fallback negative.
+	c.epoch = time.Now().Add(time.Hour).Round(0)
+	after := c.Now()
+	if after < before {
+		t.Fatalf("Now() ran backwards across epoch skew: %v then %v", before, after)
+	}
+	// Subsequent readings must stay non-decreasing too.
+	prev := after
+	for i := 0; i < 10; i++ {
+		time.Sleep(time.Millisecond)
+		cur := c.Now()
+		if cur < prev {
+			t.Fatalf("Now() ran backwards: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestRealtimeClockNowNeverNegative covers a freshly created clock whose
+// epoch lost its monotonic reading and sits ahead of the wall clock: the
+// first reading must already be clamped.
+func TestRealtimeClockNowNeverNegative(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	c := &RealtimeClock{exec: l, epoch: time.Now().Add(time.Minute).Round(0)}
+	if d := c.Now(); d < 0 {
+		t.Fatalf("Now() = %v, want >= 0", d)
+	}
+}

@@ -141,8 +141,14 @@ func (u *UDPUnderlay) readLoop() {
 			// neighbors may inject frames.
 			continue
 		}
-		data := make([]byte, n)
-		copy(data, buf[:n])
-		u.exec.Post(func() { u.handler(id, data) })
+		// Hand the datagram to the event loop in a pooled buffer; the
+		// handler borrows it, so it can be recycled as soon as the handler
+		// returns. sync.Pool is safe across the readLoop/executor boundary.
+		data := wire.DefaultBufPool.Get(n)
+		data.B = append(data.B, buf[:n]...)
+		u.exec.Post(func() {
+			u.handler(id, data.B)
+			data.Release()
+		})
 	}
 }

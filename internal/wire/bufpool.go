@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sonet/internal/metrics"
+)
+
+// The forwarding fast path marshals one frame per hop per egress link.
+// Allocating those buffers fresh makes every hop GC-bound and adds jitter
+// to the latency-sensitive experiments, so the hot path draws them from a
+// BufPool instead: Get returns a Buf whose capacity covers the request,
+// Release returns it for reuse once the bytes have left the pipeline
+// (handed to the underlay, delivered, or dropped). Fan-out over several
+// egress links shares one marshaled buffer by reference counting
+// (Retain/Release) instead of copying per link.
+//
+// Ownership rules (see DESIGN.md §6):
+//   - Get returns a Buf with reference count 1; the caller owns it.
+//   - Every consumer that keeps the bytes past the current call must
+//     Retain before handing the buffer on, and Release when done.
+//   - After the final Release the bytes belong to the pool; reading or
+//     writing them is a use-after-free. The race detector sees misuse as
+//     concurrent map/slice access in tests.
+
+// bufClasses are the pooled capacity classes. The largest covers a frame
+// wrapping a MaxPayload packet with full mask, signature, and auth trailer;
+// requests beyond it fall through to plain allocation (a recorded miss).
+var bufClasses = [...]int{256, 1024, 4096, 16384, MaxPayload + 1024}
+
+// Buf is one pooled byte buffer. B is the live contents: Get hands it out
+// with length zero and class capacity, and callers append into it.
+type Buf struct {
+	// B holds the buffer contents; append into B[:0] after Get.
+	B []byte
+
+	refs atomic.Int32
+	// class is the index into the owning pool's classes, or -1 for an
+	// oversized one-shot buffer that is not recycled.
+	class int
+	pool  *BufPool
+}
+
+// Retain adds a reference so the buffer survives until a matching Release.
+// Fan-out paths retain once per extra consumer.
+func (b *Buf) Retain() { b.refs.Add(1) }
+
+// Release drops one reference; the final release recycles the buffer.
+// Releasing more times than Get+Retain acquired panics: a double release
+// means some pipeline stage used the buffer after handing it off.
+func (b *Buf) Release() {
+	switch n := b.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic("wire: Buf released more times than retained")
+	}
+	if b.class < 0 || b.pool == nil {
+		return
+	}
+	b.pool.stats.Recycled.Add(uint64(cap(b.B)))
+	b.pool.classes[b.class].Put(b)
+}
+
+// BufPool is a size-classed freelist of marshal/delivery buffers built on
+// sync.Pool, with hit/miss/recycled accounting in metrics.PoolStats.
+type BufPool struct {
+	classes [len(bufClasses)]sync.Pool
+	stats   *metrics.PoolStats
+}
+
+// NewBufPool returns an empty pool recording into stats; a nil stats gets a
+// private counter set.
+func NewBufPool(stats *metrics.PoolStats) *BufPool {
+	if stats == nil {
+		stats = &metrics.PoolStats{}
+	}
+	return &BufPool{stats: stats}
+}
+
+// Stats returns the pool's counters.
+func (p *BufPool) Stats() *metrics.PoolStats { return p.stats }
+
+// Get returns a buffer with len(B) == 0 and cap(B) >= size, reference
+// count 1. Oversized requests are served by a fresh unpooled allocation.
+func (p *BufPool) Get(size int) *Buf {
+	for i, c := range bufClasses {
+		if size > c {
+			continue
+		}
+		if v := p.classes[i].Get(); v != nil {
+			b, ok := v.(*Buf)
+			if ok {
+				p.stats.Hits.Add(1)
+				b.B = b.B[:0]
+				b.refs.Store(1)
+				return b
+			}
+		}
+		p.stats.Misses.Add(1)
+		b := &Buf{B: make([]byte, 0, c), class: i, pool: p}
+		b.refs.Store(1)
+		return b
+	}
+	p.stats.Misses.Add(1)
+	b := &Buf{B: make([]byte, 0, size), class: -1, pool: p}
+	b.refs.Store(1)
+	return b
+}
+
+// DefaultBufPool is the process-wide pool the node, emulator, and UDP
+// underlay share; sharing maximizes reuse across pipeline stages.
+var DefaultBufPool = NewBufPool(nil)
+
+// PoolSnapshot returns the shared pool's counters.
+func PoolSnapshot() metrics.PoolSnapshot { return DefaultBufPool.Stats().Snapshot() }

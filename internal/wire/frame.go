@@ -113,8 +113,8 @@ func (f *Frame) AppendMarshal(dst []byte) ([]byte, error) {
 	return dst, nil
 }
 
-// Marshal encodes f into a fresh buffer.
-func (f *Frame) Marshal() ([]byte, error) {
+// MarshaledSize returns the exact encoded size of f.
+func (f *Frame) MarshaledSize() int {
 	size := frameFixedLen
 	if len(f.Auth) > 0 {
 		size += 1 + len(f.Auth)
@@ -122,15 +122,24 @@ func (f *Frame) Marshal() ([]byte, error) {
 	if f.Packet != nil {
 		size += f.Packet.MarshaledSize()
 	}
-	return f.AppendMarshal(make([]byte, 0, size))
+	return size
 }
 
-// UnmarshalFrame decodes a frame and returns any trailing bytes.
-func UnmarshalFrame(src []byte) (*Frame, []byte, error) {
+// Marshal encodes f into a fresh buffer.
+func (f *Frame) Marshal() ([]byte, error) {
+	return f.AppendMarshal(make([]byte, 0, f.MarshaledSize()))
+}
+
+// UnmarshalFrameInto decodes a frame into f without allocating: the frame's
+// wrapped packet (if any) is decoded into pkt, and f.Auth plus the packet's
+// Sig/Payload alias src. The decoded frame borrows src and pkt; callers
+// that keep it past the lifetime of either must Clone the packet and copy
+// Auth. All fields of f are overwritten. Returns any trailing bytes.
+func UnmarshalFrameInto(f *Frame, pkt *Packet, src []byte) ([]byte, error) {
 	if len(src) < frameFixedLen {
-		return nil, nil, fmt.Errorf("wire: frame header: %w", ErrTruncated)
+		return nil, fmt.Errorf("wire: frame header: %w", ErrTruncated)
 	}
-	f := &Frame{
+	*f = Frame{
 		Proto:    LinkProtoID(src[0]),
 		Kind:     FrameKind(src[1]),
 		Seq:      binary.BigEndian.Uint32(src[4:]),
@@ -142,28 +151,61 @@ func UnmarshalFrame(src []byte) (*Frame, []byte, error) {
 	rest := src[frameFixedLen:]
 	if flags&frameHasAuth != 0 {
 		if len(rest) < 1 {
-			return nil, nil, fmt.Errorf("wire: frame auth length: %w", ErrTruncated)
+			return nil, fmt.Errorf("wire: frame auth length: %w", ErrTruncated)
 		}
 		authLen := int(rest[0])
 		rest = rest[1:]
 		if len(rest) < authLen {
-			return nil, nil, fmt.Errorf("wire: frame auth body: %w", ErrTruncated)
+			return nil, fmt.Errorf("wire: frame auth body: %w", ErrTruncated)
 		}
-		f.Auth = append([]byte(nil), rest[:authLen]...)
+		if authLen > 0 {
+			f.Auth = rest[:authLen:authLen]
+		}
 		rest = rest[authLen:]
 	}
 	if flags&frameHasPacket != 0 {
 		var err error
-		f.Packet, rest, err = UnmarshalPacket(rest)
+		rest, err = UnmarshalPacketInto(pkt, rest)
 		if err != nil {
-			return nil, nil, fmt.Errorf("wire: frame packet: %w", err)
+			return nil, fmt.Errorf("wire: frame packet: %w", err)
+		}
+		f.Packet = pkt
+	}
+	return rest, nil
+}
+
+// UnmarshalFrame decodes a frame into fresh, fully owned values and returns
+// any trailing bytes.
+func UnmarshalFrame(src []byte) (*Frame, []byte, error) {
+	f := &Frame{}
+	rest, err := UnmarshalFrameInto(f, &Packet{}, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.Auth != nil {
+		f.Auth = append([]byte(nil), f.Auth...)
+	}
+	if f.Packet != nil {
+		if f.Packet.Sig != nil {
+			f.Packet.Sig = append([]byte(nil), f.Packet.Sig...)
+		}
+		if f.Packet.Payload != nil {
+			f.Packet.Payload = append([]byte(nil), f.Packet.Payload...)
 		}
 	}
 	return f, rest, nil
 }
 
-// AuthableBytes returns the canonical encoding of f used for per-link
-// HMACs: the Auth field is empty so the MAC covers everything else.
+// AppendAuthable appends the canonical encoding of f used for per-link
+// HMACs to dst: the Auth field is omitted so the MAC covers everything
+// else.
+func (f *Frame) AppendAuthable(dst []byte) ([]byte, error) {
+	cp := *f
+	cp.Auth = nil
+	return cp.AppendMarshal(dst)
+}
+
+// AuthableBytes returns the canonical authable encoding in a fresh buffer.
 func (f *Frame) AuthableBytes() ([]byte, error) {
 	cp := *f
 	cp.Auth = nil

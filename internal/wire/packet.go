@@ -135,12 +135,15 @@ func (p *Packet) Marshal() ([]byte, error) {
 	return p.AppendMarshal(make([]byte, 0, p.MarshaledSize()))
 }
 
-// UnmarshalPacket decodes a packet and returns any trailing bytes.
-func UnmarshalPacket(src []byte) (*Packet, []byte, error) {
+// UnmarshalPacketInto decodes a packet into p without allocating: p.Sig and
+// p.Payload alias src, so p borrows src and is valid only as long as src is.
+// Callers that keep the packet past the lifetime of src must Clone it. All
+// fields of p are overwritten. Returns any trailing bytes.
+func UnmarshalPacketInto(p *Packet, src []byte) ([]byte, error) {
 	if len(src) < packetFixedLen {
-		return nil, nil, fmt.Errorf("wire: packet header: %w", ErrTruncated)
+		return nil, fmt.Errorf("wire: packet header: %w", ErrTruncated)
 	}
-	p := &Packet{
+	*p = Packet{
 		Type:      PacketType(src[0]),
 		Flags:     Flags(src[1]),
 		TTL:       src[2],
@@ -160,32 +163,49 @@ func UnmarshalPacket(src []byte) (*Packet, []byte, error) {
 	var err error
 	p.Mask, rest, err = readMask(rest)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if len(rest) < 1 {
-		return nil, nil, fmt.Errorf("wire: signature length: %w", ErrTruncated)
+		return nil, fmt.Errorf("wire: signature length: %w", ErrTruncated)
 	}
 	sigLen := int(rest[0])
 	rest = rest[1:]
 	if len(rest) < sigLen {
-		return nil, nil, fmt.Errorf("wire: signature body: %w", ErrTruncated)
+		return nil, fmt.Errorf("wire: signature body: %w", ErrTruncated)
 	}
 	if sigLen > 0 {
-		p.Sig = append([]byte(nil), rest[:sigLen]...)
+		p.Sig = rest[:sigLen:sigLen]
 	}
 	rest = rest[sigLen:]
 	if len(rest) < 2 {
-		return nil, nil, fmt.Errorf("wire: payload length: %w", ErrTruncated)
+		return nil, fmt.Errorf("wire: payload length: %w", ErrTruncated)
 	}
 	payLen := int(binary.BigEndian.Uint16(rest))
 	rest = rest[2:]
 	if len(rest) < payLen {
-		return nil, nil, fmt.Errorf("wire: payload body: %w", ErrTruncated)
+		return nil, fmt.Errorf("wire: payload body: %w", ErrTruncated)
 	}
 	if payLen > 0 {
-		p.Payload = append([]byte(nil), rest[:payLen]...)
+		p.Payload = rest[:payLen:payLen]
 	}
-	return p, rest[payLen:], nil
+	return rest[payLen:], nil
+}
+
+// UnmarshalPacket decodes a packet into a fresh, fully owned value (its
+// byte fields are copies, not aliases of src) and returns trailing bytes.
+func UnmarshalPacket(src []byte) (*Packet, []byte, error) {
+	p := &Packet{}
+	rest, err := UnmarshalPacketInto(p, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.Sig != nil {
+		p.Sig = append([]byte(nil), p.Sig...)
+	}
+	if p.Payload != nil {
+		p.Payload = append([]byte(nil), p.Payload...)
+	}
+	return p, rest, nil
 }
 
 // SignableBytes returns the canonical encoding of p used for source
