@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench experiments examples fuzz clean
+.PHONY: all check build vet test test-race race cover bench bench-all bench-guard experiments examples fuzz clean
 
 all: check
 
-# The default gate: compile, static checks, unit tests, and the race
-# detector (the buffer-pool ownership rules make -race a required check).
-check: build vet test test-race
+# The default gate: compile, static checks, unit tests, the race detector
+# (the buffer-pool ownership rules make -race a required check), and the
+# fast-path allocation budgets.
+check: build vet test test-race bench-guard
 
 build:
 	$(GO) build ./...
@@ -31,9 +32,20 @@ cover:
 experiments:
 	$(GO) run ./cmd/benchrun
 
-# The same experiments as testing.B benchmarks, plus micro-benchmarks.
+# Hot-path microbenchmarks: overlay forwarding, underlay send, scheduler
+# timer churn, and the pooled wire round trip.
 bench:
+	$(GO) test -run xxx -bench 'Forwarding|MarshalAlloc|NetemuSend|SchedulerTimers|Packet|DisjointPaths' -benchmem .
+
+# Every benchmark, including the full experiment reproductions.
+bench-all:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Allocation-budget regression guards for the fast paths: fails if a
+# warmed netemu.Send allocates (route cache + pooled buffers/events must
+# keep it at 0 allocs/op on a stable topology).
+bench-guard:
+	$(GO) test -run 'TestNetemuSendAllocBudget' -count=1 .
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sonet/internal/experiments"
+	"sonet/internal/netemu"
 	"sonet/internal/node"
 	"sonet/internal/sim"
 	"sonet/internal/topology"
@@ -274,6 +275,115 @@ func BenchmarkPacketUnmarshal(b *testing.B) {
 		if _, _, err := wire.UnmarshalPacket(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// netemuSendFixture builds a stable 14-site, 3-ISP underlay (the
+// continental fiber plan replicated across three providers with slightly
+// different latencies) and attaches one overlay node per site.
+func netemuSendFixture(b testing.TB) (*sim.Scheduler, *netemu.Network, *int) {
+	b.Helper()
+	sched := sim.NewScheduler(1)
+	net := netemu.New(sched, netemu.DefaultConfig())
+	ms := time.Millisecond
+	spec := [][3]int{
+		{1, 2, 3}, {1, 6, 10}, {1, 3, 9}, {2, 3, 3}, {2, 13, 4},
+		{3, 4, 9}, {3, 6, 9}, {3, 8, 16}, {4, 5, 9}, {4, 8, 10},
+		{6, 7, 12}, {6, 14, 5}, {13, 14, 9}, {14, 11, 18},
+		{7, 12, 6}, {7, 8, 9}, {7, 9, 12}, {8, 9, 12},
+		{12, 10, 9}, {12, 11, 11}, {10, 9, 5}, {10, 11, 10},
+	}
+	sites := make([]netemu.SiteID, 15)
+	for i := 1; i <= 14; i++ {
+		sites[i] = net.AddSite(continentalName(i))
+	}
+	for p := 0; p < 3; p++ {
+		isp := net.AddISP(continentalName(p))
+		for _, s := range spec {
+			lat := time.Duration(s[2]+p) * ms
+			if _, err := net.AddFiber(isp, sites[s[0]], sites[s[1]], lat, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	delivered := new(int)
+	for i := 1; i <= 14; i++ {
+		if err := net.AttachNode(wire.NodeID(i), sites[i], func(wire.NodeID, []byte) { *delivered++ }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sched, net, delivered
+}
+
+func continentalName(i int) string {
+	return string(rune('A' + i))
+}
+
+// BenchmarkNetemuSend measures the per-packet cost of the emulated
+// underlay on a stable multi-ISP topology: route computation (cached
+// after the first packet per (src,dst,provider)), per-fiber loss/latency
+// accounting, pooled payload copy, and delivery dispatch through the
+// scheduler. Steady state must be allocation-free — this is the hot loop
+// under every EXP-* scenario.
+func BenchmarkNetemuSend(b *testing.B) {
+	sched, net, delivered := netemuSendFixture(b)
+	payload := make([]byte, 200)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// NYC→SFO (multi-hop) rotating across the three providers.
+		net.Send(1, 10, netemu.ISPID(i%3), payload)
+		sched.Run()
+	}
+	b.StopTimer()
+	if *delivered != b.N {
+		b.Fatalf("delivered %d of %d", *delivered, b.N)
+	}
+	st := net.Stats()
+	if st.Sent != uint64(b.N) || st.Delivered != uint64(b.N) {
+		b.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestNetemuSendAllocBudget is the allocation regression guard for the
+// underlay fast path (`make bench-guard`), mirroring the 0 allocs/op
+// invariant BenchmarkMarshalAlloc guards for the forwarding path: once the
+// route cache, buffer pool, and delivery-event pool are warm, a Send on a
+// stable topology must not allocate.
+func TestNetemuSendAllocBudget(t *testing.T) {
+	sched, net, _ := netemuSendFixture(t)
+	payload := make([]byte, 200)
+	send := func() {
+		net.Send(1, 10, 0, payload)
+		sched.Run()
+	}
+	for i := 0; i < 64; i++ {
+		send() // warm the route cache and the buffer/event pools
+	}
+	if avg := testing.AllocsPerRun(200, send); avg > 0 {
+		t.Fatalf("netemu.Send allocates %.2f allocs/op on a stable topology, budget is 0", avg)
+	}
+}
+
+// BenchmarkSchedulerTimers measures schedule/cancel churn: the
+// retransmission-timer pattern of Reliable and NM-Strikes, where almost
+// every timer is cancelled before it fires. The heap must not accumulate
+// dead events (the sweep keeps stopped entries bounded by live ones).
+func BenchmarkSchedulerTimers(b *testing.B) {
+	s := sim.NewScheduler(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.After(time.Second, func() {})
+		t.Stop()
+		if i%64 == 0 {
+			s.RunFor(time.Millisecond)
+		}
+	}
+	b.StopTimer()
+	if pending := s.Pending(); pending > 64 {
+		b.Fatalf("heap retains %d dead events", pending)
 	}
 }
 

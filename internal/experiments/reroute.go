@@ -42,8 +42,10 @@ func rerouteOverlay(seed uint64, hello time.Duration) (rerouteOutcome, error) {
 // rerouteBGP measures the same cut when only native IP rerouting exists:
 // the two endpoints share one overlay link whose ISP has an alternate
 // fiber path, so recovery waits for the provider's 40 s convergence
-// (§II-A).
-func rerouteBGP(seed uint64) (rerouteOutcome, error) {
+// (§II-A). It also returns the underlay route-cache counters: the cut and
+// its convergence event are the only epoch bumps, so the ~6000-packet
+// stream must be served almost entirely from cache.
+func rerouteBGP(seed uint64) (rerouteOutcome, metrics.RouteCacheSnapshot, error) {
 	o := core.New(seed, netemu.DefaultConfig())
 	a := o.AddSite("A")
 	b := o.AddSite("B")
@@ -51,18 +53,18 @@ func rerouteBGP(seed uint64) (rerouteOutcome, error) {
 	isp := o.AddISP("isp-1")
 	direct, err := o.AddFiber(isp, a, b, 10*time.Millisecond, 0, nil)
 	if err != nil {
-		return rerouteOutcome{}, err
+		return rerouteOutcome{}, metrics.RouteCacheSnapshot{}, err
 	}
 	if _, err := o.AddFiber(isp, a, c, 15*time.Millisecond, 0, nil); err != nil {
-		return rerouteOutcome{}, err
+		return rerouteOutcome{}, metrics.RouteCacheSnapshot{}, err
 	}
 	if _, err := o.AddFiber(isp, c, b, 15*time.Millisecond, 0, nil); err != nil {
-		return rerouteOutcome{}, err
+		return rerouteOutcome{}, metrics.RouteCacheSnapshot{}, err
 	}
 	o.AddNode(1, a)
 	o.AddNode(2, b)
 	if _, err := o.AddLink(1, 2, 10*time.Millisecond, isp); err != nil {
-		return rerouteOutcome{}, err
+		return rerouteOutcome{}, metrics.RouteCacheSnapshot{}, err
 	}
 	// Hellos must not declare the link down during IP convergence — the
 	// "native" behaviour keeps waiting for BGP, so probe slowly and
@@ -74,11 +76,12 @@ func rerouteBGP(seed uint64) (rerouteOutcome, error) {
 		}
 	})
 	if err := o.Start(); err != nil {
-		return rerouteOutcome{}, err
+		return rerouteOutcome{}, metrics.RouteCacheSnapshot{}, err
 	}
 	defer o.Stop()
 	o.Settle()
-	return runRerouteStream(o, func() { o.Net.CutFiber(direct) })
+	out, err := runRerouteStream(o, func() { o.Net.CutFiber(direct) })
+	return out, o.Net.RouteCacheStats(), err
 }
 
 // diamondLinksForReroute is the standard diamond without the slow chord.
@@ -177,7 +180,7 @@ func Reroute(seed uint64) *Result {
 		}
 		r.Table.AddRow(fmt.Sprintf("overlay, hello=%v", hello), out.outage, out.lost)
 	}
-	bgp, err := rerouteBGP(seed + 50)
+	bgp, cache, err := rerouteBGP(seed + 50)
 	if err != nil {
 		r.addFinding("ERROR bgp: %v", err)
 		return r
@@ -187,6 +190,9 @@ func Reroute(seed uint64) *Result {
 	r.addFinding("overlay outage %.0fms (hello=100ms) vs native %.1fs — %.0fx faster recovery",
 		ms(atDefault.outage), bgp.outage.Seconds(),
 		float64(bgp.outage)/float64(nonzero(atDefault.outage)))
-	r.ShapeHolds = atDefault.outage < time.Second && bgp.outage > 30*time.Second
+	r.addFinding("underlay route cache (BGP world): %.1f%% hit ratio (%d hits, %d misses, %d invalidations)",
+		100*cache.HitRatio(), cache.Hits, cache.Misses, cache.Invalidations)
+	r.ShapeHolds = atDefault.outage < time.Second && bgp.outage > 30*time.Second &&
+		cache.HitRatio() > 0.99
 	return r
 }

@@ -57,6 +57,53 @@ func (s PoolSnapshot) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// RouteCacheStats counts underlay route-cache activity on the per-packet
+// Send path. Like PoolStats the counters are atomic so deployment-mode
+// readers (monitoring endpoints) can snapshot them without coordinating
+// with the event loop; in emulation everything is one thread.
+//
+// The zero value is ready to use.
+type RouteCacheStats struct {
+	// Hits counts Send route lookups served by a cached route whose epoch
+	// matched the provider's current topology epoch.
+	Hits atomic.Uint64
+	// Misses counts lookups that ran the SPF — first packets of a flow and
+	// lookups after an invalidation.
+	Misses atomic.Uint64
+	// Invalidations counts provider topology-epoch bumps (fiber added,
+	// convergence event applied, site liveness change). One bump lazily
+	// invalidates every cached route of that provider.
+	Invalidations atomic.Uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *RouteCacheStats) Snapshot() RouteCacheSnapshot {
+	return RouteCacheSnapshot{
+		Hits:          s.Hits.Load(),
+		Misses:        s.Misses.Load(),
+		Invalidations: s.Invalidations.Load(),
+	}
+}
+
+// RouteCacheSnapshot is a point-in-time copy of RouteCacheStats.
+type RouteCacheSnapshot struct {
+	// Hits counts lookups served from cache.
+	Hits uint64
+	// Misses counts lookups that recomputed the route.
+	Misses uint64
+	// Invalidations counts topology-epoch bumps.
+	Invalidations uint64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before the first lookup.
+func (s RouteCacheSnapshot) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // Latencies accumulates one-way delivery latencies for a flow.
 //
 // The zero value is ready to use.

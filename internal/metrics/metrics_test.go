@@ -9,6 +9,24 @@ import (
 	"time"
 )
 
+func TestRouteCacheSnapshot(t *testing.T) {
+	var s RouteCacheStats
+	s.Hits.Add(9)
+	s.Misses.Add(1)
+	s.Invalidations.Add(2)
+	snap := s.Snapshot()
+	if snap.Hits != 9 || snap.Misses != 1 || snap.Invalidations != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := snap.HitRatio(); got != 0.9 {
+		t.Fatalf("HitRatio = %v, want 0.9", got)
+	}
+	var zero RouteCacheSnapshot
+	if zero.HitRatio() != 0 {
+		t.Fatal("empty snapshot HitRatio != 0")
+	}
+}
+
 func TestLatenciesEmpty(t *testing.T) {
 	var l Latencies
 	if l.Count() != 0 || l.Min() != 0 || l.Max() != 0 || l.Mean() != 0 {

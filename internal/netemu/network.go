@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"sonet/internal/metrics"
 	"sonet/internal/sim"
 	"sonet/internal/wire"
 )
@@ -38,7 +39,9 @@ func DefaultConfig() Config {
 	return Config{ConvergenceDelay: 40 * time.Second, RestoreDelay: 5 * time.Second}
 }
 
-// Stats counts packet fates across the underlay.
+// Stats counts packet fates across the underlay. Every sent packet ends in
+// exactly one of the other counters:
+// Sent == Delivered + DroppedLoss + DroppedDown + DroppedNoRoute.
 type Stats struct {
 	// Sent counts Send calls.
 	Sent uint64
@@ -49,7 +52,8 @@ type Stats struct {
 	// DroppedDown counts packets that hit a cut fiber or dead site before
 	// routing converged around it.
 	DroppedDown uint64
-	// DroppedNoRoute counts packets with no usable converged route.
+	// DroppedNoRoute counts packets with no usable converged route or no
+	// registered destination.
 	DroppedNoRoute uint64
 }
 
@@ -66,6 +70,16 @@ type fiber struct {
 	jitter  time.Duration
 	loss    LossModel
 	cut     bool
+	// convergedUp is the up/down state routing currently believes for this
+	// fiber; it lags reality (cut) by the provider's convergence delay.
+	convergedUp bool
+}
+
+// halfFiber is one directed half of a fiber in a provider's adjacency
+// list: the far endpoint and the fiber that reaches it.
+type halfFiber struct {
+	to    SiteID
+	fiber FiberID
 }
 
 // isp holds one provider's backbone graph and its converged routing state.
@@ -76,9 +90,14 @@ type isp struct {
 	extraLoss float64
 	// fibers of this provider.
 	fibers []FiberID
-	// converged holds the fiber up/down state routing currently believes;
-	// it lags reality by ConvergenceDelay.
-	converged map[FiberID]bool
+	// adj is the provider's adjacency list indexed by SiteID, maintained
+	// incrementally by AddFiber so the SPF never scans unrelated fibers.
+	adj [][]halfFiber
+	// epoch is the provider's topology epoch: bumped whenever the
+	// converged view changes (fiber laid, convergence event applied, site
+	// liveness change). Cached routes record the epoch they were computed
+	// under and are recomputed lazily on mismatch.
+	epoch uint64
 }
 
 // Network is the emulated underlay. All methods must be called from the
@@ -92,8 +111,18 @@ type Network struct {
 	isps   []isp
 	fibers []fiber
 
-	attach   map[wire.NodeID]SiteID
-	handlers map[wire.NodeID]Handler
+	// Node tables indexed densely by wire.NodeID so the per-packet path
+	// does no map lookups. attached distinguishes "never attached" from
+	// the zero SiteID.
+	attach   []SiteID
+	attached []bool
+	handlers []Handler
+
+	routes routeCache
+
+	// freeDeliveries pools in-flight delivery records so a steady packet
+	// stream schedules deliveries without allocating.
+	freeDeliveries []*delivery
 
 	stats Stats
 }
@@ -106,12 +135,7 @@ func New(sched *sim.Scheduler, cfg Config) *Network {
 	if cfg.RestoreDelay <= 0 {
 		cfg.RestoreDelay = DefaultConfig().RestoreDelay
 	}
-	return &Network{
-		sched:    sched,
-		cfg:      cfg,
-		attach:   make(map[wire.NodeID]SiteID),
-		handlers: make(map[wire.NodeID]Handler),
-	}
+	return &Network{sched: sched, cfg: cfg}
 }
 
 // AddSite registers a data center and returns its ID.
@@ -122,7 +146,8 @@ func (n *Network) AddSite(name string) SiteID {
 
 // AddISP registers a provider backbone and returns its ID.
 func (n *Network) AddISP(name string) ISPID {
-	n.isps = append(n.isps, isp{name: name, converged: make(map[FiberID]bool)})
+	n.isps = append(n.isps, isp{name: name})
+	n.routes.addProvider()
 	return ISPID(len(n.isps) - 1)
 }
 
@@ -142,10 +167,26 @@ func (n *Network) AddFiber(provider ISPID, a, b SiteID, latency, jitter time.Dur
 	n.fibers = append(n.fibers, fiber{
 		id: id, isp: provider, a: a, b: b,
 		latency: latency, jitter: jitter, loss: loss,
+		convergedUp: true,
 	})
-	n.isps[provider].fibers = append(n.isps[provider].fibers, id)
-	n.isps[provider].converged[id] = true
+	prov := &n.isps[provider]
+	prov.fibers = append(prov.fibers, id)
+	if need := int(max16(a, b)) + 1; need > len(prov.adj) {
+		adj := make([][]halfFiber, need)
+		copy(adj, prov.adj)
+		prov.adj = adj
+	}
+	prov.adj[a] = append(prov.adj[a], halfFiber{to: b, fiber: id})
+	prov.adj[b] = append(prov.adj[b], halfFiber{to: a, fiber: id})
+	n.bumpEpoch(provider)
 	return id, nil
+}
+
+func max16(a, b SiteID) SiteID {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // AttachNode places an overlay node in a site and registers its packet
@@ -154,32 +195,89 @@ func (n *Network) AttachNode(node wire.NodeID, at SiteID, h Handler) error {
 	if int(at) >= len(n.sites) {
 		return fmt.Errorf("netemu: unknown site %d", at)
 	}
+	if need := int(node) + 1; need > len(n.attach) {
+		// Grow all three tables in lockstep, doubling to amortize
+		// ascending-ID attachment.
+		size := need
+		if s := 2 * len(n.attach); s > size {
+			size = s
+		}
+		attach := make([]SiteID, size)
+		copy(attach, n.attach)
+		attached := make([]bool, size)
+		copy(attached, n.attached)
+		handlers := make([]Handler, size)
+		copy(handlers, n.handlers)
+		n.attach, n.attached, n.handlers = attach, attached, handlers
+	}
 	n.attach[node] = at
+	n.attached[node] = true
 	n.handlers[node] = h
 	return nil
 }
 
 // NodeSite returns the site a node is attached to.
 func (n *Network) NodeSite(node wire.NodeID) (SiteID, bool) {
-	s, ok := n.attach[node]
-	return s, ok
+	if int(node) >= len(n.attached) || !n.attached[node] {
+		return 0, false
+	}
+	return n.attach[node], true
 }
 
 // Stats returns a snapshot of underlay counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// RouteCacheStats returns a snapshot of the underlay route-cache counters.
+func (n *Network) RouteCacheStats() metrics.RouteCacheSnapshot {
+	return n.routes.stats.Snapshot()
+}
+
+// delivery is one in-flight packet: a pooled sim.Runner that performs the
+// destination-side checks and hands the payload to the handler.
+type delivery struct {
+	net      *Network
+	from, to wire.NodeID
+	buf      *wire.Buf
+}
+
+// Run implements sim.Runner at the packet's arrival instant.
+func (d *delivery) Run() {
+	n, from, to, buf := d.net, d.from, d.to, d.buf
+	d.buf = nil
+	n.freeDeliveries = append(n.freeDeliveries, d)
+	defer buf.Release()
+	st, ok := n.NodeSite(to)
+	if !ok || !n.sites[st].up {
+		n.stats.DroppedDown++
+		return
+	}
+	h := n.handlers[to]
+	if h == nil {
+		// The destination detached (or attached with no handler) while the
+		// packet was in flight: the address no longer routes anywhere.
+		n.stats.DroppedNoRoute++
+		return
+	}
+	n.stats.Delivered++
+	h(from, buf.B)
+}
+
 // Send transmits data from one overlay node to another over the given
 // provider's backbone. Like IP, it never reports delivery failure to the
 // sender: packets are silently dropped on loss, on fibers that are cut but
 // not yet routed around, or when no route exists.
+//
+// On a stable topology the path is amortized allocation-free: the route
+// comes from the epoch-checked cache, the payload copy from the shared
+// buffer pool, and the delivery event from pooled scheduler state.
 func (n *Network) Send(from, to wire.NodeID, provider ISPID, data []byte) {
 	n.stats.Sent++
-	srcSite, ok := n.attach[from]
+	srcSite, ok := n.NodeSite(from)
 	if !ok {
 		n.stats.DroppedNoRoute++
 		return
 	}
-	dstSite, ok := n.attach[to]
+	dstSite, ok := n.NodeSite(to)
 	if !ok {
 		n.stats.DroppedNoRoute++
 		return
@@ -193,7 +291,7 @@ func (n *Network) Send(from, to wire.NodeID, provider ISPID, data []byte) {
 		return
 	}
 
-	path, ok := n.convergedPath(provider, srcSite, dstSite)
+	path, _, ok := n.convergedPath(provider, srcSite, dstSite)
 	if !ok {
 		n.stats.DroppedNoRoute++
 		return
@@ -228,42 +326,34 @@ func (n *Network) Send(from, to wire.NodeID, provider ISPID, data []byte) {
 	// the bytes too).
 	buf := wire.DefaultBufPool.Get(len(data))
 	buf.B = append(buf.B, data...)
-	n.sched.After(latency, func() {
-		defer buf.Release()
-		h, ok := n.handlers[to]
-		if !ok {
-			return
-		}
-		st, ok := n.attach[to]
-		if !ok || !n.sites[st].up {
-			n.stats.DroppedDown++
-			return
-		}
-		n.stats.Delivered++
-		h(from, buf.B)
-	})
+	var d *delivery
+	if l := len(n.freeDeliveries); l > 0 {
+		d = n.freeDeliveries[l-1]
+		n.freeDeliveries[l-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:l-1]
+	} else {
+		d = &delivery{net: n}
+	}
+	d.from, d.to, d.buf = from, to, buf
+	n.sched.AfterRunner(latency, d)
 }
 
 // PathLatency returns the current converged route's nominal latency
 // between two nodes on one provider, for planning and tests.
 func (n *Network) PathLatency(from, to wire.NodeID, provider ISPID) (time.Duration, bool) {
-	srcSite, ok := n.attach[from]
+	srcSite, ok := n.NodeSite(from)
 	if !ok {
 		return 0, false
 	}
-	dstSite, ok := n.attach[to]
+	dstSite, ok := n.NodeSite(to)
 	if !ok {
 		return 0, false
 	}
-	path, ok := n.convergedPath(provider, srcSite, dstSite)
-	if !ok {
+	if int(provider) >= len(n.isps) {
 		return 0, false
 	}
-	var latency time.Duration
-	for _, fid := range path {
-		latency += n.fibers[fid].latency
-	}
-	return latency, true
+	_, latency, ok := n.convergedPath(provider, srcSite, dstSite)
+	return latency, ok
 }
 
 // CutFiber severs a fiber immediately; native routing notices after the
@@ -294,13 +384,20 @@ func (n *Network) FiberCut(id FiberID) bool {
 // SetSiteUp marks a whole data center up or down. Traffic to, from, or
 // through a dead site is dropped.
 func (n *Network) SetSiteUp(id SiteID, up bool) {
-	if int(id) < len(n.sites) {
-		n.sites[id].up = up
+	if int(id) >= len(n.sites) || n.sites[id].up == up {
+		return
 	}
+	n.sites[id].up = up
+	// Converged routes ignore site liveness (Send's reality check drops at
+	// dead sites, matching IP's lack of host-level routing), so cached
+	// routes would stay correct — but invalidating keeps the rule simple:
+	// every topology-affecting mutation bumps epochs.
+	n.bumpAllEpochs()
 }
 
 // SetISPExtraLoss models a provider-wide degradation: an added independent
-// drop probability applied on every fiber of the provider.
+// drop probability applied on every fiber of the provider. Loss does not
+// affect route choice, so cached routes stay valid.
 func (n *Network) SetISPExtraLoss(provider ISPID, p float64) {
 	if int(provider) < len(n.isps) {
 		n.isps[provider].extraLoss = p
@@ -314,80 +411,13 @@ func (n *Network) scheduleConvergence(provider ISPID, id FiberID) {
 	}
 	n.sched.After(delay, func() {
 		// Converge to the fiber's state *now*, not the state at scheduling
-		// time, so rapid flap sequences settle on reality.
-		n.isps[provider].converged[id] = !n.fibers[id].cut
+		// time, so rapid flap sequences settle on reality. The epoch moves
+		// only when the converged view actually changes; a flap that
+		// settles back before its convergence event fires keeps every
+		// cached route valid.
+		if up := !n.fibers[id].cut; n.fibers[id].convergedUp != up {
+			n.fibers[id].convergedUp = up
+			n.bumpEpoch(provider)
+		}
 	})
-}
-
-// convergedPath computes the shortest (by latency) fiber path between two
-// sites using the provider's converged view of its topology.
-func (n *Network) convergedPath(provider ISPID, src, dst SiteID) ([]FiberID, bool) {
-	if src == dst {
-		return nil, true
-	}
-	prov := &n.isps[provider]
-	const inf = time.Duration(1<<63 - 1)
-	dist := make(map[SiteID]time.Duration, len(n.sites))
-	prevFiber := make(map[SiteID]FiberID, len(n.sites))
-	visited := make(map[SiteID]bool, len(n.sites))
-	dist[src] = 0
-	for {
-		// Small site counts: linear extraction is fine and allocation-free.
-		best := SiteID(0)
-		bestDist := inf
-		found := false
-		for s, d := range dist {
-			if visited[s] {
-				continue
-			}
-			if d < bestDist || (d == bestDist && found && s < best) {
-				best, bestDist, found = s, d, true
-			}
-		}
-		if !found {
-			break
-		}
-		if best == dst {
-			break
-		}
-		visited[best] = true
-		for _, fid := range prov.fibers {
-			if !prov.converged[fid] {
-				continue
-			}
-			f := &n.fibers[fid]
-			var next SiteID
-			switch best {
-			case f.a:
-				next = f.b
-			case f.b:
-				next = f.a
-			default:
-				continue
-			}
-			nd := bestDist + f.latency
-			if cur, ok := dist[next]; !ok || nd < cur {
-				dist[next] = nd
-				prevFiber[next] = fid
-			}
-		}
-	}
-	if _, ok := dist[dst]; !ok {
-		return nil, false
-	}
-	var rev []FiberID
-	for s := dst; s != src; {
-		fid := prevFiber[s]
-		rev = append(rev, fid)
-		f := &n.fibers[fid]
-		if s == f.a {
-			s = f.b
-		} else {
-			s = f.a
-		}
-	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev, true
 }

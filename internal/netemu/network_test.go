@@ -36,6 +36,16 @@ func twoSiteWorld(t *testing.T, loss LossModel) (*sim.Scheduler, *Network, Fiber
 	return sched, net, fid, &got
 }
 
+// assertStatsIdentity checks the Stats accounting invariant: every sent
+// packet ends in exactly one outcome counter.
+func assertStatsIdentity(t *testing.T, net *Network) {
+	t.Helper()
+	st := net.Stats()
+	if st.Sent != st.Delivered+st.DroppedLoss+st.DroppedDown+st.DroppedNoRoute {
+		t.Fatalf("stats identity violated: %+v", st)
+	}
+}
+
 func TestSendDeliversWithLatency(t *testing.T) {
 	sched, net, _, got := twoSiteWorld(t, NoLoss{})
 	var deliveredAt time.Duration
@@ -338,4 +348,94 @@ func TestSendToUnknownNodeCountsNoRoute(t *testing.T) {
 	if net.Stats().DroppedNoRoute != 1 {
 		t.Fatalf("DroppedNoRoute = %d, want 1", net.Stats().DroppedNoRoute)
 	}
+	assertStatsIdentity(t, net)
+}
+
+func TestHandlerUnregisteredAtDeliveryCountsNoRoute(t *testing.T) {
+	sched, net, _, got := twoSiteWorld(t, NoLoss{})
+	net.Send(1, 2, 0, []byte("x"))
+	// The destination detaches while the packet is in flight.
+	sched.After(5*time.Millisecond, func() { net.handlers[2] = nil })
+	sched.Run()
+	if len(*got) != 0 {
+		t.Fatalf("delivered to an unregistered handler: %v", *got)
+	}
+	st := net.Stats()
+	if st.DroppedNoRoute != 1 {
+		t.Fatalf("DroppedNoRoute = %d, want 1 (stats %+v)", st.DroppedNoRoute, st)
+	}
+	assertStatsIdentity(t, net)
+}
+
+func TestStatsIdentityAcrossOutcomes(t *testing.T) {
+	// Mix every drop class with deliveries and check Sent is conserved.
+	sched, net, fid, _ := twoSiteWorld(t, Bernoulli{P: 0.3})
+	for i := 0; i < 500; i++ {
+		net.Send(1, 2, 0, []byte("x")) // loss or delivered
+	}
+	net.Send(1, 99, 0, []byte("x")) // no route (unknown node)
+	net.CutFiber(fid)
+	net.Send(1, 2, 0, []byte("x")) // down (cut, pre-convergence)
+	sched.RunFor(time.Minute)
+	net.Send(1, 2, 0, []byte("x")) // no route (post-convergence)
+	sched.Run()
+	st := net.Stats()
+	if st.Sent != 503 {
+		t.Fatalf("Sent = %d, want 503", st.Sent)
+	}
+	if st.Delivered == 0 || st.DroppedLoss == 0 || st.DroppedDown != 1 || st.DroppedNoRoute != 2 {
+		t.Fatalf("outcome mix missing a class: %+v", st)
+	}
+	assertStatsIdentity(t, net)
+}
+
+func TestRouteCacheCountersAndInvalidation(t *testing.T) {
+	sched, net, fid, got := twoSiteWorld(t, NoLoss{})
+	net.Send(1, 2, 0, []byte("a"))
+	net.Send(1, 2, 0, []byte("b"))
+	sched.Run()
+	rc := net.RouteCacheStats()
+	if rc.Misses != 1 || rc.Hits != 1 {
+		t.Fatalf("after two sends: hits=%d misses=%d, want 1/1", rc.Hits, rc.Misses)
+	}
+	// A cut fires a convergence event; once applied the epoch moves and
+	// the next send recomputes.
+	net.CutFiber(fid)
+	sched.RunFor(time.Minute)
+	inv := net.RouteCacheStats().Invalidations
+	if inv == rc.Invalidations {
+		t.Fatal("convergence event did not bump the topology epoch")
+	}
+	net.Send(1, 2, 0, []byte("c"))
+	sched.Run()
+	rc2 := net.RouteCacheStats()
+	if rc2.Misses != 2 {
+		t.Fatalf("post-invalidation send did not recompute: %+v", rc2)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(*got))
+	}
+	assertStatsIdentity(t, net)
+}
+
+func TestRouteCacheFlapFasterThanConvergence(t *testing.T) {
+	// A fiber that flaps down and back up before its convergence delay
+	// expires must leave routing (and the cache) believing the fiber is up
+	// the whole time, and traffic after the flap settles must flow.
+	sched, net, fid, got := twoSiteWorld(t, NoLoss{})
+	net.Send(1, 2, 0, []byte("before"))
+	sched.Run()
+	net.CutFiber(fid)
+	sched.RunFor(time.Second) // well under the 40 s convergence delay
+	net.RestoreFiber(fid)
+	sched.RunFor(2 * time.Minute) // both convergence events fire
+	if lat, ok := net.PathLatency(1, 2, 0); !ok || lat != 10*time.Millisecond {
+		t.Fatalf("post-flap PathLatency = %v,%v, want 10ms", lat, ok)
+	}
+	net.Send(1, 2, 0, []byte("after"))
+	sched.Run()
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d, want 2 (flap must settle up)", len(*got))
+	}
+	assertStatsIdentity(t, net)
 }

@@ -1,0 +1,179 @@
+package netemu
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"sonet/internal/sim"
+)
+
+// referencePath is the pre-cache map-based Dijkstra, kept verbatim as a
+// test oracle: it recomputes the converged route from scratch on every
+// call, with the same deterministic tie-breaks as the production SPF
+// (lowest site ID among equal distances, earliest-laid fiber wins a tied
+// relaxation).
+func referencePath(n *Network, provider ISPID, src, dst SiteID) ([]FiberID, time.Duration, bool) {
+	if src == dst {
+		return nil, 0, true
+	}
+	prov := &n.isps[provider]
+	const inf = time.Duration(1<<63 - 1)
+	dist := make(map[SiteID]time.Duration, len(n.sites))
+	prevFiber := make(map[SiteID]FiberID, len(n.sites))
+	visited := make(map[SiteID]bool, len(n.sites))
+	dist[src] = 0
+	for {
+		best := SiteID(0)
+		bestDist := inf
+		found := false
+		for s, d := range dist {
+			if visited[s] {
+				continue
+			}
+			if d < bestDist || (d == bestDist && found && s < best) {
+				best, bestDist, found = s, d, true
+			}
+		}
+		if !found || best == dst {
+			break
+		}
+		visited[best] = true
+		for _, fid := range prov.fibers {
+			if !n.fibers[fid].convergedUp {
+				continue
+			}
+			f := &n.fibers[fid]
+			var next SiteID
+			switch best {
+			case f.a:
+				next = f.b
+			case f.b:
+				next = f.a
+			default:
+				continue
+			}
+			nd := bestDist + f.latency
+			if cur, ok := dist[next]; !ok || nd < cur {
+				dist[next] = nd
+				prevFiber[next] = fid
+			}
+		}
+	}
+	d, ok := dist[dst]
+	if !ok {
+		return nil, 0, false
+	}
+	var rev []FiberID
+	for s := dst; s != src; {
+		fid := prevFiber[s]
+		rev = append(rev, fid)
+		f := &n.fibers[fid]
+		if s == f.a {
+			s = f.b
+		} else {
+			s = f.a
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, d, true
+}
+
+// checkAllRoutesAgainstReference compares the cached route for every
+// (provider, src, dst) triple against a fresh reference Dijkstra.
+func checkAllRoutesAgainstReference(t *testing.T, net *Network, step int) {
+	t.Helper()
+	for p := range net.isps {
+		for src := 0; src < len(net.sites); src++ {
+			for dst := 0; dst < len(net.sites); dst++ {
+				gotPath, gotLat, gotOK := net.convergedPath(ISPID(p), SiteID(src), SiteID(dst))
+				wantPath, wantLat, wantOK := referencePath(net, ISPID(p), SiteID(src), SiteID(dst))
+				if gotOK != wantOK || gotLat != wantLat {
+					t.Fatalf("step %d: route %d:%d->%d = (lat %v, ok %v), reference (lat %v, ok %v)",
+						step, p, src, dst, gotLat, gotOK, wantLat, wantOK)
+				}
+				if len(gotPath) != len(wantPath) {
+					t.Fatalf("step %d: route %d:%d->%d path %v, reference %v",
+						step, p, src, dst, gotPath, wantPath)
+				}
+				for i := range gotPath {
+					if gotPath[i] != wantPath[i] {
+						t.Fatalf("step %d: route %d:%d->%d path %v, reference %v",
+							step, p, src, dst, gotPath, wantPath)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteCacheMatchesReferenceProperty drives randomized sequences of
+// fiber cuts/restores and site failures — including flaps faster than the
+// convergence delay — interleaved with virtual-time advances that fire an
+// arbitrary subset of the pending convergence events, and checks after
+// every step that each cached route equals a fresh reference Dijkstra.
+func TestRouteCacheMatchesReferenceProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed*977))
+		sched := sim.NewScheduler(seed)
+		net := New(sched, Config{ConvergenceDelay: 40 * time.Second, RestoreDelay: 5 * time.Second})
+
+		const nSites = 6
+		for i := 0; i < nSites; i++ {
+			net.AddSite("s")
+		}
+		var fibers []FiberID
+		for p := 0; p < 2; p++ {
+			isp := net.AddISP("isp")
+			for i := 0; i < 10; i++ {
+				a := SiteID(rng.IntN(nSites))
+				b := SiteID(rng.IntN(nSites))
+				if a == b {
+					continue
+				}
+				// Latencies from a tiny set force plenty of equal-cost
+				// ties, exercising the deterministic tie-breaks.
+				lat := time.Duration(1+rng.IntN(4)) * time.Millisecond
+				fid, err := net.AddFiber(isp, a, b, lat, 0, nil)
+				if err != nil {
+					t.Fatalf("AddFiber: %v", err)
+				}
+				fibers = append(fibers, fid)
+			}
+		}
+
+		for step := 0; step < 120; step++ {
+			switch rng.IntN(6) {
+			case 0:
+				net.CutFiber(fibers[rng.IntN(len(fibers))])
+			case 1:
+				net.RestoreFiber(fibers[rng.IntN(len(fibers))])
+			case 2:
+				net.SetSiteUp(SiteID(rng.IntN(nSites)), rng.IntN(2) == 0)
+			case 3:
+				// Flap faster than convergence: cut and restore (or the
+				// reverse) with under a second between them.
+				f := fibers[rng.IntN(len(fibers))]
+				if net.FiberCut(f) {
+					net.RestoreFiber(f)
+					sched.RunFor(time.Duration(rng.IntN(900)) * time.Millisecond)
+					net.CutFiber(f)
+				} else {
+					net.CutFiber(f)
+					sched.RunFor(time.Duration(rng.IntN(900)) * time.Millisecond)
+					net.RestoreFiber(f)
+				}
+			case 4:
+				// Advance past some but not necessarily all pending
+				// convergence delays.
+				sched.RunFor(time.Duration(rng.IntN(30)) * time.Second)
+			case 5:
+				// Advance far enough that everything pending converges.
+				sched.RunFor(2 * time.Minute)
+			}
+			checkAllRoutesAgainstReference(t, net, step)
+		}
+	}
+}

@@ -6,6 +6,16 @@ import (
 	"time"
 )
 
+// Runner is a pre-allocated alternative to a timer closure: callers that
+// schedule the same kind of event per packet (the underlay's delivery
+// queue) implement Run on a pooled record and avoid a closure allocation
+// per event. Events scheduled with AfterRunner return no Timer handle, so
+// the scheduler is free to recycle the event object itself.
+type Runner interface {
+	// Run executes the scheduled work.
+	Run()
+}
+
 // Scheduler is a deterministic discrete-event scheduler with a virtual
 // clock. Events scheduled for the same instant run in scheduling order.
 //
@@ -18,6 +28,15 @@ type Scheduler struct {
 	events eventHeap
 	rng    *rand.Rand
 	ran    uint64
+	// stopped counts cancelled events still sitting in the heap. When they
+	// outnumber live events the heap is swept, so timer-heavy protocols
+	// that cancel almost every timer (Reliable retransmissions, NM-Strikes)
+	// keep the heap proportional to the live timer count rather than to the
+	// cancellation churn.
+	stopped int
+	// free recycles events scheduled without a Timer handle (AfterRunner):
+	// no handle can outlive the firing, so the object is safe to reuse.
+	free []*event
 }
 
 // NewScheduler returns a scheduler whose virtual clock starts at zero and
@@ -37,8 +56,9 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // EventsRun returns the number of events executed so far.
 func (s *Scheduler) EventsRun() uint64 { return s.ran }
 
-// Pending returns the number of events currently scheduled.
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending returns the number of live (not cancelled) events currently
+// scheduled.
+func (s *Scheduler) Pending() int { return len(s.events) - s.stopped }
 
 // After schedules fn to run d from now and returns a cancellable handle.
 // Non-positive delays schedule fn at the current instant (it still runs
@@ -56,10 +76,32 @@ func (s *Scheduler) At(t time.Duration, fn func()) Timer {
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	ev := &event{at: t, seq: s.seq, fn: fn, sched: s}
 	s.seq++
 	heap.Push(&s.events, ev)
 	return ev
+}
+
+// AfterRunner schedules r.Run to execute d from now. It returns no Timer
+// handle, which lets the scheduler pool the event object: a steady stream
+// of AfterRunner events allocates nothing once the pool is warm. Use it
+// for uncancellable per-packet work; use After for anything that may need
+// Stop.
+func (s *Scheduler) AfterRunner(d time.Duration, r Runner) {
+	if d < 0 {
+		d = 0
+	}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{pooled: true}
+	}
+	ev.at, ev.seq, ev.runner, ev.sched = s.now+d, s.seq, r, s
+	s.seq++
+	heap.Push(&s.events, ev)
 }
 
 // Post schedules fn at the current instant, implementing Executor.
@@ -74,12 +116,10 @@ func (s *Scheduler) Step() bool {
 			return false
 		}
 		if ev.stopped {
+			s.stopped--
 			continue
 		}
-		s.now = ev.at
-		ev.fired = true
-		s.ran++
-		ev.fn()
+		s.runEvent(ev)
 		return true
 	}
 	return false
@@ -93,14 +133,21 @@ func (s *Scheduler) Run() {
 }
 
 // RunUntil executes events with timestamps <= t and then advances the clock
-// to t.
+// to t. It is a single pop loop: stopped events are discarded and live ones
+// run as they surface, with one heap traversal per event.
 func (s *Scheduler) RunUntil(t time.Duration) {
-	for {
-		ev := s.peek()
-		if ev == nil || ev.at > t {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if ev.stopped {
+			heap.Pop(&s.events)
+			s.stopped--
+			continue
+		}
+		if ev.at > t {
 			break
 		}
-		s.Step()
+		heap.Pop(&s.events)
+		s.runEvent(ev)
 	}
 	if s.now < t {
 		s.now = t
@@ -110,15 +157,49 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 // RunFor executes events for a span of d virtual time starting from now.
 func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
 
-func (s *Scheduler) peek() *event {
-	for len(s.events) > 0 {
-		if s.events[0].stopped {
-			heap.Pop(&s.events)
+// runEvent advances the clock to ev and executes it. Pooled events are
+// recycled before their Runner executes, so nested AfterRunner calls from
+// inside Run reuse the object immediately.
+func (s *Scheduler) runEvent(ev *event) {
+	s.now = ev.at
+	ev.fired = true
+	s.ran++
+	if r := ev.runner; r != nil {
+		s.recycle(ev)
+		r.Run()
+		return
+	}
+	ev.fn()
+}
+
+// recycle returns a pooled (handle-free) event to the free list. Events
+// with outstanding Timer handles are left for the garbage collector: the
+// handle may still be Stopped later.
+func (s *Scheduler) recycle(ev *event) {
+	if !ev.pooled {
+		return
+	}
+	*ev = event{pooled: true}
+	s.free = append(s.free, ev)
+}
+
+// sweep removes cancelled events from the heap in one pass and restores
+// the heap invariant. Pop order afterwards is unchanged: ordering is fully
+// determined by (at, seq), not by the heap's internal layout.
+func (s *Scheduler) sweep() {
+	live := s.events[:0]
+	for _, ev := range s.events {
+		if ev.stopped {
 			continue
 		}
-		return s.events[0]
+		live = append(live, ev)
 	}
-	return nil
+	for i := len(live); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = live
+	s.stopped = 0
+	heap.Init(&s.events)
 }
 
 // event is a scheduled callback; it doubles as the Timer handle.
@@ -126,19 +207,32 @@ type event struct {
 	at      time.Duration
 	seq     uint64
 	fn      func()
+	runner  Runner
+	sched   *Scheduler
 	stopped bool
 	fired   bool
+	// pooled marks events created by AfterRunner: no Timer handle exists,
+	// so the object is recycled after firing.
+	pooled bool
 }
 
 var _ Timer = (*event)(nil)
 
 // Stop cancels the event; it reports whether cancellation happened before
-// the callback ran.
+// the callback ran. When cancelled events come to outnumber live ones the
+// scheduler sweeps them out of the heap instead of carrying them to their
+// deadlines.
 func (e *event) Stop() bool {
 	if e.fired || e.stopped {
 		return false
 	}
 	e.stopped = true
+	if s := e.sched; s != nil {
+		s.stopped++
+		if s.stopped > len(s.events)-s.stopped {
+			s.sweep()
+		}
+	}
 	return true
 }
 

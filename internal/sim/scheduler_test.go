@@ -195,6 +195,135 @@ func TestSchedulerEventCountProperty(t *testing.T) {
 	}
 }
 
+func TestStoppedTimersAreSwept(t *testing.T) {
+	s := NewScheduler(1)
+	// One live long-range timer plus heavy schedule/cancel churn well
+	// before its deadline: the heap must not accumulate the dead events.
+	ran := false
+	s.After(time.Hour, func() { ran = true })
+	for i := 0; i < 10000; i++ {
+		s.After(time.Minute, func() { t.Fatal("cancelled timer fired") }).Stop()
+	}
+	if pending := s.Pending(); pending != 1 {
+		t.Fatalf("Pending() = %d, want 1 live event", pending)
+	}
+	if raw := len(s.events); raw > 2 {
+		t.Fatalf("heap retains %d entries after churn, want <= 2", raw)
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("live timer lost during sweep")
+	}
+}
+
+func TestSweepPreservesOrderAndDeterminism(t *testing.T) {
+	run := func() []int {
+		s := NewScheduler(3)
+		var got []int
+		var timers []Timer
+		for i := 0; i < 100; i++ {
+			i := i
+			timers = append(timers, s.After(time.Duration(i%10)*time.Millisecond, func() {
+				got = append(got, i)
+			}))
+		}
+		// Cancel two thirds, forcing sweeps mid-stream.
+		for i, tm := range timers {
+			if i%3 != 0 {
+				tm.Stop()
+			}
+		}
+		s.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != 34 {
+		t.Fatalf("ran %d events, want 34 survivors", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep broke determinism: %v vs %v", a, b)
+		}
+	}
+	// Survivors must still run in (time, scheduling) order.
+	last := -1
+	for _, v := range a {
+		if v%10 < last%10 && last != -1 {
+			// time bucket decreased: order violated
+			t.Fatalf("out of time order: %v", a)
+		}
+		last = v
+	}
+}
+
+func TestAfterRunnerRunsAndRecycles(t *testing.T) {
+	s := NewScheduler(1)
+	r := &countRunner{}
+	for i := 0; i < 3; i++ {
+		s.AfterRunner(time.Duration(i)*time.Millisecond, r)
+	}
+	s.Run()
+	if r.n != 3 {
+		t.Fatalf("runner ran %d times, want 3", r.n)
+	}
+	if len(s.free) == 0 {
+		t.Fatal("fired runner events were not recycled")
+	}
+}
+
+func TestAfterRunnerNestedScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	r := &chainRunner{s: s, left: 5}
+	s.AfterRunner(time.Millisecond, r)
+	s.Run()
+	if r.fired != 5 {
+		t.Fatalf("chained runner fired %d times, want 5", r.fired)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("Now() = %v, want 5ms", s.Now())
+	}
+}
+
+func TestAfterRunnerInterleavesWithClosures(t *testing.T) {
+	s := NewScheduler(1)
+	var got []string
+	s.After(2*time.Millisecond, func() { got = append(got, "fn") })
+	s.AfterRunner(time.Millisecond, appendRunner{&got, "early"})
+	s.AfterRunner(3*time.Millisecond, appendRunner{&got, "late"})
+	s.Run()
+	want := []string{"early", "fn", "late"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+type countRunner struct{ n int }
+
+func (r *countRunner) Run() { r.n++ }
+
+type chainRunner struct {
+	s     *Scheduler
+	left  int
+	fired int
+}
+
+func (r *chainRunner) Run() {
+	r.fired++
+	r.left--
+	if r.left > 0 {
+		r.s.AfterRunner(time.Millisecond, r)
+	}
+}
+
+type appendRunner struct {
+	got  *[]string
+	name string
+}
+
+func (r appendRunner) Run() { *r.got = append(*r.got, r.name) }
+
 func TestEventsRunCounter(t *testing.T) {
 	s := NewScheduler(1)
 	for i := 0; i < 5; i++ {
