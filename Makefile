@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-all bench-guard experiments examples fuzz clean
+.PHONY: all check build vet test test-race race cover bench bench-all bench-guard bench-compare bench-baseline experiments examples fuzz clean
 
 all: check
 
@@ -33,9 +33,12 @@ experiments:
 	$(GO) run ./cmd/benchrun
 
 # Hot-path microbenchmarks: overlay forwarding, underlay send, scheduler
-# timer churn, and the pooled wire round trip.
+# timer churn, the pooled wire round trip, and the control-plane SPF /
+# reconvergence pair.
+BENCH_PATTERN = Forwarding|MarshalAlloc|NetemuSend|SchedulerTimers|Packet|DisjointPaths|SPF|ConvergenceScale
+
 bench:
-	$(GO) test -run xxx -bench 'Forwarding|MarshalAlloc|NetemuSend|SchedulerTimers|Packet|DisjointPaths' -benchmem .
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem .
 
 # Every benchmark, including the full experiment reproductions.
 bench-all:
@@ -43,9 +46,19 @@ bench-all:
 
 # Allocation-budget regression guards for the fast paths: fails if a
 # warmed netemu.Send allocates (route cache + pooled buffers/events must
-# keep it at 0 allocs/op on a stable topology).
+# keep it at 0 allocs/op on a stable topology), if a warmed dense SPF
+# recompute allocates, or if a warmed whole-engine reconvergence does.
 bench-guard:
-	$(GO) test -run 'TestNetemuSendAllocBudget' -count=1 .
+	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestConvergenceAllocBudget' -count=1 .
+
+# Diff current hot-path benchmark numbers against the checked-in baseline:
+# ns/op may drift within the baseline's tolerance, allocs/op may not grow.
+bench-compare:
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchcompare -baseline BENCH_baseline.json
+
+# Regenerate the baseline (run on the reference machine, then commit).
+bench-baseline:
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchcompare -write BENCH_baseline.json
 
 examples:
 	$(GO) run ./examples/quickstart

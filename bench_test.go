@@ -9,12 +9,14 @@ package sonet
 // time.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"sonet/internal/experiments"
 	"sonet/internal/netemu"
 	"sonet/internal/node"
+	"sonet/internal/routing"
 	"sonet/internal/sim"
 	"sonet/internal/topology"
 	"sonet/internal/wire"
@@ -411,5 +413,146 @@ func BenchmarkDisjointPaths(b *testing.B) {
 		if err != nil || len(paths) != 3 {
 			b.Fatalf("paths=%d err=%v", len(paths), err)
 		}
+	}
+}
+
+// spfBenchView builds the EXP-CONV churn arena at one size: a ring for
+// guaranteed connectivity plus chords every four nodes for path diversity
+// (at 256 nodes the ring alone consumes the full wire.MaxLinks budget).
+func spfBenchView(tb testing.TB, n int) *topology.View {
+	tb.Helper()
+	g := topology.NewGraph()
+	id := func(i int) wire.NodeID { return wire.NodeID(1 + (i+n)%n) }
+	for i := 0; i < n; i++ {
+		if _, err := g.AddLink(id(i), id(i+1), time.Duration(5+i%7)*time.Millisecond); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if n < wire.MaxLinks/2 {
+		for i := 0; i < n && g.NumLinks() < wire.MaxLinks; i += 4 {
+			if _, err := g.AddLink(id(i), id(i+n/2), time.Duration(8+i%5)*time.Millisecond); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return topology.NewView(g)
+}
+
+// benchViews adapts a shared view to routing.ViewSource for the
+// convergence benchmarks.
+type benchViews struct {
+	view    *topology.View
+	version uint64
+}
+
+func (b *benchViews) View() *topology.View { return b.view }
+func (b *benchViews) Version() uint64      { return b.version }
+
+// benchGroups is an empty routing.GroupSource.
+type benchGroups struct{}
+
+func (benchGroups) Members(wire.GroupID) []wire.NodeID { return nil }
+func (benchGroups) LocalMember(wire.GroupID) bool      { return false }
+func (benchGroups) Version() uint64                    { return 0 }
+
+// BenchmarkSPF is the control-plane micro-benchmark: one shortest-path
+// tree recompute on the EXP-CONV graphs, dense slice-indexed SPF (warmed
+// scratch, 0 allocs/op — guarded by TestSPFAllocBudget) against the
+// retained map-based reference Dijkstra.
+func BenchmarkSPF(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		v := spfBenchView(b, n)
+		src := wire.NodeID(1)
+		b.Run(fmt.Sprintf("dense-%d", n), func(b *testing.B) {
+			var spt topology.SPT
+			topology.SPTInto(&spt, v, src, topology.LatencyMetric)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				topology.SPTInto(&spt, v, src, topology.LatencyMetric)
+			}
+		})
+		b.Run(fmt.Sprintf("reference-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := topology.ReferenceShortestPaths(v, src, topology.LatencyMetric)
+				if t.Src != src {
+					b.Fatal("bad root")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConvergenceScale measures whole-overlay reconvergence under
+// LSA churn: one op is one flood (a ring link flips) followed by every
+// node's engine recomputing its SPT and answering an antipodal
+// reachability query. ns/node is the per-node reconvergence latency.
+func BenchmarkConvergenceScale(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			views := &benchViews{view: spfBenchView(b, n)}
+			engines := make([]*routing.Engine, n)
+			probes := make([]wire.NodeID, n)
+			for i := 0; i < n; i++ {
+				self := wire.NodeID(1 + i)
+				engines[i] = routing.NewEngine(self, views, benchGroups{}, topology.LatencyMetric)
+				probes[i] = wire.NodeID(1 + (i+n/2)%n)
+			}
+			reconverge := func(round int) {
+				lid := wire.LinkID((round / 2) % views.view.G.NumLinks())
+				views.view.SetUp(lid, round%2 == 1)
+				views.version++
+				for j, e := range engines {
+					e.Reachable(probes[j])
+				}
+			}
+			reconverge(1) // warm every engine's scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reconverge(i)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/node")
+		})
+	}
+}
+
+// TestSPFAllocBudget is the allocation regression guard for the
+// control-plane fast path (`make bench-guard`): once its scratch arena is
+// sized, a dense SPF recompute must not allocate, at any graph size.
+func TestSPFAllocBudget(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		v := spfBenchView(t, n)
+		var spt topology.SPT
+		topology.SPTInto(&spt, v, 1, topology.LatencyMetric)
+		if avg := testing.AllocsPerRun(100, func() {
+			topology.SPTInto(&spt, v, 1, topology.LatencyMetric)
+		}); avg > 0 {
+			t.Fatalf("n=%d: warmed SPTInto allocates %.2f allocs/op, budget is 0", n, avg)
+		}
+	}
+}
+
+// TestConvergenceAllocBudget guards the whole reconvergence path: after a
+// view change, a warmed engine's recompute-and-query must not allocate
+// (SPT scratch reuse plus the stamped next-hop memo).
+func TestConvergenceAllocBudget(t *testing.T) {
+	views := &benchViews{view: spfBenchView(t, 64)}
+	e := routing.NewEngine(1, views, benchGroups{}, topology.LatencyMetric)
+	round := 0
+	reconverge := func() {
+		round++
+		lid := wire.LinkID((round / 2) % views.view.G.NumLinks())
+		views.view.SetUp(lid, round%2 == 1)
+		views.version++
+		e.Reachable(33)
+	}
+	for i := 0; i < 4; i++ {
+		reconverge() // warm the engine scratch and next-hop memo
+	}
+	if avg := testing.AllocsPerRun(100, reconverge); avg > 0 {
+		t.Fatalf("warmed reconvergence allocates %.2f allocs/op, budget is 0", avg)
 	}
 }

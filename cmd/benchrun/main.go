@@ -46,6 +46,7 @@ func run() int {
 		{"EXP-METRIC", experiments.RoutingMetric},
 		{"EXP-GLOBAL", experiments.GlobalCoverage},
 		{"EXP-CLIQUE", experiments.TopologyClique},
+		{"EXP-CONV", experiments.ConvergenceScale},
 	}
 
 	failures := 0

@@ -71,5 +71,6 @@ func All() []*Result {
 		RoutingMetric(12),
 		GlobalCoverage(13),
 		TopologyClique(14),
+		ConvergenceScale(15),
 	}
 }

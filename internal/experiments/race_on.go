@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// Race instrumentation taxes tight slice loops far more than map-heavy
+// code, so wall-clock speedup assertions use a reduced floor under race.
+const raceEnabled = true

@@ -114,6 +114,14 @@ func TestCompoundFlowSmoke(t *testing.T) {
 	}
 }
 
+func TestConvergenceScaleSmoke(t *testing.T) {
+	r := ConvergenceScale(15)
+	t.Log("\n" + r.String())
+	if !r.ShapeHolds {
+		t.Fatal("shape does not hold")
+	}
+}
+
 // TestExperimentsDeterministic verifies the reproduction harness itself:
 // the same seed regenerates the identical table, byte for byte.
 func TestExperimentsDeterministic(t *testing.T) {

@@ -90,8 +90,10 @@ type Manager struct {
 
 	// local holds reference counts of local client joins per group.
 	local map[wire.GroupID]int
-	// members maps each group to the set of overlay nodes with members.
-	members map[wire.GroupID]map[wire.NodeID]bool
+	// members maps each group to the sorted slice of overlay nodes with
+	// members, maintained by binary-search insertion so Members can return
+	// it without allocating.
+	members map[wire.GroupID][]wire.NodeID
 	// seen tracks the highest announcement sequence per origin.
 	seen map[wire.NodeID]uint32
 	// lastAnn retains the latest announcement payload per origin for
@@ -110,7 +112,7 @@ func NewManager(env Env, self wire.NodeID) *Manager {
 		env:     env,
 		self:    self,
 		local:   make(map[wire.GroupID]int),
-		members: make(map[wire.GroupID]map[wire.NodeID]bool),
+		members: make(map[wire.GroupID][]wire.NodeID),
 		seen:    make(map[wire.NodeID]uint32),
 		lastAnn: make(map[wire.NodeID][]byte),
 		remote:  make(map[wire.NodeID][]wire.GroupID),
@@ -152,15 +154,11 @@ func (m *Manager) Leave(g wire.GroupID) {
 func (m *Manager) LocalMember(g wire.GroupID) bool { return m.local[g] > 0 }
 
 // Members returns the overlay nodes currently holding members of g,
-// sorted by node ID.
+// sorted by node ID. The returned slice is the manager's internal state:
+// the caller must not modify it, and it is valid only until the next
+// membership change.
 func (m *Manager) Members(g wire.GroupID) []wire.NodeID {
-	set := m.members[g]
-	out := make([]wire.NodeID, 0, len(set))
-	for n := range set {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return m.members[g]
 }
 
 // Refresh refloods the node's current membership; the node calls this
@@ -229,20 +227,27 @@ func (m *Manager) setMember(g wire.GroupID, n wire.NodeID, member bool) {
 
 func (m *Manager) setMemberRaw(g wire.GroupID, n wire.NodeID, member bool) {
 	set := m.members[g]
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= n })
+	present := i < len(set) && set[i] == n
 	if member {
-		if set == nil {
-			set = make(map[wire.NodeID]bool)
-			m.members[g] = set
+		if present {
+			return
 		}
-		set[n] = true
+		set = append(set, 0)
+		copy(set[i+1:], set[i:])
+		set[i] = n
+		m.members[g] = set
 		return
 	}
-	if set != nil {
-		delete(set, n)
-		if len(set) == 0 {
-			delete(m.members, g)
-		}
+	if !present {
+		return
 	}
+	set = append(set[:i], set[i+1:]...)
+	if len(set) == 0 {
+		delete(m.members, g)
+		return
+	}
+	m.members[g] = set
 }
 
 // Resync pushes the latest known announcement of every origin, plus this

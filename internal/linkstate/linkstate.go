@@ -537,9 +537,10 @@ func (m *Manager) HandleLSA(from wire.NodeID, p *wire.Packet) error {
 		}
 		// Availability is sensed at both ends: either endpoint's report
 		// changes it, except for our own adjacent links, where local
-		// hello state governs.
+		// hello state governs. Routed through SetUp so the view version
+		// (and with it the cached flood mask) tracks the change.
 		if l.A != m.self && l.B != m.self && cur.Up != e.Up {
-			cur.Up = e.Up
+			m.view.SetUp(e.Link, e.Up)
 			changed = true
 		}
 	}

@@ -104,6 +104,90 @@ func (s RouteCacheSnapshot) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// SPFStats counts overlay shortest-path-tree recomputation activity in the
+// control plane. Every LSA that changes the shared view forces each node to
+// rebuild its SPT; the dense slice-indexed SPF reuses a per-tree scratch
+// arena, so a warmed recompute performs zero allocations. The counters are
+// atomic for the same reason as PoolStats: deployment-mode monitoring
+// readers snapshot them without coordinating with the event loop.
+//
+// The zero value is ready to use.
+type SPFStats struct {
+	// Runs counts SPF executions (SPTInto calls).
+	Runs atomic.Uint64
+	// ScratchReuses counts runs that recomputed entirely into an
+	// already-sized scratch arena (no allocation).
+	ScratchReuses atomic.Uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *SPFStats) Snapshot() SPFSnapshot {
+	return SPFSnapshot{
+		Runs:          s.Runs.Load(),
+		ScratchReuses: s.ScratchReuses.Load(),
+	}
+}
+
+// SPFSnapshot is a point-in-time copy of SPFStats.
+type SPFSnapshot struct {
+	// Runs counts SPF executions.
+	Runs uint64
+	// ScratchReuses counts allocation-free runs into reused scratch.
+	ScratchReuses uint64
+}
+
+// ReuseRatio returns ScratchReuses / Runs, or 0 before the first run.
+func (s SPFSnapshot) ReuseRatio() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.ScratchReuses) / float64(s.Runs)
+}
+
+// TreeCacheStats counts multicast-tree cache activity in one routing
+// engine: trees memoized per (source, group) under the shared view and
+// group versions, bounded by a fixed capacity.
+//
+// The zero value is ready to use.
+type TreeCacheStats struct {
+	// Hits counts tree lookups served by a cached mask computed under the
+	// current view and group versions.
+	Hits atomic.Uint64
+	// Misses counts lookups that recomputed the tree.
+	Misses atomic.Uint64
+	// Evictions counts cache entries discarded — superseded entries pruned
+	// on a version change, capacity evictions, and eager invalidations.
+	Evictions atomic.Uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *TreeCacheStats) Snapshot() TreeCacheSnapshot {
+	return TreeCacheSnapshot{
+		Hits:      s.Hits.Load(),
+		Misses:    s.Misses.Load(),
+		Evictions: s.Evictions.Load(),
+	}
+}
+
+// TreeCacheSnapshot is a point-in-time copy of TreeCacheStats.
+type TreeCacheSnapshot struct {
+	// Hits counts lookups served from cache.
+	Hits uint64
+	// Misses counts lookups that recomputed the tree.
+	Misses uint64
+	// Evictions counts discarded cache entries.
+	Evictions uint64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before the first lookup.
+func (s TreeCacheSnapshot) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
 // Latencies accumulates one-way delivery latencies for a flow.
 //
 // The zero value is ready to use.

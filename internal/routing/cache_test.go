@@ -1,0 +1,146 @@
+package routing
+
+import (
+	"testing"
+
+	"sonet/internal/wire"
+)
+
+// fillTrees decides one multicast packet per group, populating the tree
+// cache through the public API.
+func fillTrees(e *Engine, grp *fakeGroups, groups int) {
+	for i := 0; i < groups; i++ {
+		gid := wire.GroupID(100 + i)
+		grp.members[gid] = []wire.NodeID{4}
+		p := &wire.Packet{Type: wire.PTData, Route: wire.RouteMulticast, Src: 1, Group: gid}
+		e.Decide(p, NoLink, true)
+	}
+}
+
+func TestTreeCacheBounded(t *testing.T) {
+	_, _, grp, engines := diamondWorld(t)
+	e := engines[1]
+	n := maxCachedTrees + 40
+	fillTrees(e, grp, n)
+	if len(e.trees) != maxCachedTrees {
+		t.Fatalf("cache holds %d trees, want cap %d", len(e.trees), maxCachedTrees)
+	}
+	if len(e.treeOrder) != len(e.trees) {
+		t.Fatalf("treeOrder %d entries vs %d cached", len(e.treeOrder), len(e.trees))
+	}
+	st := e.TreeCacheStats()
+	if st.Misses != uint64(n) {
+		t.Fatalf("misses = %d, want %d", st.Misses, n)
+	}
+	if st.Evictions != uint64(n-maxCachedTrees) {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, n-maxCachedTrees)
+	}
+	// FIFO: the oldest groups were evicted, the newest survive.
+	if _, ok := e.trees[treeKey{src: 1, group: 100}]; ok {
+		t.Fatal("oldest entry survived capacity eviction")
+	}
+	if _, ok := e.trees[treeKey{src: 1, group: wire.GroupID(100 + n - 1)}]; !ok {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestTreeCacheHitsServedFromCache(t *testing.T) {
+	_, _, grp, engines := diamondWorld(t)
+	e := engines[1]
+	grp.members[50] = []wire.NodeID{2, 4}
+	p := &wire.Packet{Type: wire.PTData, Route: wire.RouteMulticast, Src: 1, Group: 50}
+	e.Decide(p, NoLink, true)
+	for i := 0; i < 10; i++ {
+		e.Decide(p, NoLink, true)
+	}
+	st := e.TreeCacheStats()
+	if st.Misses != 1 || st.Hits != 10 {
+		t.Fatalf("hits/misses = %d/%d, want 10/1", st.Hits, st.Misses)
+	}
+}
+
+func TestTreeCachePrunesSupersededOnVersionChange(t *testing.T) {
+	_, views, grp, engines := diamondWorld(t)
+	e := engines[1]
+	fillTrees(e, grp, 20)
+	if len(e.trees) != 20 {
+		t.Fatalf("cache holds %d trees before churn, want 20", len(e.trees))
+	}
+	before := e.TreeCacheStats()
+	// A connectivity change supersedes every cached tree; the next lookup
+	// prunes them all and caches only the fresh recompute.
+	views.version++
+	p := &wire.Packet{Type: wire.PTData, Route: wire.RouteMulticast, Src: 1, Group: 100}
+	e.Decide(p, NoLink, true)
+	if len(e.trees) != 1 {
+		t.Fatalf("cache holds %d trees after version change, want 1", len(e.trees))
+	}
+	if len(e.treeOrder) != 1 {
+		t.Fatalf("treeOrder %d entries after prune, want 1", len(e.treeOrder))
+	}
+	st := e.TreeCacheStats()
+	if got := st.Evictions - before.Evictions; got != 20 {
+		t.Fatalf("version change evicted %d entries, want 20", got)
+	}
+	// Entries refreshed under the current versions are kept by the prune.
+	grp.members[777] = []wire.NodeID{4}
+	e.Decide(&wire.Packet{Type: wire.PTData, Route: wire.RouteMulticast, Src: 1, Group: 777}, NoLink, true)
+	views.version++
+	e.Decide(p, NoLink, true)
+	e.Decide(&wire.Packet{Type: wire.PTData, Route: wire.RouteMulticast, Src: 1, Group: 777}, NoLink, true)
+	if len(e.trees) != 2 {
+		t.Fatalf("cache holds %d trees after refresh, want 2", len(e.trees))
+	}
+}
+
+func TestInvalidateDropsTreesAndCounts(t *testing.T) {
+	_, _, grp, engines := diamondWorld(t)
+	e := engines[1]
+	fillTrees(e, grp, 8)
+	before := e.TreeCacheStats()
+	e.Invalidate()
+	if len(e.trees) != 0 || len(e.treeOrder) != 0 {
+		t.Fatalf("cache not empty after Invalidate: %d trees, %d order", len(e.trees), len(e.treeOrder))
+	}
+	st := e.TreeCacheStats()
+	if got := st.Evictions - before.Evictions; got != 8 {
+		t.Fatalf("Invalidate evicted %d entries, want 8", got)
+	}
+}
+
+// TestNextHopMemoStampInvalidation drives the per-destination memo across
+// reconvergences: hits between recomputes, correct fresh answers after.
+func TestNextHopMemoStampInvalidation(t *testing.T) {
+	g, views, _, engines := diamondWorld(t)
+	e := engines[1]
+	p := &wire.Packet{Type: wire.PTData, Route: wire.RouteLinkState, Src: 1, Dst: 4}
+	for i := 0; i < 5; i++ {
+		d := e.Decide(p, NoLink, true)
+		if len(d.Forward) != 1 || d.Forward[0] != linkID(t, g, 1, 2) {
+			t.Fatalf("iteration %d forward = %v, want via 1-2", i, d.Forward)
+		}
+	}
+	views.view.SetUp(linkID(t, g, 1, 2), false)
+	views.version++
+	for i := 0; i < 5; i++ {
+		d := e.Decide(p, NoLink, true)
+		if len(d.Forward) != 1 || d.Forward[0] != linkID(t, g, 1, 3) {
+			t.Fatalf("post-churn iteration %d forward = %v, want via 1-3", i, d.Forward)
+		}
+	}
+}
+
+// TestUnicastDecideWarmAllocFree pins the unicast fast path: with the SPT
+// warm and the destination memoized, a Decide performs no allocation.
+func TestUnicastDecideWarmAllocFree(t *testing.T) {
+	_, _, _, engines := diamondWorld(t)
+	e := engines[1]
+	p := &wire.Packet{Type: wire.PTData, Route: wire.RouteLinkState, Src: 1, Dst: 4}
+	e.Decide(p, NoLink, true)
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Decide(p, NoLink, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed unicast Decide allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -10,12 +10,19 @@
 package routing
 
 import (
+	"sonet/internal/metrics"
 	"sonet/internal/topology"
 	"sonet/internal/wire"
 )
 
 // NoLink is the arrival-link sentinel for locally originated packets.
 const NoLink wire.LinkID = 0xffff
+
+// maxCachedTrees caps the per-engine (source, group) multicast-tree cache.
+// Beyond the cap the oldest entry is evicted; under churn superseded
+// entries are pruned as soon as a version change is observed, so the cache
+// cannot grow without bound either way.
+const maxCachedTrees = 64
 
 // GroupSource provides the shared group state (Fig. 2 Group State
 // component).
@@ -55,17 +62,39 @@ type Engine struct {
 	groups GroupSource
 	metric topology.Metric
 
-	// Cached shortest-path tree rooted at self for link-state unicast.
-	spt        *topology.SPT
+	// Shortest-path tree rooted at self for link-state unicast. The tree is
+	// engine-owned scratch: reconvergence recomputes into it with SPTInto,
+	// so a warmed recompute allocates nothing.
+	spt        topology.SPT
 	sptVersion uint64
 	sptValid   bool
 
-	// Cached multicast trees keyed by (source, group).
-	trees map[treeKey]*cachedTree
+	// nh memoizes per-destination next hops by dense node index. Entries
+	// are stamped with the SPT generation that produced them; nhStamp is
+	// bumped on every recompute, so stale entries miss without any clearing
+	// pass (a zero-valued entry never matches because nhStamp starts at 1).
+	nh      []nextHopEntry
+	nhStamp uint64
+
+	// Cached multicast trees keyed by (source, group), bounded by
+	// maxCachedTrees. treeOrder tracks insertion order for FIFO capacity
+	// eviction; treeVV/treeGV are the last versions observed, so superseded
+	// entries are pruned the moment a version change is seen.
+	trees     map[treeKey]*cachedTree
+	treeOrder []treeKey
+	treeVV    uint64
+	treeGV    uint64
+	treeStats metrics.TreeCacheStats
 
 	// fwd is the reusable backing array for Decision.Forward, so the
 	// per-packet decision allocates nothing on the forwarding fast path.
 	fwd []wire.LinkID
+}
+
+type nextHopEntry struct {
+	link  wire.LinkID
+	ok    bool
+	stamp uint64
 }
 
 type treeKey struct {
@@ -102,7 +131,14 @@ func (e *Engine) Invalidate() {
 	e.sptValid = false
 	for k := range e.trees {
 		delete(e.trees, k)
+		e.treeStats.Evictions.Add(1)
 	}
+	e.treeOrder = e.treeOrder[:0]
+}
+
+// TreeCacheStats returns the engine's multicast-tree cache counters.
+func (e *Engine) TreeCacheStats() metrics.TreeCacheSnapshot {
+	return e.treeStats.Snapshot()
 }
 
 // Decide computes the routing decision for p arriving on link arrived
@@ -130,13 +166,31 @@ func (e *Engine) decideUnicast(p *wire.Packet) Decision {
 	if p.Dst == e.self {
 		return Decision{DeliverLocal: true}
 	}
-	spt := e.selfSPT()
-	next, ok := spt.NextHop(p.Dst)
+	next, ok := e.nextHop(p.Dst)
 	if !ok {
 		return Decision{}
 	}
 	e.fwd = append(e.fwd[:0], next)
 	return Decision{Forward: e.fwd}
+}
+
+// nextHop returns the first link toward dst, memoized per destination for
+// the lifetime of the current SPT: the tree-walk in SPT.NextHop runs once
+// per (destination, reconvergence) instead of once per packet.
+func (e *Engine) nextHop(dst wire.NodeID) (wire.LinkID, bool) {
+	e.selfSPT()
+	i, ok := e.viewNow().G.NodeIndex(dst)
+	if !ok {
+		return 0, false
+	}
+	if i < len(e.nh) && e.nh[i].stamp == e.nhStamp {
+		return e.nh[i].link, e.nh[i].ok
+	}
+	link, ok := e.spt.NextHop(dst)
+	if i < len(e.nh) {
+		e.nh[i] = nextHopEntry{link: link, ok: ok, stamp: e.nhStamp}
+	}
+	return link, ok
 }
 
 // decideMask forwards over the subgraph given by mask: on every usable
@@ -193,16 +247,25 @@ func (e *Engine) shouldDeliver(p *wire.Packet) bool {
 	return p.Dst == 0 && p.Group != 0 && e.groups.LocalMember(p.Group)
 }
 
-// selfSPT returns the cached shortest-path tree rooted at this node,
-// recomputing it when the shared view changed.
+// selfSPT returns the shortest-path tree rooted at this node, recomputing
+// into the engine-owned scratch when the shared view changed. Each
+// recompute advances the next-hop memo stamp, invalidating every memoized
+// next hop at once.
 func (e *Engine) selfSPT() *topology.SPT {
 	cur := e.views.Version()
 	if !e.sptValid || e.sptVersion != cur {
-		e.spt = topology.ShortestPaths(e.viewNow(), e.self, e.metric)
+		v := e.viewNow()
+		topology.SPTInto(&e.spt, v, e.self, e.metric)
 		e.sptVersion = cur
 		e.sptValid = true
+		e.nhStamp++
+		if n := v.G.NumNodes(); cap(e.nh) < n {
+			e.nh = make([]nextHopEntry, n)
+		} else {
+			e.nh = e.nh[:n]
+		}
 	}
-	return e.spt
+	return &e.spt
 }
 
 // multicastMask returns the cached source-rooted tree for (src, group).
@@ -211,12 +274,59 @@ func (e *Engine) selfSPT() *topology.SPT {
 func (e *Engine) multicastMask(src wire.NodeID, group wire.GroupID) wire.Bitmask {
 	key := treeKey{src: src, group: group}
 	vv, gv := e.views.Version(), e.groups.Version()
+	e.pruneTrees(vv, gv)
 	if c, ok := e.trees[key]; ok && c.viewVersion == vv && c.groupVersion == gv {
+		e.treeStats.Hits.Add(1)
 		return c.mask
 	}
+	e.treeStats.Misses.Add(1)
 	mask, _ := topology.MulticastTree(e.viewNow(), src, e.groups.Members(group), e.metric)
+	if c, ok := e.trees[key]; ok {
+		*c = cachedTree{mask: mask, viewVersion: vv, groupVersion: gv}
+		return mask
+	}
+	if len(e.trees) >= maxCachedTrees {
+		e.evictOldestTree()
+	}
 	e.trees[key] = &cachedTree{mask: mask, viewVersion: vv, groupVersion: gv}
+	e.treeOrder = append(e.treeOrder, key)
 	return mask
+}
+
+// pruneTrees discards every cached tree superseded by a view or group
+// version change. Versions only move forward, so anything not computed
+// under the current pair is stale for good.
+func (e *Engine) pruneTrees(vv, gv uint64) {
+	if vv == e.treeVV && gv == e.treeGV {
+		return
+	}
+	e.treeVV, e.treeGV = vv, gv
+	if len(e.trees) == 0 {
+		return
+	}
+	kept := e.treeOrder[:0]
+	for _, k := range e.treeOrder {
+		c := e.trees[k]
+		if c != nil && c.viewVersion == vv && c.groupVersion == gv {
+			kept = append(kept, k)
+			continue
+		}
+		delete(e.trees, k)
+		e.treeStats.Evictions.Add(1)
+	}
+	e.treeOrder = kept
+}
+
+// evictOldestTree removes the oldest cache entry (FIFO) to stay under
+// maxCachedTrees.
+func (e *Engine) evictOldestTree() {
+	if len(e.treeOrder) == 0 {
+		return
+	}
+	k := e.treeOrder[0]
+	e.treeOrder = e.treeOrder[1:]
+	delete(e.trees, k)
+	e.treeStats.Evictions.Add(1)
 }
 
 // AnycastResolve selects the destination node for an anycast packet: the

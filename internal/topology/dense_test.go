@@ -1,0 +1,197 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"sonet/internal/wire"
+)
+
+// twoIslands builds two disconnected components: a diamond 1-2-4 / 1-3-4
+// and a separate triangle 10-11-12.
+func twoIslands(t *testing.T) *View {
+	t.Helper()
+	g := NewGraph()
+	mustLink(t, g, 1, 2, 10*time.Millisecond)
+	mustLink(t, g, 2, 4, 10*time.Millisecond)
+	mustLink(t, g, 1, 3, 10*time.Millisecond)
+	mustLink(t, g, 3, 4, 10*time.Millisecond)
+	mustLink(t, g, 10, 11, 10*time.Millisecond)
+	mustLink(t, g, 11, 12, 10*time.Millisecond)
+	mustLink(t, g, 10, 12, 10*time.Millisecond)
+	return NewView(g)
+}
+
+func TestNodeIndexStable(t *testing.T) {
+	g, _ := diamond(t)
+	for i, n := range g.Nodes() {
+		idx, ok := g.NodeIndex(n)
+		if !ok || idx != i {
+			t.Fatalf("NodeIndex(%v) = %d,%v; want %d,true", n, idx, ok, i)
+		}
+		if g.NodeAt(idx) != n {
+			t.Fatalf("NodeAt(%d) = %v, want %v", idx, g.NodeAt(idx), n)
+		}
+	}
+	if _, ok := g.NodeIndex(99); ok {
+		t.Fatal("NodeIndex(99) found for absent node")
+	}
+}
+
+func TestLinkBetweenParallelLinksFirstAdded(t *testing.T) {
+	g := NewGraph()
+	first := mustLink(t, g, 1, 2, 10*time.Millisecond)
+	mustLink(t, g, 2, 1, 30*time.Millisecond)
+	l, ok := g.LinkBetween(2, 1)
+	if !ok || l.ID != first {
+		t.Fatalf("LinkBetween(2,1) = %v,%v; want first-added link %v", l.ID, ok, first)
+	}
+}
+
+func TestFloodMaskCachedAcrossVersions(t *testing.T) {
+	_, v := diamond(t)
+	all := v.FloodMask()
+	if got := v.FloodMask(); got != all {
+		t.Fatalf("cached flood mask changed without a version bump: %v vs %v", got, all)
+	}
+	v.SetUp(0, false)
+	down := v.FloodMask()
+	if down.Has(0) {
+		t.Fatal("flood mask still contains downed link 0")
+	}
+	// SetUp to the same value must not bump the version.
+	ver := v.Version()
+	v.SetUp(0, false)
+	if v.Version() != ver {
+		t.Fatal("redundant SetUp bumped the view version")
+	}
+	// Direct State mutation is invisible until Invalidate.
+	v.State[0].Up = true
+	if got := v.FloodMask(); got.Has(0) {
+		t.Fatal("flood mask rebuilt without a version bump")
+	}
+	v.Invalidate()
+	if got := v.FloodMask(); !got.Has(0) {
+		t.Fatal("flood mask stale after Invalidate")
+	}
+}
+
+func TestKDisjointPathsDisconnected(t *testing.T) {
+	v := twoIslands(t)
+	// Across components: no paths, no error.
+	paths, err := KDisjointPaths(v, 1, 11, 2, LatencyMetric)
+	if err != nil {
+		t.Fatalf("KDisjointPaths across components: %v", err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("found %d paths across disconnected components", len(paths))
+	}
+	// Within the island the full disjoint set is still found.
+	paths, err = KDisjointPaths(v, 10, 12, 2, LatencyMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("triangle 10→12: %d disjoint paths, want 2", len(paths))
+	}
+}
+
+func TestKDisjointPathsEqualCostDeterministic(t *testing.T) {
+	// The diamond's two branches have equal latency (10+10 vs 10+10), so
+	// both path orderings are equal-cost; the computation must still be
+	// deterministic across repeated runs and across view clones.
+	v := twoIslands(t)
+	base, err := KDisjointPaths(v, 1, 4, 2, LatencyMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 {
+		t.Fatalf("diamond 1→4: %d disjoint paths, want 2", len(base))
+	}
+	seenMid := map[wire.NodeID]bool{}
+	for _, p := range base {
+		if len(p) != 3 || p[0] != 1 || p[2] != 4 {
+			t.Fatalf("unexpected path %v", p)
+		}
+		if seenMid[p[1]] {
+			t.Fatalf("paths share intermediate node %v", p[1])
+		}
+		seenMid[p[1]] = true
+	}
+	for trial := 0; trial < 5; trial++ {
+		again, err := KDisjointPaths(v.Clone(), 1, 4, 2, LatencyMetric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(base) {
+			t.Fatalf("trial %d: %d paths, want %d", trial, len(again), len(base))
+		}
+		for i := range again {
+			for j := range again[i] {
+				if again[i][j] != base[i][j] {
+					t.Fatalf("trial %d: path %d differs: %v vs %v", trial, i, again[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDissemGraphDisconnected(t *testing.T) {
+	v := twoIslands(t)
+	// No route between components: the base disjoint set is empty, and the
+	// source fan still covers the source's own links so local repair can
+	// start the moment a path heals.
+	mask, err := DissemGraph(v, 1, 11, ProblemSource, LatencyMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range v.G.Incident(1) {
+		if !mask.Has(id) {
+			t.Fatalf("source fan missing source-incident link %v", id)
+		}
+	}
+	for _, id := range v.G.Incident(11) {
+		if mask.Has(id) {
+			t.Fatalf("mask crosses into disconnected component via link %v", id)
+		}
+	}
+	none, err := DissemGraph(v, 1, 11, ProblemNone, LatencyMetric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != (wire.Bitmask{}) {
+		t.Fatalf("ProblemNone mask non-empty across components: %v", none)
+	}
+}
+
+func TestDissemGraphEqualCostDeterministic(t *testing.T) {
+	v := twoIslands(t)
+	for _, area := range []ProblemArea{ProblemNone, ProblemSource, ProblemDest, ProblemBoth} {
+		base, err := DissemGraph(v, 1, 4, area, LatencyMetric)
+		if err != nil {
+			t.Fatalf("%v: %v", area, err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			again, err := DissemGraph(v.Clone(), 1, 4, area, LatencyMetric)
+			if err != nil {
+				t.Fatalf("%v trial %d: %v", area, trial, err)
+			}
+			if again != base {
+				t.Fatalf("%v trial %d: mask %v differs from %v", area, trial, again, base)
+			}
+		}
+	}
+}
+
+func TestMulticastTreeDisconnectedMembers(t *testing.T) {
+	v := twoIslands(t)
+	mask, covered := MulticastTree(v, 1, []wire.NodeID{2, 4, 11}, LatencyMetric)
+	if len(covered) != 2 || covered[0] != 2 || covered[1] != 4 {
+		t.Fatalf("covered = %v, want [2 4]", covered)
+	}
+	for _, id := range v.G.Incident(11) {
+		if mask.Has(id) {
+			t.Fatalf("tree mask crosses into disconnected component via link %v", id)
+		}
+	}
+}

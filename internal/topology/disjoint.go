@@ -27,12 +27,9 @@ func KDisjointPaths(v *View, src, dst wire.NodeID, k int, metric Metric) ([][]wi
 		return nil, fmt.Errorf("topology: disjoint paths: unknown endpoint %v or %v", src, dst)
 	}
 
-	// Node splitting: node i becomes in-vertex 2i and out-vertex 2i+1.
-	idx := make(map[wire.NodeID]int, v.G.NumNodes())
+	// Node splitting on the graph's dense index: node index i becomes
+	// in-vertex 2i and out-vertex 2i+1.
 	nodes := v.G.Nodes()
-	for i, n := range nodes {
-		idx[n] = i
-	}
 	nv := 2 * len(nodes)
 	f := newFlowNet(nv)
 	const inf = math.MaxInt32
@@ -43,7 +40,7 @@ func KDisjointPaths(v *View, src, dst wire.NodeID, k int, metric Metric) ([][]wi
 		}
 		f.addEdge(2*i, 2*i+1, cap, 0)
 	}
-	for _, l := range v.G.Links() {
+	for li, l := range v.G.Links() {
 		if !v.Usable(l.ID) {
 			continue
 		}
@@ -51,12 +48,14 @@ func KDisjointPaths(v *View, src, dst wire.NodeID, k int, metric Metric) ([][]wi
 		if w <= 0 || math.IsInf(w, 1) || math.IsNaN(w) {
 			continue
 		}
-		a, b := idx[l.A], idx[l.B]
+		a, b := int(v.G.ends[li][0]), int(v.G.ends[li][1])
 		f.addEdge(2*a+1, 2*b, 1, w)
 		f.addEdge(2*b+1, 2*a, 1, w)
 	}
 
-	s, t := 2*idx[src], 2*idx[dst]+1
+	srcIdx, _ := v.G.NodeIndex(src)
+	dstIdx, _ := v.G.NodeIndex(dst)
+	s, t := 2*srcIdx, 2*dstIdx+1
 	found := 0
 	for found < k {
 		if !f.augment(s, t) {
@@ -72,7 +71,7 @@ func KDisjointPaths(v *View, src, dst wire.NodeID, k int, metric Metric) ([][]wi
 	paths := make([][]wire.NodeID, 0, found)
 	for p := 0; p < found; p++ {
 		path := []wire.NodeID{src}
-		cur := 2*idx[src] + 1 // src out-vertex
+		cur := 2*srcIdx + 1 // src out-vertex
 		for cur != t {
 			advanced := false
 			for ei := range f.adj[cur] {

@@ -2,6 +2,7 @@ package topology
 
 import (
 	"fmt"
+	"math"
 
 	"sonet/internal/wire"
 )
@@ -117,14 +118,18 @@ func endpointFan(v *View, ep, other wire.NodeID, metric Metric) (wire.Bitmask, e
 	}
 	// Shortest paths toward `other` over the pruned view; computing one SPT
 	// from `other` covers every neighbor at once.
-	t := ShortestPaths(pruned, other, metric)
+	t := acquireSPT()
+	defer releaseSPT(t)
+	SPTInto(t, pruned, other, metric)
 	for _, n := range neighbors {
-		if n == other || !t.Reachable(n) {
+		if n == other {
 			continue
 		}
-		for cur := n; cur != other; cur = t.parent[cur] {
-			mask.Set(t.via[cur])
+		i := t.lookup(n)
+		if i < 0 || math.IsInf(t.dist[i], 1) {
+			continue
 		}
+		t.maskTo(i, &mask)
 	}
 	return mask, nil
 }

@@ -8,6 +8,13 @@
 // structured overlay maintains the same View via the Connectivity Graph
 // Maintenance component, so all nodes deterministically compute identical
 // routes.
+//
+// Internally the graph keeps a dense node-index table: every node gets a
+// stable small integer (its insertion order), links record their endpoint
+// indices, and adjacency is a slice of half-edges per node index. All
+// routing computations (SPF, multicast trees, disjoint paths,
+// dissemination graphs) run over this dense core, so the control plane
+// recomputes routes into reusable slice scratch instead of fresh maps.
 package topology
 
 import (
@@ -43,26 +50,65 @@ func (l Link) Other(n wire.NodeID) (wire.NodeID, bool) {
 	}
 }
 
+// halfLink is one directed half of an overlay link in the dense adjacency:
+// the link's ID plus the dense index of the far endpoint.
+type halfLink struct {
+	id wire.LinkID
+	to int32
+}
+
 // Graph is the designed overlay topology. The zero value is an empty
 // graph; nodes and links are added with AddNode and AddLink.
 type Graph struct {
 	nodes []wire.NodeID
 	links []Link
-	adj   map[wire.NodeID][]wire.LinkID
+	// index maps a NodeID to its dense index in nodes (insertion order).
+	index map[wire.NodeID]int32
+	// adj lists incident link IDs per node (public Incident API).
+	adj map[wire.NodeID][]wire.LinkID
+	// dadj is the dense adjacency: half-edges by node index, in link
+	// insertion order (determinism depends on this ordering).
+	dadj [][]halfLink
+	// ends records each link's endpoint indices: ends[id] = {index(A), index(B)}.
+	ends [][2]int32
+	// pairs maps a canonical endpoint-index pair to the first link joining
+	// it, making LinkBetween O(1) instead of an O(degree) scan.
+	pairs map[uint64]wire.LinkID
 }
 
 // NewGraph returns an empty overlay topology.
 func NewGraph() *Graph {
-	return &Graph{adj: make(map[wire.NodeID][]wire.LinkID)}
+	g := &Graph{}
+	g.ensure()
+	return g
+}
+
+func (g *Graph) ensure() {
+	if g.index == nil {
+		g.index = make(map[wire.NodeID]int32)
+		g.adj = make(map[wire.NodeID][]wire.LinkID)
+		g.pairs = make(map[uint64]wire.LinkID)
+	}
+}
+
+// pairKey packs a canonical (low, high) endpoint-index pair into one map key.
+func pairKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }
 
 // AddNode registers an overlay node. Adding an existing node is a no-op.
 func (g *Graph) AddNode(n wire.NodeID) {
-	if _, ok := g.adj[n]; ok {
+	g.ensure()
+	if _, ok := g.index[n]; ok {
 		return
 	}
+	g.index[n] = int32(len(g.nodes))
 	g.nodes = append(g.nodes, n)
 	g.adj[n] = nil
+	g.dadj = append(g.dadj, nil)
 }
 
 // AddLink registers an overlay link between a and b with the given designed
@@ -79,10 +125,17 @@ func (g *Graph) AddLink(a, b wire.NodeID, latency time.Duration) (wire.LinkID, e
 	}
 	g.AddNode(a)
 	g.AddNode(b)
+	ai, bi := g.index[a], g.index[b]
 	id := wire.LinkID(len(g.links))
 	g.links = append(g.links, Link{ID: id, A: a, B: b, Latency: latency})
+	g.ends = append(g.ends, [2]int32{ai, bi})
 	g.adj[a] = append(g.adj[a], id)
 	g.adj[b] = append(g.adj[b], id)
+	g.dadj[ai] = append(g.dadj[ai], halfLink{id: id, to: bi})
+	g.dadj[bi] = append(g.dadj[bi], halfLink{id: id, to: ai})
+	if _, dup := g.pairs[pairKey(ai, bi)]; !dup {
+		g.pairs[pairKey(ai, bi)] = id
+	}
 	return id, nil
 }
 
@@ -95,6 +148,18 @@ func (g *Graph) NumNodes() int { return len(g.nodes) }
 
 // NumLinks returns the number of overlay links.
 func (g *Graph) NumLinks() int { return len(g.links) }
+
+// NodeIndex returns the dense index of n — a stable small integer in
+// [0, NumNodes) assigned at insertion — and whether n is in the graph.
+// Dense indices key all slice-backed routing state (SPT scratch, next-hop
+// memos).
+func (g *Graph) NodeIndex(n wire.NodeID) (int, bool) {
+	i, ok := g.index[n]
+	return int(i), ok
+}
+
+// NodeAt returns the node ID at dense index i.
+func (g *Graph) NodeAt(i int) wire.NodeID { return g.nodes[i] }
 
 // Link returns the link with the given ID.
 func (g *Graph) Link(id wire.LinkID) (Link, bool) {
@@ -111,20 +176,28 @@ func (g *Graph) Links() []Link { return g.links }
 // modify the returned slice.
 func (g *Graph) Incident(n wire.NodeID) []wire.LinkID { return g.adj[n] }
 
-// LinkBetween returns the link joining a and b, if one exists.
+// LinkBetween returns the link joining a and b, if one exists. With
+// parallel links, the earliest-added one is returned. The lookup is O(1)
+// via the endpoint-pair table.
 func (g *Graph) LinkBetween(a, b wire.NodeID) (Link, bool) {
-	for _, id := range g.adj[a] {
-		l := g.links[id]
-		if other, ok := l.Other(a); ok && other == b {
-			return l, true
-		}
+	ai, ok := g.index[a]
+	if !ok {
+		return Link{}, false
 	}
-	return Link{}, false
+	bi, ok := g.index[b]
+	if !ok {
+		return Link{}, false
+	}
+	id, ok := g.pairs[pairKey(ai, bi)]
+	if !ok {
+		return Link{}, false
+	}
+	return g.links[id], true
 }
 
 // HasNode reports whether n is in the graph.
 func (g *Graph) HasNode(n wire.NodeID) bool {
-	_, ok := g.adj[n]
+	_, ok := g.index[n]
 	return ok
 }
 
@@ -145,8 +218,19 @@ type LinkState struct {
 type View struct {
 	// G is the designed topology.
 	G *Graph
-	// State holds per-link dynamic state, indexed by LinkID.
+	// State holds per-link dynamic state, indexed by LinkID. Mutating an
+	// entry's Up bit directly (rather than via SetUp) must be followed by
+	// Invalidate so version-keyed caches (the flood mask) notice.
 	State []LinkState
+
+	// version increments on every availability change; it keys the cached
+	// flood mask and is exposed for other view-scoped memoization.
+	version uint64
+	// flood caches the constrained-flooding mask of the view at
+	// floodVersion; FloodMask rebuilds it only when the version moved.
+	flood        wire.Bitmask
+	floodVersion uint64
+	floodValid   bool
 }
 
 // NewView returns a view of g with every link up at its designed latency
@@ -162,9 +246,10 @@ func NewView(g *Graph) *View {
 // Clone returns an independent copy of the view sharing the immutable
 // designed topology.
 func (v *View) Clone() *View {
-	st := make([]LinkState, len(v.State))
-	copy(st, v.State)
-	return &View{G: v.G, State: st}
+	c := *v
+	c.State = make([]LinkState, len(v.State))
+	copy(c.State, v.State)
+	return &c
 }
 
 // Usable reports whether the link with the given ID is currently up.
@@ -172,22 +257,41 @@ func (v *View) Usable(id wire.LinkID) bool {
 	return int(id) < len(v.State) && v.State[id].Up
 }
 
-// SetUp marks a link up or down.
+// SetUp marks a link up or down, bumping the view version when the
+// availability actually changes.
 func (v *View) SetUp(id wire.LinkID, up bool) {
-	if int(id) < len(v.State) {
+	if int(id) >= len(v.State) {
+		return
+	}
+	if v.State[id].Up != up {
 		v.State[id].Up = up
+		v.version++
 	}
 }
 
+// Version returns a counter incremented on every availability change.
+func (v *View) Version() uint64 { return v.version }
+
+// Invalidate bumps the view version; callers that mutate State entries
+// directly use it to invalidate version-keyed caches.
+func (v *View) Invalidate() { v.version++ }
+
 // FloodMask returns the bitmask of all currently usable links — the
-// constrained-flooding dissemination set (§IV-B).
+// constrained-flooding dissemination set (§IV-B). The mask is cached and
+// rebuilt only when the view version moves (availability changes).
 func (v *View) FloodMask() wire.Bitmask {
+	if v.floodValid && v.floodVersion == v.version {
+		return v.flood
+	}
 	var m wire.Bitmask
 	for id := range v.State {
 		if v.State[id].Up {
 			m.Set(wire.LinkID(id))
 		}
 	}
+	v.flood = m
+	v.floodVersion = v.version
+	v.floodValid = true
 	return m
 }
 

@@ -16,20 +16,21 @@ import (
 //
 // Members that are currently unreachable from src are omitted from covered.
 func MulticastTree(v *View, src wire.NodeID, members []wire.NodeID, metric Metric) (mask wire.Bitmask, covered []wire.NodeID) {
-	t := ShortestPaths(v, src, metric)
+	t := acquireSPT()
+	defer releaseSPT(t)
+	SPTInto(t, v, src, metric)
 	covered = make([]wire.NodeID, 0, len(members))
 	for _, m := range members {
 		if m == src {
 			covered = append(covered, m)
 			continue
 		}
-		if !t.Reachable(m) {
+		i := t.lookup(m)
+		if i < 0 || math.IsInf(t.dist[i], 1) {
 			continue
 		}
 		covered = append(covered, m)
-		for n := m; n != src; n = t.parent[n] {
-			mask.Set(t.via[n])
-		}
+		t.maskTo(i, &mask)
 	}
 	return mask, covered
 }
@@ -38,7 +39,9 @@ func MulticastTree(v *View, src wire.NodeID, members []wire.NodeID, metric Metri
 // the metric — the overlay's anycast service (§II-B: anycast messages are
 // delivered to exactly one member of the relevant group).
 func AnycastTarget(v *View, from wire.NodeID, members []wire.NodeID, metric Metric) (wire.NodeID, bool) {
-	t := ShortestPaths(v, from, metric)
+	t := acquireSPT()
+	defer releaseSPT(t)
+	SPTInto(t, v, from, metric)
 	best := wire.NodeID(0)
 	bestDist := math.Inf(1)
 	found := false
