@@ -33,9 +33,9 @@ experiments:
 	$(GO) run ./cmd/benchrun
 
 # Hot-path microbenchmarks: overlay forwarding, underlay send, scheduler
-# timer churn, the pooled wire round trip, and the control-plane SPF /
-# reconvergence pair.
-BENCH_PATTERN = Forwarding|MarshalAlloc|NetemuSend|SchedulerTimers|Packet|DisjointPaths|SPF|ConvergenceScale
+# timer churn, the pooled wire round trip, the control-plane SPF /
+# reconvergence pair, and the batched UDP data plane over loopback.
+BENCH_PATTERN = Forwarding|MarshalAlloc|NetemuSend|SchedulerTimers|Packet|DisjointPaths|SPF|ConvergenceScale|UDP
 
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem .
@@ -47,9 +47,10 @@ bench-all:
 # Allocation-budget regression guards for the fast paths: fails if a
 # warmed netemu.Send allocates (route cache + pooled buffers/events must
 # keep it at 0 allocs/op on a stable topology), if a warmed dense SPF
-# recompute allocates, or if a warmed whole-engine reconvergence does.
+# recompute allocates, if a warmed whole-engine reconvergence does, or if
+# the real UDP data plane exceeds one amortized allocation per datagram.
 bench-guard:
-	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestConvergenceAllocBudget' -count=1 .
+	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestConvergenceAllocBudget|TestUDPTransportAllocBudget' -count=1 .
 
 # Diff current hot-path benchmark numbers against the checked-in baseline:
 # ns/op may drift within the baseline's tolerance, allocs/op may not grow.

@@ -47,6 +47,7 @@ func run() int {
 		{"EXP-GLOBAL", experiments.GlobalCoverage},
 		{"EXP-CLIQUE", experiments.TopologyClique},
 		{"EXP-CONV", experiments.ConvergenceScale},
+		{"EXP-WIRE", experiments.WireThroughput},
 	}
 
 	failures := 0

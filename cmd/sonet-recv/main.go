@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"sonet/internal/session"
 	"sonet/internal/transport"
@@ -32,8 +33,15 @@ func run() int {
 	flag.Parse()
 
 	received := 0
+	bytes := 0
+	var first, last time.Time
 	c, err := transport.Dial(*daemon, wire.Port(*port), func(d session.Delivery) {
 		received++
+		bytes += len(d.Payload)
+		last = time.Now()
+		if first.IsZero() {
+			first = last
+		}
 		if !*quiet {
 			fmt.Printf("from %v:%d seq %d latency %v%s: %s\n",
 				d.From, d.SrcPort, d.Seq, d.Latency,
@@ -58,5 +66,13 @@ func run() int {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("sonet-recv: %d messages received\n", received)
+	// Delivery rate over the span between the first and last message: the
+	// receive half of a sonet-send -interval 0 throughput run.
+	if span := last.Sub(first); received > 1 && span > 0 {
+		fmt.Printf("sonet-recv: %.0f msgs/s, %.1f MB/s over %v\n",
+			float64(received)/span.Seconds(),
+			float64(bytes)/span.Seconds()/1e6,
+			span.Round(time.Millisecond))
+	}
 	return 0
 }

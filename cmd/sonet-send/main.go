@@ -6,6 +6,13 @@
 //
 //	sonet-send -daemon 127.0.0.1:8001 -to 3 -port 700 [-service reliable]
 //	sonet-send -daemon 127.0.0.1:8001 -group 42 -port 800 -count 100
+//
+// Throughput mode: -count with -size and -interval 0 blasts fixed-size
+// payloads back to back and reports the sustained send rate, pairing
+// with sonet-recv's delivery-rate summary to measure the wire plane end
+// to end.
+//
+//	sonet-send -daemon 127.0.0.1:8001 -to 3 -count 100000 -size 1200 -interval 0
 package main
 
 import (
@@ -36,7 +43,8 @@ func run() int {
 	disjoint := flag.Int("disjoint", 0, "route over K node-disjoint paths")
 	flood := flag.Bool("flood", false, "constrained flooding")
 	count := flag.Int("count", 0, "send this many generated messages instead of reading stdin")
-	interval := flag.Duration("interval", 10*time.Millisecond, "gap between generated messages")
+	size := flag.Int("size", 0, "generated payload size in bytes (0: short text messages)")
+	interval := flag.Duration("interval", 10*time.Millisecond, "gap between generated messages (0: blast)")
 	flag.Parse()
 
 	proto, ok := parseService(*service)
@@ -68,14 +76,32 @@ func run() int {
 	}
 
 	sent := 0
+	bytes := 0
 	if *count > 0 {
+		start := time.Now()
 		for i := 0; i < *count; i++ {
-			if err := flow.Send([]byte(fmt.Sprintf("msg-%d", i))); err != nil {
+			var msg []byte
+			if *size > 0 {
+				msg = make([]byte, *size)
+				copy(msg, fmt.Sprintf("msg-%d", i))
+			} else {
+				msg = []byte(fmt.Sprintf("msg-%d", i))
+			}
+			if err := flow.Send(msg); err != nil {
 				fmt.Fprintf(os.Stderr, "sonet-send: %v\n", err)
 				return 1
 			}
 			sent++
-			time.Sleep(*interval)
+			bytes += len(msg)
+			if *interval > 0 {
+				time.Sleep(*interval)
+			}
+		}
+		if elapsed := time.Since(start); *interval == 0 && elapsed > 0 {
+			fmt.Printf("sonet-send: %d msgs in %v: %.0f msgs/s, %.1f MB/s\n",
+				sent, elapsed.Round(time.Millisecond),
+				float64(sent)/elapsed.Seconds(),
+				float64(bytes)/elapsed.Seconds()/1e6)
 		}
 	} else {
 		sc := bufio.NewScanner(os.Stdin)

@@ -72,5 +72,6 @@ func All() []*Result {
 		GlobalCoverage(13),
 		TopologyClique(14),
 		ConvergenceScale(15),
+		WireThroughput(16),
 	}
 }

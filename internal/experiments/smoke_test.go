@@ -122,6 +122,14 @@ func TestConvergenceScaleSmoke(t *testing.T) {
 	}
 }
 
+func TestWireThroughputSmoke(t *testing.T) {
+	r := WireThroughput(16)
+	t.Log("\n" + r.String())
+	if !r.ShapeHolds {
+		t.Fatal("shape does not hold")
+	}
+}
+
 // TestExperimentsDeterministic verifies the reproduction harness itself:
 // the same seed regenerates the identical table, byte for byte.
 func TestExperimentsDeterministic(t *testing.T) {

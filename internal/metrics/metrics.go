@@ -188,6 +188,90 @@ func (s TreeCacheSnapshot) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// WireStats counts datagram-level activity on one real UDP underlay: how
+// many datagrams and bytes crossed the socket in each direction, and how
+// effectively the batched data plane amortizes its syscalls (packets per
+// recvmmsg/sendmmsg wakeup). The counters are atomic because the receive
+// loop, the event loop, and monitoring readers touch them from different
+// goroutines.
+//
+// The zero value is ready to use.
+type WireStats struct {
+	// RecvBatches counts receive wakeups (one recvmmsg call on Linux, one
+	// datagram read on the portable path).
+	RecvBatches atomic.Uint64
+	// RecvPackets counts datagrams drained from the socket.
+	RecvPackets atomic.Uint64
+	// RecvBytes counts datagram payload bytes drained from the socket.
+	RecvBytes atomic.Uint64
+	// RecvUnknown counts datagrams dropped because the source address did
+	// not belong to a registered peer.
+	RecvUnknown atomic.Uint64
+	// SendBatches counts send flushes (one sendmmsg call on Linux, one
+	// write loop on the portable path).
+	SendBatches atomic.Uint64
+	// SendPackets counts datagrams handed to the kernel.
+	SendPackets atomic.Uint64
+	// SendBytes counts datagram payload bytes handed to the kernel.
+	SendBytes atomic.Uint64
+	// SendDropped counts frames dropped on the send side: socket errors,
+	// unrepresentable destinations, a full coalescing ring, or frames still
+	// pending when the underlay closed.
+	SendDropped atomic.Uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *WireStats) Snapshot() WireSnapshot {
+	return WireSnapshot{
+		RecvBatches: s.RecvBatches.Load(),
+		RecvPackets: s.RecvPackets.Load(),
+		RecvBytes:   s.RecvBytes.Load(),
+		RecvUnknown: s.RecvUnknown.Load(),
+		SendBatches: s.SendBatches.Load(),
+		SendPackets: s.SendPackets.Load(),
+		SendBytes:   s.SendBytes.Load(),
+		SendDropped: s.SendDropped.Load(),
+	}
+}
+
+// WireSnapshot is a point-in-time copy of WireStats.
+type WireSnapshot struct {
+	// RecvBatches counts receive wakeups.
+	RecvBatches uint64
+	// RecvPackets counts datagrams drained.
+	RecvPackets uint64
+	// RecvBytes counts bytes drained.
+	RecvBytes uint64
+	// RecvUnknown counts datagrams from unregistered senders.
+	RecvUnknown uint64
+	// SendBatches counts send flushes.
+	SendBatches uint64
+	// SendPackets counts datagrams handed to the kernel.
+	SendPackets uint64
+	// SendBytes counts bytes handed to the kernel.
+	SendBytes uint64
+	// SendDropped counts frames dropped on the send side.
+	SendDropped uint64
+}
+
+// RecvBatchAvg returns the mean datagrams drained per receive wakeup, or 0
+// before the first wakeup.
+func (s WireSnapshot) RecvBatchAvg() float64 {
+	if s.RecvBatches == 0 {
+		return 0
+	}
+	return float64(s.RecvPackets) / float64(s.RecvBatches)
+}
+
+// SendBatchAvg returns the mean datagrams per send flush, or 0 before the
+// first flush.
+func (s WireSnapshot) SendBatchAvg() float64 {
+	if s.SendBatches == 0 {
+		return 0
+	}
+	return float64(s.SendPackets) / float64(s.SendBatches)
+}
+
 // Latencies accumulates one-way delivery latencies for a flow.
 //
 // The zero value is ready to use.

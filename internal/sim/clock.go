@@ -43,3 +43,15 @@ type Executor interface {
 	// Post enqueues fn for execution.
 	Post(fn func())
 }
+
+// RunnerExecutor is an Executor that can also enqueue a pre-allocated
+// Runner without wrapping it in a closure. Per-packet producers (the UDP
+// receive loop posting one dispatch per datagram batch) use it so a steady
+// stream of posts allocates nothing; PostRunner interleaves with Post in
+// FIFO order. Both the real-time Loop and the discrete-event Scheduler
+// implement it; callers fall back to Post on executors that do not.
+type RunnerExecutor interface {
+	Executor
+	// PostRunner enqueues r.Run for execution.
+	PostRunner(r Runner)
+}

@@ -12,10 +12,18 @@ import (
 type Loop struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []func()
+	queue  []loopTask
 	closed bool
 	done   chan struct{}
 }
+
+// loopTask is one queue entry: a closure or a pre-allocated Runner.
+type loopTask struct {
+	fn func()
+	r  Runner
+}
+
+var _ RunnerExecutor = (*Loop)(nil)
 
 // NewLoop starts a loop goroutine and returns the executor.
 func NewLoop() *Loop {
@@ -33,7 +41,21 @@ func (l *Loop) Post(fn func()) {
 	if l.closed {
 		return
 	}
-	l.queue = append(l.queue, fn)
+	l.queue = append(l.queue, loopTask{fn: fn})
+	l.cond.Signal()
+}
+
+// PostRunner enqueues r.Run, implementing RunnerExecutor: unlike Post
+// there is no closure to allocate, so per-packet producers (the UDP batch
+// reader) can post a pooled dispatch record for every wakeup without
+// generating garbage. FIFO order with Post is preserved.
+func (l *Loop) PostRunner(r Runner) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.queue = append(l.queue, loopTask{r: r})
 	l.cond.Signal()
 }
 
@@ -66,8 +88,12 @@ func (l *Loop) run() {
 		batch := l.queue
 		l.queue = nil
 		l.mu.Unlock()
-		for _, fn := range batch {
-			fn()
+		for _, t := range batch {
+			if t.r != nil {
+				t.r.Run()
+			} else {
+				t.fn()
+			}
 		}
 	}
 }

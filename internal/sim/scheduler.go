@@ -107,6 +107,12 @@ func (s *Scheduler) AfterRunner(d time.Duration, r Runner) {
 // Post schedules fn at the current instant, implementing Executor.
 func (s *Scheduler) Post(fn func()) { s.After(0, fn) }
 
+// PostRunner schedules r.Run at the current instant on a pooled event,
+// implementing RunnerExecutor.
+func (s *Scheduler) PostRunner(r Runner) { s.AfterRunner(0, r) }
+
+var _ RunnerExecutor = (*Scheduler)(nil)
+
 // Step runs the single earliest pending event. It reports whether an event
 // was run (false when the queue is empty).
 func (s *Scheduler) Step() bool {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"sonet/internal/metrics"
 	"sonet/internal/node"
 	"sonet/internal/session"
 	"sonet/internal/sim"
@@ -155,6 +156,10 @@ func (d *Daemon) TCPAddr() string {
 // Node returns the daemon's overlay node. The node is single-threaded on
 // the daemon loop; cross-thread diagnostics should use NodeStats.
 func (d *Daemon) Node() *node.Node { return d.node }
+
+// WireStats returns the UDP underlay's datagram counters (batches,
+// packets, bytes per direction); safe from any goroutine.
+func (d *Daemon) WireStats() metrics.WireSnapshot { return d.udp.Stats() }
 
 // NodeStats reads the node's counters on the daemon loop, safely from any
 // goroutine. It returns zeros after Close.

@@ -3,8 +3,11 @@ package transport
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 
+	"sonet/internal/metrics"
 	"sonet/internal/sim"
 	"sonet/internal/wire"
 )
@@ -13,21 +16,121 @@ import (
 // datagrams. It implements node.Underlay: each neighbor has one or more
 // remote addresses (one per underlay path, supporting multihoming across
 // provider-specific addresses).
+//
+// The data plane is batched and lock-light:
+//
+//   - Receive: a batch reader (recvmmsg on Linux, per-datagram elsewhere)
+//     drains up to wire.ReadBatch datagrams per wakeup into a pooled slab,
+//     copies each into a pooled wire.Buf, and posts ONE pooled dispatch
+//     record per batch onto the executor instead of one closure per packet.
+//   - Sender identification: source addresses resolve through an immutable
+//     peer table keyed by netip.AddrPort, read via an atomic pointer — no
+//     per-packet lock, no addr.String() allocation. AddPeer copies the
+//     table on write under a mutex and swaps the pointer.
+//   - Send: frames produced within one event-loop turn accumulate in a
+//     coalescing ring; a single flush posted on the executor hands the
+//     whole turn's frames to the kernel at once (sendmmsg on Linux, a
+//     write loop elsewhere).
+//
+// All per-direction batch/packet/byte counters live in metrics.WireStats.
 type UDPUnderlay struct {
 	conn *net.UDPConn
 	exec sim.Executor
-
-	mu sync.Mutex
-	// peers maps a neighbor to its per-path addresses.
-	peers map[wire.NodeID][]*net.UDPAddr
-	// senders maps a source address to the neighbor it belongs to.
-	senders map[string]wire.NodeID
-	// handler receives frames on the executor.
+	// runnerExec is exec's RunnerExecutor view, nil when unsupported;
+	// posting through it avoids a closure allocation per batch.
+	runnerExec sim.RunnerExecutor
+	// handler receives frames on the executor. Immutable after New.
 	handler func(from wire.NodeID, data []byte)
 
-	closed  bool
-	done    chan struct{}
-	dropped uint64
+	// table is the immutable peer snapshot; readers load it without
+	// locking. mu serializes copy-on-write updates and lifecycle.
+	table  atomic.Pointer[peerTable]
+	closed atomic.Bool
+	mu     sync.Mutex
+	done   chan struct{}
+
+	// The send coalescing ring: Send appends under sendMu, the posted
+	// flush swaps pending with the spare slice and writes the batch out.
+	sendMu      sync.Mutex
+	pending     []outFrame
+	spare       []outFrame
+	flushQueued bool
+	flusher     flushRunner
+	// writeMu serializes access to the writer's header arrays when an
+	// inline executor lets flushes overlap; uncontended on the event loop.
+	writeMu sync.Mutex
+	writer  *batchWriter
+
+	// rxFree recycles batch dispatch records across the readLoop/executor
+	// boundary.
+	rxFree sync.Pool
+
+	stats metrics.WireStats
+}
+
+// maxPending bounds the coalescing ring; past it new frames are dropped
+// (best-effort, like IP) rather than buffering without bound.
+const maxPending = 4096
+
+// peerTable is an immutable snapshot of the peer registrations. A new
+// table replaces the old one wholesale on every AddPeer.
+type peerTable struct {
+	// peers maps a neighbor to its per-path addresses.
+	peers map[wire.NodeID][]netip.AddrPort
+	// senders maps a source address to the neighbor it belongs to.
+	senders map[netip.AddrPort]wire.NodeID
+}
+
+var emptyPeerTable = &peerTable{
+	peers:   map[wire.NodeID][]netip.AddrPort{},
+	senders: map[netip.AddrPort]wire.NodeID{},
+}
+
+// outFrame is one coalesced datagram awaiting flush.
+type outFrame struct {
+	to  netip.AddrPort
+	buf *wire.Buf
+}
+
+// rxFrame is one received datagram awaiting dispatch.
+type rxFrame struct {
+	from wire.NodeID
+	buf  *wire.Buf
+}
+
+// rxBatch carries one receive wakeup's datagrams to the executor as a
+// single posted Runner.
+type rxBatch struct {
+	u      *UDPUnderlay
+	frames []rxFrame
+}
+
+// Run dispatches the batch on the executor and recycles everything. After
+// Close no frame reaches the handler; the buffers are still released.
+func (b *rxBatch) Run() {
+	u := b.u
+	deliver := !u.closed.Load()
+	for i := range b.frames {
+		if deliver {
+			u.handler(b.frames[i].from, b.frames[i].buf.B)
+		}
+		b.frames[i].buf.Release()
+		b.frames[i] = rxFrame{}
+	}
+	b.frames = b.frames[:0]
+	u.rxFree.Put(b)
+}
+
+// flushRunner posts the send-ring flush without allocating a closure.
+type flushRunner struct{ u *UDPUnderlay }
+
+// Run implements sim.Runner.
+func (f *flushRunner) Run() { f.u.flush() }
+
+// canonAddrPort normalizes an address for table keys and lookups: IPv4
+// and IPv4-in-IPv6 forms of the same endpoint must collide.
+func canonAddrPort(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 }
 
 // NewUDPUnderlay binds a UDP socket and starts the receive loop; frames
@@ -45,11 +148,18 @@ func NewUDPUnderlay(bind string, exec sim.Executor, handler func(from wire.NodeI
 	u := &UDPUnderlay{
 		conn:    conn,
 		exec:    exec,
-		peers:   make(map[wire.NodeID][]*net.UDPAddr),
-		senders: make(map[string]wire.NodeID),
 		handler: handler,
 		done:    make(chan struct{}),
 	}
+	u.runnerExec, _ = exec.(sim.RunnerExecutor)
+	u.flusher.u = u
+	u.table.Store(emptyPeerTable)
+	w, err := newBatchWriter(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("transport: batch writer: %w", err)
+	}
+	u.writer = w
 	go u.readLoop()
 	return u, nil
 }
@@ -57,98 +167,226 @@ func NewUDPUnderlay(bind string, exec sim.Executor, handler func(from wire.NodeI
 // LocalAddr returns the bound address.
 func (u *UDPUnderlay) LocalAddr() string { return u.conn.LocalAddr().String() }
 
-// AddPeer registers a neighbor's addresses, one per underlay path.
+// Stats returns a snapshot of the underlay's datagram counters.
+func (u *UDPUnderlay) Stats() metrics.WireSnapshot { return u.stats.Snapshot() }
+
+// AddPeer registers (or re-registers) a neighbor's addresses, one per
+// underlay path. Re-registration replaces the previous addresses: frames
+// from an address the peer no longer owns are dropped as unknown.
 func (u *UDPUnderlay) AddPeer(id wire.NodeID, addrs ...string) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("transport: peer %v needs at least one address", id)
 	}
-	resolved := make([]*net.UDPAddr, 0, len(addrs))
+	resolved := make([]netip.AddrPort, 0, len(addrs))
 	for _, a := range addrs {
 		ua, err := net.ResolveUDPAddr("udp", a)
 		if err != nil {
 			return fmt.Errorf("transport: resolve peer %v addr %q: %w", id, a, err)
 		}
-		resolved = append(resolved, ua)
+		resolved = append(resolved, canonAddrPort(ua.AddrPort()))
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	u.peers[id] = resolved
-	for _, ua := range resolved {
-		u.senders[ua.String()] = id
+	old := u.table.Load()
+	nt := &peerTable{
+		peers:   make(map[wire.NodeID][]netip.AddrPort, len(old.peers)+1),
+		senders: make(map[netip.AddrPort]wire.NodeID, len(old.senders)+len(resolved)),
 	}
+	for k, v := range old.peers {
+		if k != id {
+			nt.peers[k] = v
+		}
+	}
+	nt.peers[id] = resolved
+	for k, v := range old.senders {
+		// Skipping the peer's old entries unregisters any address it no
+		// longer owns.
+		if v != id {
+			nt.senders[k] = v
+		}
+	}
+	for _, ap := range resolved {
+		nt.senders[ap] = id
+	}
+	u.table.Store(nt)
 	return nil
 }
 
-// Send implements node.Underlay.
+// Send implements node.Underlay: the frame joins the coalescing ring and
+// reaches the kernel in the flush posted for the current event-loop turn.
+// The bytes are copied into a pooled buffer before Send returns, so the
+// caller keeps ownership of data.
 func (u *UDPUnderlay) Send(neighbor wire.NodeID, path uint8, data []byte) {
-	u.mu.Lock()
-	addrs := u.peers[neighbor]
-	closed := u.closed
-	u.mu.Unlock()
-	if closed || len(addrs) == 0 {
+	if u.closed.Load() {
+		return
+	}
+	tbl := u.table.Load()
+	addrs := tbl.peers[neighbor]
+	if len(addrs) == 0 {
 		return
 	}
 	addr := addrs[int(path)%len(addrs)]
-	// Best-effort, like IP: errors are indistinguishable from loss.
-	if _, err := u.conn.WriteToUDP(data, addr); err != nil {
-		u.mu.Lock()
-		u.dropped++
-		u.mu.Unlock()
+	buf := wire.DefaultBufPool.Get(len(data))
+	buf.B = append(buf.B, data...)
+	u.sendMu.Lock()
+	if len(u.pending) >= maxPending {
+		u.sendMu.Unlock()
+		buf.Release()
+		u.stats.SendDropped.Add(1)
+		return
 	}
+	u.pending = append(u.pending, outFrame{to: addr, buf: buf})
+	queued := u.flushQueued
+	u.flushQueued = true
+	u.sendMu.Unlock()
+	if !queued {
+		if u.runnerExec != nil {
+			u.runnerExec.PostRunner(&u.flusher)
+		} else {
+			u.exec.Post(u.flush)
+		}
+	}
+}
+
+// flush writes every coalesced frame out in one batch. It runs on the
+// executor, so frames produced within one event-loop turn share a single
+// kernel crossing.
+func (u *UDPUnderlay) flush() {
+	u.sendMu.Lock()
+	frames := u.pending
+	u.pending = u.spare[:0]
+	// Detach spare until the scan below finishes: a concurrent flush (only
+	// possible with an inline executor) must not adopt frames as its new
+	// pending while this one is still releasing entries outside the lock.
+	u.spare = nil
+	u.flushQueued = false
+	u.sendMu.Unlock()
+	if len(frames) > 0 {
+		if u.closed.Load() {
+			u.stats.SendDropped.Add(uint64(len(frames)))
+		} else {
+			// The writer's header arrays are single-flush state; the event
+			// loop serializes flushes, so this is uncontended there.
+			u.writeMu.Lock()
+			sent, dropped, bytes := u.writer.send(frames)
+			u.writeMu.Unlock()
+			u.stats.SendBatches.Add(1)
+			u.stats.SendPackets.Add(uint64(sent))
+			u.stats.SendBytes.Add(bytes)
+			if dropped > 0 {
+				u.stats.SendDropped.Add(uint64(dropped))
+			}
+		}
+		for i := range frames {
+			frames[i].buf.Release()
+			frames[i] = outFrame{}
+		}
+	}
+	u.sendMu.Lock()
+	u.spare = frames[:0]
+	u.sendMu.Unlock()
 }
 
 // PathCount implements node.Underlay.
 func (u *UDPUnderlay) PathCount(neighbor wire.NodeID) int {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	if n := len(u.peers[neighbor]); n > 0 {
+	if n := len(u.table.Load().peers[neighbor]); n > 0 {
 		return n
 	}
 	return 1
 }
 
-// Close shuts the socket and stops the receive loop.
+// Close shuts the socket and stops the receive loop. Frames already
+// posted toward the handler are released without being delivered.
 func (u *UDPUnderlay) Close() error {
 	u.mu.Lock()
-	if u.closed {
+	if u.closed.Load() {
 		u.mu.Unlock()
 		return nil
 	}
-	u.closed = true
+	u.closed.Store(true)
 	u.mu.Unlock()
 	err := u.conn.Close()
 	<-u.done
+	// Frames still coalesced were never handed to the kernel; a queued
+	// flush observing closed would do the same release.
+	u.sendMu.Lock()
+	frames := u.pending
+	u.pending = nil
+	u.sendMu.Unlock()
+	for i := range frames {
+		frames[i].buf.Release()
+	}
+	if len(frames) > 0 {
+		u.stats.SendDropped.Add(uint64(len(frames)))
+	}
 	return err
 }
 
+// getRxBatch returns a recycled (or new) dispatch record.
+func (u *UDPUnderlay) getRxBatch() *rxBatch {
+	if v := u.rxFree.Get(); v != nil {
+		if b, ok := v.(*rxBatch); ok {
+			return b
+		}
+	}
+	return &rxBatch{u: u, frames: make([]rxFrame, 0, wire.ReadBatch)}
+}
+
+// readLoop drains the socket in batches until the connection closes. One
+// executor post covers every datagram of a wakeup.
 func (u *UDPUnderlay) readLoop() {
 	defer close(u.done)
-	buf := make([]byte, 1<<16)
+	br, err := newBatchReader(u.conn)
+	if err != nil {
+		// The socket cannot be read (platform refuses raw access); the
+		// underlay stays up for sending only.
+		return
+	}
+	defer br.release()
 	for {
-		n, from, err := u.conn.ReadFromUDP(buf)
+		n, err := br.read()
 		if err != nil {
 			return
 		}
-		u.mu.Lock()
-		id, ok := u.senders[from.String()]
-		closed := u.closed
-		u.mu.Unlock()
-		if closed {
-			return
-		}
-		if !ok {
-			// Unknown senders are dropped: only registered overlay
-			// neighbors may inject frames.
+		if n == 0 {
 			continue
 		}
-		// Hand the datagram to the event loop in a pooled buffer; the
-		// handler borrows it, so it can be recycled as soon as the handler
-		// returns. sync.Pool is safe across the readLoop/executor boundary.
-		data := wire.DefaultBufPool.Get(n)
-		data.B = append(data.B, buf[:n]...)
-		u.exec.Post(func() {
-			u.handler(id, data.B)
-			data.Release()
-		})
+		tbl := u.table.Load()
+		batch := u.getRxBatch()
+		var bytes uint64
+		for i := 0; i < n; i++ {
+			ln := br.lens[i]
+			bytes += uint64(ln)
+			id, ok := tbl.senders[br.addrs[i]]
+			if !ok {
+				// Unknown senders are dropped: only registered overlay
+				// neighbors may inject frames.
+				u.stats.RecvUnknown.Add(1)
+				continue
+			}
+			// Copy the datagram out of the slab into a pooled buffer; the
+			// handler borrows it, so it is recycled as soon as the handler
+			// returns. sync.Pool is safe across the readLoop/executor
+			// boundary.
+			data := wire.DefaultBufPool.Get(ln)
+			data.B = append(data.B, br.segment(i)[:ln]...)
+			batch.frames = append(batch.frames, rxFrame{from: id, buf: data})
+		}
+		u.stats.RecvBatches.Add(1)
+		u.stats.RecvPackets.Add(uint64(n))
+		u.stats.RecvBytes.Add(bytes)
+		if len(batch.frames) == 0 {
+			u.rxFree.Put(batch)
+			continue
+		}
+		if u.closed.Load() {
+			batch.Run() // releases without delivering
+			return
+		}
+		if u.runnerExec != nil {
+			u.runnerExec.PostRunner(batch)
+		} else {
+			u.exec.Post(batch.Run)
+		}
 	}
 }

@@ -1,0 +1,304 @@
+//go:build linux && (amd64 || arm64) && !sonet_portable
+
+// The Linux batch data plane: recvmmsg drains up to wire.ReadBatch
+// datagrams per readiness wakeup and sendmmsg flushes a whole coalescing
+// ring in one kernel crossing. Both integrate with the runtime netpoller
+// through syscall.RawConn — the raw calls are non-blocking and the
+// callback contract parks the goroutine until the socket is ready, so
+// batching never busy-waits and never blocks an OS thread.
+//
+// Build with -tags sonet_portable to compile this file out and exercise
+// the portable per-datagram path on Linux (the transport test suite runs
+// under both).
+
+package transport
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+
+	"sonet/internal/wire"
+)
+
+// Plane identifies the compiled data plane for diagnostics and the
+// EXP-WIRE report.
+const Plane = "linux-mmsg"
+
+// mmsghdr mirrors struct mmsghdr: one msghdr plus the kernel-filled
+// datagram length. Trailing padding matches C struct layout on every
+// linux arch (the compiler rounds the struct to msghdr's alignment).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+}
+
+// zeroByte anchors the iovec of an empty datagram (an iov_base may not be
+// nil alongside a non-empty msg control-free header on some kernels).
+var zeroByte byte
+
+// batchReader drains the socket with recvmmsg into a pooled slab.
+type batchReader struct {
+	rc   syscall.RawConn
+	slab *wire.Slab
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	// names is the per-slot sockaddr storage; RawSockaddrInet6 is large
+	// enough for both address families.
+	names []syscall.RawSockaddrInet6
+
+	// addrs and lens describe the datagrams of the last read.
+	addrs []netip.AddrPort
+	lens  []int
+}
+
+func newBatchReader(conn *net.UDPConn) (*batchReader, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	k := wire.ReadBatch
+	br := &batchReader{
+		rc:    rc,
+		slab:  wire.DefaultSlabs.Get(),
+		hdrs:  make([]mmsghdr, k),
+		iovs:  make([]syscall.Iovec, k),
+		names: make([]syscall.RawSockaddrInet6, k),
+		addrs: make([]netip.AddrPort, k),
+		lens:  make([]int, k),
+	}
+	for i := 0; i < k; i++ {
+		seg := br.slab.Segment(i)
+		br.iovs[i].Base = &seg[0]
+		br.iovs[i].SetLen(len(seg))
+		br.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&br.names[i]))
+		br.hdrs[i].hdr.Iov = &br.iovs[i]
+		br.hdrs[i].hdr.Iovlen = 1
+	}
+	return br, nil
+}
+
+// segment returns the slab landing area of datagram i from the last read.
+func (br *batchReader) segment(i int) []byte { return br.slab.Segment(i) }
+
+// release returns the slab to the shared pool.
+func (br *batchReader) release() { wire.DefaultSlabs.Put(br.slab) }
+
+// read blocks until the socket is readable, then drains up to
+// wire.ReadBatch datagrams in one recvmmsg call. It returns the number of
+// datagrams received; addrs and lens describe them. A non-nil error means
+// the socket is closed.
+func (br *batchReader) read() (int, error) {
+	var n int
+	var operr error
+	err := br.rc.Read(func(fd uintptr) bool {
+		for i := range br.hdrs {
+			br.hdrs[i].hdr.Namelen = syscall.SizeofSockaddrInet6
+			br.hdrs[i].n = 0
+		}
+		for {
+			r1, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&br.hdrs[0])), uintptr(len(br.hdrs)),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			switch errno {
+			case 0:
+				n = int(r1)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // park until readable
+			default:
+				operr = errno
+				return true
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if operr != nil {
+		return 0, operr
+	}
+	for i := 0; i < n; i++ {
+		br.lens[i] = int(br.hdrs[i].n)
+		br.addrs[i] = rawToAddrPort(&br.names[i])
+	}
+	return n, nil
+}
+
+// batchWriter flushes coalesced frames with sendmmsg.
+type batchWriter struct {
+	rc    syscall.RawConn
+	v6    bool
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6
+}
+
+func newBatchWriter(conn *net.UDPConn) (*batchWriter, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	bw := &batchWriter{
+		rc:    rc,
+		hdrs:  make([]mmsghdr, wire.ReadBatch),
+		iovs:  make([]syscall.Iovec, wire.ReadBatch),
+		names: make([]syscall.RawSockaddrInet6, wire.ReadBatch),
+	}
+	// The sockaddr family must match the socket's, not the destination's:
+	// an AF_INET6 socket wants v4 destinations mapped, an AF_INET socket
+	// cannot reach v6 at all.
+	cerr := rc.Control(func(fd uintptr) {
+		sa, err := syscall.Getsockname(int(fd))
+		if err == nil {
+			_, bw.v6 = sa.(*syscall.SockaddrInet6)
+		}
+	})
+	if cerr != nil {
+		return nil, cerr
+	}
+	for i := range bw.hdrs {
+		bw.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&bw.names[i]))
+		bw.hdrs[i].hdr.Iov = &bw.iovs[i]
+		bw.hdrs[i].hdr.Iovlen = 1
+	}
+	return bw, nil
+}
+
+// send hands frames to the kernel in sendmmsg batches, preserving order.
+// Undeliverable frames (family mismatch, per-datagram socket errors) are
+// dropped, like IP would. It returns datagrams sent, datagrams dropped,
+// and payload bytes sent.
+func (bw *batchWriter) send(frames []outFrame) (sent, dropped int, bytes uint64) {
+	off := 0
+	for off < len(frames) {
+		// Build the next batch.
+		k := 0
+		for k < len(bw.hdrs) && off+k < len(frames) {
+			f := frames[off+k]
+			nl, ok := bw.encodeAddr(k, f.to)
+			if !ok {
+				if k == 0 {
+					off++
+					dropped++
+					continue
+				}
+				break // flush what is built, then retry the bad one alone
+			}
+			bw.hdrs[k].hdr.Namelen = nl
+			if len(f.buf.B) == 0 {
+				bw.iovs[k].Base = &zeroByte
+				bw.iovs[k].SetLen(0)
+			} else {
+				bw.iovs[k].Base = &f.buf.B[0]
+				bw.iovs[k].SetLen(len(f.buf.B))
+			}
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		n, errno := bw.sendBatch(k)
+		if n > 0 {
+			for i := 0; i < n; i++ {
+				bytes += uint64(len(frames[off+i].buf.B))
+			}
+			sent += n
+			off += n
+			continue
+		}
+		if errno != 0 {
+			// The head datagram failed (e.g. a routing error); drop it and
+			// make progress on the rest.
+			off++
+			dropped++
+			continue
+		}
+		// Closed connection: everything left is dropped.
+		dropped += len(frames) - off
+		return sent, dropped, bytes
+	}
+	return sent, dropped, bytes
+}
+
+// sendBatch performs one sendmmsg over the first k prepared headers,
+// waiting for writability as needed. It returns datagrams accepted and
+// the errno that stopped the batch (0 with n==0 means the socket closed).
+func (bw *batchWriter) sendBatch(k int) (int, syscall.Errno) {
+	var n int
+	var operr syscall.Errno
+	err := bw.rc.Write(func(fd uintptr) bool {
+		for {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&bw.hdrs[0])), uintptr(k),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			switch errno {
+			case 0:
+				n = int(r1)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // park until writable
+			default:
+				operr = errno
+				return true
+			}
+		}
+	})
+	if err != nil {
+		return 0, 0
+	}
+	return n, operr
+}
+
+// encodeAddr writes ap into sockaddr slot i using the socket's family,
+// reporting false when the destination is unrepresentable.
+func (bw *batchWriter) encodeAddr(i int, ap netip.AddrPort) (uint32, bool) {
+	addr := ap.Addr()
+	if bw.v6 {
+		rsa := &bw.names[i]
+		*rsa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+		// As16 yields the v4-mapped form for IPv4 addresses, which is what
+		// a dual-stack socket expects.
+		rsa.Addr = addr.As16()
+		putSockaddrPort((*[2]byte)(unsafe.Pointer(&rsa.Port)), ap.Port())
+		return syscall.SizeofSockaddrInet6, true
+	}
+	addr = addr.Unmap()
+	if !addr.Is4() {
+		return 0, false
+	}
+	r4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&bw.names[i]))
+	*r4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET}
+	r4.Addr = addr.As4()
+	putSockaddrPort((*[2]byte)(unsafe.Pointer(&r4.Port)), ap.Port())
+	return syscall.SizeofSockaddrInet4, true
+}
+
+// rawToAddrPort decodes a kernel-filled sockaddr into a canonical (4-in-6
+// unmapped) AddrPort for the lock-free sender lookup.
+func rawToAddrPort(rsa *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch rsa.Family {
+	case syscall.AF_INET:
+		r4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		return netip.AddrPortFrom(netip.AddrFrom4(r4.Addr),
+			sockaddrPort((*[2]byte)(unsafe.Pointer(&r4.Port))))
+	case syscall.AF_INET6:
+		return netip.AddrPortFrom(netip.AddrFrom16(rsa.Addr).Unmap(),
+			sockaddrPort((*[2]byte)(unsafe.Pointer(&rsa.Port))))
+	}
+	return netip.AddrPort{}
+}
+
+// sockaddrPort reads a network-byte-order sockaddr port.
+func sockaddrPort(p *[2]byte) uint16 { return uint16(p[0])<<8 | uint16(p[1]) }
+
+// putSockaddrPort writes a network-byte-order sockaddr port.
+func putSockaddrPort(p *[2]byte, port uint16) {
+	p[0] = byte(port >> 8)
+	p[1] = byte(port)
+}

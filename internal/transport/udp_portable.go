@@ -1,0 +1,79 @@
+//go:build !linux || sonet_portable || !(amd64 || arm64)
+
+// The portable data plane: one datagram per kernel crossing through the
+// net package, sharing the slab buffer-ownership model and the coalescing
+// ring with the Linux fast path — only the batch width differs. The
+// sonet_portable build tag compiles this file in on Linux too, so the
+// full transport test suite can exercise the fallback there.
+
+package transport
+
+import (
+	"net"
+	"net/netip"
+
+	"sonet/internal/wire"
+)
+
+// Plane identifies the compiled data plane for diagnostics and the
+// EXP-WIRE report.
+const Plane = "portable"
+
+// batchReader reads one datagram per wakeup into slab segment 0.
+type batchReader struct {
+	conn *net.UDPConn
+	slab *wire.Slab
+
+	addrs []netip.AddrPort
+	lens  []int
+}
+
+func newBatchReader(conn *net.UDPConn) (*batchReader, error) {
+	return &batchReader{
+		conn:  conn,
+		slab:  wire.DefaultSlabs.Get(),
+		addrs: make([]netip.AddrPort, 1),
+		lens:  make([]int, 1),
+	}, nil
+}
+
+// segment returns the slab landing area of datagram i from the last read.
+func (br *batchReader) segment(i int) []byte { return br.slab.Segment(i) }
+
+// release returns the slab to the shared pool.
+func (br *batchReader) release() { wire.DefaultSlabs.Put(br.slab) }
+
+// read blocks for one datagram. ReadFromUDPAddrPort keeps the path
+// allocation-free: no *net.UDPAddr and no addr.String() per packet.
+func (br *batchReader) read() (int, error) {
+	n, ap, err := br.conn.ReadFromUDPAddrPort(br.slab.Segment(0))
+	if err != nil {
+		return 0, err
+	}
+	br.lens[0] = n
+	br.addrs[0] = canonAddrPort(ap)
+	return 1, nil
+}
+
+// batchWriter writes coalesced frames with one syscall each.
+type batchWriter struct {
+	conn *net.UDPConn
+}
+
+func newBatchWriter(conn *net.UDPConn) (*batchWriter, error) {
+	return &batchWriter{conn: conn}, nil
+}
+
+// send hands frames to the kernel in order. Errors are indistinguishable
+// from loss, like IP: the frame is counted dropped and the flush goes on.
+func (bw *batchWriter) send(frames []outFrame) (sent, dropped int, bytes uint64) {
+	for _, f := range frames {
+		if _, err := bw.conn.WriteToUDPAddrPort(f.buf.B, f.to); err != nil {
+			dropped++
+			continue
+		}
+		sent++
+		bytes += uint64(len(f.buf.B))
+	}
+	return sent, dropped, bytes
+}

@@ -1,0 +1,11 @@
+//go:build linux && !sonet_portable
+
+package transport
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64. The syscall package
+// predates sendmmsg and never regenerated its tables, so the numbers live
+// here (see arch(2) syscall tables).
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

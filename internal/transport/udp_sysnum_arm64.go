@@ -1,0 +1,10 @@
+//go:build linux && !sonet_portable
+
+package transport
+
+// recvmmsg/sendmmsg syscall numbers for linux/arm64 (the generic 64-bit
+// syscall table).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)
