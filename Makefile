@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-race race cover bench bench-all bench-guard bench-compare bench-baseline experiments examples fuzz clean
+.PHONY: all check build vet test test-race race cover bench bench-all bench-guard bench-compare bench-baseline experiments examples fuzz chaos-smoke chaos-soak clean
 
 all: check
 
 # The default gate: compile, static checks, unit tests, the race detector
-# (the buffer-pool ownership rules make -race a required check), and the
-# fast-path allocation budgets.
-check: build vet test test-race bench-guard
+# (the buffer-pool ownership rules make -race a required check), the
+# fast-path allocation budgets, and the pinned-seed chaos campaigns.
+check: build vet test test-race bench-guard chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,18 @@ bench-compare:
 # Regenerate the baseline (run on the reference machine, then commit).
 bench-baseline:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchcompare -write BENCH_baseline.json
+
+# Pinned-seed fault-campaign suite (internal/chaos): ten campaigns
+# spanning link flaps, partitions, crash-restarts, ISP outages,
+# brown-outs, and latency spikes, every invariant checked, zero
+# violations tolerated. Deterministic — a failure here replays
+# bit-for-bit with `go run ./cmd/sonet-chaos run -campaign <name>`.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSmoke|TestCampaignDeterminism|TestReplayFromArtifact' ./internal/chaos/
+
+# Long-haul randomized campaigns across every topology and fault mix.
+chaos-soak:
+	CHAOS_SOAK=1 $(GO) test -race -count=1 -run TestChaosSoak -v ./internal/chaos/
 
 examples:
 	$(GO) run ./examples/quickstart

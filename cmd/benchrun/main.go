@@ -48,6 +48,7 @@ func run() int {
 		{"EXP-CLIQUE", experiments.TopologyClique},
 		{"EXP-CONV", experiments.ConvergenceScale},
 		{"EXP-WIRE", experiments.WireThroughput},
+		{"EXP-CHAOS", experiments.Chaos},
 	}
 
 	failures := 0

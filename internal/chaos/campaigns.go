@@ -1,0 +1,60 @@
+package chaos
+
+import "time"
+
+// SmokeCampaigns is the pinned-seed regression suite: ten campaigns
+// spanning every fault generator, all three topologies, and one
+// hand-scripted scenario exercising the full event DSL. Every campaign
+// must complete with zero invariant violations; the suite doubles as the
+// `make chaos-smoke` CI gate and the EXP-CHAOS experiment workload.
+func SmokeCampaigns() []Campaign {
+	return []Campaign{
+		{Name: "flap-diamond", Topo: "diamond4", Seed: 101,
+			Generators: []GeneratorSpec{{Kind: KindCutLink, Rate: 0.8}}},
+		{Name: "partition-ring", Topo: "ring8", Seed: 202,
+			Generators: []GeneratorSpec{{Kind: KindPartition, Rate: 0.4}}},
+		{Name: "crash-grid", Topo: "grid9", Seed: 303,
+			Generators: []GeneratorSpec{{Kind: KindCrashNode, Rate: 0.4}}},
+		{Name: "ispout-diamond", Topo: "diamond4", Seed: 404,
+			Generators: []GeneratorSpec{{Kind: KindISPOutage, Rate: 0.4}}},
+		{Name: "brownout-ring", Topo: "ring8", Seed: 505,
+			Generators: []GeneratorSpec{{Kind: KindBrownout, Rate: 0.5}}},
+		{Name: "spike-grid", Topo: "grid9", Seed: 606,
+			Generators: []GeneratorSpec{{Kind: KindLatencySpike, Rate: 0.6}}},
+		{Name: "flap-crash-ring", Topo: "ring8", Seed: 707,
+			Generators: []GeneratorSpec{
+				{Kind: KindCutLink, Rate: 0.5},
+				{Kind: KindCrashNode, Rate: 0.3},
+			}},
+		{Name: "partition-ispout-grid", Topo: "grid9", Seed: 808,
+			Generators: []GeneratorSpec{
+				{Kind: KindPartition, Rate: 0.3},
+				{Kind: KindISPOutage, Rate: 0.3},
+				{Kind: KindBrownout, Rate: 0.3},
+			}},
+		{Name: "everything-diamond", Topo: "diamond4", Seed: 909,
+			Generators: []GeneratorSpec{
+				{Kind: KindCutLink, Rate: 0.25},
+				{Kind: KindPartition, Rate: 0.25},
+				{Kind: KindCrashNode, Rate: 0.25},
+				{Kind: KindISPOutage, Rate: 0.25},
+				{Kind: KindBrownout, Rate: 0.25},
+				{Kind: KindLatencySpike, Rate: 0.25},
+			}},
+		{Name: "scripted-mixed", Topo: "diamond4", Seed: 42,
+			Script: []Event{
+				{At: 300 * time.Millisecond, Kind: KindLatencySpike, Arg: 0, Val: 30},
+				{At: 500 * time.Millisecond, Kind: KindCutLink, Arg: 4},
+				{At: 700 * time.Millisecond, Kind: KindRestoreLink, Arg: 4},
+				{At: 900 * time.Millisecond, Kind: KindBrownout, Arg: 1, Val: 150},
+				{At: 1200 * time.Millisecond, Kind: KindISPOutage, Arg: 0},
+				{At: 1500 * time.Millisecond, Kind: KindLatencyNormal, Arg: 0},
+				{At: 2200 * time.Millisecond, Kind: KindISPRestore, Arg: 0},
+				{At: 2500 * time.Millisecond, Kind: KindBrownoutEnd, Arg: 1},
+				{At: 2800 * time.Millisecond, Kind: KindCrashNode, Arg: 3},
+				{At: 3000 * time.Millisecond, Kind: KindPartition, Mask: 0b0011},
+				{At: 4200 * time.Millisecond, Kind: KindHeal, Mask: 0b0011},
+				{At: 4500 * time.Millisecond, Kind: KindRestartNode, Arg: 3},
+			}},
+	}
+}

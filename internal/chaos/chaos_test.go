@@ -1,0 +1,274 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestTopologyRegistry(t *testing.T) {
+	names := TopologyNames()
+	if len(names) == 0 {
+		t.Fatal("no topologies registered")
+	}
+	for _, name := range names {
+		topo, ok := TopologyByName(name)
+		if !ok {
+			t.Fatalf("TopologyByName(%q) not found", name)
+		}
+		if topo.N < 4 {
+			t.Errorf("%s: %d nodes, want >= 4 so crash campaigns have unprotected targets", name, topo.N)
+		}
+		deg := make([]int, topo.N+1)
+		for _, pair := range topo.Pairs {
+			for _, n := range pair {
+				if n < 1 || n > topo.N {
+					t.Fatalf("%s: link endpoint %d out of range", name, n)
+				}
+				deg[n]++
+			}
+		}
+		for n := 1; n <= topo.N; n++ {
+			if deg[n] < 2 {
+				t.Errorf("%s: node %d has degree %d, want >= 2 (single faults must not isolate by design)", name, n, deg[n])
+			}
+		}
+	}
+	if _, ok := TopologyByName("nope"); ok {
+		t.Fatal("unknown topology resolved")
+	}
+}
+
+func TestExpandIsDeterministicAndBounded(t *testing.T) {
+	c := Campaign{
+		Topo: "ring8", Seed: 77, Duration: 6 * time.Second,
+		Generators: []GeneratorSpec{
+			{Kind: KindCutLink, Rate: 1},
+			{Kind: KindCrashNode, Rate: 0.5},
+			{Kind: KindPartition, Rate: 0.5},
+		},
+	}
+	topo, _ := TopologyByName(c.Topo)
+	a, err := Expand(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("expansion produced no events")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("expansion lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across expansions: %v vs %v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("events not time-sorted at %d: %v after %v", i, a[i], a[i-1])
+		}
+	}
+	faults := make(map[Kind]int)
+	for _, ev := range a {
+		if ev.At < 0 || ev.At > c.Duration {
+			t.Errorf("event %v outside the fault window", ev)
+		}
+		if isFault(ev.Kind) {
+			faults[ev.Kind]++
+		}
+		if ev.Kind == KindCrashNode && ev.Arg < protectedNodes {
+			t.Errorf("generator crashed protected node index %d", ev.Arg)
+		}
+	}
+	for _, g := range c.Generators {
+		if faults[g.Kind] == 0 {
+			t.Errorf("generator %s produced no faults", g.Kind)
+		}
+		if faults[g.Kind] > maxFaultsPerGenerator {
+			t.Errorf("generator %s produced %d faults, cap is %d", g.Kind, faults[g.Kind], maxFaultsPerGenerator)
+		}
+	}
+}
+
+// TestCampaignDeterminism is the replay acceptance gate: two runs of the
+// same (scenario, seed) must produce the identical concrete script, the
+// identical event trace, and the identical invariant verdicts.
+func TestCampaignDeterminism(t *testing.T) {
+	c := Campaign{Topo: "diamond4", Seed: 909, Duration: 4 * time.Second,
+		Generators: []GeneratorSpec{
+			{Kind: KindCutLink, Rate: 0.5},
+			{Kind: KindCrashNode, Rate: 0.25},
+			{Kind: KindBrownout, Rate: 0.25},
+		}}
+	r1, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TraceHash != r2.TraceHash {
+		t.Fatalf("trace hashes differ: %016x vs %016x", r1.TraceHash, r2.TraceHash)
+	}
+	if len(r1.Trace) != len(r2.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(r1.Trace), len(r2.Trace))
+	}
+	if len(r1.Events) != len(r2.Events) {
+		t.Fatalf("scripts differ in length: %d vs %d", len(r1.Events), len(r2.Events))
+	}
+	for i := range r1.Events {
+		if r1.Events[i] != r2.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, r1.Events[i], r2.Events[i])
+		}
+	}
+	if len(r1.Violations) != len(r2.Violations) {
+		t.Fatalf("verdicts differ: %v vs %v", r1.Violations, r2.Violations)
+	}
+}
+
+// TestReplayFromArtifact round-trips a campaign through its on-disk
+// replay artifact: the replayed run must reproduce the recorded trace
+// hash and verdicts exactly.
+func TestReplayFromArtifact(t *testing.T) {
+	c := Campaign{Topo: "ring8", Seed: 1234, Duration: 4 * time.Second,
+		Generators: []GeneratorSpec{
+			{Kind: KindPartition, Rate: 0.3},
+			{Kind: KindISPOutage, Rate: 0.3},
+		}}
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := WriteArtifact(path, r); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(r.Events) {
+		t.Fatalf("artifact recorded %d events, report had %d", len(a.Events), len(r.Events))
+	}
+	replayed, match, err := Replay(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match {
+		t.Fatalf("replay diverged: recorded hash %s, replayed %016x (violations %v vs %v)",
+			a.TraceHash, replayed.TraceHash, a.Violations, replayed.Violations)
+	}
+}
+
+// TestChaosSmoke runs the pinned-seed campaign suite: every generator
+// kind, every topology, zero violations tolerated. This is the CI gate
+// behind `make chaos-smoke`.
+func TestChaosSmoke(t *testing.T) {
+	coverage := make(map[Kind]bool)
+	for _, c := range SmokeCampaigns() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			r, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range r.Violations {
+				t.Errorf("violation at %v: %s: %s", v.At, v.Invariant, v.Detail)
+			}
+			if !r.Stats.Clean() {
+				t.Errorf("stats not clean: %+v", r.Stats)
+			}
+			if r.Stats.FaultsActive != 0 {
+				t.Errorf("campaign ended with %d faults still active", r.Stats.FaultsActive)
+			}
+			if r.Stats.EventsInjected == 0 {
+				t.Error("campaign injected no events")
+			}
+			for _, ev := range r.Events {
+				coverage[ev.Kind] = true
+			}
+		})
+	}
+	for _, k := range []Kind{KindCutLink, KindPartition, KindCrashNode, KindISPOutage, KindBrownout, KindLatencySpike} {
+		if !coverage[k] {
+			t.Errorf("smoke suite never exercised %s", k)
+		}
+	}
+}
+
+// TestMinimizeShrinksFailingCampaign crashes the stream destination by
+// explicit script — a real, detectable violation (its client state dies
+// with it) — pads the script with benign flaps, and checks the minimizer
+// shrinks to a failing prefix that keeps the crash and sheds the noise.
+func TestMinimizeShrinksFailingCampaign(t *testing.T) {
+	c := Campaign{Topo: "diamond4", Seed: 5, Duration: 5 * time.Second,
+		Script: []Event{
+			{At: 1 * time.Second, Kind: KindCrashNode, Arg: streamDstIndex},
+			{At: 1800 * time.Millisecond, Kind: KindRestartNode, Arg: streamDstIndex},
+			{At: 2500 * time.Millisecond, Kind: KindCutLink, Arg: 1},
+			{At: 2900 * time.Millisecond, Kind: KindRestoreLink, Arg: 1},
+			{At: 3300 * time.Millisecond, Kind: KindCutLink, Arg: 2},
+			{At: 3700 * time.Millisecond, Kind: KindRestoreLink, Arg: 2},
+		}}
+	full, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Failed() {
+		t.Fatal("crashing the stream destination should violate an end-to-end invariant")
+	}
+	minimal, report, err := Minimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Failed() {
+		t.Fatal("minimized campaign does not fail")
+	}
+	if len(minimal.Script) == 0 || len(minimal.Script) >= len(c.Script) {
+		t.Fatalf("minimizer kept %d of %d events", len(minimal.Script), len(c.Script))
+	}
+	last := minimal.Script[len(minimal.Script)-1]
+	if last.Kind != KindCrashNode {
+		t.Fatalf("minimal failing prefix ends with %v, want the destination crash", last)
+	}
+	if _, _, err := Minimize(Campaign{Topo: "diamond4", Seed: 6, Duration: 2 * time.Second}); err == nil {
+		t.Fatal("minimizing a passing campaign should error")
+	}
+}
+
+// TestChaosSoak is the long-haul variant: many random campaigns across
+// topologies and generator mixes. Gated behind CHAOS_SOAK=1 (see `make
+// chaos-soak`).
+func TestChaosSoak(t *testing.T) {
+	if os.Getenv("CHAOS_SOAK") == "" {
+		t.Skip("set CHAOS_SOAK=1 to run the soak suite")
+	}
+	topos := TopologyNames()
+	kinds := []Kind{KindCutLink, KindPartition, KindCrashNode, KindISPOutage, KindBrownout, KindLatencySpike}
+	for seed := uint64(1); seed <= 30; seed++ {
+		c := Campaign{
+			Topo:     topos[int(seed)%len(topos)],
+			Seed:     seed * 7919,
+			Duration: 8 * time.Second,
+			Generators: []GeneratorSpec{
+				{Kind: kinds[int(seed)%len(kinds)], Rate: 0.5},
+				{Kind: kinds[int(seed+1)%len(kinds)], Rate: 0.3},
+				{Kind: kinds[int(seed+3)%len(kinds)], Rate: 0.2},
+			},
+		}
+		r, err := Run(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range r.Violations {
+			t.Errorf("seed %d (%s): violation at %v: %s: %s", seed, c.Topo, v.At, v.Invariant, v.Detail)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// protectedNodes is how many leading world nodes are exempt from crash
+// generators: indices 0..2 host the campaign's traffic endpoints (stream
+// source, stream destination, multicast members), whose client state must
+// survive so end-to-end invariants stay checkable. Scripts may still
+// crash them explicitly — losing a destination is then a legitimate,
+// detectable violation (the minimizer test relies on this).
+const protectedNodes = 3
+
+// maxFaultsPerGenerator bounds expansion so a mistyped rate cannot
+// explode a campaign.
+const maxFaultsPerGenerator = 64
+
+// generator-expansion tuning: each fault instance picks a hold duration
+// in a per-kind range, sits inside the campaign window with margin on
+// both sides, and leaves a grace gap before the same resource is faulted
+// again.
+const (
+	expandMargin = 200 * time.Millisecond
+	expandGrace  = 200 * time.Millisecond
+)
+
+// durationRange returns the [min, max) fault-hold range for a kind.
+// Flaps start at 50 ms — well under the ~300 ms hello-miss detection
+// window, so campaigns exercise faults faster than convergence. Crashes
+// hold at least 600 ms so down detection, reroute, and LSA withdrawal all
+// fire before the reborn incarnation appears.
+func durationRange(k Kind) (min, max time.Duration) {
+	switch k {
+	case KindCutLink:
+		return 50 * time.Millisecond, 2500 * time.Millisecond
+	case KindCrashNode:
+		return 600 * time.Millisecond, 2 * time.Second
+	case KindPartition, KindISPOutage:
+		return 500 * time.Millisecond, 2500 * time.Millisecond
+	case KindBrownout:
+		return 500 * time.Millisecond, 3 * time.Second
+	case KindLatencySpike:
+		return 200 * time.Millisecond, 2 * time.Second
+	}
+	return 500 * time.Millisecond, 2 * time.Second
+}
+
+// Expand turns a campaign's generators into concrete fault/repair event
+// pairs and merges them with its script, returning the full sorted event
+// list. Expansion is a pure function of (campaign, topology): it draws
+// from its own PCG stream seeded by Campaign.Seed, entirely before the
+// world runs, so the same campaign always yields the same script and a
+// replayed script needs no generator state at all.
+func Expand(c Campaign, t Topology) ([]Event, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	events := append([]Event(nil), c.Script...)
+	if len(c.Generators) > 0 {
+		rng := rand.New(rand.NewPCG(c.Seed, c.Seed^0x5eed_c4a0_5a77_0001))
+		// busyUntil serializes faults per underlay resource so paired
+		// repairs never interleave on the same target.
+		busyUntil := make(map[string]time.Duration)
+		for _, g := range c.Generators {
+			events = append(events, expandGenerator(g, c, t, rng, busyUntil)...)
+		}
+	}
+	sortEvents(events)
+	return events, nil
+}
+
+func expandGenerator(g GeneratorSpec, c Campaign, t Topology, rng *rand.Rand, busyUntil map[string]time.Duration) []Event {
+	n := int(g.Rate * c.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	if n > maxFaultsPerGenerator {
+		n = maxFaultsPerGenerator
+	}
+	var out []Event
+	for i := 0; i < n; i++ {
+		fault, key, ok := drawFault(g.Kind, t, rng)
+		if !ok {
+			continue
+		}
+		lo, hi := durationRange(g.Kind)
+		hold := lo + time.Duration(rng.Int64N(int64(hi-lo)))
+		window := c.Duration - hold - 2*expandMargin
+		if window <= 0 {
+			continue
+		}
+		start := expandMargin + time.Duration(rng.Int64N(int64(window)))
+		// Sub-millisecond offset decorrelates event times from the
+		// world's periodic timers so tie-breaking never carries weight.
+		start += time.Duration(rng.Int64N(int64(time.Millisecond)))
+		if start < busyUntil[key] {
+			continue
+		}
+		busyUntil[key] = start + hold + expandGrace
+		fault.At = start
+		repair := fault
+		repair.At = start + hold
+		repair.Kind = repairOf[g.Kind]
+		out = append(out, fault, repair)
+	}
+	return out
+}
+
+// drawFault picks a concrete target for one fault instance and returns
+// the half-built event plus the busy-map key serializing that target.
+func drawFault(k Kind, t Topology, rng *rand.Rand) (Event, string, bool) {
+	ev := Event{Kind: k}
+	switch k {
+	case KindCutLink:
+		ev.Arg = rng.IntN(len(t.Pairs))
+		return ev, fmt.Sprintf("link:%d", ev.Arg), true
+	case KindLatencySpike:
+		ev.Arg = rng.IntN(len(t.Pairs))
+		ev.Val = 20 + rng.IntN(21) // ×2.0 .. ×4.0
+		return ev, fmt.Sprintf("link:%d", ev.Arg), true
+	case KindCrashNode:
+		if t.N <= protectedNodes {
+			return ev, "", false
+		}
+		ev.Arg = protectedNodes + rng.IntN(t.N-protectedNodes)
+		return ev, fmt.Sprintf("node:%d", ev.Arg), true
+	case KindISPOutage:
+		ev.Arg = rng.IntN(2)
+		return ev, fmt.Sprintf("isp:%d", ev.Arg), true
+	case KindBrownout:
+		ev.Arg = rng.IntN(2)
+		ev.Val = 50 + rng.IntN(251) // 5% .. 30% loss
+		return ev, fmt.Sprintf("isp-loss:%d", ev.Arg), true
+	case KindPartition:
+		// A random nonempty proper subset of nodes forms group A.
+		size := 1 + rng.IntN(t.N-1)
+		perm := rng.Perm(t.N)
+		for _, idx := range perm[:size] {
+			ev.Mask |= uint64(1) << idx
+		}
+		return ev, "partition", true
+	}
+	return ev, "", false
+}

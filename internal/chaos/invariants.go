@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"sonet/internal/session"
+	"sonet/internal/wire"
+)
+
+// Invariant names, as they appear in violations and traces.
+const (
+	InvConservation = "conservation"
+	InvConvergence  = "convergence"
+	InvGroups       = "group-agreement"
+	InvLoopFree     = "loop-free"
+	InvReachable    = "reachability"
+	InvStream       = "session-loss"
+	InvHealth       = "health-counters"
+)
+
+// scheduleConservationTicks arms the continuous packet-accounting check:
+// at every tick during the fault window and convergence phase, the
+// underlay must never have resolved more packet fates than it accepted
+// sends. (Equality only holds with nothing in flight; the final teardown
+// check demands it.)
+func (e *engine) scheduleConservationTicks() {
+	deadline := e.base + e.camp.Duration + convergeBound
+	var tick func()
+	tick = func() {
+		e.checkConservationProgress()
+		if e.w.O.Now() < deadline {
+			e.w.O.Sched.After(tickInterval, tick)
+		}
+	}
+	e.w.O.Sched.After(tickInterval, tick)
+}
+
+func (e *engine) checkConservationProgress() {
+	e.stats.InvariantChecks.Add(1)
+	st := e.w.O.Net.Stats()
+	resolved := st.Delivered + st.DroppedLoss + st.DroppedDown + st.DroppedNoRoute
+	if st.Sent < resolved {
+		e.violate(InvConservation, "underlay resolved %d fates for %d sends", resolved, st.Sent)
+	}
+}
+
+// checkConservationFinal runs after teardown drained the world: every
+// sent packet must have met exactly one fate.
+func (e *engine) checkConservationFinal() {
+	e.stats.InvariantChecks.Add(1)
+	st := e.w.O.Net.Stats()
+	resolved := st.Delivered + st.DroppedLoss + st.DroppedDown + st.DroppedNoRoute
+	if st.Sent != resolved {
+		e.violate(InvConservation,
+			"after drain: sent=%d delivered=%d loss=%d down=%d noroute=%d (in flight %d)",
+			st.Sent, st.Delivered, st.DroppedLoss, st.DroppedDown, st.DroppedNoRoute,
+			int64(st.Sent)-int64(resolved))
+	} else {
+		e.tracef("invariant %s ok: %d packets, every fate accounted", InvConservation, st.Sent)
+	}
+}
+
+// checkConvergence runs at the post-repair quiesce point: every fault has
+// been healed and the convergence bound has elapsed, so every node —
+// survivors and reborn crash victims alike — must see every overlay link
+// up. A stale entry means detection, flooding, or refresh repair missed
+// the bound.
+func (e *engine) checkConvergence() {
+	e.stats.InvariantChecks.Add(1)
+	bad := 0
+	for _, id := range e.w.Nodes {
+		view := e.w.O.Node(id).View()
+		for li, lid := range e.w.Links {
+			if !view.State[lid].Up {
+				bad++
+				e.violate(InvConvergence, "node %v still sees link %d down %v after all repairs", id, li, convergeBound)
+			}
+		}
+	}
+	if bad == 0 {
+		e.tracef("invariant %s ok: %d nodes agree all %d links up", InvConvergence, len(e.w.Nodes), len(e.w.Links))
+	}
+}
+
+// checkGroups runs at the quiesce point: every node's replicated group
+// state must agree on the designed membership.
+func (e *engine) checkGroups() {
+	e.stats.InvariantChecks.Add(1)
+	want := map[wire.NodeID]bool{
+		e.w.Nodes[mcastMemberLo]: true,
+		e.w.Nodes[mcastMemberHi]: true,
+	}
+	bad := 0
+	for _, id := range e.w.Nodes {
+		members := e.w.O.Node(id).Groups().Members(chaosGroup)
+		ok := len(members) == len(want)
+		for _, m := range members {
+			if !want[m] {
+				ok = false
+			}
+		}
+		if !ok {
+			bad++
+			e.violate(InvGroups, "node %v sees group %d members %v, want %v nodes", id, chaosGroup, members, len(want))
+		}
+	}
+	if bad == 0 {
+		e.tracef("invariant %s ok: %d nodes agree on group %d", InvGroups, len(e.w.Nodes), chaosGroup)
+	}
+}
+
+// checkHealth asserts the link-state health counters actually observed
+// the adversity: any campaign that severed topology (cuts, partitions,
+// ISP outages, crashes) must have driven at least one reconvergence
+// somewhere. Silent counters mean the instrumentation — or the detection
+// machinery it watches — is broken.
+func (e *engine) checkHealth() {
+	topoFault := e.appliedKinds[KindCutLink] || e.appliedKinds[KindPartition] ||
+		e.appliedKinds[KindISPOutage] || e.appliedKinds[KindCrashNode]
+	if !topoFault {
+		return
+	}
+	e.stats.InvariantChecks.Add(1)
+	var reconv, missed uint64
+	for _, id := range e.w.Nodes {
+		h := e.w.O.Node(id).LinkStateManager().Health()
+		reconv += h.Reconvergences
+		missed += h.HellosMissed
+	}
+	if reconv == 0 {
+		e.violate(InvHealth, "topology faults applied but no node recorded a reconvergence (missed hellos: %d)", missed)
+	} else {
+		e.tracef("invariant %s ok: %d reconvergences, %d missed hellos", InvHealth, reconv, missed)
+	}
+}
+
+// runProbes checks loop freedom and reachability on the converged world:
+// a probe from node[0] to every other node must arrive, and no packet may
+// exhaust its TTL — on a converged loop-free view, TTL death can only
+// mean a forwarding loop.
+func (e *engine) runProbes() {
+	e.stats.InvariantChecks.Add(1)
+	ttlBefore := e.ttlDrops()
+	before := make([]int, len(e.probeGot))
+	copy(before, e.probeGot)
+	src := e.w.O.Session(e.w.Nodes[streamSrcIndex])
+	probeSrc, err := src.Connect(0)
+	if err != nil {
+		e.violate("engine", "probe source: %v", err)
+		return
+	}
+	for ni := 1; ni < len(e.w.Nodes); ni++ {
+		fl, err := probeSrc.OpenFlow(session.FlowSpec{
+			DstNode:   e.w.Nodes[ni],
+			DstPort:   probePort,
+			LinkProto: wire.LPReliable,
+		})
+		if err != nil {
+			e.violate("engine", "probe flow to %d: %v", ni, err)
+			continue
+		}
+		if err := fl.Send([]byte("probe")); err != nil {
+			e.violate("engine", "probe send to %d: %v", ni, err)
+		}
+	}
+	e.w.O.RunFor(probeTime)
+	unreached := 0
+	for ni := 1; ni < len(e.w.Nodes); ni++ {
+		if e.probeGot[ni] <= before[ni] {
+			unreached++
+			e.violate(InvReachable, "probe to node %v not delivered within %v on converged world", e.w.Nodes[ni], probeTime)
+		}
+	}
+	if delta := e.ttlDrops() - ttlBefore; delta > 0 {
+		e.violate(InvLoopFree, "%d packets exhausted TTL on a converged loop-free view", delta)
+	} else if unreached == 0 {
+		e.tracef("invariant %s+%s ok: %d probes delivered, no TTL deaths", InvReachable, InvLoopFree, len(e.w.Nodes)-1)
+	}
+}
+
+func (e *engine) ttlDrops() uint64 {
+	var total uint64
+	for _, id := range e.w.Nodes {
+		total += e.w.O.Node(id).Stats().DroppedTTL
+	}
+	return total
+}
+
+// checkStream runs after the drain: the reliable ordered stream must have
+// delivered every accepted send exactly once, in order. Ordering and
+// duplication are monitored continuously at delivery time; completeness
+// is only checkable here, once end-to-end recovery has had the whole
+// drain to finish.
+func (e *engine) checkStream() {
+	e.stats.InvariantChecks.Add(1)
+	if e.streamGot != e.streamSent {
+		e.violate(InvStream, "stream delivered %d of %d sends after %v drain", e.streamGot, e.streamSent, drainTime)
+	} else {
+		e.tracef("invariant %s ok: %d/%d stream packets in order", InvStream, e.streamGot, e.streamSent)
+	}
+}
+
+// checkMulticast summarizes the continuously-enforced no-duplicate
+// invariant; best-effort multicast may lose packets under faults, so
+// completeness is reported, not required.
+func (e *engine) checkMulticast() {
+	e.stats.InvariantChecks.Add(1)
+	for ni := mcastMemberLo; ni <= mcastMemberHi; ni++ {
+		if e.mcastSeen[ni] == nil {
+			continue
+		}
+		e.tracef("multicast member %d: %d/%d unique deliveries", ni, len(e.mcastSeen[ni]), e.mcastSent)
+	}
+}

@@ -1,0 +1,179 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind names one fault or repair primitive. Faults come in pairs: every
+// fault kind has a matching repair kind, and the engine reference-counts
+// overlapping faults on the same underlay resource so a repair never
+// resurrects capacity another outstanding fault still holds down.
+type Kind string
+
+const (
+	// KindCutLink severs both fibers of one overlay link (Arg = link
+	// index). Short cut/restore pairs are "flaps" — faster than hello
+	// convergence when the window is under HelloInterval × HelloMiss.
+	KindCutLink Kind = "cut-link"
+	// KindRestoreLink repairs a prior cut of the same link.
+	KindRestoreLink Kind = "restore-link"
+	// KindCrashNode crash-stops a node with total state loss (Arg = node
+	// index): its site drops off the underlay and its session manager,
+	// link-state database, and sequence counters die with it.
+	KindCrashNode Kind = "crash-node"
+	// KindRestartNode boots a fresh incarnation of a crashed node.
+	KindRestartNode Kind = "restart-node"
+	// KindPartition cuts every fiber crossing a node bipartition (Mask
+	// bit i = world node index i in group A).
+	KindPartition Kind = "partition"
+	// KindHeal repairs a prior partition with the same mask.
+	KindHeal Kind = "heal"
+	// KindISPOutage severs every fiber of one provider backbone (Arg =
+	// ISP index 0 or 1): the correlated failure multihoming exists to
+	// survive.
+	KindISPOutage Kind = "isp-outage"
+	// KindISPRestore repairs a prior ISP outage.
+	KindISPRestore Kind = "isp-restore"
+	// KindBrownout imposes extra Bernoulli loss on one provider (Arg =
+	// ISP index, Val = loss in permille): a burst-loss storm rather than
+	// a clean cut.
+	KindBrownout Kind = "brownout"
+	// KindBrownoutEnd lifts a prior brownout.
+	KindBrownoutEnd Kind = "brownout-end"
+	// KindLatencySpike multiplies one link's primary-fiber latency (Arg =
+	// link index, Val = factor ×10) and adds jitter.
+	KindLatencySpike Kind = "latency-spike"
+	// KindLatencyNormal restores a spiked link's designed latency.
+	KindLatencyNormal Kind = "latency-normal"
+)
+
+// repairOf maps each fault kind to its repair kind.
+var repairOf = map[Kind]Kind{
+	KindCutLink:      KindRestoreLink,
+	KindCrashNode:    KindRestartNode,
+	KindPartition:    KindHeal,
+	KindISPOutage:    KindISPRestore,
+	KindBrownout:     KindBrownoutEnd,
+	KindLatencySpike: KindLatencyNormal,
+}
+
+// isFault reports whether a kind injects (rather than repairs) adversity.
+func isFault(k Kind) bool { _, ok := repairOf[k]; return ok }
+
+// FaultKinds lists every fault kind usable in a GeneratorSpec, in stable
+// order.
+func FaultKinds() []Kind {
+	return []Kind{KindCutLink, KindCrashNode, KindPartition,
+		KindISPOutage, KindBrownout, KindLatencySpike}
+}
+
+// Event is one scheduled fault or repair, at a campaign-relative virtual
+// time. Arg addresses a link index, node index, or ISP index depending on
+// Kind; Val carries a magnitude (brownout loss permille, latency factor
+// ×10); Mask carries a partition's group-A node-index bitmask.
+type Event struct {
+	At   time.Duration `json:"at"`
+	Kind Kind          `json:"kind"`
+	Arg  int           `json:"arg,omitempty"`
+	Val  int           `json:"val,omitempty"`
+	Mask uint64        `json:"mask,omitempty"`
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%s@%v arg=%d", e.Kind, e.At, e.Arg)
+	if e.Val != 0 {
+		s += fmt.Sprintf(" val=%d", e.Val)
+	}
+	if e.Mask != 0 {
+		s += fmt.Sprintf(" mask=%#x", e.Mask)
+	}
+	return s
+}
+
+// GeneratorSpec asks for seed-randomized faults of one kind at a bounded
+// rate. Generators expand to concrete fault/repair event pairs before the
+// world starts moving, so a campaign's behaviour depends only on the
+// concrete script and the world seed — the foundation of replay.
+type GeneratorSpec struct {
+	// Kind is a fault kind: cut-link, crash-node, partition, isp-outage,
+	// brownout, or latency-spike.
+	Kind Kind `json:"kind"`
+	// Rate is the target fault-injection rate in faults per second of
+	// campaign window.
+	Rate float64 `json:"rate"`
+}
+
+// Campaign is one self-contained chaos run: a topology, a determinism
+// seed, a fault window, and adversity given as an explicit script, as
+// randomized generators, or both.
+type Campaign struct {
+	Name     string        `json:"name,omitempty"`
+	Topo     string        `json:"topo"`
+	Seed     uint64        `json:"seed"`
+	Duration time.Duration `json:"duration"`
+	// Script lists hand-written events (campaign-relative times).
+	Script []Event `json:"script,omitempty"`
+	// Generators are expanded deterministically from Seed and appended
+	// to Script.
+	Generators []GeneratorSpec `json:"generators,omitempty"`
+}
+
+// sortEvents orders a script by time, preserving the relative order of
+// equal-time events so expansion order stays deterministic.
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+}
+
+// Validate rejects campaigns the engine cannot run deterministically.
+func (c Campaign) Validate() error {
+	t, ok := TopologyByName(c.Topo)
+	if !ok {
+		return fmt.Errorf("chaos: unknown topology %q (have %v)", c.Topo, TopologyNames())
+	}
+	if c.Duration < 0 {
+		return fmt.Errorf("chaos: negative duration %v", c.Duration)
+	}
+	for _, ev := range c.Script {
+		if err := validateEvent(ev, t); err != nil {
+			return err
+		}
+	}
+	for _, g := range c.Generators {
+		if _, ok := repairOf[g.Kind]; !ok {
+			return fmt.Errorf("chaos: generator kind %q is not a fault kind", g.Kind)
+		}
+		if g.Rate <= 0 {
+			return fmt.Errorf("chaos: generator %q needs a positive rate", g.Kind)
+		}
+	}
+	return nil
+}
+
+func validateEvent(ev Event, t Topology) error {
+	if ev.At < 0 {
+		return fmt.Errorf("chaos: event %v before campaign start", ev)
+	}
+	switch ev.Kind {
+	case KindCutLink, KindRestoreLink, KindLatencySpike, KindLatencyNormal:
+		if ev.Arg < 0 || ev.Arg >= len(t.Pairs) {
+			return fmt.Errorf("chaos: event %v: link index out of range", ev)
+		}
+	case KindCrashNode, KindRestartNode:
+		if ev.Arg < 0 || ev.Arg >= t.N {
+			return fmt.Errorf("chaos: event %v: node index out of range", ev)
+		}
+	case KindISPOutage, KindISPRestore, KindBrownout, KindBrownoutEnd:
+		if ev.Arg < 0 || ev.Arg > 1 {
+			return fmt.Errorf("chaos: event %v: ISP index out of range", ev)
+		}
+	case KindPartition, KindHeal:
+		if ev.Mask == 0 || ev.Mask >= uint64(1)<<t.N {
+			return fmt.Errorf("chaos: event %v: partition mask empty or out of range", ev)
+		}
+	default:
+		return fmt.Errorf("chaos: unknown event kind %q", ev.Kind)
+	}
+	return nil
+}

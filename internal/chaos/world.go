@@ -1,0 +1,186 @@
+// Package chaos is a deterministic fault-campaign engine for the overlay
+// stack. It drives complete overlay worlds (emulated multi-ISP underlay,
+// link-state routing, reliable link and session protocols) through
+// scripted and seed-randomized adversity — link flaps faster than hello
+// convergence, correlated ISP backbone outages and brown-outs, network
+// partitions, node crash-restarts with total state loss, latency spikes —
+// while checking protocol invariants: packet-accounting conservation,
+// loop-free routing, bounded reconvergence, reliable-stream
+// no-loss/no-dup/no-reorder, and group-membership agreement.
+//
+// Every campaign is replayable bit-for-bit from (scenario, seed): the
+// world runs in virtual time on the deterministic simulator, generators
+// expand to a concrete event script before the world starts moving, and
+// the engine records a trace whose FNV-1a hash must match across runs.
+// On violation the engine emits a replay artifact, and a greedy
+// event-bisection minimizer shrinks the script to a minimal failing
+// prefix.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"sonet/internal/core"
+	"sonet/internal/linkstate"
+	"sonet/internal/netemu"
+	"sonet/internal/node"
+	"sonet/internal/session"
+	"sonet/internal/wire"
+)
+
+// Topology is a named overlay shape campaigns can run on. Node IDs are
+// 1..N; Pairs lists overlay links between them.
+type Topology struct {
+	Name  string
+	N     int
+	Pairs [][2]int
+}
+
+// builtinTopologies are the campaign worlds, smallest first. Every shape
+// is 2-connected so single faults never disconnect it by design — the
+// interesting failures are the correlated ones campaigns inject.
+func builtinTopologies() []Topology {
+	return []Topology{
+		{Name: "diamond4", N: 4, Pairs: [][2]int{
+			{1, 2}, {1, 3}, {2, 4}, {3, 4}, {1, 4},
+		}},
+		{Name: "ring8", N: 8, Pairs: [][2]int{
+			{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 1},
+			{1, 5}, {3, 7},
+		}},
+		{Name: "grid9", N: 9, Pairs: [][2]int{
+			{1, 2}, {2, 3}, {4, 5}, {5, 6}, {7, 8}, {8, 9},
+			{1, 4}, {4, 7}, {2, 5}, {5, 8}, {3, 6}, {6, 9},
+		}},
+	}
+}
+
+// TopologyByName looks up a campaign topology.
+func TopologyByName(name string) (Topology, bool) {
+	for _, t := range builtinTopologies() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Topology{}, false
+}
+
+// TopologyNames lists the available campaign topologies.
+func TopologyNames() []string {
+	ts := builtinTopologies()
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// World is a running overlay plus the underlay bookkeeping the engine
+// needs to aim faults: which site each node lives in and which two fibers
+// (primary ISP, backup ISP) serve each overlay link.
+type World struct {
+	O    *core.Overlay
+	Topo Topology
+	// Nodes lists overlay node IDs in index order; events address nodes
+	// by index into this slice.
+	Nodes []wire.NodeID
+	Sites map[wire.NodeID]netemu.SiteID
+	// ISPs are the two provider backbones every link is multihomed over.
+	ISPs [2]netemu.ISPID
+	// Links lists overlay link IDs in topology pair order; events address
+	// links by index into this slice.
+	Links []wire.LinkID
+	// Fibers maps each link to its [primary, backup] fiber, one per ISP.
+	Fibers map[wire.LinkID][2]netemu.FiberID
+	// Lat records each link's designed primary latency so latency-spike
+	// events can restore it.
+	Lat map[wire.LinkID]time.Duration
+}
+
+// Chaos worlds run aggressive timers so campaigns exercise many
+// convergence cycles in a few virtual seconds: sub-second failure
+// detection, 1 s refresh floods, and an underlay whose native rerouting
+// (2 s) is slower than overlay failover — the paper's motivating gap.
+const (
+	chaosConvergenceDelay = 2 * time.Second
+	chaosRestoreDelay     = 400 * time.Millisecond
+	chaosDownProbe        = 250 * time.Millisecond
+	chaosRefresh          = time.Second
+	chaosGroupRefresh     = 500 * time.Millisecond
+)
+
+// BuildWorld constructs (without starting) an overlay world for a
+// topology: one site per node, two ISPs, and every overlay link
+// multihomed over a primary fiber and a 1.25× latency backup fiber.
+func BuildWorld(t Topology, seed uint64) (*World, error) {
+	o := core.New(seed, netemu.Config{
+		ConvergenceDelay: chaosConvergenceDelay,
+		RestoreDelay:     chaosRestoreDelay,
+	})
+	o.SetNodeTemplate(func(c *node.Config) {
+		c.LinkState = linkstate.Config{
+			DownProbeInterval: chaosDownProbe,
+			RefreshInterval:   chaosRefresh,
+		}
+		c.GroupRefresh = chaosGroupRefresh
+	})
+	w := &World{
+		O:      o,
+		Topo:   t,
+		Sites:  make(map[wire.NodeID]netemu.SiteID),
+		ISPs:   [2]netemu.ISPID{o.AddISP("isp-a"), o.AddISP("isp-b")},
+		Fibers: make(map[wire.LinkID][2]netemu.FiberID),
+		Lat:    make(map[wire.LinkID]time.Duration),
+	}
+	for i := 1; i <= t.N; i++ {
+		id := wire.NodeID(i)
+		site := o.AddSite(fmt.Sprintf("site-%d", i))
+		o.AddNode(id, site)
+		w.Nodes = append(w.Nodes, id)
+		w.Sites[id] = site
+	}
+	for li, pair := range t.Pairs {
+		a, b := wire.NodeID(pair[0]), wire.NodeID(pair[1])
+		lat := time.Duration(8+li%5) * time.Millisecond
+		fp, err := o.AddFiber(w.ISPs[0], w.Sites[a], w.Sites[b], lat, 0, netemu.NoLoss{})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		fb, err := o.AddFiber(w.ISPs[1], w.Sites[a], w.Sites[b], lat*5/4, 0, netemu.NoLoss{})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		lid, err := o.AddLink(a, b, lat, w.ISPs[0], w.ISPs[1])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		w.Links = append(w.Links, lid)
+		w.Fibers[lid] = [2]netemu.FiberID{fp, fb}
+		w.Lat[lid] = lat
+	}
+	return w, nil
+}
+
+// Start starts the overlay and applies chaos session tuning to every
+// node.
+func (w *World) Start() error {
+	if err := w.O.Start(); err != nil {
+		return err
+	}
+	for _, id := range w.Nodes {
+		tuneSessions(w.O.Session(id))
+	}
+	return nil
+}
+
+// tuneSessions raises end-to-end recovery persistence far beyond the
+// default: chaos campaigns legitimately black-hole a flow for seconds at
+// a time, and the no-loss invariant requires recovery to keep trying
+// until the drain phase, not give up and flush past a gap.
+func tuneSessions(m *session.Manager) {
+	if m == nil {
+		return
+	}
+	m.NackMaxTries = 100000
+}

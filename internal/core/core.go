@@ -119,36 +119,76 @@ func (o *Overlay) Start() error {
 	}
 	o.started = true
 	for _, id := range o.Graph.Nodes() {
-		cfg := node.Config{
-			ID:       id,
-			Clock:    o.Sched,
-			Underlay: &underlayPort{o: o, self: id},
-			Graph:    o.Graph,
-		}
-		if o.nodeTemplate != nil {
-			o.nodeTemplate(&cfg)
-		}
-		if mutate, ok := o.pendingCfg[id]; ok {
-			mutate(&cfg)
-		}
-		n, err := node.New(cfg)
-		if err != nil {
-			return fmt.Errorf("core: %w", err)
-		}
-		o.nodes[id] = n
-		o.sessions[id] = session.NewManager(n)
-		site, ok := o.sites[id]
-		if !ok {
-			return fmt.Errorf("core: node %v has no site", id)
-		}
-		if err := o.Net.AttachNode(id, site, n.HandleUnderlay); err != nil {
-			return fmt.Errorf("core: %w", err)
+		if err := o.buildNode(id); err != nil {
+			return err
 		}
 	}
 	for _, id := range o.Graph.Nodes() {
 		o.nodes[id].Start()
 	}
 	return nil
+}
+
+// buildNode instantiates one node plus its session manager and attaches it
+// to the underlay (without starting it).
+func (o *Overlay) buildNode(id wire.NodeID) error {
+	cfg := node.Config{
+		ID:       id,
+		Clock:    o.Sched,
+		Underlay: &underlayPort{o: o, self: id},
+		Graph:    o.Graph,
+	}
+	if o.nodeTemplate != nil {
+		o.nodeTemplate(&cfg)
+	}
+	if mutate, ok := o.pendingCfg[id]; ok {
+		mutate(&cfg)
+	}
+	n, err := node.New(cfg)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	o.nodes[id] = n
+	o.sessions[id] = session.NewManager(n)
+	site, ok := o.sites[id]
+	if !ok {
+		return fmt.Errorf("core: node %v has no site", id)
+	}
+	if err := o.Net.AttachNode(id, site, n.HandleUnderlay); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// RestartNode crash-restarts a node with total state loss: the old node
+// and its session manager are stopped and discarded, and a brand-new
+// incarnation (fresh link-state database, sequence counters, group
+// membership, flow state) is built and started in its place. Node and
+// Session return the new incarnation afterwards; clients of the old one
+// are closed and must reconnect.
+func (o *Overlay) RestartNode(id wire.NodeID) error {
+	if !o.started {
+		return fmt.Errorf("core: not started")
+	}
+	old, ok := o.nodes[id]
+	if !ok {
+		return fmt.Errorf("core: no node %v", id)
+	}
+	old.Stop()
+	if s := o.sessions[id]; s != nil {
+		s.Close()
+	}
+	if err := o.buildNode(id); err != nil {
+		return err
+	}
+	o.nodes[id].Start()
+	return nil
+}
+
+// SiteOf returns the site a node was placed in.
+func (o *Overlay) SiteOf(id wire.NodeID) (netemu.SiteID, bool) {
+	site, ok := o.sites[id]
+	return site, ok
 }
 
 // Stop quiesces every node.

@@ -592,3 +592,79 @@ func TestSimpleLinkHelpersErrors(t *testing.T) {
 		t.Fatal("loss on unknown link accepted")
 	}
 }
+
+func TestRestartNodeRejoinsOverlay(t *testing.T) {
+	s := startSimple(t, 9, diamondLinks(nil), nil)
+	defer s.Stop()
+	oldNode, oldSess := s.Node(2), s.Session(2)
+
+	// Pre-crash traffic through node 2 (the 1-2-4 path is shortest).
+	dst, err := s.Session(4).Connect(100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src, err := s.Session(1).Connect(0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(session.FlowSpec{DstNode: 4, DstPort: 100})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	if err := flow.Send([]byte("pre")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if got := len(dst.Deliveries()); got != 1 {
+		t.Fatalf("pre-crash delivery count %d, want 1", got)
+	}
+
+	// Crash: the site goes dark long enough for neighbors to declare node
+	// 2's links down (and reset their link sessions), then a fresh
+	// incarnation with zero protocol state boots and the site recovers.
+	site, ok := s.SiteOf(2)
+	if !ok {
+		t.Fatal("SiteOf(2) unknown")
+	}
+	s.Net.SetSiteUp(site, false)
+	s.RunFor(2 * time.Second)
+	if err := s.RestartNode(2); err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	if s.Node(2) == oldNode || s.Session(2) == oldSess {
+		t.Fatal("RestartNode did not build a fresh incarnation")
+	}
+	s.Net.SetSiteUp(site, true)
+	// The reborn node must rejoin flooding (sequence fast-forward past its
+	// pre-crash advertisements) and carry transit traffic again.
+	s.RunFor(5 * time.Second)
+	if err := flow.Send([]byte("post")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if got := len(dst.Deliveries()); got != 1 {
+		t.Fatalf("post-restart delivery count %d, want 1", got)
+	}
+
+	// The new incarnation's own session layer works: a client on the
+	// reborn node receives unicast.
+	dst2, err := s.Session(2).Connect(200)
+	if err != nil {
+		t.Fatalf("Connect on reborn node: %v", err)
+	}
+	flow2, err := src.OpenFlow(session.FlowSpec{DstNode: 2, DstPort: 200})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	if err := flow2.Send([]byte("hi")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	s.RunFor(time.Second)
+	if got := len(dst2.Deliveries()); got != 1 {
+		t.Fatalf("reborn node delivered %d, want 1", got)
+	}
+
+	if err := s.RestartNode(99); err == nil {
+		t.Fatal("RestartNode of unknown node succeeded")
+	}
+}

@@ -73,5 +73,6 @@ func All() []*Result {
 		TopologyClique(14),
 		ConvergenceScale(15),
 		WireThroughput(16),
+		Chaos(17),
 	}
 }

@@ -130,6 +130,14 @@ func TestWireThroughputSmoke(t *testing.T) {
 	}
 }
 
+func TestChaosExperimentSmoke(t *testing.T) {
+	r := Chaos(17)
+	t.Log("\n" + r.String())
+	if !r.ShapeHolds {
+		t.Fatal("shape does not hold")
+	}
+}
+
 // TestExperimentsDeterministic verifies the reproduction harness itself:
 // the same seed regenerates the identical table, byte for byte.
 func TestExperimentsDeterministic(t *testing.T) {

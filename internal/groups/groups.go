@@ -173,6 +173,15 @@ func (m *Manager) HandleAnnouncement(from wire.NodeID, p *wire.Packet) error {
 		return err
 	}
 	if a.Origin == m.self {
+		// Our own announcement echoed back. A crash-restarted node's
+		// counter starts over while pre-crash announcements with higher
+		// sequence numbers still circulate; fast-forward past them and
+		// re-announce so the fresh membership supersedes the stale one.
+		// Strictly-greater keeps the steady-state echo from re-announcing.
+		if a.Seq > m.mySeq {
+			m.mySeq = a.Seq
+			m.announce()
+		}
 		return nil
 	}
 	if last, ok := m.seen[a.Origin]; ok && a.Seq <= last {

@@ -212,3 +212,52 @@ func TestOwnAnnouncementIgnored(t *testing.T) {
 		t.Fatalf("reflected announcement applied: %v", got)
 	}
 }
+
+func TestRestartFastForwardsAnnouncementSeq(t *testing.T) {
+	f := newFabric(1, 2, 3)
+	f.envs[2].mgr.Join(7)
+	for i := 0; i < 5; i++ {
+		f.envs[2].mgr.Refresh() // push node 2's sequence number up
+	}
+	oldSeq := f.envs[2].mgr.mySeq
+
+	// Crash-restart node 2 with state loss: fresh manager, counter reset,
+	// and a re-join of its group.
+	fresh := NewManager(f.envs[2], 2)
+	f.envs[2].mgr = fresh
+	fresh.Join(7)
+	if fresh.mySeq >= oldSeq {
+		t.Fatalf("fresh manager started with mySeq = %d", fresh.mySeq)
+	}
+	// Peers ignore the reborn node's low-seq announcements: they still see
+	// the pre-crash membership under the old high sequence number... until
+	// a stale self-origin echo reaches node 2 and fast-forwards it.
+	stale := Announcement{Origin: 2, Seq: oldSeq, Groups: []wire.GroupID{7, 9}}
+	p := &wire.Packet{Type: wire.PTGroupState, Src: 1, Payload: stale.Marshal()}
+	if err := fresh.HandleAnnouncement(1, p); err != nil {
+		t.Fatalf("HandleAnnouncement: %v", err)
+	}
+	if fresh.mySeq <= oldSeq {
+		t.Fatalf("mySeq = %d after stale echo, want > %d", fresh.mySeq, oldSeq)
+	}
+	// The fast-forwarded re-announcement must have superseded the stale
+	// state everywhere: group 9 (pre-crash only) gone, group 7 present.
+	for n, env := range f.envs {
+		if got := env.mgr.Members(9); len(got) != 0 {
+			t.Fatalf("node %v still sees stale group 9 members %v", n, got)
+		}
+		if got := env.mgr.Members(7); len(got) != 1 || got[0] != 2 {
+			t.Fatalf("node %v sees group 7 members %v, want [2]", n, got)
+		}
+	}
+	// The steady-state echo (Seq == mySeq) must not re-announce.
+	cur := fresh.mySeq
+	echo := Announcement{Origin: 2, Seq: cur, Groups: []wire.GroupID{7}}
+	p = &wire.Packet{Type: wire.PTGroupState, Src: 1, Payload: echo.Marshal()}
+	if err := fresh.HandleAnnouncement(1, p); err != nil {
+		t.Fatalf("HandleAnnouncement echo: %v", err)
+	}
+	if fresh.mySeq != cur {
+		t.Fatalf("steady-state echo advanced mySeq %d -> %d", cur, fresh.mySeq)
+	}
+}

@@ -16,10 +16,17 @@ import (
 	"sort"
 	"time"
 
+	"sonet/internal/metrics"
 	"sonet/internal/sim"
 	"sonet/internal/topology"
 	"sonet/internal/wire"
 )
+
+// epochMask bounds the link-session epoch carried in hello Seq values:
+// the low byte holds the underlay path index, the upper 24 bits the
+// sender's epoch (wrap-around after 16M resets is harmless — equality
+// and adoption only need the epochs of the two live endpoints to agree).
+const epochMask = 0xffffff
 
 // Env is what the manager needs from its host overlay node.
 type Env interface {
@@ -182,7 +189,16 @@ type Manager struct {
 	lastAdv map[wire.NodeID][]byte
 	mySeq   uint32
 	stats   Stats
+	health  metrics.LinkHealthStats
 	closed  bool
+	// sessionEpoch, when set, supplies the link-session epoch advertised
+	// in hellos; onPeerEpoch, when set, receives the epoch carried by
+	// each hello from a neighbor.
+	sessionEpoch func(wire.NodeID) uint32
+	onPeerEpoch  func(wire.NodeID, uint32)
+	// onNeighborState, when set, is invoked after an adjacent link is
+	// declared down or back up.
+	onNeighborState func(wire.NodeID, bool)
 	// version increments on every view change; routing caches key on it.
 	version uint64
 
@@ -248,6 +264,40 @@ func (m *Manager) Version() uint64 { return m.version }
 // Stats returns a snapshot of counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
+// Health returns the exported link-health counters (hello activity, flood
+// volume, reconvergence count) that chaos invariants assert on.
+func (m *Manager) Health() metrics.LinkHealthSnapshot { return m.health.Snapshot() }
+
+// SetOnNeighborState installs a callback invoked after an adjacent link is
+// declared down (up=false) or recovers (up=true). The host node uses it to
+// reset per-neighbor link-protocol sessions: across a down window frames
+// were lost wholesale — or the peer crashed and restarted with fresh
+// sequence state — so the old windows would misclassify the peer's next
+// frames as duplicates or wild jumps. Both endpoints observe the
+// transition through their own hello machinery, so both reset.
+func (m *Manager) SetOnNeighborState(fn func(neighbor wire.NodeID, up bool)) {
+	m.onNeighborState = fn
+}
+
+// SetSessionEpoch installs the provider of the node's link-session epoch
+// for a neighbor, advertised in every hello. The epoch increments each
+// time the node resets its link-protocol endpoints, letting the peer
+// detect resets it cannot observe through its own hello machinery — a
+// one-sided hello-loss streak resets only the lossy side, and without the
+// epoch the peer's stale receive windows would silently swallow (and
+// acknowledge) the fresh endpoint's restarted sequence numbers.
+func (m *Manager) SetSessionEpoch(fn func(neighbor wire.NodeID) uint32) {
+	m.sessionEpoch = fn
+}
+
+// SetOnPeerEpoch installs a callback invoked with the neighbor's
+// link-session epoch carried by each received hello; the host node uses
+// it to resynchronize its own endpoints with peer resets (see
+// SetSessionEpoch).
+func (m *Manager) SetOnPeerEpoch(fn func(neighbor wire.NodeID, epoch uint32)) {
+	m.onPeerEpoch = fn
+}
+
 // NeighborUp reports whether the link to a neighbor is considered up.
 func (m *Manager) NeighborUp(n wire.NodeID) bool {
 	st, ok := m.neighbors[n]
@@ -279,6 +329,7 @@ func (m *Manager) helloTick(n wire.NodeID) {
 		// Previous hello went unanswered; it was already counted in the
 		// loss window when sent.
 		st.missed++
+		m.health.HellosMissed.Add(1)
 		m.noteHelloWindow(n, st)
 		if st.missed >= m.cfg.HelloMiss {
 			m.helloTimeout(n, st)
@@ -287,13 +338,20 @@ func (m *Manager) helloTick(n wire.NodeID) {
 	st.pendingAck = true
 	st.helloCount++
 	m.stats.HellosSent++
-	// Hellos carry the sender's current path index so the two endpoints
-	// converge on the same provider (§II-A on-net links): the lower node
-	// ID owns the choice and the peer adopts it.
+	m.health.HellosSent.Add(1)
+	// Hellos carry the sender's current path index (low byte) so the two
+	// endpoints converge on the same provider (§II-A on-net links): the
+	// lower node ID owns the choice and the peer adopts it. The upper
+	// bits carry the sender's link-session epoch so the peer can detect
+	// endpoint resets it did not itself observe.
+	seq := uint32(st.curPath)
+	if m.sessionEpoch != nil {
+		seq |= (m.sessionEpoch(n) & epochMask) << 8
+	}
 	m.env.SendControl(n, &wire.Frame{
 		Proto:    wire.LPBestEffort,
 		Kind:     wire.FHello,
-		Seq:      uint32(st.curPath),
+		Seq:      seq,
 		SendTime: m.env.Clock().Now(),
 	})
 	interval := m.cfg.HelloInterval
@@ -324,6 +382,9 @@ func (m *Manager) helloTimeout(n wire.NodeID, st *neighborState) {
 		m.stats.DownDetections++
 		m.applyLocal(st, false)
 		m.originateLSA()
+		if m.onNeighborState != nil {
+			m.onNeighborState(n, false)
+		}
 	}
 }
 
@@ -334,6 +395,9 @@ func (m *Manager) HandleControl(n wire.NodeID, f *wire.Frame) {
 	}
 	switch f.Kind {
 	case wire.FHello:
+		if m.onPeerEpoch != nil {
+			m.onPeerEpoch(n, f.Seq>>8)
+		}
 		// The link owner (lower node ID) dictates the underlay path; the
 		// other endpoint adopts the path carried in the owner's hellos so
 		// the link stays on-net (same provider both ways).
@@ -378,6 +442,9 @@ func (m *Manager) onHelloAck(n wire.NodeID, f *wire.Frame) {
 		m.stats.UpDetections++
 		m.applyLocal(st, true)
 		m.originateLSA()
+		if m.onNeighborState != nil {
+			m.onNeighborState(n, true)
+		}
 		// Database resync: the peer may have missed arbitrary updates
 		// while the link was down; push every origin's latest known
 		// advertisement instead of waiting for their refresh cycles.
@@ -426,6 +493,7 @@ func (m *Manager) noteHelloWindow(n wire.NodeID, st *neighborState) {
 func (m *Manager) applyLocal(st *neighborState, up bool) {
 	m.view.SetUp(st.linkID, up)
 	m.version++
+	m.health.Reconvergences.Add(1)
 	m.env.ViewChanged()
 }
 
@@ -443,6 +511,7 @@ func (m *Manager) maybeAdvertise(st *neighborState) {
 	}
 	if latDrift >= m.cfg.LatencyChangeFrac || lossDrift >= m.cfg.LossChangeAbs || st.advUp != st.up {
 		m.version++
+		m.health.Reconvergences.Add(1)
 		m.env.ViewChanged()
 		m.originateLSA()
 	}
@@ -477,6 +546,7 @@ func (m *Manager) originateLSA() {
 	}
 	adv := Advertisement{Origin: m.self, Seq: m.mySeq, Entries: entries}
 	m.stats.LSAsSent++
+	m.health.LSAFloods.Add(1)
 	m.env.FloodLSA(adv.Marshal(), 0)
 }
 
@@ -507,6 +577,17 @@ func (m *Manager) HandleLSA(from wire.NodeID, p *wire.Packet) error {
 		return fmt.Errorf("linkstate: bad advertisement from %v: %w", from, err)
 	}
 	if adv.Origin == m.self {
+		// Our own advertisement echoed back. After a crash-restart the
+		// node's sequence counter starts over while its pre-crash
+		// advertisements still circulate with higher numbers, so peers
+		// would discard everything the reborn node floods until its counter
+		// caught up. Fast-forward past the stale sequence and re-originate
+		// so the fresh state supersedes it. Strictly-greater keeps the
+		// steady-state echo (Seq == mySeq) from triggering a reflood storm.
+		if adv.Seq > m.mySeq {
+			m.mySeq = adv.Seq
+			m.originateLSA()
+		}
 		return nil
 	}
 	if last, ok := m.seen[adv.Origin]; ok && adv.Seq <= last {
@@ -546,9 +627,11 @@ func (m *Manager) HandleLSA(from wire.NodeID, p *wire.Packet) error {
 	}
 	if changed {
 		m.version++
+		m.health.Reconvergences.Add(1)
 		m.env.ViewChanged()
 	}
 	m.stats.LSAsForwarded++
+	m.health.LSAFloods.Add(1)
 	m.env.FloodLSA(p.Payload, from)
 	return nil
 }

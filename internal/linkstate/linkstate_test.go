@@ -465,3 +465,143 @@ func TestResyncOnLinkRecovery(t *testing.T) {
 		t.Fatal("node 1 never learned of 2-3 failure after partition healed")
 	}
 }
+
+func TestHealthCountersTrackAdversity(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	w.sched.RunFor(2 * time.Second)
+	h := w.envs[1].mgr.Health()
+	if h.HellosSent == 0 {
+		t.Fatal("no hellos counted on a live link")
+	}
+	if h.LSAFloods == 0 {
+		t.Fatal("no LSA floods counted despite refresh cycles")
+	}
+	if h.HellosMissed != 0 || h.Reconvergences != 0 {
+		t.Fatalf("quiet world shows distress: %+v", h)
+	}
+	// Kill the 1-2 link: node 1 must miss hellos, declare the link down,
+	// and reconverge its view.
+	w.deadLinks[w.linkBetween(1, 2)] = true
+	w.sched.RunFor(2 * time.Second)
+	h = w.envs[1].mgr.Health()
+	if h.HellosMissed == 0 {
+		t.Fatal("dead link produced no missed hellos")
+	}
+	if h.Reconvergences == 0 {
+		t.Fatal("down detection did not count a reconvergence")
+	}
+	if h.MissRatio() <= 0 {
+		t.Fatalf("MissRatio = %v, want > 0", h.MissRatio())
+	}
+}
+
+func TestRestartFastForwardsOwnSeq(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	w.sched.RunFor(3 * time.Second) // refresh cycles push sequence numbers up
+	env2 := w.envs[2]
+	oldSeq := env2.mgr.mySeq
+	if oldSeq < 2 {
+		t.Fatalf("precondition: mySeq = %d, want refresh-driven growth", oldSeq)
+	}
+
+	// Crash-restart node 2 with total state loss: a fresh manager whose
+	// sequence counter starts over while peers still hold the old one.
+	env2.mgr.Stop()
+	fresh := NewManager(env2, 2, topology.NewView(w.graph), Config{})
+	for _, lid := range w.graph.Incident(wire.NodeID(2)) {
+		l, _ := w.graph.Link(lid)
+		peer, _ := l.Other(2)
+		fresh.AddNeighbor(peer, lid)
+	}
+	env2.mgr = fresh
+	fresh.Start()
+	if fresh.mySeq >= oldSeq {
+		t.Fatalf("fresh manager started with mySeq = %d", fresh.mySeq)
+	}
+
+	// A peer resyncs the reborn node with its own stale advertisement (a
+	// pre-crash flood still circulating): the node must fast-forward past
+	// it and re-originate, so peers accept its fresh state again.
+	stale := Advertisement{Origin: 2, Seq: oldSeq}
+	p := &wire.Packet{Type: wire.PTLinkState, Src: 1, Payload: stale.Marshal()}
+	if err := fresh.HandleLSA(1, p); err != nil {
+		t.Fatalf("HandleLSA: %v", err)
+	}
+	if fresh.mySeq <= oldSeq {
+		t.Fatalf("mySeq = %d after stale echo, want > %d", fresh.mySeq, oldSeq)
+	}
+	w.sched.RunFor(time.Second)
+	if got := w.envs[1].mgr.seen[2]; got <= oldSeq {
+		t.Fatalf("peer still holds pre-crash seq %d, re-origination not accepted (seen=%d)", oldSeq, got)
+	}
+}
+
+func TestSteadyStateEchoDoesNotRefloodStorm(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 1)
+	w.sched.RunFor(time.Second)
+	m := w.envs[2].mgr
+	before := m.stats.LSAsSent
+	// An echo of the node's CURRENT advertisement (Seq == mySeq) is the
+	// common case in a flood with cycles; it must not trigger another
+	// origination, or every flood would feed the next.
+	echo := Advertisement{Origin: 2, Seq: m.mySeq}
+	p := &wire.Packet{Type: wire.PTLinkState, Src: 1, Payload: echo.Marshal()}
+	if err := m.HandleLSA(1, p); err != nil {
+		t.Fatalf("HandleLSA: %v", err)
+	}
+	if m.stats.LSAsSent != before {
+		t.Fatal("steady-state echo triggered a re-origination")
+	}
+}
+
+// TestHelloCarriesSessionEpoch is the regression test for the asymmetric
+// link-session reset black hole: hellos must transport the sender's
+// link-session epoch in the Seq upper bits so a peer that never saw a
+// hello transition still learns the other side reset its endpoints —
+// without disturbing the path index carried in the low byte.
+func TestHelloCarriesSessionEpoch(t *testing.T) {
+	w := newWorld(t, chain3(t), Config{}, 2)
+	epoch1 := uint32(0)
+	w.envs[1].mgr.SetSessionEpoch(func(wire.NodeID) uint32 { return epoch1 })
+	var got []uint32
+	w.envs[2].mgr.SetOnPeerEpoch(func(n wire.NodeID, e uint32) {
+		if n == 1 {
+			got = append(got, e)
+		}
+	})
+	w.sched.RunFor(time.Second)
+	if len(got) == 0 {
+		t.Fatal("peer epoch callback never fired")
+	}
+	for _, e := range got {
+		if e != 0 {
+			t.Fatalf("epoch %d before any reset, want 0", e)
+		}
+	}
+	// Simulate a one-sided reset on node 1: only its advertised epoch
+	// changes; no hello transition happens anywhere. Drain hellos already
+	// in flight with the old epoch before asserting.
+	epoch1 = 7
+	w.sched.RunFor(100 * time.Millisecond)
+	got = got[:0]
+	w.sched.RunFor(time.Second)
+	if len(got) == 0 {
+		t.Fatal("peer epoch callback stopped firing")
+	}
+	for _, e := range got {
+		if e != 7 {
+			t.Fatalf("peer saw epoch %d after reset, want 7", e)
+		}
+	}
+	// The path index in the low byte must survive epoch stamping: node 1
+	// owns link 1-2 (lower ID) and node 2 must still adopt its path.
+	lid := w.linkBetween(1, 2)
+	w.deadPaths[pathKey{link: lid, path: 0}] = true
+	w.sched.RunFor(2 * time.Second)
+	if !w.envs[2].mgr.View().Usable(lid) {
+		t.Fatal("multihoming failover broken with epoch-stamped hellos")
+	}
+	if w.envs[2].curPath[1] != 1 {
+		t.Fatalf("node 2 on path %d, want 1 (owner's choice via hello low byte)", w.envs[2].curPath[1])
+	}
+}

@@ -272,6 +272,115 @@ func (s WireSnapshot) SendBatchAvg() float64 {
 	return float64(s.SendPackets) / float64(s.SendBatches)
 }
 
+// LinkHealthStats counts link-state protocol health activity on one node:
+// how hard the hello machinery is working, how often probes are missed, how
+// much flooding the node originates or relays, and how many times its
+// topology view reconverged. Chaos invariants assert on these counters —
+// e.g. a campaign that cut links must show misses and reconvergences, and a
+// quiet world must not. The counters are atomic for the same reason as
+// PoolStats: deployment-mode monitoring readers snapshot them without
+// coordinating with the event loop.
+//
+// The zero value is ready to use.
+type LinkHealthStats struct {
+	// HellosSent counts hello probes transmitted on adjacent links.
+	HellosSent atomic.Uint64
+	// HellosMissed counts hello intervals that elapsed without hearing
+	// from a neighbor (each one step toward declaring the link down).
+	HellosMissed atomic.Uint64
+	// LSAFloods counts link-state advertisements this node pushed into the
+	// flood, both self-originated and forwarded on behalf of others.
+	LSAFloods atomic.Uint64
+	// Reconvergences counts topology-view version bumps: every time a
+	// local detection or a received LSA changed this node's view of the
+	// shared graph.
+	Reconvergences atomic.Uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *LinkHealthStats) Snapshot() LinkHealthSnapshot {
+	return LinkHealthSnapshot{
+		HellosSent:     s.HellosSent.Load(),
+		HellosMissed:   s.HellosMissed.Load(),
+		LSAFloods:      s.LSAFloods.Load(),
+		Reconvergences: s.Reconvergences.Load(),
+	}
+}
+
+// LinkHealthSnapshot is a point-in-time copy of LinkHealthStats.
+type LinkHealthSnapshot struct {
+	// HellosSent counts hello probes transmitted.
+	HellosSent uint64
+	// HellosMissed counts missed hello intervals.
+	HellosMissed uint64
+	// LSAFloods counts LSAs originated or forwarded.
+	LSAFloods uint64
+	// Reconvergences counts topology-view version bumps.
+	Reconvergences uint64
+}
+
+// MissRatio returns HellosMissed / HellosSent, or 0 before the first hello.
+// A healthy converged world keeps this near zero; sustained flapping drives
+// it up.
+func (s LinkHealthSnapshot) MissRatio() float64 {
+	if s.HellosSent == 0 {
+		return 0
+	}
+	return float64(s.HellosMissed) / float64(s.HellosSent)
+}
+
+// ChaosStats counts fault-campaign activity in one chaos engine run:
+// injected adversity on one side, invariant outcomes on the other. The
+// counters are atomic so campaign progress can be observed from outside the
+// simulated world (soak tooling, tests polling mid-run).
+//
+// The zero value is ready to use.
+type ChaosStats struct {
+	// EventsInjected counts fault and repair events applied to the world.
+	EventsInjected atomic.Uint64
+	// FaultsActive tracks the number of currently outstanding faults
+	// (injected and not yet healed/restored).
+	FaultsActive atomic.Int64
+	// InvariantChecks counts individual invariant evaluations, continuous
+	// and at quiesce points.
+	InvariantChecks atomic.Uint64
+	// Violations counts invariant evaluations that failed.
+	Violations atomic.Uint64
+	// Campaigns counts completed campaign runs.
+	Campaigns atomic.Uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *ChaosStats) Snapshot() ChaosSnapshot {
+	return ChaosSnapshot{
+		EventsInjected:  s.EventsInjected.Load(),
+		FaultsActive:    s.FaultsActive.Load(),
+		InvariantChecks: s.InvariantChecks.Load(),
+		Violations:      s.Violations.Load(),
+		Campaigns:       s.Campaigns.Load(),
+	}
+}
+
+// ChaosSnapshot is a point-in-time copy of ChaosStats.
+type ChaosSnapshot struct {
+	// EventsInjected counts fault and repair events applied.
+	EventsInjected uint64
+	// FaultsActive is the number of currently outstanding faults.
+	FaultsActive int64
+	// InvariantChecks counts invariant evaluations.
+	InvariantChecks uint64
+	// Violations counts failed invariant evaluations.
+	Violations uint64
+	// Campaigns counts completed campaign runs.
+	Campaigns uint64
+}
+
+// Clean reports whether every invariant evaluation so far passed (and at
+// least one ran).
+func (s ChaosSnapshot) Clean() bool {
+	return s.InvariantChecks > 0 && s.Violations == 0
+}
+
 // Latencies accumulates one-way delivery latencies for a flow.
 //
 // The zero value is ready to use.

@@ -153,3 +153,44 @@ func TestTableFormatting(t *testing.T) {
 		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
 	}
 }
+
+func TestLinkHealthStatsSnapshot(t *testing.T) {
+	var s LinkHealthStats
+	if got := s.Snapshot().MissRatio(); got != 0 {
+		t.Fatalf("zero-value MissRatio = %v, want 0", got)
+	}
+	s.HellosSent.Add(200)
+	s.HellosMissed.Add(50)
+	s.LSAFloods.Add(7)
+	s.Reconvergences.Add(3)
+	snap := s.Snapshot()
+	if snap.HellosSent != 200 || snap.HellosMissed != 50 || snap.LSAFloods != 7 || snap.Reconvergences != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := snap.MissRatio(); got != 0.25 {
+		t.Fatalf("MissRatio = %v, want 0.25", got)
+	}
+}
+
+func TestChaosStatsSnapshotAndClean(t *testing.T) {
+	var s ChaosStats
+	if s.Snapshot().Clean() {
+		t.Fatal("zero checks must not report Clean")
+	}
+	s.EventsInjected.Add(12)
+	s.FaultsActive.Add(3)
+	s.FaultsActive.Add(-2)
+	s.InvariantChecks.Add(40)
+	s.Campaigns.Add(1)
+	snap := s.Snapshot()
+	if snap.EventsInjected != 12 || snap.FaultsActive != 1 || snap.InvariantChecks != 40 || snap.Campaigns != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if !snap.Clean() {
+		t.Fatal("violation-free run must report Clean")
+	}
+	s.Violations.Add(1)
+	if s.Snapshot().Clean() {
+		t.Fatal("run with a violation must not report Clean")
+	}
+}

@@ -107,6 +107,12 @@ func (g *GilbertElliott) Drop(now time.Duration, rng *rand.Rand) bool {
 // closed-form k-step transition of the two-state chain: the stationary bad
 // probability is π = PGoodBad/(PGoodBad+PBadGood) and the state relaxes
 // toward it geometrically with rate λ = 1−PGoodBad−PBadGood per step.
+//
+// Timestamps need not be monotonic: replay tooling and same-instant events
+// may observe the chain at or before its last observation time. Such calls
+// must neither advance the chain nor move its observation clock backwards —
+// the chain state stays exactly as it was, so the per-call random draw in
+// Drop remains the only randomness consumed and replays stay bit-exact.
 func (g *GilbertElliott) advance(now time.Duration, rng *rand.Rand) {
 	step := g.Step
 	if step <= 0 {
@@ -118,6 +124,10 @@ func (g *GilbertElliott) advance(now time.Duration, rng *rand.Rand) {
 		return
 	}
 	if now <= g.last {
+		// Equal-time or out-of-order observation: no time has passed from
+		// the chain's point of view. g.last is deliberately left alone so a
+		// rewound clock cannot drag the chain backwards and double-count
+		// the interval when time catches up again.
 		return
 	}
 	k := float64(now-g.last) / float64(step)
@@ -127,7 +137,14 @@ func (g *GilbertElliott) advance(now time.Duration, rng *rand.Rand) {
 		return
 	}
 	pi := g.PGoodBad / denom
+	// λ^k with λ = 1−denom. For denom > 1 the base is negative and a
+	// fractional k would produce NaN (and an integer k an oscillating
+	// sign); such chains mix essentially instantly, so clamp the memory
+	// term to zero instead of corrupting the state with NaN comparisons.
 	lam := math.Pow(1-denom, k)
+	if math.IsNaN(lam) || lam < 0 {
+		lam = 0
+	}
 	var pBad float64
 	if g.bad {
 		pBad = pi + (1-pi)*lam

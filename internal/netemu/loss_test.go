@@ -1,0 +1,105 @@
+package netemu
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestGilbertElliottNonMonotonicTimestamps is the regression test for the
+// chain-state hardening: replayed and equal-time observations (now at or
+// before the last observation) must neither corrupt the chain nor move its
+// observation clock backwards.
+func TestGilbertElliottNonMonotonicTimestamps(t *testing.T) {
+	g := NewGilbertElliott(0.05, 0.3, 0, 1)
+	rng := rand.New(rand.NewPCG(1, 2))
+
+	// Establish the chain at t = 100 ms.
+	g.Drop(100*time.Millisecond, rng)
+	if g.last != 100*time.Millisecond {
+		t.Fatalf("last = %v after first observation, want 100ms", g.last)
+	}
+	badAt100 := g.bad
+
+	// An out-of-order observation must not advance the chain or rewind
+	// its clock.
+	g.Drop(40*time.Millisecond, rng)
+	if g.last != 100*time.Millisecond {
+		t.Fatalf("rewound observation moved last to %v", g.last)
+	}
+	if g.bad != badAt100 {
+		t.Fatal("rewound observation advanced the chain state")
+	}
+
+	// Equal-time observations (several packets in one scheduler instant)
+	// must behave the same way.
+	for i := 0; i < 5; i++ {
+		g.Drop(100*time.Millisecond, rng)
+		if g.last != 100*time.Millisecond || g.bad != badAt100 {
+			t.Fatalf("equal-time observation %d mutated chain: last=%v bad=%v",
+				i, g.last, g.bad)
+		}
+	}
+
+	// Once time moves forward again the interval is counted exactly once,
+	// from the high-water mark, not from the rewound timestamp.
+	g.Drop(150*time.Millisecond, rng)
+	if g.last != 150*time.Millisecond {
+		t.Fatalf("forward observation left last at %v, want 150ms", g.last)
+	}
+}
+
+// TestGilbertElliottReplayDeterminism drives two identical chains through
+// the same non-monotonic observation sequence with identical random
+// streams and requires bit-identical decisions — the property campaign
+// replay depends on.
+func TestGilbertElliottReplayDeterminism(t *testing.T) {
+	times := []time.Duration{
+		5 * time.Millisecond, 9 * time.Millisecond, 9 * time.Millisecond,
+		3 * time.Millisecond, 20 * time.Millisecond, 20 * time.Millisecond,
+		11 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond,
+	}
+	run := func() []bool {
+		g := NewGilbertElliott(0.2, 0.2, 0.01, 0.9)
+		rng := rand.New(rand.NewPCG(7, 7))
+		out := make([]bool, 0, len(times))
+		for _, at := range times {
+			out = append(out, g.Drop(at, rng))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at observation %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestGilbertElliottFastMixingChainHasNoNaN covers PGoodBad+PBadGood > 1:
+// the closed-form λ^k has a negative base there and a fractional exponent
+// used to produce NaN, silently pinning the chain in the Good state.
+func TestGilbertElliottFastMixingChainHasNoNaN(t *testing.T) {
+	g := NewGilbertElliott(0.9, 0.9, 0, 1)
+	rng := rand.New(rand.NewPCG(3, 4))
+	drops := 0
+	// Fractional step multiples (now − last not a multiple of Step) force
+	// fractional k.
+	at := time.Duration(0)
+	for i := 0; i < 4000; i++ {
+		at += 1500 * time.Microsecond
+		if g.Drop(at, rng) {
+			drops++
+		}
+	}
+	if got := g.AverageLoss(); math.IsNaN(got) {
+		t.Fatal("AverageLoss is NaN")
+	}
+	// Stationary bad fraction is 0.5 with LossBad=1, so the measured rate
+	// must be near one half, not pinned at the Good state's zero.
+	rate := float64(drops) / 4000
+	if rate < 0.35 || rate > 0.65 {
+		t.Fatalf("fast-mixing chain drop rate = %.3f, want ≈ 0.5", rate)
+	}
+}

@@ -381,6 +381,66 @@ func (n *Network) FiberCut(id FiberID) bool {
 	return int(id) < len(n.fibers) && n.fibers[id].cut
 }
 
+// SetFiberLatency overrides a fiber's propagation latency and jitter — the
+// per-fiber fault hook behind latency/jitter spike injection. Latency
+// participates in converged route choice, so the provider's cached routes
+// are invalidated when the value actually changes. It reports whether the
+// fiber exists and the latency is valid.
+func (n *Network) SetFiberLatency(id FiberID, latency, jitter time.Duration) bool {
+	if int(id) >= len(n.fibers) || id < 0 || latency < 0 || jitter < 0 {
+		return false
+	}
+	f := &n.fibers[id]
+	if f.latency == latency && f.jitter == jitter {
+		return true
+	}
+	f.latency, f.jitter = latency, jitter
+	n.bumpEpoch(f.isp)
+	return true
+}
+
+// FiberLatency returns a fiber's current nominal latency and jitter, so
+// fault injectors can save values before spiking and restore them after.
+func (n *Network) FiberLatency(id FiberID) (latency, jitter time.Duration, ok bool) {
+	if int(id) >= len(n.fibers) || id < 0 {
+		return 0, 0, false
+	}
+	f := &n.fibers[id]
+	return f.latency, f.jitter, true
+}
+
+// Partition cuts every currently intact fiber crossing the bipartition
+// (sites in groupA versus all other sites) across all providers, and
+// returns the fibers it cut so Heal can undo exactly this partition.
+// Fibers that were already cut are left alone and not returned: healing a
+// partition must not resurrect independently injected faults.
+func (n *Network) Partition(groupA []SiteID) []FiberID {
+	inA := make([]bool, len(n.sites))
+	for _, s := range groupA {
+		if int(s) < len(inA) {
+			inA[s] = true
+		}
+	}
+	var cut []FiberID
+	for i := range n.fibers {
+		f := &n.fibers[i]
+		if f.cut || inA[f.a] == inA[f.b] {
+			continue
+		}
+		cut = append(cut, f.id)
+		n.CutFiber(f.id)
+	}
+	return cut
+}
+
+// Heal restores a set of fibers (typically the return value of Partition).
+// Fibers already restored by other means are left alone.
+func (n *Network) Heal(ids []FiberID) {
+	for _, id := range ids {
+		n.RestoreFiber(id)
+	}
+}
+
 // SetSiteUp marks a whole data center up or down. Traffic to, from, or
 // through a dead site is dropped.
 func (n *Network) SetSiteUp(id SiteID, up bool) {

@@ -439,3 +439,132 @@ func TestRouteCacheFlapFasterThanConvergence(t *testing.T) {
 	}
 	assertStatsIdentity(t, net)
 }
+
+// squareWorld wires four sites into a square: A-B and C-D inside the
+// halves {A,B} and {C,D}, with A-C and B-D crossing between them. Nodes
+// 1..4 sit on A..D.
+func squareWorld(t *testing.T) (*sim.Scheduler, *Network, map[string]FiberID, *[]string) {
+	t.Helper()
+	sched := sim.NewScheduler(23)
+	net := New(sched, Config{ConvergenceDelay: time.Second, RestoreDelay: time.Second})
+	a := net.AddSite("A")
+	b := net.AddSite("B")
+	c := net.AddSite("C")
+	d := net.AddSite("D")
+	isp := net.AddISP("isp1")
+	fibers := make(map[string]FiberID)
+	add := func(name string, x, y SiteID) {
+		fid, err := net.AddFiber(isp, x, y, 10*time.Millisecond, 0, NoLoss{})
+		if err != nil {
+			t.Fatalf("AddFiber %s: %v", name, err)
+		}
+		fibers[name] = fid
+	}
+	add("ab", a, b)
+	add("cd", c, d)
+	add("ac", a, c)
+	add("bd", b, d)
+	var got []string
+	for id, site := range map[wire.NodeID]SiteID{1: a, 2: b, 3: c, 4: d} {
+		if err := net.AttachNode(id, site, func(from wire.NodeID, data []byte) {
+			got = append(got, string(data))
+		}); err != nil {
+			t.Fatalf("AttachNode %d: %v", id, err)
+		}
+	}
+	return sched, net, fibers, &got
+}
+
+func TestPartitionCutsExactlyCrossingFibers(t *testing.T) {
+	sched, net, fibers, got := squareWorld(t)
+	// Pre-cut one crossing fiber: Partition must not report it again.
+	net.CutFiber(fibers["ac"])
+	cut := net.Partition([]SiteID{0, 1}) // {A, B} vs {C, D}
+	if len(cut) != 1 || cut[0] != fibers["bd"] {
+		t.Fatalf("Partition cut %v, want only bd=%v", cut, fibers["bd"])
+	}
+	for _, name := range []string{"ab", "cd"} {
+		if net.FiberCut(fibers[name]) {
+			t.Fatalf("Partition cut intra-group fiber %s", name)
+		}
+	}
+	sched.RunFor(5 * time.Second) // let convergence apply
+	net.Send(1, 3, 0, []byte("cross"))
+	net.Send(1, 2, 0, []byte("intra"))
+	sched.RunFor(time.Second)
+	if len(*got) != 1 || (*got)[0] != "intra" {
+		t.Fatalf("during partition got %v, want [intra]", *got)
+	}
+	// Heal only what Partition cut; ac stays down (cut independently).
+	net.Heal(cut)
+	sched.RunFor(5 * time.Second)
+	if net.FiberCut(fibers["bd"]) {
+		t.Fatal("Heal left bd cut")
+	}
+	if !net.FiberCut(fibers["ac"]) {
+		t.Fatal("Heal restored ac, which Partition did not cut")
+	}
+	net.Send(1, 3, 0, []byte("healed"))
+	sched.RunFor(time.Second)
+	if len(*got) != 2 || (*got)[1] != "healed" {
+		t.Fatalf("after heal got %v, want [... healed]", *got)
+	}
+	assertStatsIdentity(t, net)
+}
+
+func TestSetFiberLatencyReroutesAndInvalidatesCache(t *testing.T) {
+	sched, net, fibers, got := squareWorld(t)
+	sched.Run()
+	// Warm the route cache on the direct A-C path.
+	if lat, ok := net.PathLatency(1, 3, 0); !ok || lat != 10*time.Millisecond {
+		t.Fatalf("initial PathLatency = %v,%v, want 10ms", lat, ok)
+	}
+	// Spike the direct fiber: the A-B-D-C detour (30ms) now wins.
+	if !net.SetFiberLatency(fibers["ac"], 100*time.Millisecond, time.Millisecond) {
+		t.Fatal("SetFiberLatency rejected a valid fiber")
+	}
+	if lat, jit, ok := net.FiberLatency(fibers["ac"]); !ok || lat != 100*time.Millisecond || jit != time.Millisecond {
+		t.Fatalf("FiberLatency = %v,%v,%v, want 100ms,1ms,true", lat, jit, ok)
+	}
+	if lat, ok := net.PathLatency(1, 3, 0); !ok || lat != 30*time.Millisecond {
+		t.Fatalf("post-spike PathLatency = %v,%v, want 30ms detour", lat, ok)
+	}
+	var deliveredAt time.Duration
+	net.handlers[3] = func(from wire.NodeID, data []byte) {
+		deliveredAt = sched.Now()
+		*got = append(*got, string(data))
+	}
+	start := sched.Now()
+	net.Send(1, 3, 0, []byte("detour"))
+	sched.Run()
+	if len(*got) != 1 || deliveredAt-start != 30*time.Millisecond {
+		t.Fatalf("got %v at +%v, want [detour] at +30ms", *got, deliveredAt-start)
+	}
+	// Restoring the latency must also take effect (epoch bump both ways).
+	if !net.SetFiberLatency(fibers["ac"], 10*time.Millisecond, 0) {
+		t.Fatal("SetFiberLatency restore rejected")
+	}
+	if lat, ok := net.PathLatency(1, 3, 0); !ok || lat != 10*time.Millisecond {
+		t.Fatalf("restored PathLatency = %v,%v, want 10ms", lat, ok)
+	}
+	assertStatsIdentity(t, net)
+}
+
+func TestSetFiberLatencyRejectsInvalid(t *testing.T) {
+	_, net, fibers, _ := squareWorld(t)
+	if net.SetFiberLatency(FiberID(len(net.fibers)), time.Millisecond, 0) {
+		t.Fatal("accepted out-of-range fiber id")
+	}
+	if net.SetFiberLatency(-1, time.Millisecond, 0) {
+		t.Fatal("accepted negative fiber id")
+	}
+	if net.SetFiberLatency(fibers["ab"], -time.Millisecond, 0) {
+		t.Fatal("accepted negative latency")
+	}
+	if net.SetFiberLatency(fibers["ab"], time.Millisecond, -time.Second) {
+		t.Fatal("accepted negative jitter")
+	}
+	if _, _, ok := net.FiberLatency(-1); ok {
+		t.Fatal("FiberLatency resolved a negative id")
+	}
+}

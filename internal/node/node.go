@@ -118,6 +118,16 @@ type neighborLink struct {
 	latency  time.Duration
 	path     uint8
 	protos   map[wire.LinkProtoID]link.Protocol
+	// epoch numbers the link-session incarnation; it bumps on every
+	// local reset and is advertised in hellos so the peer can detect
+	// resets it did not itself observe (an asymmetric loss streak resets
+	// only the lossy side; the peer's stale receive windows would
+	// otherwise swallow — and acknowledge — the fresh sequences).
+	epoch uint32
+	// awaitPeer is set after a local reset until the peer confirms the
+	// new epoch; a confirming hello triggers one final local reset to
+	// clear anything the peer's pre-reset endpoint sent in the interim.
+	awaitPeer bool
 }
 
 // Node is one overlay node.
@@ -182,6 +192,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	view := topology.NewView(cfg.Graph)
 	n.lsMgr = linkstate.NewManager(&lsEnv{n: n}, n.id, view, cfg.LinkState)
+	n.lsMgr.SetOnNeighborState(n.resetLinkSessions)
+	n.lsMgr.SetSessionEpoch(n.sessionEpoch)
+	n.lsMgr.SetOnPeerEpoch(n.handlePeerEpoch)
 	n.grpMgr = groups.NewManager(&grpEnv{n: n}, n.id)
 	n.engine = routing.NewEngine(n.id, n.lsMgr, n.grpMgr, cfg.Metric)
 	for _, lid := range cfg.Graph.Incident(n.id) {
@@ -221,6 +234,61 @@ func (n *Node) Stop() {
 		for _, p := range nl.protos {
 			p.Close()
 		}
+	}
+}
+
+// resetLinkSessions discards the link-protocol endpoints for one neighbor
+// on a link down/up transition: whatever sequence state the old sessions
+// held is stale after a loss window — and actively wrong if the peer
+// crash-restarted, whose fresh sequences the old receive windows would
+// swallow as duplicates. The peer's hello machinery sees the same
+// transition and resets its own end, so both sides start clean.
+func (n *Node) resetLinkSessions(peer wire.NodeID, _ bool) {
+	nl, ok := n.neighbors[peer]
+	if !ok {
+		return
+	}
+	nl.closeProtos()
+	nl.epoch++
+	nl.awaitPeer = true
+}
+
+func (nl *neighborLink) closeProtos() {
+	for id, p := range nl.protos {
+		p.Close()
+		delete(nl.protos, id)
+	}
+}
+
+// sessionEpoch supplies the link-session epoch advertised in hellos to a
+// neighbor.
+func (n *Node) sessionEpoch(peer wire.NodeID) uint32 {
+	if nl, ok := n.neighbors[peer]; ok {
+		return nl.epoch
+	}
+	return 0
+}
+
+// handlePeerEpoch resynchronizes this end of a link with the epoch the
+// peer advertises in its hellos. A higher epoch means the peer reset its
+// endpoints without this side seeing a hello transition (one-sided loss,
+// crash-restart): adopt it and reset, or the peer's fresh sequences would
+// be swallowed by stale receive windows here. An equal epoch while
+// awaiting confirmation means the peer has caught up; one final reset
+// discards anything its pre-reset endpoint sent in the interim.
+func (n *Node) handlePeerEpoch(peer wire.NodeID, h uint32) {
+	nl, ok := n.neighbors[peer]
+	if !ok {
+		return
+	}
+	switch {
+	case h > nl.epoch:
+		nl.epoch = h
+		nl.closeProtos()
+		nl.awaitPeer = false
+	case h == nl.epoch && nl.awaitPeer:
+		nl.closeProtos()
+		nl.awaitPeer = false
 	}
 }
 

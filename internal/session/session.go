@@ -164,6 +164,22 @@ func (m *Manager) allocEphemeral() wire.Port {
 // NoClientDrops returns packets that arrived for ports without clients.
 func (m *Manager) NoClientDrops() uint64 { return m.noClient }
 
+// Close closes every client, releasing their ports and cancelling all
+// pending timers. A crash-restarting node must Close its manager so no
+// reorder, NACK, or tail-flush timer of the dead incarnation fires into
+// the reborn one.
+func (m *Manager) Close() {
+	ports := make([]wire.Port, 0, len(m.clients))
+	for port := range m.clients {
+		ports = append(ports, port)
+	}
+	for _, port := range ports {
+		if c, ok := m.clients[port]; ok {
+			c.Close()
+		}
+	}
+}
+
 // handleDelivery dispatches a packet delivered by the node to the client
 // on its destination port.
 func (m *Manager) handleDelivery(p *wire.Packet) {

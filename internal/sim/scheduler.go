@@ -163,6 +163,43 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 // RunFor executes events for a span of d virtual time starting from now.
 func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
 
+// NextEventAt reports the timestamp of the earliest live pending event.
+// ok is false when no live events remain. Cancelled events encountered on
+// the way are discarded, so a peek after heavy timer churn is still O(live).
+func (s *Scheduler) NextEventAt() (at time.Duration, ok bool) {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if ev.stopped {
+			heap.Pop(&s.events)
+			s.stopped--
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// RunUntilQuiesce executes events until the world quiesces — no live event
+// is scheduled within idle of the current instant — or until deadline
+// virtual time has elapsed from now, whichever comes first. It reports
+// whether quiescence was reached. Periodic timers (hellos, refresh floods)
+// never leave a gap, so callers watching such worlds should size idle below
+// the shortest period they want to see through, or use a bound-based wait.
+func (s *Scheduler) RunUntilQuiesce(idle, deadline time.Duration) bool {
+	limit := s.now + deadline
+	for {
+		at, ok := s.NextEventAt()
+		if !ok || at > s.now+idle {
+			return true
+		}
+		if at > limit {
+			s.now = limit
+			return false
+		}
+		s.Step()
+	}
+}
+
 // runEvent advances the clock to ev and executes it. Pooled events are
 // recycled before their Runner executes, so nested AfterRunner calls from
 // inside Run reuse the object immediately.

@@ -334,3 +334,83 @@ func TestEventsRunCounter(t *testing.T) {
 		t.Fatalf("EventsRun() = %d, want 5", s.EventsRun())
 	}
 }
+
+func TestNextEventAtPeeksAndSkipsStopped(t *testing.T) {
+	s := NewScheduler(1)
+	if _, ok := s.NextEventAt(); ok {
+		t.Fatal("empty scheduler reported a pending event")
+	}
+	early := s.After(10*time.Millisecond, func() {})
+	s.After(30*time.Millisecond, func() {})
+	if at, ok := s.NextEventAt(); !ok || at != 10*time.Millisecond {
+		t.Fatalf("NextEventAt = %v,%v, want 10ms", at, ok)
+	}
+	// Peeking must not run or drop anything.
+	if got := s.Pending(); got != 2 {
+		t.Fatalf("Pending after peek = %d, want 2", got)
+	}
+	early.Stop()
+	if at, ok := s.NextEventAt(); !ok || at != 30*time.Millisecond {
+		t.Fatalf("NextEventAt after Stop = %v,%v, want 30ms", at, ok)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("peek advanced the clock to %v", s.Now())
+	}
+}
+
+func TestRunUntilQuiesceStopsAtGap(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []time.Duration
+	// A burst of closely spaced events, then a long gap to a straggler.
+	for _, d := range []time.Duration{1, 2, 3, 5} {
+		d := d * time.Millisecond
+		s.After(d, func() { fired = append(fired, d) })
+	}
+	s.After(500*time.Millisecond, func() { fired = append(fired, 500*time.Millisecond) })
+	if !s.RunUntilQuiesce(50*time.Millisecond, time.Second) {
+		t.Fatal("RunUntilQuiesce did not report quiescence")
+	}
+	if len(fired) != 4 {
+		t.Fatalf("ran %d events before the gap, want 4: %v", len(fired), fired)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("quiesced at %v, want 5ms (the last burst event)", s.Now())
+	}
+	// The straggler is still pending for a later run.
+	if at, ok := s.NextEventAt(); !ok || at != 500*time.Millisecond {
+		t.Fatalf("straggler missing: %v,%v", at, ok)
+	}
+}
+
+func TestRunUntilQuiesceDeadline(t *testing.T) {
+	s := NewScheduler(1)
+	var reschedule func()
+	n := 0
+	reschedule = func() {
+		n++
+		s.After(10*time.Millisecond, reschedule)
+	}
+	s.After(10*time.Millisecond, reschedule)
+	// A self-rescheduling 10ms timer never leaves a 50ms gap: the deadline
+	// must fire, leaving the clock exactly at now+deadline.
+	if s.RunUntilQuiesce(50*time.Millisecond, 205*time.Millisecond) {
+		t.Fatal("periodic world reported quiescence")
+	}
+	if s.Now() != 205*time.Millisecond {
+		t.Fatalf("deadline left clock at %v, want 205ms", s.Now())
+	}
+	if n != 20 {
+		t.Fatalf("ran %d periodic ticks before deadline, want 20", n)
+	}
+}
+
+func TestRunUntilQuiesceEmptyWorld(t *testing.T) {
+	s := NewScheduler(1)
+	s.RunFor(time.Millisecond)
+	if !s.RunUntilQuiesce(time.Millisecond, time.Second) {
+		t.Fatal("empty world must quiesce immediately")
+	}
+	if s.Now() != time.Millisecond {
+		t.Fatalf("clock moved to %v on an already-quiet world", s.Now())
+	}
+}
