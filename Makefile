@@ -47,10 +47,11 @@ bench-all:
 # Allocation-budget regression guards for the fast paths: fails if a
 # warmed netemu.Send allocates (route cache + pooled buffers/events must
 # keep it at 0 allocs/op on a stable topology), if a warmed dense SPF
-# recompute allocates, if a warmed whole-engine reconvergence does, or if
-# the real UDP data plane exceeds one amortized allocation per datagram.
+# recompute allocates, if a warmed incremental single-link SPT repair
+# does, if a warmed whole-engine reconvergence does, or if the real UDP
+# data plane exceeds one amortized allocation per datagram.
 bench-guard:
-	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestConvergenceAllocBudget|TestUDPTransportAllocBudget' -count=1 .
+	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestIncrementalSPFAllocBudget|TestConvergenceAllocBudget|TestUDPTransportAllocBudget' -count=1 .
 
 # Diff current hot-path benchmark numbers against the checked-in baseline:
 # ns/op may drift within the baseline's tolerance, allocs/op may not grow.

@@ -563,8 +563,10 @@ func BenchmarkDisjointPaths(b *testing.B) {
 }
 
 // spfBenchView builds the EXP-CONV churn arena at one size: a ring for
-// guaranteed connectivity plus chords every four nodes for path diversity
-// (at 256 nodes the ring alone consumes the full wire.MaxLinks budget).
+// guaranteed connectivity plus chords every four nodes for path diversity.
+// At 256 nodes the ring alone consumes the full wire.MaxLinks
+// source-routing budget, so no chords fit; past it the graph-wide link
+// table has room again and the antipodal chords return.
 func spfBenchView(tb testing.TB, n int) *topology.View {
 	tb.Helper()
 	g := topology.NewGraph()
@@ -574,8 +576,11 @@ func spfBenchView(tb testing.TB, n int) *topology.View {
 			tb.Fatal(err)
 		}
 	}
-	if n < wire.MaxLinks/2 {
-		for i := 0; i < n && g.NumLinks() < wire.MaxLinks; i += 4 {
+	if n < wire.MaxLinks/2 || n > wire.MaxLinks {
+		for i := 0; i < n; i += 4 {
+			if n < wire.MaxLinks/2 && g.NumLinks() >= wire.MaxLinks {
+				break
+			}
 			if _, err := g.AddLink(id(i), id(i+n/2), time.Duration(8+i%5)*time.Millisecond); err != nil {
 				tb.Fatal(err)
 			}
@@ -602,11 +607,13 @@ func (benchGroups) LocalMember(wire.GroupID) bool      { return false }
 func (benchGroups) Version() uint64                    { return 0 }
 
 // BenchmarkSPF is the control-plane micro-benchmark: one shortest-path
-// tree recompute on the EXP-CONV graphs, dense slice-indexed SPF (warmed
-// scratch, 0 allocs/op — guarded by TestSPFAllocBudget) against the
-// retained map-based reference Dijkstra.
+// tree recompute on the EXP-CONV graphs — dense slice-indexed SPF (warmed
+// scratch, 0 allocs/op — guarded by TestSPFAllocBudget), incremental
+// single-link repair of the cached tree (guarded by
+// TestIncrementalSPFAllocBudget), and the retained map-based reference
+// Dijkstra (small sizes only; its constant factor is established there).
 func BenchmarkSPF(b *testing.B) {
-	for _, n := range []int{16, 64, 256} {
+	for _, n := range []int{16, 64, 256, 1024, 4096, 10240} {
 		v := spfBenchView(b, n)
 		src := wire.NodeID(1)
 		b.Run(fmt.Sprintf("dense-%d", n), func(b *testing.B) {
@@ -618,36 +625,73 @@ func BenchmarkSPF(b *testing.B) {
 				topology.SPTInto(&spt, v, src, topology.LatencyMetric)
 			}
 		})
-		b.Run(fmt.Sprintf("reference-%d", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("incremental-%d", n), func(b *testing.B) {
+			// One op is an EXP-CONV churn event repaired in place: the
+			// last link (an antipodal chord on the large graphs) flips
+			// down, then back up.
+			var spt topology.SPT
+			topology.SPTInto(&spt, v, src, topology.LatencyMetric)
+			lid := wire.LinkID(v.G.NumLinks() - 1)
+			repair := func(i int) {
+				v.SetUp(lid, i%2 == 1)
+				if !topology.SPTRepair(&spt, v, lid, topology.LatencyMetric) {
+					b.Fatal("repair refused")
+				}
+			}
+			repair(0)
+			repair(1) // warm both flip directions
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				t := topology.ReferenceShortestPaths(v, src, topology.LatencyMetric)
-				if t.Src != src {
-					b.Fatal("bad root")
-				}
+				repair(i)
 			}
+			b.StopTimer()
+			v.SetUp(lid, true)
 		})
+		if n <= 256 {
+			b.Run(fmt.Sprintf("reference-%d", n), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					t := topology.ReferenceShortestPaths(v, src, topology.LatencyMetric)
+					if t.Src != src {
+						b.Fatal("bad root")
+					}
+				}
+			})
+		}
 	}
 }
 
 // BenchmarkConvergenceScale measures whole-overlay reconvergence under
-// LSA churn: one op is one flood (a ring link flips) followed by every
-// node's engine recomputing its SPT and answering an antipodal
-// reachability query. ns/node is the per-node reconvergence latency.
+// LSA churn: one op is one flood (a link flips) followed by every measured
+// node's engine reconverging its SPT — incrementally, off the view change
+// journal — and answering an antipodal reachability query. ns/node is the
+// per-node reconvergence latency. Small graphs flip links in ID order
+// (ring first) and run an engine per node, exactly as the seed benchmark
+// did; the 1k+ graphs flip the antipodal chords and sample 64 engines
+// spread around the ring (see EXP-CONV).
 func BenchmarkConvergenceScale(b *testing.B) {
-	for _, n := range []int{16, 64, 256} {
+	for _, n := range []int{16, 64, 256, 1024, 4096, 10240} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			views := &benchViews{view: spfBenchView(b, n)}
-			engines := make([]*routing.Engine, n)
-			probes := make([]wire.NodeID, n)
-			for i := 0; i < n; i++ {
-				self := wire.NodeID(1 + i)
-				engines[i] = routing.NewEngine(self, views, benchGroups{}, topology.LatencyMetric)
-				probes[i] = wire.NodeID(1 + (i+n/2)%n)
+			eng := n
+			if n >= 1024 {
+				eng = 64
 			}
+			engines := make([]*routing.Engine, eng)
+			probes := make([]wire.NodeID, eng)
+			for i := 0; i < eng; i++ {
+				self := wire.NodeID(1 + i*n/eng)
+				engines[i] = routing.NewEngine(self, views, benchGroups{}, topology.LatencyMetric)
+				probes[i] = wire.NodeID(1 + (i*n/eng+n/2)%n)
+			}
+			nl := views.view.G.NumLinks()
 			reconverge := func(round int) {
-				lid := wire.LinkID((round / 2) % views.view.G.NumLinks())
+				lid := wire.LinkID((round / 2) % nl)
+				if n > wire.MaxLinks && nl > n {
+					lid = wire.LinkID(n + (round/2)%(nl-n))
+				}
 				views.view.SetUp(lid, round%2 == 1)
 				views.version++
 				for j, e := range engines {
@@ -660,7 +704,7 @@ func BenchmarkConvergenceScale(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				reconverge(i)
 			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/node")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*eng), "ns/node")
 		})
 	}
 }
@@ -669,7 +713,7 @@ func BenchmarkConvergenceScale(b *testing.B) {
 // control-plane fast path (`make bench-guard`): once its scratch arena is
 // sized, a dense SPF recompute must not allocate, at any graph size.
 func TestSPFAllocBudget(t *testing.T) {
-	for _, n := range []int{16, 64, 256} {
+	for _, n := range []int{16, 64, 256, 1024} {
 		v := spfBenchView(t, n)
 		var spt topology.SPT
 		topology.SPTInto(&spt, v, 1, topology.LatencyMetric)
@@ -677,6 +721,34 @@ func TestSPFAllocBudget(t *testing.T) {
 			topology.SPTInto(&spt, v, 1, topology.LatencyMetric)
 		}); avg > 0 {
 			t.Fatalf("n=%d: warmed SPTInto allocates %.2f allocs/op, budget is 0", n, avg)
+		}
+	}
+}
+
+// TestIncrementalSPFAllocBudget guards the incremental repair fast path
+// (`make bench-guard`): once the tree scratch — including the child lists
+// and region buffers the repair uses — is warmed, a single-link SPTRepair
+// must not allocate at any graph size. Link 0 is a tree edge adjacent to
+// the source, so every flip exercises the expensive subtree
+// collapse-and-reseed path, not just a no-op non-tree update.
+func TestIncrementalSPFAllocBudget(t *testing.T) {
+	for _, n := range []int{64, 1024} {
+		v := spfBenchView(t, n)
+		var spt topology.SPT
+		topology.SPTInto(&spt, v, 1, topology.LatencyMetric)
+		lid := wire.LinkID(0)
+		flip := 0
+		repair := func() {
+			flip++
+			v.SetUp(lid, flip%2 == 0)
+			if !topology.SPTRepair(&spt, v, lid, topology.LatencyMetric) {
+				t.Fatal("repair refused")
+			}
+		}
+		repair()
+		repair() // warm both flip directions
+		if avg := testing.AllocsPerRun(100, repair); avg > 0 {
+			t.Fatalf("n=%d: warmed SPTRepair allocates %.2f allocs/op, budget is 0", n, avg)
 		}
 	}
 }

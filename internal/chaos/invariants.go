@@ -119,16 +119,28 @@ func (e *engine) checkHealth() {
 		return
 	}
 	e.stats.InvariantChecks.Add(1)
-	var reconv, missed uint64
+	var reconv, missed, downs, deltas uint64
 	for _, id := range e.w.Nodes {
-		h := e.w.O.Node(id).LinkStateManager().Health()
+		m := e.w.O.Node(id).LinkStateManager()
+		h := m.Health()
 		reconv += h.Reconvergences
 		missed += h.HellosMissed
+		deltas += h.DeltaLSAFloods
+		downs += m.Stats().DownDetections
 	}
 	if reconv == 0 {
 		e.violate(InvHealth, "topology faults applied but no node recorded a reconvergence (missed hellos: %d)", missed)
 	} else {
 		e.tracef("invariant %s ok: %d reconvergences, %d missed hellos", InvHealth, reconv, missed)
+	}
+	// Every down declaration floods a single-link delta advertisement in
+	// the same breath, and both counters live and die with the same node
+	// incarnation — so surviving down-detections with zero delta floods
+	// fleet-wide mean the delta origination path is broken.
+	if downs > 0 && deltas == 0 {
+		e.violate(InvHealth, "%d down detections but no delta LSA flood recorded anywhere", downs)
+	} else if downs > 0 {
+		e.tracef("invariant %s ok: %d down detections, %d delta LSA floods", InvHealth, downs, deltas)
 	}
 }
 

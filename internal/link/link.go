@@ -14,6 +14,7 @@ package link
 import (
 	"time"
 
+	"sonet/internal/metrics"
 	"sonet/internal/sim"
 	"sonet/internal/wire"
 )
@@ -76,14 +77,27 @@ type Stats struct {
 	SendDropped uint64
 }
 
+// seqLE reports a <= b in RFC 1982 serial-number arithmetic over the full
+// uint32 space: b is "at or after" a when the forward distance from a to b
+// is shorter than the wrap distance. Link sessions are long-lived, so
+// sequence numbers genuinely pass 2^32; raw comparisons would then treat
+// every fresh frame as ancient and black-hole the link.
+func seqLE(a, b uint32) bool { return int32(b-a) >= 0 }
+
+// seqLT reports a < b in serial-number arithmetic.
+func seqLT(a, b uint32) bool { return int32(b-a) > 0 }
+
 // seqWindow tracks which link sequence numbers have been seen, supporting
 // cumulative-plus-bitmap acknowledgment and duplicate suppression. It
-// handles the sequences 1,2,3,… used by the link protocols. The window is
-// a ring buffer, so recording and advancing are O(1) amortized.
+// handles the sequences 1,2,3,… used by the link protocols, compared in
+// serial-number arithmetic so sessions survive the sequence space wrapping
+// past 2^32. The window is a ring buffer, so recording and advancing are
+// O(1) amortized.
 //
 // The zero value tracks nothing; use newSeqWindow.
 type seqWindow struct {
-	// cum is the highest sequence such that all of 1..cum were seen.
+	// cum is the highest sequence (serially) such that all sequences at or
+	// before it were seen.
 	cum uint32
 	// bits marks sequences cum+1+i as seen at ring position (start+i).
 	bits  []bool
@@ -100,25 +114,27 @@ func (w *seqWindow) at(i int) bool {
 
 // Seen reports whether seq was recorded.
 func (w *seqWindow) Seen(seq uint32) bool {
-	if seq <= w.cum {
+	if seqLE(seq, w.cum) {
 		return true
 	}
-	idx := int(seq - w.cum - 1)
-	return idx < len(w.bits) && w.at(idx)
+	// seq is serially after cum, so the unsigned difference is the true
+	// forward distance even across a wrap.
+	idx := seq - w.cum - 1
+	return idx < uint32(len(w.bits)) && w.at(int(idx))
 }
 
 // Record marks seq as seen and advances the cumulative edge. It reports
 // whether the sequence was newly recorded (false for duplicates and for
 // sequences too far ahead of the window, which are dropped).
 func (w *seqWindow) Record(seq uint32) bool {
-	if seq <= w.cum {
+	if seqLE(seq, w.cum) {
 		return false
 	}
-	idx := int(seq - w.cum - 1)
-	if idx >= len(w.bits) {
+	idx := seq - w.cum - 1
+	if idx >= uint32(len(w.bits)) {
 		return false
 	}
-	pos := (w.start + idx) % len(w.bits)
+	pos := (w.start + int(idx)) % len(w.bits)
 	if w.bits[pos] {
 		return false
 	}
@@ -131,7 +147,8 @@ func (w *seqWindow) Record(seq uint32) bool {
 	return true
 }
 
-// Cum returns the cumulative edge: every sequence <= Cum has been seen.
+// Cum returns the cumulative edge: every sequence serially at or before
+// Cum has been seen.
 func (w *seqWindow) Cum() uint32 { return w.cum }
 
 // AckBits encodes the out-of-order sequences above the cumulative edge as
@@ -151,16 +168,35 @@ func (w *seqWindow) AckBits() uint64 {
 }
 
 // Missing returns the sequences in (cum, upTo] not yet seen, capped at max
-// entries — the gaps a receiver should request.
+// entries — the gaps a receiver should request. upTo comes off the wire,
+// so the scan is clamped to the window capacity: anything past the window
+// could not have been recorded anyway, and an absurd (corrupt or hostile)
+// upTo must not spin the event loop for up to 2^32 iterations.
 func (w *seqWindow) Missing(upTo uint32, max int) []uint32 {
+	if seqLE(upTo, w.cum) {
+		return nil
+	}
+	span := upTo - w.cum
+	if span > uint32(len(w.bits)) {
+		span = uint32(len(w.bits))
+		windowStats.MissingClamps.Add(1)
+	}
 	var out []uint32
-	for seq := w.cum + 1; seq <= upTo && len(out) < max; seq++ {
+	for i := uint32(1); i <= span && len(out) < max; i++ {
+		seq := w.cum + i
 		if !w.Seen(seq) {
 			out = append(out, seq)
 		}
 	}
 	return out
 }
+
+// windowStats counts defensive clamps in sequence-window scans across the
+// process; exposed via WindowStatsSnapshot for monitoring.
+var windowStats metrics.SeqWindowStats
+
+// WindowStatsSnapshot returns the process-wide sequence-window counters.
+func WindowStatsSnapshot() metrics.SeqWindowSnapshot { return windowStats.Snapshot() }
 
 // stopTimer stops t if non-nil.
 func stopTimer(t sim.Timer) {

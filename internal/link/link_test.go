@@ -201,3 +201,123 @@ func TestBestEffortNoRecovery(t *testing.T) {
 		t.Fatalf("delivered %d, want 80 (no recovery)", len(p.b.delivered))
 	}
 }
+
+// TestSeqWindowWraparound drives the window across the 2^32 sequence
+// boundary: a long-lived link session genuinely gets there, and before the
+// switch to serial-number arithmetic every post-wrap frame compared as
+// "ancient", permanently black-holing the link.
+func TestSeqWindowWraparound(t *testing.T) {
+	w := newSeqWindow(64)
+	w.cum = 0xffffffff - 5
+	start := w.cum
+	for i := uint32(1); i <= 20; i++ {
+		seq := start + i // crosses 0xffffffff -> 0 -> 1 ...
+		if w.Seen(seq) {
+			t.Fatalf("fresh seq %#x already seen", seq)
+		}
+		if !w.Record(seq) {
+			t.Fatalf("Record(%#x) = false across wrap", seq)
+		}
+		if w.Cum() != seq {
+			t.Fatalf("Cum = %#x after recording %#x", w.Cum(), seq)
+		}
+	}
+	// Everything at or before the edge is seen, including pre-wrap seqs.
+	for _, seq := range []uint32{start, 0xffffffff, 0, 1, w.Cum()} {
+		if !w.Seen(seq) {
+			t.Fatalf("Seen(%#x) = false after wrap", seq)
+		}
+	}
+	// Out-of-order across the boundary: gap at the wrap itself.
+	w2 := newSeqWindow(64)
+	w2.cum = 0xfffffffe
+	if !w2.Record(1) { // leaves 0xffffffff and 0 missing
+		t.Fatal("Record(1) across wrap = false")
+	}
+	if w2.Cum() != 0xfffffffe {
+		t.Fatalf("Cum = %#x, want unchanged before gap fill", w2.Cum())
+	}
+	miss := w2.Missing(1, 10)
+	if len(miss) != 2 || miss[0] != 0xffffffff || miss[1] != 0 {
+		t.Fatalf("Missing across wrap = %#x, want [0xffffffff 0x0]", miss)
+	}
+	if !w2.Record(0xffffffff) || !w2.Record(0) {
+		t.Fatal("Record of wrap-straddling gaps = false")
+	}
+	if w2.Cum() != 1 {
+		t.Fatalf("Cum = %#x after filling wrap gap, want 1", w2.Cum())
+	}
+}
+
+// TestSeqWindowWraparoundMatchesReference re-runs the map-based reference
+// property test from several bases, including ones that straddle 2^32 and
+// the int32 sign boundary, so serial arithmetic is exercised everywhere
+// raw compares used to be.
+func TestSeqWindowWraparoundMatchesReference(t *testing.T) {
+	bases := []uint32{0, 0x7fffffff - 20, 0xffffff00, 0xffffffff - 15}
+	for _, base := range bases {
+		r := rand.New(rand.NewSource(int64(base) + 9))
+		w := newSeqWindow(32)
+		w.cum = base
+		ref := make(map[uint64]bool)
+		refCum := uint64(0) // relative to base
+		for i := 0; i < 500; i++ {
+			rel := refCum + uint64(r.Intn(40)) + 1
+			if r.Intn(4) == 0 && refCum > 0 {
+				rel = uint64(r.Intn(int(refCum))) + 1
+			}
+			seq := base + uint32(rel)
+			inWindow := rel > refCum && rel <= refCum+32
+			wantNew := inWindow && !ref[rel]
+			if got := w.Record(seq); got != wantNew {
+				t.Fatalf("base %#x: Record(%#x) = %v, want %v", base, seq, got, wantNew)
+			}
+			if inWindow && !ref[rel] {
+				ref[rel] = true
+				for ref[refCum+1] {
+					delete(ref, refCum+1)
+					refCum++
+				}
+			}
+			if w.Cum() != base+uint32(refCum) {
+				t.Fatalf("base %#x: Cum = %#x, want %#x", base, w.Cum(), base+uint32(refCum))
+			}
+			if seen := w.Seen(seq); seen != (rel <= refCum || ref[rel]) {
+				t.Fatalf("base %#x: Seen(%#x) = %v, want %v", base, seq, seen, !seen)
+			}
+		}
+	}
+}
+
+// TestSeqWindowMissingClampsAbsurdUpTo pins the event-loop DoS fix: a
+// corrupt or hostile FAck carrying a huge upTo must scan at most the
+// window capacity (anything beyond it could never have been recorded), and
+// the defensive clamp is counted.
+func TestSeqWindowMissingClampsAbsurdUpTo(t *testing.T) {
+	w := newSeqWindow(64)
+	if !w.Record(2) { // gap at 1
+		t.Fatal("Record(2) = false")
+	}
+	before := WindowStatsSnapshot()
+	miss := w.Missing(0x80000000, 1<<30)
+	after := WindowStatsSnapshot()
+	if after.MissingClamps != before.MissingClamps+1 {
+		t.Fatalf("MissingClamps %d -> %d, want +1", before.MissingClamps, after.MissingClamps)
+	}
+	// Sequences 1..64 scanned, of which only 2 was seen.
+	if len(miss) != 63 || miss[0] != 1 || miss[1] != 3 {
+		t.Fatalf("Missing clamped scan = %d entries starting %v, want 63 starting [1 3]", len(miss), miss[:2])
+	}
+	// An upTo serially at or before cum yields nothing.
+	if got := w.Missing(0, 10); got != nil {
+		t.Fatalf("Missing(0) = %v, want nil", got)
+	}
+	// A sane upTo is unaffected and uncounted.
+	mid := WindowStatsSnapshot()
+	if got := w.Missing(4, 10); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("Missing(4) = %v, want [1 3 4]", got)
+	}
+	if WindowStatsSnapshot().MissingClamps != mid.MissingClamps {
+		t.Fatal("sane Missing counted a clamp")
+	}
+}

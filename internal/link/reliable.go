@@ -306,9 +306,13 @@ func (r *Reliable) onAck(f *wire.Frame) {
 		}
 	}
 	for seq := range r.unacked {
-		acked := seq <= f.Ack
-		if !acked && seq > f.Ack && seq <= f.Ack+64 {
-			acked = f.AckBits&(1<<(seq-f.Ack-1)) != 0
+		// Serial-number compares so the cumulative ack keeps clearing the
+		// window after the sequence space wraps past 2^32.
+		acked := seqLE(seq, f.Ack)
+		if !acked {
+			if d := seq - f.Ack; d <= 64 {
+				acked = f.AckBits&(1<<(d-1)) != 0
+			}
 		}
 		if acked {
 			delete(r.unacked, seq)
@@ -365,11 +369,15 @@ func (r *Reliable) armRTO() {
 		if r.closed || len(r.unacked) == 0 {
 			return
 		}
-		// Retransmit the oldest outstanding frame and back off.
+		// Retransmit the serially oldest outstanding frame and back off.
+		// (0 is not usable as an "unset" sentinel: it is a legitimate
+		// sequence once the space wraps.)
 		var oldest uint32
+		first := true
 		for seq := range r.unacked {
-			if oldest == 0 || seq < oldest {
+			if first || seqLT(seq, oldest) {
 				oldest = seq
+				first = false
 			}
 		}
 		if entry, ok := r.unacked[oldest]; ok {

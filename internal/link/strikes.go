@@ -198,7 +198,7 @@ func (s *Strikes) onData(f *wire.Frame) {
 		return
 	}
 	prevHigh := s.high
-	if f.Seq > s.high {
+	if seqLT(s.high, f.Seq) {
 		s.high = f.Seq
 	}
 	if s.recvWin.Record(f.Seq) {
@@ -215,9 +215,18 @@ func (s *Strikes) onData(f *wire.Frame) {
 		s.stats.DuplicatesDropped++
 	}
 	// Out-of-order arrival reveals gaps: schedule the N strikes for every
-	// newly missing sequence between the previous edge and this frame.
-	if f.Seq > prevHigh+1 {
-		for seq := prevHigh + 1; seq < f.Seq; seq++ {
+	// newly missing sequence between the previous edge and this frame. The
+	// sequence comes off the wire, so the scan is clamped — a wild jump
+	// (corruption, or a peer restarting its space) must not spin the event
+	// loop scheduling billions of strike timers.
+	if seqLT(prevHigh, f.Seq) {
+		span := f.Seq - prevHigh - 1
+		if span > maxGapScan {
+			span = maxGapScan
+			windowStats.GapScanClamps.Add(1)
+		}
+		for i := uint32(1); i <= span; i++ {
+			seq := prevHigh + i
 			if s.recvWin.Seen(seq) {
 				continue
 			}
@@ -228,6 +237,11 @@ func (s *Strikes) onData(f *wire.Frame) {
 		}
 	}
 }
+
+// maxGapScan bounds how many sequences one data frame can newly mark as
+// missing. Genuine reordering gaps are tiny (a few packets); anything
+// larger is lost for good from a real-time protocol's perspective anyway.
+const maxGapScan = 1024
 
 // scheduleRequests arms the N spaced retransmission requests for one
 // missing sequence (the receiver side of Fig. 4).

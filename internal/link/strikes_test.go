@@ -292,3 +292,74 @@ func TestStrikesCloseCancelsTimers(t *testing.T) {
 		t.Fatalf("requests kept firing after Close: %d → %d", reqsAtClose, got)
 	}
 }
+
+// TestStrikesGapScanClamped pins the event-loop DoS fix on the strikes
+// receiver: a data frame whose sequence jumps wildly ahead (corruption, or
+// a peer restarting its sequence space) schedules strike requests for at
+// most maxGapScan sequences instead of spinning for billions, and the
+// clamp is counted.
+func TestStrikesGapScanClamped(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	p := strikesPair(sched, time.Millisecond, continentalStrikes())
+	s := p.b.proto.(*Strikes)
+	before := WindowStatsSnapshot()
+	s.HandleFrame(&wire.Frame{
+		Proto:  wire.LPRealTime,
+		Kind:   wire.FData,
+		Seq:    0x40000000,
+		Packet: dataPacket(1),
+	})
+	after := WindowStatsSnapshot()
+	if after.GapScanClamps != before.GapScanClamps+1 {
+		t.Fatalf("GapScanClamps %d -> %d, want +1", before.GapScanClamps, after.GapScanClamps)
+	}
+	if len(s.pending) > maxGapScan {
+		t.Fatalf("%d pending strike states after wild jump, want <= %d", len(s.pending), maxGapScan)
+	}
+	// A small genuine gap on a sane sequence is not counted.
+	sane := strikesPair(sched, time.Millisecond, continentalStrikes())
+	sb := sane.b.proto.(*Strikes)
+	mid := WindowStatsSnapshot()
+	sb.HandleFrame(&wire.Frame{Proto: wire.LPRealTime, Kind: wire.FData, Seq: 3, Packet: dataPacket(3)})
+	if WindowStatsSnapshot().GapScanClamps != mid.GapScanClamps {
+		t.Fatal("sane gap counted a clamp")
+	}
+	if len(sb.pending) != 2 {
+		t.Fatalf("%d pending strike states for gap {1,2}, want 2", len(sb.pending))
+	}
+}
+
+// TestStrikesSurvivesSequenceWraparound pushes the real-time protocol
+// across the 2^32 boundary under loss: the high-water mark and gap
+// detection must keep working in serial arithmetic.
+func TestStrikesSurvivesSequenceWraparound(t *testing.T) {
+	sched := sim.NewScheduler(9)
+	p := strikesPair(sched, 20*time.Millisecond, continentalStrikes())
+	edge := ^uint32(0) - 29
+	sa := p.a.proto.(*Strikes)
+	sb := p.b.proto.(*Strikes)
+	sa.nextSeq = edge
+	sb.high = edge
+	sb.recvWin.cum = edge
+	dropped := 0
+	p.a.drop = func(f *wire.Frame) bool {
+		// Lose two data frames straddling the wrap exactly once each.
+		if f.Kind == wire.FData && (f.Seq == 0xffffffff || f.Seq == 1) && dropped < 2 {
+			dropped++
+			return true
+		}
+		return false
+	}
+	const n = 60
+	for i := uint32(1); i <= n; i++ {
+		p.a.proto.Send(dataPacket(i))
+		sched.RunFor(5 * time.Millisecond)
+	}
+	sched.RunFor(2 * time.Second)
+	if len(p.b.delivered) != n {
+		t.Fatalf("delivered %d of %d across wraparound", len(p.b.delivered), n)
+	}
+	if sb.recvWin.Cum() != edge+n {
+		t.Fatalf("receiver cum = %#x, want %#x", sb.recvWin.Cum(), edge+n)
+	}
+}

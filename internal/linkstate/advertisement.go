@@ -31,9 +31,17 @@ type Advertisement struct {
 	// Origin is the advertising node.
 	Origin wire.NodeID
 	// Seq orders advertisements from one origin; receivers keep the
-	// highest.
+	// highest. Delta and full advertisements share one sequence space per
+	// origin, so the highest-seq rule needs no special cases.
 	Seq uint32
-	// Entries lists the origin's adjacent links.
+	// Delta marks a partial advertisement carrying only the origin's
+	// changed links, so flood cost scales with the change, not the degree.
+	// A full advertisement (Delta false) remains authoritative for every
+	// adjacent link and serves as the anti-entropy fallback: the periodic
+	// refresh repairs any receiver that missed a delta.
+	Delta bool
+	// Entries lists the origin's adjacent links (all of them when full,
+	// only the changed ones when Delta).
 	Entries []Entry
 }
 
@@ -41,15 +49,21 @@ type Advertisement struct {
 // µs(4) loss ‱(2).
 const advEntryLen = 9
 
-// advHeaderLen is origin(2) seq(4) count(1).
-const advHeaderLen = 7
+// advHeaderLen is origin(2) seq(4) flags(1) count(1).
+const advHeaderLen = 8
+
+// advFlagDelta marks a delta advertisement in the header flags byte.
+const advFlagDelta = 0x01
 
 // Marshal encodes the advertisement.
 func (a *Advertisement) Marshal() []byte {
 	buf := make([]byte, advHeaderLen, advHeaderLen+len(a.Entries)*advEntryLen)
 	binary.BigEndian.PutUint16(buf[0:], uint16(a.Origin))
 	binary.BigEndian.PutUint32(buf[2:], a.Seq)
-	buf[6] = byte(len(a.Entries))
+	if a.Delta {
+		buf[6] = advFlagDelta
+	}
+	buf[7] = byte(len(a.Entries))
 	var e [advEntryLen]byte
 	for _, entry := range a.Entries {
 		binary.BigEndian.PutUint16(e[0:], uint16(entry.Link))
@@ -87,8 +101,9 @@ func UnmarshalAdvertisement(src []byte) (*Advertisement, error) {
 	a := &Advertisement{
 		Origin: wire.NodeID(binary.BigEndian.Uint16(src[0:])),
 		Seq:    binary.BigEndian.Uint32(src[2:]),
+		Delta:  src[6]&advFlagDelta != 0,
 	}
-	count := int(src[6])
+	count := int(src[7])
 	src = src[advHeaderLen:]
 	if len(src) < count*advEntryLen {
 		return nil, fmt.Errorf("linkstate: %d entries in %d bytes: %w", count, len(src), ErrBadAdvertisement)

@@ -130,8 +130,12 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	// HellosSent counts hello probes transmitted.
 	HellosSent uint64
-	// LSAsSent counts link-state advertisements originated.
+	// LSAsSent counts link-state advertisements originated (full and
+	// delta).
 	LSAsSent uint64
+	// DeltaLSAsSent counts the subset of originated advertisements that
+	// were single-link deltas.
+	DeltaLSAsSent uint64
 	// LSAsForwarded counts advertisements reflooded for other origins.
 	LSAsForwarded uint64
 	// Failovers counts multihoming path switches.
@@ -381,7 +385,9 @@ func (m *Manager) helloTimeout(n wire.NodeID, st *neighborState) {
 		st.up = false
 		m.stats.DownDetections++
 		m.applyLocal(st, false)
-		m.originateLSA()
+		// A single link changed: flood a delta so reconvergence traffic
+		// scales with the change, not with this node's degree.
+		m.originateDelta(st)
 		if m.onNeighborState != nil {
 			m.onNeighborState(n, false)
 		}
@@ -452,9 +458,11 @@ func (m *Manager) onHelloAck(n wire.NodeID, f *wire.Frame) {
 		return
 	}
 	// The owner publishes the link's measured latency; the other
-	// endpoint receives it via the owner's advertisements.
+	// endpoint receives it via the owner's advertisements. Routed through
+	// SetQuality so the view version and change journal track it — the
+	// routing engine repairs its cached SPT incrementally off the journal.
 	if st.owner {
-		m.view.State[st.linkID].Latency = st.rtt / 2
+		m.view.SetQuality(st.linkID, st.rtt/2, m.view.State[st.linkID].Loss)
 		m.maybeAdvertise(st)
 	}
 }
@@ -484,7 +492,7 @@ func (m *Manager) noteHelloWindow(n wire.NodeID, st *neighborState) {
 		}
 	}
 	if st.up && st.owner {
-		m.view.State[st.linkID].Loss = st.loss
+		m.view.SetQuality(st.linkID, m.view.State[st.linkID].Latency, st.loss)
 		m.maybeAdvertise(st)
 	}
 }
@@ -513,7 +521,9 @@ func (m *Manager) maybeAdvertise(st *neighborState) {
 		m.version++
 		m.health.Reconvergences.Add(1)
 		m.env.ViewChanged()
-		m.originateLSA()
+		// Quality drift concerns this one link only; the periodic full
+		// refresh remains the anti-entropy backstop for lost deltas.
+		m.originateDelta(st)
 	}
 }
 
@@ -527,7 +537,11 @@ func (m *Manager) scheduleRefresh() {
 	})
 }
 
-// originateLSA floods this node's current adjacent link states.
+// originateLSA floods this node's current adjacent link states in full.
+// Full advertisements are the authoritative anti-entropy mechanism: the
+// startup announcement, the periodic refresh, and the crash-echo
+// fast-forward all use them, so any delta a receiver missed is repaired
+// within one refresh interval.
 func (m *Manager) originateLSA() {
 	m.mySeq++
 	entries := make([]Entry, 0, len(m.neighbors))
@@ -547,6 +561,35 @@ func (m *Manager) originateLSA() {
 	adv := Advertisement{Origin: m.self, Seq: m.mySeq, Entries: entries}
 	m.stats.LSAsSent++
 	m.health.LSAFloods.Add(1)
+	m.env.FloodLSA(adv.Marshal(), 0)
+}
+
+// originateDelta floods an advertisement carrying only the one changed
+// adjacent link, sharing the origin's sequence space with full
+// advertisements so receivers apply the ordinary highest-seq rule. Delta
+// floods keep per-change traffic O(1) in node degree — the flooding-side
+// half of logarithmic-cost maintenance at 10k nodes.
+func (m *Manager) originateDelta(st *neighborState) {
+	m.mySeq++
+	cur := m.view.State[st.linkID]
+	adv := Advertisement{
+		Origin: m.self,
+		Seq:    m.mySeq,
+		Delta:  true,
+		Entries: []Entry{{
+			Link:    st.linkID,
+			Up:      st.up,
+			Latency: cur.Latency,
+			Loss:    cur.Loss,
+		}},
+	}
+	st.advUp = st.up
+	st.advLatency = cur.Latency
+	st.advLoss = cur.Loss
+	m.stats.LSAsSent++
+	m.stats.DeltaLSAsSent++
+	m.health.LSAFloods.Add(1)
+	m.health.DeltaLSAFloods.Add(1)
 	m.env.FloodLSA(adv.Marshal(), 0)
 }
 
@@ -594,7 +637,14 @@ func (m *Manager) HandleLSA(from wire.NodeID, p *wire.Packet) error {
 		return nil
 	}
 	m.seen[adv.Origin] = adv.Seq
-	m.lastAdv[adv.Origin] = append([]byte(nil), p.Payload...)
+	if !adv.Delta {
+		// Only full advertisements are retained for recovery resync: a
+		// delta is meaningless without the state it amends. A resync may
+		// therefore replay a sequence number older than deltas already
+		// seen — harmlessly discarded — and the origin's next refresh
+		// remains the authoritative repair.
+		m.lastAdv[adv.Origin] = append([]byte(nil), p.Payload...)
+	}
 	changed := false
 	for _, e := range adv.Entries {
 		l, ok := m.view.G.Link(e.Link)
@@ -609,10 +659,9 @@ func (m *Manager) HandleLSA(from wire.NodeID, p *wire.Packet) error {
 		if l.A == adv.Origin {
 			// The owner's entry is authoritative for quality — including
 			// at the link's other endpoint, so both ends route on the
-			// same values.
-			if cur.Latency != e.Latency || cur.Loss != e.Loss {
-				cur.Latency = e.Latency
-				cur.Loss = e.Loss
+			// same values. Routed through SetQuality so the view version
+			// and change journal track it.
+			if m.view.SetQuality(e.Link, e.Latency, e.Loss) {
 				changed = true
 			}
 		}
@@ -632,6 +681,9 @@ func (m *Manager) HandleLSA(from wire.NodeID, p *wire.Packet) error {
 	}
 	m.stats.LSAsForwarded++
 	m.health.LSAFloods.Add(1)
+	if adv.Delta {
+		m.health.DeltaLSAFloods.Add(1)
+	}
 	m.env.FloodLSA(p.Payload, from)
 	return nil
 }

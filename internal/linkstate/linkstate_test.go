@@ -22,6 +22,10 @@ type world struct {
 	latency time.Duration
 	// deadLinks drops every frame and LSA crossing the link.
 	deadLinks map[wire.LinkID]bool
+	// deadLSALinks drops only LSA traffic crossing the link (flood and
+	// resync); hellos keep flowing. Models the brown-out where control
+	// liveness survives but a specific flood is lost.
+	deadLSALinks map[wire.LinkID]bool
 	// deadPaths drops frames sent on a specific (link, path) pair.
 	deadPaths map[pathKey]bool
 	// pathCount is the number of underlay paths per link (default 1).
@@ -43,15 +47,28 @@ type nodeEnv struct {
 
 func newWorld(t *testing.T, g *topology.Graph, cfg Config, pathCount int) *world {
 	t.Helper()
+	w := newQuietWorld(t, g, cfg, pathCount)
+	for _, env := range w.envs {
+		env.mgr.Start()
+	}
+	return w
+}
+
+// newQuietWorld builds the fabric without starting any manager: large-scale
+// tests start only the managers whose active probing they need, while every
+// other node still answers hellos and refloods LSAs passively.
+func newQuietWorld(t *testing.T, g *topology.Graph, cfg Config, pathCount int) *world {
+	t.Helper()
 	w := &world{
-		t:         t,
-		sched:     sim.NewScheduler(77),
-		graph:     g,
-		envs:      make(map[wire.NodeID]*nodeEnv),
-		latency:   10 * time.Millisecond,
-		deadLinks: make(map[wire.LinkID]bool),
-		deadPaths: make(map[pathKey]bool),
-		pathCount: pathCount,
+		t:            t,
+		sched:        sim.NewScheduler(77),
+		graph:        g,
+		envs:         make(map[wire.NodeID]*nodeEnv),
+		latency:      10 * time.Millisecond,
+		deadLinks:    make(map[wire.LinkID]bool),
+		deadLSALinks: make(map[wire.LinkID]bool),
+		deadPaths:    make(map[pathKey]bool),
+		pathCount:    pathCount,
 	}
 	for _, n := range g.Nodes() {
 		env := &nodeEnv{w: w, self: n, curPath: make(map[wire.NodeID]uint8)}
@@ -62,9 +79,6 @@ func newWorld(t *testing.T, g *topology.Graph, cfg Config, pathCount int) *world
 			peer, _ := l.Other(n)
 			env.mgr.AddNeighbor(peer, lid)
 		}
-	}
-	for _, env := range w.envs {
-		env.mgr.Start()
 	}
 	return w
 }
@@ -101,7 +115,7 @@ func (e *nodeEnv) FloodLSA(payload []byte, except wire.NodeID) {
 		if peer == except {
 			continue
 		}
-		if e.w.deadLinks[lid] {
+		if e.w.deadLinks[lid] || e.w.deadLSALinks[lid] {
 			continue
 		}
 		if e.w.deadPaths[pathKey{link: lid, path: e.curPath[peer]}] {
@@ -120,7 +134,7 @@ func (e *nodeEnv) FloodLSA(payload []byte, except wire.NodeID) {
 
 func (e *nodeEnv) SendLSA(neighbor wire.NodeID, payload []byte) {
 	lid := e.w.linkBetween(e.self, neighbor)
-	if e.w.deadLinks[lid] || e.w.deadPaths[pathKey{link: lid, path: e.curPath[neighbor]}] {
+	if e.w.deadLinks[lid] || e.w.deadLSALinks[lid] || e.w.deadPaths[pathKey{link: lid, path: e.curPath[neighbor]}] {
 		return
 	}
 	data := append([]byte(nil), payload...)
@@ -603,5 +617,131 @@ func TestHelloCarriesSessionEpoch(t *testing.T) {
 	}
 	if w.envs[2].curPath[1] != 1 {
 		t.Fatalf("node 2 on path %d, want 1 (owner's choice via hello low byte)", w.envs[2].curPath[1])
+	}
+}
+
+func TestAdvertisementDeltaRoundTrip(t *testing.T) {
+	adv := &Advertisement{
+		Origin: 9,
+		Seq:    0xfffffff0,
+		Delta:  true,
+		Entries: []Entry{
+			{Link: 42, Up: false, Latency: 7 * time.Millisecond, Loss: 0.5},
+		},
+	}
+	got, err := UnmarshalAdvertisement(adv.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalAdvertisement: %v", err)
+	}
+	if !reflect.DeepEqual(adv, got) {
+		t.Fatalf("delta round trip mismatch:\n in: %+v\nout: %+v", adv, got)
+	}
+}
+
+// TestDownDetectionFloodsDeltaApplied disables the periodic refresh so the
+// only way a remote node can learn of a failure is the delta flood the
+// detecting endpoint originates.
+func TestDownDetectionFloodsDeltaApplied(t *testing.T) {
+	cfg := Config{RefreshInterval: 10 * time.Minute}
+	w := newWorld(t, chain3(t), cfg, 1)
+	lid12 := w.linkBetween(1, 2)
+	w.sched.RunFor(time.Second)
+	w.deadLinks[lid12] = true
+	w.sched.RunFor(2 * time.Second)
+	if w.envs[3].mgr.View().Usable(lid12) {
+		t.Fatal("node 3 never learned of the failure (refresh disabled: only the delta could tell it)")
+	}
+	if got := w.envs[2].mgr.Stats().DeltaLSAsSent; got == 0 {
+		t.Fatal("down detection did not originate a delta advertisement")
+	}
+	if w.envs[3].mgr.Health().DeltaLSAFloods == 0 {
+		t.Fatal("node 3 applied the change but counted no delta flood")
+	}
+}
+
+// TestDeltaDropFullRefreshFallback loses a delta in a brown-out — LSA
+// traffic toward node 3 is dropped while hellos keep the 2-3 link alive —
+// and asserts the periodic full refresh repairs the divergence once the
+// flood path heals.
+func TestDeltaDropFullRefreshFallback(t *testing.T) {
+	cfg := Config{RefreshInterval: time.Second}
+	w := newWorld(t, chain3(t), cfg, 1)
+	lid12 := w.linkBetween(1, 2)
+	lid23 := w.linkBetween(2, 3)
+	w.sched.RunFor(time.Second)
+
+	w.deadLSALinks[lid23] = true
+	w.deadLinks[lid12] = true
+	w.sched.RunFor(1500 * time.Millisecond)
+	if w.envs[2].mgr.Stats().DeltaLSAsSent == 0 {
+		t.Fatal("down detection did not originate a delta advertisement")
+	}
+	if !w.envs[3].mgr.View().Usable(lid12) {
+		t.Fatal("premise: node 3 must still believe 1-2 is up — its delta was dropped")
+	}
+
+	// The flood path heals. Nothing re-floods the lost delta; only the
+	// anti-entropy full refresh can repair node 3, within one refresh
+	// interval plus propagation slack.
+	w.deadLSALinks[lid23] = false
+	w.sched.RunFor(2 * time.Second)
+	if w.envs[3].mgr.View().Usable(lid12) {
+		t.Fatal("full-refresh fallback never repaired the dropped delta")
+	}
+}
+
+// ringGraph builds an n-node ring: the sparsest connected topology, so a
+// single link failure forces every node to reroute the long way around.
+func ringGraph(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph()
+	for i := 1; i < n; i++ {
+		if _, err := g.AddLink(wire.NodeID(i), wire.NodeID(i+1), time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.AddLink(wire.NodeID(n), 1, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRingReconvergesAt1kNodes drives a single-link failure and recovery
+// through a 1000-node ring. Only the two endpoints of the churned link run
+// active hello probing; the other 998 managers participate passively,
+// answering hellos and reflooding LSAs — which is exactly the work the
+// flood imposes on bystanders. With the refresh disabled, agreement across
+// all 1000 views within the convergence bound can only come from the delta
+// floods (failure) and the recovery full flood.
+func TestRingReconvergesAt1kNodes(t *testing.T) {
+	const n = 1000
+	cfg := Config{RefreshInterval: 10 * time.Minute}
+	w := newQuietWorld(t, ringGraph(t, n), cfg, 1)
+	w.latency = 100 * time.Microsecond
+	lid := w.linkBetween(1, 2)
+	w.envs[1].mgr.Start()
+	w.envs[2].mgr.Start()
+	w.sched.RunFor(time.Second)
+
+	w.deadLinks[lid] = true
+	w.sched.RunFor(3500 * time.Millisecond)
+	for id := wire.NodeID(1); id <= n; id++ {
+		if w.envs[id].mgr.View().Usable(lid) {
+			t.Fatalf("node %d still believes link 1-2 is up 3.5s after failure", id)
+		}
+	}
+	if w.envs[1].mgr.Stats().DeltaLSAsSent == 0 && w.envs[2].mgr.Stats().DeltaLSAsSent == 0 {
+		t.Fatal("no delta advertisement originated for the single-link failure")
+	}
+	if w.envs[n/2].mgr.Health().DeltaLSAFloods == 0 {
+		t.Fatal("antipodal node never reflooded a delta")
+	}
+
+	w.deadLinks[lid] = false
+	w.sched.RunFor(3500 * time.Millisecond)
+	for id := wire.NodeID(1); id <= n; id++ {
+		if !w.envs[id].mgr.View().Usable(lid) {
+			t.Fatalf("node %d never learned of the recovery", id)
+		}
 	}
 }

@@ -113,11 +113,18 @@ func (s RouteCacheSnapshot) HitRatio() float64 {
 //
 // The zero value is ready to use.
 type SPFStats struct {
-	// Runs counts SPF executions (SPTInto calls).
+	// Runs counts full SPF executions (SPTInto calls).
 	Runs atomic.Uint64
 	// ScratchReuses counts runs that recomputed entirely into an
 	// already-sized scratch arena (no allocation).
 	ScratchReuses atomic.Uint64
+	// Incrementals counts single-link tree repairs (SPTRepair calls that
+	// fixed the cached tree in place instead of rerunning Dijkstra).
+	Incrementals atomic.Uint64
+	// RepairedNodes sums, over all incremental repairs, the number of
+	// nodes whose tree entry was touched — the affected-region size, which
+	// for a single-link change is what the recompute cost scales with.
+	RepairedNodes atomic.Uint64
 }
 
 // Snapshot returns a consistent-enough copy of the counters.
@@ -125,15 +132,21 @@ func (s *SPFStats) Snapshot() SPFSnapshot {
 	return SPFSnapshot{
 		Runs:          s.Runs.Load(),
 		ScratchReuses: s.ScratchReuses.Load(),
+		Incrementals:  s.Incrementals.Load(),
+		RepairedNodes: s.RepairedNodes.Load(),
 	}
 }
 
 // SPFSnapshot is a point-in-time copy of SPFStats.
 type SPFSnapshot struct {
-	// Runs counts SPF executions.
+	// Runs counts full SPF executions.
 	Runs uint64
 	// ScratchReuses counts allocation-free runs into reused scratch.
 	ScratchReuses uint64
+	// Incrementals counts single-link incremental tree repairs.
+	Incrementals uint64
+	// RepairedNodes sums affected-region sizes over incremental repairs.
+	RepairedNodes uint64
 }
 
 // ReuseRatio returns ScratchReuses / Runs, or 0 before the first run.
@@ -142,6 +155,56 @@ func (s SPFSnapshot) ReuseRatio() float64 {
 		return 0
 	}
 	return float64(s.ScratchReuses) / float64(s.Runs)
+}
+
+// IncrementalRatio returns Incrementals / (Runs + Incrementals): the share
+// of reconvergences served by subtree repair rather than full Dijkstra.
+func (s SPFSnapshot) IncrementalRatio() float64 {
+	total := s.Runs + s.Incrementals
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Incrementals) / float64(total)
+}
+
+// MeanRepairSize returns the mean affected-region size per incremental
+// repair, or 0 before the first repair.
+func (s SPFSnapshot) MeanRepairSize() float64 {
+	if s.Incrementals == 0 {
+		return 0
+	}
+	return float64(s.RepairedNodes) / float64(s.Incrementals)
+}
+
+// SeqWindowStats counts defensive clamps in the link-level sequence
+// windows: scans whose peer-supplied bounds would have walked an absurd
+// span of sequence space (a corrupt or malicious frame) and were cut to
+// the window capacity instead. The counters are atomic for the same
+// reason as PoolStats: monitoring readers snapshot them without
+// coordinating with the event loop.
+//
+// The zero value is ready to use.
+type SeqWindowStats struct {
+	// MissingClamps counts Missing scans clamped to the window capacity.
+	MissingClamps atomic.Uint64
+	// GapScanClamps counts receiver gap scans (NM-Strikes) clamped.
+	GapScanClamps atomic.Uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *SeqWindowStats) Snapshot() SeqWindowSnapshot {
+	return SeqWindowSnapshot{
+		MissingClamps: s.MissingClamps.Load(),
+		GapScanClamps: s.GapScanClamps.Load(),
+	}
+}
+
+// SeqWindowSnapshot is a point-in-time copy of SeqWindowStats.
+type SeqWindowSnapshot struct {
+	// MissingClamps counts clamped Missing scans.
+	MissingClamps uint64
+	// GapScanClamps counts clamped gap scans.
+	GapScanClamps uint64
 }
 
 // TreeCacheStats counts multicast-tree cache activity in one routing
@@ -291,6 +354,10 @@ type LinkHealthStats struct {
 	// LSAFloods counts link-state advertisements this node pushed into the
 	// flood, both self-originated and forwarded on behalf of others.
 	LSAFloods atomic.Uint64
+	// DeltaLSAFloods counts the subset of LSAFloods that were delta
+	// advertisements — single-change floods whose cost scales with the
+	// change, not the node degree. Full-refresh floods are the difference.
+	DeltaLSAFloods atomic.Uint64
 	// Reconvergences counts topology-view version bumps: every time a
 	// local detection or a received LSA changed this node's view of the
 	// shared graph.
@@ -303,6 +370,7 @@ func (s *LinkHealthStats) Snapshot() LinkHealthSnapshot {
 		HellosSent:     s.HellosSent.Load(),
 		HellosMissed:   s.HellosMissed.Load(),
 		LSAFloods:      s.LSAFloods.Load(),
+		DeltaLSAFloods: s.DeltaLSAFloods.Load(),
 		Reconvergences: s.Reconvergences.Load(),
 	}
 }
@@ -315,6 +383,8 @@ type LinkHealthSnapshot struct {
 	HellosMissed uint64
 	// LSAFloods counts LSAs originated or forwarded.
 	LSAFloods uint64
+	// DeltaLSAFloods counts the delta subset of LSAFloods.
+	DeltaLSAFloods uint64
 	// Reconvergences counts topology-view version bumps.
 	Reconvergences uint64
 }

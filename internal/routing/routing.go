@@ -63,11 +63,18 @@ type Engine struct {
 	metric topology.Metric
 
 	// Shortest-path tree rooted at self for link-state unicast. The tree is
-	// engine-owned scratch: reconvergence recomputes into it with SPTInto,
-	// so a warmed recompute allocates nothing.
-	spt        topology.SPT
-	sptVersion uint64
-	sptValid   bool
+	// engine-owned scratch: reconvergence repairs it in place with
+	// SPTRepair when the view's change journal shows a single changed link,
+	// and recomputes into it with SPTInto otherwise; either way a warmed
+	// reconvergence allocates nothing. lastView/lastViewVersion remember
+	// which view object and version the tree reflects so the journal can be
+	// consulted, and chgBuf is the allocation-free ChangesSince buffer.
+	spt             topology.SPT
+	sptVersion      uint64
+	sptValid        bool
+	lastView        *topology.View
+	lastViewVersion uint64
+	chgBuf          [16]wire.LinkID
 
 	// nh memoizes per-destination next hops by dense node index. Entries
 	// are stamped with the SPT generation that produced them; nhStamp is
@@ -124,11 +131,13 @@ func NewEngine(self wire.NodeID, views ViewSource, groups GroupSource, metric to
 	}
 }
 
-// Invalidate drops cached routes; the node calls it on view or group
-// changes (cache keys would catch staleness anyway, but eager invalidation
-// keeps memory tidy when topology churns).
+// Invalidate drops cached multicast trees; the node calls it on view or
+// group changes (cache keys would catch staleness anyway, but eager
+// invalidation keeps memory tidy when topology churns). The unicast SPT is
+// not dropped: selfSPT tracks both the source version and the view's own
+// change journal, so any actual change — including direct State mutation
+// followed by View.Invalidate — still forces a repair or recompute.
 func (e *Engine) Invalidate() {
-	e.sptValid = false
 	for k := range e.trees {
 		delete(e.trees, k)
 		e.treeStats.Evictions.Add(1)
@@ -247,23 +256,51 @@ func (e *Engine) shouldDeliver(p *wire.Packet) bool {
 	return p.Dst == 0 && p.Group != 0 && e.groups.LocalMember(p.Group)
 }
 
-// selfSPT returns the shortest-path tree rooted at this node, recomputing
-// into the engine-owned scratch when the shared view changed. Each
-// recompute advances the next-hop memo stamp, invalidating every memoized
-// next hop at once.
+// selfSPT returns the shortest-path tree rooted at this node, bringing the
+// engine-owned scratch up to date when the shared view changed. When the
+// view's change journal shows exactly one link changed (possibly several
+// times — a flap) the tree is repaired in place with SPTRepair; multi-link
+// batches, journal overflow, and untracked mutations (View.Invalidate
+// after direct State writes) fall back to a full SPTInto. Both paths
+// advance the next-hop memo stamp, invalidating every memoized next hop at
+// once.
 func (e *Engine) selfSPT() *topology.SPT {
 	cur := e.views.Version()
-	if !e.sptValid || e.sptVersion != cur {
-		v := e.viewNow()
-		topology.SPTInto(&e.spt, v, e.self, e.metric)
-		e.sptVersion = cur
-		e.sptValid = true
-		e.nhStamp++
-		if n := v.G.NumNodes(); cap(e.nh) < n {
-			e.nh = make([]nextHopEntry, n)
-		} else {
-			e.nh = e.nh[:n]
+	v := e.viewNow()
+	vv := v.Version()
+	if e.sptValid && e.sptVersion == cur && e.lastView == v && e.lastViewVersion == vv {
+		return &e.spt
+	}
+	full := true
+	if e.sptValid && e.lastView == v {
+		if links, ok := v.ChangesSince(e.lastViewVersion, e.chgBuf[:0]); ok && len(links) > 0 {
+			single := true
+			for _, l := range links[1:] {
+				if l != links[0] {
+					single = false
+					break
+				}
+			}
+			// A zero-entry span means the source version moved without a
+			// journaled view change (direct State mutation); stay on the
+			// conservative full path for that.
+			if single && topology.SPTRepair(&e.spt, v, links[0], e.metric) {
+				full = false
+			}
 		}
+	}
+	if full {
+		topology.SPTInto(&e.spt, v, e.self, e.metric)
+	}
+	e.sptVersion = cur
+	e.lastView = v
+	e.lastViewVersion = vv
+	e.sptValid = true
+	e.nhStamp++
+	if n := v.G.NumNodes(); cap(e.nh) < n {
+		e.nh = make([]nextHopEntry, n)
+	} else {
+		e.nh = e.nh[:n]
 	}
 	return &e.spt
 }

@@ -104,8 +104,16 @@ type RealtimeClock struct {
 	exec  Executor
 	epoch time.Time
 
-	mu   sync.Mutex
-	last time.Duration
+	mu sync.Mutex
+	// base anchors elapsed-time measurement: Now is baseVal plus the
+	// monotonic-clock distance from base, so wall-clock steps (NTP) during
+	// or after startup cannot skew or freeze the clock. base always
+	// carries a monotonic reading — it is taken with time.Now at
+	// construction, or lazily on the first reading for struct-literal
+	// clocks whose epoch may be wall-only.
+	base    time.Time
+	baseVal time.Duration
+	last    time.Duration
 }
 
 var _ Clock = (*RealtimeClock)(nil)
@@ -113,19 +121,32 @@ var _ Clock = (*RealtimeClock)(nil)
 // NewRealtimeClock returns a clock whose epoch is the moment of creation
 // and whose callbacks run on exec.
 func NewRealtimeClock(exec Executor) *RealtimeClock {
-	return &RealtimeClock{exec: exec, epoch: time.Now()}
+	now := time.Now()
+	return &RealtimeClock{exec: exec, epoch: now, base: now}
 }
 
-// Now returns the time elapsed since the clock's epoch, clamped to be
-// non-decreasing. When the epoch carries no monotonic reading (it was
-// serialized, arithmetic stripped it, or it predates the process),
-// time.Since degrades to wall-clock subtraction, and an NTP step can make
-// successive readings go backwards — which would wreck RTT estimates,
-// timer deadlines, and origin timestamps that all assume time only moves
-// forward.
+// Now returns the time elapsed since the clock's epoch, measured on the
+// monotonic clock and clamped to be non-decreasing. Subtracting the epoch
+// directly would degrade to wall-clock arithmetic whenever the epoch lost
+// its monotonic reading (serialized, arithmetic-stripped, or predating the
+// process); a wall step would then make readings jump, freeze under the
+// non-decreasing clamp, or go negative — wrecking RTT estimates, timer
+// deadlines, and origin timestamps that assume time flows forward at one
+// second per second.
 func (c *RealtimeClock) Now() time.Duration {
-	d := time.Since(c.epoch)
+	now := time.Now()
 	c.mu.Lock()
+	if c.base.IsZero() {
+		// Struct-literal construction: anchor to this first reading. The
+		// epoch offset is wall-only here, so clamp it — an epoch ahead of
+		// the wall clock must not read negative.
+		c.baseVal = now.Sub(c.epoch)
+		if c.baseVal < 0 {
+			c.baseVal = 0
+		}
+		c.base = now
+	}
+	d := c.baseVal + now.Sub(c.base)
 	if d < c.last {
 		d = c.last
 	} else {

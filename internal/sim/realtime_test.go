@@ -138,3 +138,42 @@ func TestRealtimeClockNowNeverNegative(t *testing.T) {
 		t.Fatalf("Now() = %v, want >= 0", d)
 	}
 }
+
+// TestRealtimeClockAdvancesUnderEpochSkew pins the monotonic-anchor fix:
+// when the wall clock steps (simulated by skewing the epoch far into the
+// future with its monotonic reading stripped), Now must keep advancing at
+// real speed — not merely hold still at the clamp until the wall catches
+// up, which would stall every timer-derived deadline for the duration of
+// the step.
+func TestRealtimeClockAdvancesUnderEpochSkew(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	c := NewRealtimeClock(l)
+	before := c.Now()
+	c.epoch = time.Now().Add(time.Hour).Round(0)
+	time.Sleep(20 * time.Millisecond)
+	after := c.Now()
+	if after < before {
+		t.Fatalf("Now() ran backwards across epoch skew: %v then %v", before, after)
+	}
+	if got := after - before; got < 10*time.Millisecond {
+		t.Fatalf("Now() advanced only %v across a 20ms sleep under epoch skew; clock frozen", got)
+	}
+}
+
+// TestRealtimeClockLiteralEpochAdvances covers the struct-literal clock
+// with a wall-only future epoch: the first reading clamps to zero, and
+// subsequent readings advance monotonically from there.
+func TestRealtimeClockLiteralEpochAdvances(t *testing.T) {
+	l := NewLoop()
+	defer l.Close()
+	c := &RealtimeClock{exec: l, epoch: time.Now().Add(time.Minute).Round(0)}
+	first := c.Now()
+	if first < 0 {
+		t.Fatalf("Now() = %v, want >= 0", first)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := c.Now() - first; got < 10*time.Millisecond {
+		t.Fatalf("Now() advanced only %v across a 20ms sleep, want real progress", got)
+	}
+}

@@ -111,14 +111,21 @@ func (g *Graph) AddNode(n wire.NodeID) {
 	g.dadj = append(g.dadj, nil)
 }
 
+// MaxGraphLinks is the most links a Graph can hold: the LinkID space less
+// the 0xffff sentinel (routing.NoLink). Source-route bitmasks and the
+// constrained-flooding mask still cover only the first wire.MaxLinks links;
+// larger graphs route with link-state unicast and multicast trees, which
+// address links by ID rather than by bit position.
+const MaxGraphLinks = 0xffff
+
 // AddLink registers an overlay link between a and b with the given designed
 // latency, adding the endpoints if needed, and returns its LinkID.
 func (g *Graph) AddLink(a, b wire.NodeID, latency time.Duration) (wire.LinkID, error) {
 	if a == b {
 		return 0, fmt.Errorf("topology: self link on %v", a)
 	}
-	if len(g.links) >= wire.MaxLinks {
-		return 0, fmt.Errorf("topology: link limit %d reached", wire.MaxLinks)
+	if len(g.links) >= MaxGraphLinks {
+		return 0, fmt.Errorf("topology: link limit %d reached", MaxGraphLinks)
 	}
 	if a > b {
 		a, b = b, a
@@ -213,19 +220,32 @@ type LinkState struct {
 	Loss float64
 }
 
+// journalCap is how many recent link changes a View retains for
+// ChangesSince. It only needs to cover the changes between two route
+// recomputes of one consumer; overflow just means a full recompute.
+const journalCap = 16
+
 // View is the designed topology combined with current link state — the
 // global state every overlay node maintains.
 type View struct {
 	// G is the designed topology.
 	G *Graph
 	// State holds per-link dynamic state, indexed by LinkID. Mutating an
-	// entry's Up bit directly (rather than via SetUp) must be followed by
-	// Invalidate so version-keyed caches (the flood mask) notice.
+	// entry directly (rather than via SetUp/SetQuality) must be followed
+	// by Invalidate so version-keyed caches (the flood mask, cached
+	// shortest-path trees) notice.
 	State []LinkState
 
-	// version increments on every availability change; it keys the cached
-	// flood mask and is exposed for other view-scoped memoization.
+	// version increments on every state change applied through SetUp,
+	// SetQuality, or Invalidate; it keys the cached flood mask and is
+	// exposed for other view-scoped memoization.
 	version uint64
+	// journal is a ring of the links changed by the most recent version
+	// bumps: jlink[(version-1)%journalCap] is the link changed by the bump
+	// to that version. Invalidate bumps the version without recording, so
+	// ChangesSince detects untracked mutations by counting.
+	jlink [journalCap]wire.LinkID
+	jver  [journalCap]uint64
 	// flood caches the constrained-flooding mask of the view at
 	// floodVersion; FloodMask rebuilds it only when the version moved.
 	flood        wire.Bitmask
@@ -257,6 +277,13 @@ func (v *View) Usable(id wire.LinkID) bool {
 	return int(id) < len(v.State) && v.State[id].Up
 }
 
+// record journals one link change against the version just bumped to.
+func (v *View) record(id wire.LinkID) {
+	i := (v.version - 1) % journalCap
+	v.jlink[i] = id
+	v.jver[i] = v.version
+}
+
 // SetUp marks a link up or down, bumping the view version when the
 // availability actually changes.
 func (v *View) SetUp(id wire.LinkID, up bool) {
@@ -266,15 +293,64 @@ func (v *View) SetUp(id wire.LinkID, up bool) {
 	if v.State[id].Up != up {
 		v.State[id].Up = up
 		v.version++
+		v.record(id)
 	}
 }
 
-// Version returns a counter incremented on every availability change.
+// SetQuality updates a link's measured latency and loss, bumping the view
+// version when either actually changes, and reports whether it did. Routing
+// caches keyed on the version (and incremental SPT repair, via the change
+// journal) see quality changes only when they go through here.
+func (v *View) SetQuality(id wire.LinkID, latency time.Duration, loss float64) bool {
+	if int(id) >= len(v.State) {
+		return false
+	}
+	st := &v.State[id]
+	if st.Latency == latency && st.Loss == loss {
+		return false
+	}
+	st.Latency = latency
+	st.Loss = loss
+	v.version++
+	v.record(id)
+	return true
+}
+
+// Version returns a counter incremented on every link state change.
 func (v *View) Version() uint64 { return v.version }
 
 // Invalidate bumps the view version; callers that mutate State entries
-// directly use it to invalidate version-keyed caches.
+// directly use it to invalidate version-keyed caches. The bump is
+// deliberately not journaled: consumers tracking changes via ChangesSince
+// observe an untracked gap and fall back to a full recompute.
 func (v *View) Invalidate() { v.version++ }
+
+// ChangesSince returns the links changed by every version bump after old,
+// appended to buf, and whether the journal covers that whole span. It
+// reports ok=false when the span exceeds the journal capacity or includes
+// untracked bumps (Invalidate, or a concurrent overwrite); callers must
+// then treat the view as arbitrarily changed. The same link may appear
+// multiple times when it changed repeatedly.
+func (v *View) ChangesSince(old uint64, buf []wire.LinkID) ([]wire.LinkID, bool) {
+	if old > v.version {
+		return buf, false
+	}
+	n := v.version - old
+	if n == 0 {
+		return buf, true
+	}
+	if n > journalCap {
+		return buf, false
+	}
+	for ver := old + 1; ver <= v.version; ver++ {
+		i := (ver - 1) % journalCap
+		if v.jver[i] != ver {
+			return buf, false
+		}
+		buf = append(buf, v.jlink[i])
+	}
+	return buf, true
+}
 
 // FloodMask returns the bitmask of all currently usable links — the
 // constrained-flooding dissemination set (§IV-B). The mask is cached and

@@ -1,0 +1,311 @@
+package topology
+
+import (
+	"math"
+
+	"sonet/internal/wire"
+)
+
+// SPTRepair updates t in place after a single-link change to v, repairing
+// only the affected region of the tree instead of rerunning Dijkstra from
+// scratch. It reports whether the repair was performed; on false the tree
+// is unchanged and the caller must fall back to SPTInto. The repaired tree
+// is bit-for-bit identical (dist, parent, via) to what SPTInto would
+// produce over the same view, so every node repairing incrementally still
+// agrees with every node recomputing fully — the loop-freedom argument of
+// hop-by-hop forwarding is unchanged.
+//
+// The identical-output guarantee rests on SPTInto's tree being canonical:
+// each node's parent is the predecessor with the least (distance, NodeID)
+// among those achieving its distance, and its via is the lowest-ID link
+// from that parent achieving the offer. Repair preserves that invariant
+// case by case:
+//
+//   - a change to a non-tree link that only worsens its offers cannot
+//     affect any canonical choice: no work;
+//   - an improved offer either strictly beats a node's distance (adopt and
+//     re-run Dijkstra over the shrinking region of bettered nodes) or ties
+//     it (relink parent/via only when the new predecessor orders strictly
+//     before the current one — distances are unchanged, so nothing
+//     propagates);
+//   - a worsened tree edge detaches the subtree below it (enumerated via
+//     the child lists), reseeds each detached node from its best intact
+//     neighbor, and re-runs Dijkstra over the detached region; intact
+//     nodes cannot improve (their old distances were already optimal and
+//     offers only worsened), so the frontier never leaves the region.
+//
+// Zero allocations once t's scratch is warmed; the caller must have built
+// t over v.G (same *Graph) with the same metric.
+func SPTRepair(t *SPT, v *View, changed wire.LinkID, metric Metric) bool {
+	g := v.G
+	if g == nil || t.g != g || t.src < 0 {
+		return false
+	}
+	n := g.NumNodes()
+	if len(t.dist) != n || int(changed) >= len(g.links) {
+		return false
+	}
+	if t.childDirty {
+		t.buildChildren()
+	}
+	spfStats.Incrementals.Add(1)
+
+	a := g.ends[changed][0]
+	b := g.ends[changed][1]
+	if a == b {
+		// A self-loop never carries a shortest path (weights are positive).
+		return true
+	}
+
+	// The link's new weight; +Inf when down or excluded by the metric,
+	// mirroring SPTInto's relaxation filter exactly.
+	w := math.Inf(1)
+	if v.Usable(changed) {
+		if m := metric(g.links[changed], v.State[changed]); m > 0 && !math.IsInf(m, 1) && !math.IsNaN(m) {
+			w = m
+		}
+	}
+
+	// Tree edge: some endpoint is reached from the other through this very
+	// link. (At most one direction can hold — the tree is acyclic.)
+	if t.parent[a] == b && t.via[a] == changed {
+		return t.repairTreeEdge(v, b, a, changed, w, metric)
+	}
+	if t.parent[b] == a && t.via[b] == changed {
+		return t.repairTreeEdge(v, a, b, changed, w, metric)
+	}
+
+	// Non-tree link: only its own two offers changed. A worsened offer
+	// from a non-tree link was not part of any canonical choice and stays
+	// irrelevant; an improved offer is adopted below.
+	if math.IsInf(w, 1) {
+		return true
+	}
+	t.relinkOffer(a, b, changed, w)
+	t.relinkOffer(b, a, changed, w)
+	t.runRegion(v, metric, 0)
+	return true
+}
+
+// relinkOffer applies the changed offer dist[u]+w toward c: a strict
+// improvement adopts u and seeds the region Dijkstra; an exact tie only
+// canonicalizes parent/via (distances are unchanged, nothing propagates).
+func (t *SPT) relinkOffer(u, c int32, id wire.LinkID, w float64) {
+	if math.IsInf(t.dist[u], 1) {
+		return
+	}
+	nd := t.dist[u] + w
+	switch {
+	case nd < t.dist[c]:
+		t.dist[c] = nd
+		t.setParent(c, u, id)
+		t.heapPush(c)
+	case nd == t.dist[c]:
+		p := t.parent[c]
+		if p < 0 {
+			return
+		}
+		if p != u {
+			if t.ordersBefore(u, p) {
+				t.setParent(c, u, id)
+			}
+		} else if id < t.via[c] {
+			// Same parent, lower-ID parallel link now tying the offer: the
+			// canonical via is the lowest-ID achiever.
+			t.via[c] = id
+		}
+	}
+}
+
+// repairTreeEdge handles a weight change on the tree edge by which c is
+// reached from u.
+func (t *SPT) repairTreeEdge(v *View, u, c int32, id wire.LinkID, w float64, metric Metric) bool {
+	old := t.dist[c]
+	if !math.IsInf(w, 1) {
+		switch nd := t.dist[u] + w; {
+		case nd == old:
+			// Weight unchanged in metric terms; the tree already reflects it.
+			return true
+		case nd < old:
+			// The subtree below c shifts down with it; the region Dijkstra
+			// propagates the decrease and absorbs any nodes it newly beats.
+			t.dist[c] = nd
+			t.heapPush(c)
+			t.runRegion(v, metric, 0)
+			return true
+		}
+	}
+
+	// Worsened (or severed) tree edge: detach the subtree below c, reseed
+	// every detached node from its best offer out of the intact remainder,
+	// and re-run Dijkstra over the detached region. Intact nodes cannot be
+	// bettered by a worsening, so the region never grows past the subtree.
+	t.region = t.region[:0]
+	t.stack = append(t.stack[:0], c)
+	for len(t.stack) > 0 {
+		x := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		t.region = append(t.region, x)
+		for ch := t.firstChild[x]; ch >= 0; ch = t.nextSib[ch] {
+			t.stack = append(t.stack, ch)
+		}
+	}
+	t.unlinkChild(c)
+	for _, r := range t.region {
+		t.dist[r] = math.Inf(1)
+		t.parent[r] = -1
+		t.firstChild[r] = -1
+	}
+	g := t.g
+	for _, r := range t.region {
+		// Best intact offer toward r; detached neighbors sit at +Inf and
+		// fall out naturally. Scanning r's directed adjacency visits each
+		// predecessor's parallel links in ascending ID order, so keeping
+		// the first strict minimum lands on the canonical (offer,
+		// predecessor-distance, predecessor-ID, link) choice.
+		best := math.Inf(1)
+		var bp int32 = -1
+		var bvia wire.LinkID
+		for _, h := range g.dadj[r] {
+			if math.IsInf(t.dist[h.to], 1) || !v.Usable(h.id) {
+				continue
+			}
+			hw := metric(g.links[h.id], v.State[h.id])
+			if hw <= 0 || math.IsInf(hw, 1) || math.IsNaN(hw) {
+				continue
+			}
+			nd := t.dist[h.to] + hw
+			if nd < best || (nd == best && t.ordersBefore(h.to, bp)) {
+				best = nd
+				bp = h.to
+				bvia = h.id
+			}
+		}
+		if bp >= 0 {
+			t.dist[r] = best
+			t.setParent(r, bp, bvia)
+			t.heapPush(r)
+		}
+	}
+	t.runRegion(v, metric, len(t.region))
+	return true
+}
+
+// runRegion drains the repair frontier with the same relaxation as
+// SPTInto, extended with the canonical tie rule: an equal offer from a
+// predecessor ordering strictly before the current parent relinks without
+// propagating. detached is added to the repaired-node count (pops cover
+// the re-reached nodes; detached-minus-reseeded covers the ones left
+// unreachable, which never pop).
+func (t *SPT) runRegion(v *View, metric Metric, detached int) {
+	g := t.g
+	pops := 0
+	for len(t.heap) > 0 {
+		u := t.heapPop()
+		pops++
+		du := t.dist[u]
+		for _, h := range g.dadj[u] {
+			if !v.Usable(h.id) {
+				continue
+			}
+			w := metric(g.links[h.id], v.State[h.id])
+			if w <= 0 || math.IsInf(w, 1) || math.IsNaN(w) {
+				continue
+			}
+			c := h.to
+			nd := du + w
+			switch {
+			case nd < t.dist[c]:
+				t.dist[c] = nd
+				t.setParent(c, u, h.id)
+				if t.pos[c] >= 0 {
+					t.heapUp(int(t.pos[c]))
+				} else {
+					t.heapPush(c)
+				}
+			case nd == t.dist[c]:
+				if p := t.parent[c]; p >= 0 && p != u && t.ordersBefore(u, p) {
+					t.setParent(c, u, h.id)
+				}
+			}
+		}
+	}
+	repaired := pops
+	if detached > 0 {
+		// Count detached nodes exactly once: the reseeded ones pop, the
+		// permanently unreachable ones do not.
+		reached := 0
+		for _, r := range t.region {
+			if !math.IsInf(t.dist[r], 1) {
+				reached++
+			}
+		}
+		repaired += detached - reached
+	}
+	spfStats.RepairedNodes.Add(uint64(repaired))
+}
+
+// ordersBefore reports whether node index a orders strictly before b under
+// the canonical (distance, NodeID) order used for all tie-breaking.
+func (t *SPT) ordersBefore(a, b int32) bool {
+	if b < 0 {
+		return true
+	}
+	if t.dist[a] != t.dist[b] {
+		return t.dist[a] < t.dist[b]
+	}
+	return t.g.nodes[a] < t.g.nodes[b]
+}
+
+// buildChildren derives the child lists from the parent array in one pass.
+func (t *SPT) buildChildren() {
+	for i := range t.firstChild {
+		t.firstChild[i] = -1
+	}
+	for i := int32(len(t.parent)) - 1; i >= 0; i-- {
+		if p := t.parent[i]; p >= 0 {
+			t.linkChild(i, p)
+		}
+	}
+	t.childDirty = false
+}
+
+// linkChild prepends c to p's child list.
+func (t *SPT) linkChild(c, p int32) {
+	head := t.firstChild[p]
+	t.nextSib[c] = head
+	t.prevSib[c] = -1
+	if head >= 0 {
+		t.prevSib[head] = c
+	}
+	t.firstChild[p] = c
+}
+
+// unlinkChild removes c from its current parent's child list, if any.
+func (t *SPT) unlinkChild(c int32) {
+	p := t.parent[c]
+	if p < 0 {
+		return
+	}
+	if t.prevSib[c] >= 0 {
+		t.nextSib[t.prevSib[c]] = t.nextSib[c]
+	} else {
+		t.firstChild[p] = t.nextSib[c]
+	}
+	if t.nextSib[c] >= 0 {
+		t.prevSib[t.nextSib[c]] = t.prevSib[c]
+	}
+}
+
+// setParent rewires c under p via the given link, maintaining the child
+// lists in O(1).
+func (t *SPT) setParent(c, p int32, id wire.LinkID) {
+	if t.parent[c] == p {
+		t.via[c] = id
+		return
+	}
+	t.unlinkChild(c)
+	t.parent[c] = p
+	t.via[c] = id
+	t.linkChild(c, p)
+}

@@ -43,6 +43,20 @@ type SPT struct {
 	// absent.
 	heap []int32
 	pos  []int32
+
+	// Child lists over the parent array (first child, doubly linked
+	// sibling ring) let SPTRepair enumerate and detach the subtree below a
+	// worsened tree edge without scanning every node. They are rebuilt
+	// lazily: SPTInto only marks them dirty, and the first repair after a
+	// full recompute pays the O(n) rebuild.
+	firstChild []int32
+	nextSib    []int32
+	prevSib    []int32
+	childDirty bool
+
+	// stack and region are DFS scratch for subtree collection in SPTRepair.
+	stack  []int32
+	region []int32
 }
 
 // ShortestPaths runs Dijkstra from src over the usable links of v into a
@@ -68,6 +82,7 @@ func SPTInto(t *SPT, v *View, src wire.NodeID, metric Metric) {
 	}
 	t.Src = src
 	t.g = g
+	t.childDirty = true
 	for i := 0; i < n; i++ {
 		t.dist[i] = math.Inf(1)
 		t.parent[i] = -1
@@ -118,12 +133,21 @@ func (t *SPT) grow(n int) bool {
 		t.via = make([]wire.LinkID, n)
 		t.pos = make([]int32, n)
 		t.heap = make([]int32, 0, n)
+		t.firstChild = make([]int32, n)
+		t.nextSib = make([]int32, n)
+		t.prevSib = make([]int32, n)
+		t.stack = make([]int32, 0, n)
+		t.region = make([]int32, 0, n)
+		t.childDirty = true
 		return false
 	}
 	t.dist = t.dist[:n]
 	t.parent = t.parent[:n]
 	t.via = t.via[:n]
 	t.pos = t.pos[:n]
+	t.firstChild = t.firstChild[:n]
+	t.nextSib = t.nextSib[:n]
+	t.prevSib = t.prevSib[:n]
 	return true
 }
 
