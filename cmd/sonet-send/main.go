@@ -13,12 +13,22 @@
 // to end.
 //
 //	sonet-send -daemon 127.0.0.1:8001 -to 3 -count 100000 -size 1200 -interval 0
+//
+// Wire mode (-wire) skips the daemon and blasts raw frames at a
+// sonet-recv -wire underlay from -flows source sockets bound to
+// consecutive ports (flow f at -bind's port plus f, so the receiver can
+// register each flow deterministically). Frames coalesce 32 per flush,
+// exercising the sendmmsg batch path.
+//
+//	sonet-send -wire -bind 127.0.0.1:7800 -peer 127.0.0.1:7700 \
+//	    -flows 4 -count 400000 -size 1200
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/netip"
 	"os"
 	"time"
 
@@ -45,7 +55,15 @@ func run() int {
 	count := flag.Int("count", 0, "send this many generated messages instead of reading stdin")
 	size := flag.Int("size", 0, "generated payload size in bytes (0: short text messages)")
 	interval := flag.Duration("interval", 10*time.Millisecond, "gap between generated messages (0: blast)")
+	wireMode := flag.Bool("wire", false, "raw underlay mode: blast frames at a sonet-recv -wire underlay")
+	bind := flag.String("bind", "127.0.0.1:7800", "wire mode: flow base address; flow f binds port+f")
+	peer := flag.String("peer", "127.0.0.1:7700", "wire mode: receiver underlay address")
+	flows := flag.Int("flows", 1, "wire mode: source socket count")
 	flag.Parse()
+
+	if *wireMode {
+		return runWire(*bind, *peer, *flows, *count, *size, *interval)
+	}
 
 	proto, ok := parseService(*service)
 	if !ok {
@@ -116,6 +134,90 @@ func run() int {
 	// Give in-flight recovery a moment before tearing down the session.
 	time.Sleep(200 * time.Millisecond)
 	fmt.Printf("sonet-send: %d messages sent\n", sent)
+	return 0
+}
+
+// turnExec queues posted flushes so wire-mode sends coalesce into
+// sendmmsg batches; the single blast goroutine is the only poster.
+type turnExec struct{ q []func() }
+
+func (e *turnExec) Post(fn func()) { e.q = append(e.q, fn) }
+
+func (e *turnExec) turn() {
+	for i, fn := range e.q {
+		fn()
+		e.q[i] = nil
+	}
+	e.q = e.q[:0]
+}
+
+// runWire blasts count frames of size bytes at the receiver from flows
+// source sockets on consecutive ports, flushing every 32 frames, and
+// prints the aggregate and per-flow send summary.
+func runWire(bind, peer string, flows, count, size int, interval time.Duration) int {
+	if count <= 0 {
+		fmt.Fprintln(os.Stderr, "sonet-send: wire mode needs -count")
+		return 2
+	}
+	if size <= 0 {
+		size = 1200
+	}
+	base, err := netip.ParseAddrPort(bind)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sonet-send: -bind: %v\n", err)
+		return 2
+	}
+	txs := make([]*transport.UDPUnderlay, flows)
+	execs := make([]*turnExec, flows)
+	for f := 0; f < flows; f++ {
+		addr := netip.AddrPortFrom(base.Addr(), base.Port()+uint16(f)).String()
+		execs[f] = &turnExec{}
+		tx, err := transport.NewUDPUnderlay(addr, execs[f], func(wire.NodeID, []byte) {})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sonet-send: flow %d: %v\n", f, err)
+			return 1
+		}
+		defer func() { _ = tx.Close() }()
+		if err := tx.AddPeer(1, peer); err != nil {
+			fmt.Fprintf(os.Stderr, "sonet-send: %v\n", err)
+			return 1
+		}
+		txs[f] = tx
+	}
+	payload := make([]byte, size)
+	fmt.Printf("sonet-send: wire mode — %d frames of %d B to %s over %d flows (plane %s)\n",
+		count, size, peer, flows, transport.Plane)
+	start := time.Now()
+	for i := 0; i < count; i++ {
+		f := i % flows
+		txs[f].Send(1, 0, payload)
+		if i%32 == 31 || i == count-1 {
+			for _, e := range execs {
+				e.turn()
+			}
+		}
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+	for _, e := range execs {
+		e.turn()
+	}
+	elapsed := time.Since(start)
+	var sent, dropped uint64
+	for f, tx := range txs {
+		st := tx.Stats()
+		sent += st.SendPackets
+		dropped += st.SendDropped
+		fmt.Printf("sonet-send: flow %d (%s): sent %d in %d batches, dropped %d\n",
+			f, tx.LocalAddr(), st.SendPackets, st.SendBatches, st.SendDropped)
+	}
+	if elapsed > 0 {
+		fmt.Printf("sonet-send: %d frames in %v: %.0f msgs/s, %.1f MB/s (%d dropped at source)\n",
+			sent, elapsed.Round(time.Millisecond),
+			float64(sent)/elapsed.Seconds(),
+			float64(sent)*float64(size)/elapsed.Seconds()/1e6, dropped)
+	}
 	return 0
 }
 

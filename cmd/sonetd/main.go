@@ -40,6 +40,7 @@ func main() {
 
 func run() int {
 	cfgPath := flag.String("config", "", "path to daemon JSON config (required)")
+	shards := flag.Int("shards", 0, "data-plane shards (overrides config; 0 keeps config or one per core, capped at 8)")
 	flag.Parse()
 	if *cfgPath == "" {
 		fmt.Fprintln(os.Stderr, "sonetd: -config is required")
@@ -56,13 +57,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sonetd: parse %s: %v\n", *cfgPath, err)
 		return 1
 	}
+	if *shards != 0 {
+		cfg.Shards = *shards
+	}
 	d, err := transport.NewDaemon(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sonetd: %v\n", err)
 		return 1
 	}
 	defer d.Close()
-	fmt.Printf("sonetd: node %v up — frames on %s", cfg.ID, d.UDPAddr())
+	fmt.Printf("sonetd: node %v up — frames on %s (%d shards)", cfg.ID, d.UDPAddr(), d.Shards())
 	if addr := d.TCPAddr(); addr != "" {
 		fmt.Printf(", clients on %s", addr)
 	}

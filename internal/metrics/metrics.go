@@ -281,6 +281,16 @@ type WireStats struct {
 	// unrepresentable destinations, a full coalescing ring, or frames still
 	// pending when the underlay closed.
 	SendDropped atomic.Uint64
+	// RecvDelivered counts frames handed to the handler on this shard's
+	// event loop (after any cross-shard handoff; a sharded underlay's
+	// arrival shard and delivery shard can differ).
+	RecvDelivered atomic.Uint64
+	// Handoffs counts frames that arrived on this shard but belonged to
+	// another shard's flow state and were handed over an SPSC ring.
+	Handoffs atomic.Uint64
+	// HandoffDrops counts frames dropped because the target shard's
+	// handoff ring was full (overload; best-effort like IP).
+	HandoffDrops atomic.Uint64
 }
 
 // Snapshot returns a consistent-enough copy of the counters.
@@ -294,6 +304,10 @@ func (s *WireStats) Snapshot() WireSnapshot {
 		SendPackets: s.SendPackets.Load(),
 		SendBytes:   s.SendBytes.Load(),
 		SendDropped: s.SendDropped.Load(),
+
+		RecvDelivered: s.RecvDelivered.Load(),
+		Handoffs:      s.Handoffs.Load(),
+		HandoffDrops:  s.HandoffDrops.Load(),
 	}
 }
 
@@ -315,6 +329,34 @@ type WireSnapshot struct {
 	SendBytes uint64
 	// SendDropped counts frames dropped on the send side.
 	SendDropped uint64
+	// RecvDelivered counts frames handed to the handler.
+	RecvDelivered uint64
+	// Handoffs counts frames handed to another shard over an SPSC ring.
+	Handoffs uint64
+	// HandoffDrops counts frames dropped on a full handoff ring.
+	HandoffDrops uint64
+}
+
+// Merge returns the field-wise sum of two snapshots; a sharded underlay
+// aggregates its per-shard counters with it. Summing per-shard snapshots
+// is as consistent as one shard's own snapshot: every counter is read
+// atomically, and in-flight frames may straddle any pair of counters
+// either way.
+func (s WireSnapshot) Merge(o WireSnapshot) WireSnapshot {
+	return WireSnapshot{
+		RecvBatches: s.RecvBatches + o.RecvBatches,
+		RecvPackets: s.RecvPackets + o.RecvPackets,
+		RecvBytes:   s.RecvBytes + o.RecvBytes,
+		RecvUnknown: s.RecvUnknown + o.RecvUnknown,
+		SendBatches: s.SendBatches + o.SendBatches,
+		SendPackets: s.SendPackets + o.SendPackets,
+		SendBytes:   s.SendBytes + o.SendBytes,
+		SendDropped: s.SendDropped + o.SendDropped,
+
+		RecvDelivered: s.RecvDelivered + o.RecvDelivered,
+		Handoffs:      s.Handoffs + o.Handoffs,
+		HandoffDrops:  s.HandoffDrops + o.HandoffDrops,
+	}
 }
 
 // RecvBatchAvg returns the mean datagrams drained per receive wakeup, or 0

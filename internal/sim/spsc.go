@@ -1,0 +1,69 @@
+package sim
+
+import "sync/atomic"
+
+// SPSC is a bounded single-producer single-consumer ring. The sharded
+// data plane uses it to hand frames from one shard's receive loop to
+// another shard's event loop without taking a lock on either side: the
+// producer owns tail, the consumer owns head, and each side only ever
+// stores its own index. Go's sync/atomic gives the release/acquire
+// ordering that makes the element visible before the index advance.
+//
+// Exactly one goroutine may call Push and exactly one may call Pop; the
+// consumer may change over time (e.g. a drain runner migrating between
+// event-loop turns) as long as consumers never overlap.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+	// head is the next slot to pop; only the consumer stores it.
+	head atomic.Uint64
+	_    [56]byte // keep the indices off one another's cache line
+	// tail is the next slot to push; only the producer stores it.
+	tail atomic.Uint64
+}
+
+// NewSPSC returns a ring holding at least capacity elements (rounded up
+// to a power of two, minimum 2).
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued elements. It is exact for the
+// producer and the consumer and approximate for anyone else.
+func (r *SPSC[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Empty reports whether the ring has no queued elements.
+func (r *SPSC[T]) Empty() bool { return r.tail.Load() == r.head.Load() }
+
+// Push appends v, reporting false when the ring is full (the caller
+// decides whether full means drop, count, or back off).
+func (r *SPSC[T]) Push(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// Pop removes and returns the oldest element. The vacated slot is zeroed
+// so popped elements do not pin referenced memory.
+func (r *SPSC[T]) Pop() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero
+	r.head.Store(h + 1)
+	return v, true
+}

@@ -40,12 +40,24 @@ type DaemonConfig struct {
 	Links []LinkDef `json:"links"`
 	// HelloIntervalMs optionally overrides failure-detection probing.
 	HelloIntervalMs int `json:"hello_interval_ms"`
+	// Shards is the data-plane shard count: event loops, UDP sockets
+	// (SO_REUSEPORT on Linux), and tx rings. 0 means min(GOMAXPROCS, 8).
+	// The overlay protocol itself stays single-threaded on shard 0; the
+	// other shards parallelize kernel crossings and frame copies.
+	Shards int `json:"shards"`
 }
 
-// Daemon is one deployed overlay node: the node software over a UDP
-// underlay, plus the TCP session listener for clients.
+// Daemon is one deployed overlay node: the node software over a sharded
+// UDP underlay, plus the TCP session listener for clients. The node's
+// protocol state machines are single-threaded on the control shard
+// (shard 0's loop); every peer flow is pinned there, so frames arriving
+// on other shards hand off over SPSC rings while those shards' cores
+// absorb the kernel crossings (socket drains, tx flushes) and frame
+// copies.
 type Daemon struct {
-	cfg  DaemonConfig
+	cfg   DaemonConfig
+	loops *sim.ShardedLoop
+	// loop is the control shard's event loop: node, sessions, clients.
 	loop *sim.Loop
 	node *node.Node
 	mgr  *session.Manager
@@ -68,17 +80,21 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 	d := &Daemon{
 		cfg:     cfg,
-		loop:    sim.NewLoop(),
+		loops:   sim.NewShardedLoop(cfg.Shards),
 		clients: make(map[*clientConn]struct{}),
 	}
+	d.loop = d.loops.Shard(0)
 	var nodeRef *node.Node
-	udp, err := NewUDPUnderlay(cfg.BindUDP, d.loop, func(from wire.NodeID, data []byte) {
+	// Every peer flow is pinned to shard 0 below, so this handler only
+	// ever runs on d.loop — the single-threaded model node.HandleUnderlay
+	// requires.
+	udp, err := NewShardedUDPUnderlay(cfg.BindUDP, d.loops.Executors(), func(from wire.NodeID, data []byte) {
 		if nodeRef != nil {
 			nodeRef.HandleUnderlay(from, data)
 		}
 	})
 	if err != nil {
-		d.loop.Close()
+		d.loops.Close()
 		return nil, err
 	}
 	d.udp = udp
@@ -86,7 +102,7 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		if id == cfg.ID {
 			continue
 		}
-		if err := udp.AddPeer(id, addrs...); err != nil {
+		if err := d.AddPeer(id, addrs...); err != nil {
 			d.shutdownEarly()
 			return nil, err
 		}
@@ -132,17 +148,28 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 
 func (d *Daemon) shutdownEarly() {
 	_ = d.udp.Close()
-	d.loop.Close()
+	d.loops.Close()
 }
 
 // UDPAddr returns the daemon's bound frame address.
 func (d *Daemon) UDPAddr() string { return d.udp.LocalAddr() }
 
+// Shards returns the running data-plane shard count.
+func (d *Daemon) Shards() int { return d.udp.NumShards() }
+
+// ShardStats returns shard i's own datagram counters; safe from any
+// goroutine.
+func (d *Daemon) ShardStats(i int) metrics.WireSnapshot { return d.udp.ShardStats(i) }
+
 // AddPeer registers (or updates) a peer's UDP addresses after start —
 // used when daemons bind ephemeral ports and exchange addresses out of
-// band.
+// band. The peer's flow is pinned to the control shard, where the
+// single-threaded node protocol runs.
 func (d *Daemon) AddPeer(id wire.NodeID, addrs ...string) error {
-	return d.udp.AddPeer(id, addrs...)
+	if err := d.udp.AddPeer(id, addrs...); err != nil {
+		return err
+	}
+	return d.udp.PinFlow(id, 0)
 }
 
 // TCPAddr returns the client listener address, if enabled.
@@ -202,7 +229,7 @@ func (d *Daemon) Close() {
 	})
 	<-done
 	_ = d.udp.Close()
-	d.loop.Close()
+	d.loops.Close()
 	d.wg.Wait()
 }
 

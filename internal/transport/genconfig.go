@@ -17,6 +17,9 @@ type TopologyConfig struct {
 	Nodes map[wire.NodeID]NodeAddr `json:"nodes"`
 	// HelloIntervalMs optionally overrides failure detection everywhere.
 	HelloIntervalMs int `json:"hello_interval_ms"`
+	// Shards optionally sets every daemon's data-plane shard count
+	// (0 means one shard per core, capped — see DaemonConfig.Shards).
+	Shards int `json:"shards"`
 }
 
 // NodeAddr is one node's bind and advertised addresses.
@@ -79,6 +82,7 @@ func GenerateConfigs(tc TopologyConfig) (map[wire.NodeID]DaemonConfig, error) {
 			Peers:           peers,
 			Links:           append([]LinkDef(nil), tc.Links...),
 			HelloIntervalMs: tc.HelloIntervalMs,
+			Shards:          tc.Shards,
 		}
 	}
 	return out, nil

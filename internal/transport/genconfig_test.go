@@ -18,6 +18,7 @@ func validTopo() TopologyConfig {
 			3: {UDP: []string{"10.0.2.1:7000"}},
 		},
 		HelloIntervalMs: 50,
+		Shards:          2,
 	}
 }
 
@@ -38,6 +39,9 @@ func TestGenerateConfigs(t *testing.T) {
 	}
 	if len(c1.Links) != 2 || c1.HelloIntervalMs != 50 {
 		t.Fatalf("links/hello not propagated: %+v", c1)
+	}
+	if c1.Shards != 2 {
+		t.Fatalf("shard count not propagated: %d", c1.Shards)
 	}
 	if c3 := cfgs[3]; c3.BindTCP != "" {
 		t.Fatalf("node 3 got a TCP listener: %q", c3.BindTCP)

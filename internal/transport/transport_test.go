@@ -52,7 +52,7 @@ func startChain(t *testing.T, n int, clientsOn ...wire.NodeID) map[wire.NodeID]*
 			if peer == id {
 				continue
 			}
-			if err := d.udp.AddPeer(peer, as...); err != nil {
+			if err := d.AddPeer(peer, as...); err != nil {
 				t.Fatalf("AddPeer: %v", err)
 			}
 		}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"math/bits"
 	"net"
 	"net/netip"
 	"sync"
@@ -17,29 +18,66 @@ import (
 // remote addresses (one per underlay path, supporting multihoming across
 // provider-specific addresses).
 //
-// The data plane is batched and lock-light:
+// The data plane is sharded, batched, and lock-light. A shard is one
+// event loop plus one receive loop plus one coalescing tx ring; flows
+// partition across shards by a deterministic hash of (peer NodeID,
+// underlay address), so per-flow frame ordering is free — one flow never
+// spans two shards.
 //
-//   - Receive: a batch reader (recvmmsg on Linux, per-datagram elsewhere)
-//     drains up to wire.ReadBatch datagrams per wakeup into a pooled slab,
-//     copies each into a pooled wire.Buf, and posts ONE pooled dispatch
-//     record per batch onto the executor instead of one closure per packet.
-//   - Sender identification: source addresses resolve through an immutable
-//     peer table keyed by netip.AddrPort, read via an atomic pointer — no
-//     per-packet lock, no addr.String() allocation. AddPeer copies the
-//     table on write under a mutex and swaps the pointer.
-//   - Send: frames produced within one event-loop turn accumulate in a
-//     coalescing ring; a single flush posted on the executor hands the
-//     whole turn's frames to the kernel at once (sendmmsg on Linux, a
-//     write loop elsewhere).
+//   - Receive (Linux fast path, shards > 1): every shard binds its own
+//     SO_REUSEPORT socket on the underlay port, with a classic-BPF
+//     program attached to the group steering datagrams by UDP source
+//     port (shard = sport mod N). The kernel therefore delivers each
+//     remote endpoint's 4-tuple to one fixed socket, each shard drains
+//     its own socket with recvmmsg into its own pooled slab, and no two
+//     shards ever touch the same flow. If the program cannot be attached
+//     the kernel's seeded 4-tuple hash steers instead — still per-flow
+//     stable, just not balance-predictable (SteeredRx reports which).
+//   - Receive (portable path): one socket and one dispatcher read loop;
+//     the dispatcher steers each decoded datagram to its flow's shard by
+//     the same deterministic flow hash the tx side uses.
+//   - Delivery and cross-shard handoff: decoded frames travel from a
+//     receive loop to the owning shard's event loop over bounded SPSC
+//     rings (sim.SPSC), one ring per (reader, shard) pair, with an
+//     atomic doorbell that posts a pooled drain runner only on the
+//     empty→non-empty transition — under sustained load frames flow
+//     with no per-packet post and no lock on either side. A flow pinned
+//     to another shard (PinFlow; the daemon pins every peer to the
+//     control shard where the single-threaded node protocol lives) is
+//     handed off the same way.
+//   - Sender identification: source addresses resolve through an
+//     immutable peer table keyed by netip.AddrPort, read via an atomic
+//     pointer — no per-packet lock, no addr.String() allocation. The
+//     table carries a per-peer steering column (the pinned home shard);
+//     AddPeer/PinFlow copy the table on write under a mutex and swap
+//     the pointer.
+//   - Send: frames produced within one event-loop turn accumulate in
+//     the flow's shard tx ring; a single flush posted on that shard's
+//     executor hands the whole turn's frames to the kernel at once
+//     (sendmmsg on Linux through the shard's own socket, a write loop
+//     elsewhere), so tx kernel crossings run on shard cores instead of
+//     stealing protocol time.
 //
-// All per-direction batch/packet/byte counters live in metrics.WireStats.
+// All per-direction batch/packet/byte counters live in per-shard
+// metrics.WireStats; Stats aggregates them race-free.
 type UDPUnderlay struct {
-	conn *net.UDPConn
-	exec sim.Executor
-	// runnerExec is exec's RunnerExecutor view, nil when unsupported;
-	// posting through it avoids a closure allocation per batch.
-	runnerExec sim.RunnerExecutor
-	// handler receives frames on the executor. Immutable after New.
+	// conns are the bound sockets: one per shard on the Linux fast path
+	// with shards > 1, exactly one otherwise.
+	conns []*net.UDPConn
+	// shards hold the per-shard executor, tx ring, writer, and counters.
+	shards []*udpShard
+	// rings[k][s] hands frames from reader k to shard s's loop. Reader k
+	// is the only producer and shard s's loop the only consumer, so the
+	// rings are true SPSC.
+	rings [][]handoff
+	// rxDispatch marks the single-socket dispatcher layout (fewer
+	// sockets than shards): reader 0 steers by flow hash instead of
+	// trusting kernel steering.
+	rxDispatch bool
+	// steered reports that the reuseport steering program is attached.
+	steered bool
+	// handler receives frames on the owning shard's executor. Immutable
+	// after New.
 	handler func(from wire.NodeID, data []byte)
 
 	// table is the immutable peer snapshot; readers load it without
@@ -47,7 +85,22 @@ type UDPUnderlay struct {
 	table  atomic.Pointer[peerTable]
 	closed atomic.Bool
 	mu     sync.Mutex
-	done   chan struct{}
+	// done has one channel per read loop (per socket).
+	done []chan struct{}
+}
+
+// udpShard is one shard's share of the data plane: its executor, its
+// coalescing tx ring, its batch writer, and its counters. Shards are
+// separately allocated so their atomic counters do not share cache
+// lines.
+type udpShard struct {
+	u    *UDPUnderlay
+	idx  int
+	conn *net.UDPConn
+	exec sim.Executor
+	// runnerExec is exec's RunnerExecutor view, nil when unsupported;
+	// posting through it avoids a closure allocation per batch.
+	runnerExec sim.RunnerExecutor
 
 	// The send coalescing ring: Send appends under sendMu, the posted
 	// flush swaps pending with the spare slice and writes the batch out.
@@ -61,29 +114,65 @@ type UDPUnderlay struct {
 	writeMu sync.Mutex
 	writer  *batchWriter
 
-	// rxFree recycles batch dispatch records across the readLoop/executor
-	// boundary.
-	rxFree sync.Pool
-
 	stats metrics.WireStats
 }
 
-// maxPending bounds the coalescing ring; past it new frames are dropped
-// (best-effort, like IP) rather than buffering without bound.
+// maxPending bounds each shard's coalescing ring; past it new frames are
+// dropped (best-effort, like IP) rather than buffering without bound.
 const maxPending = 4096
 
+// handoffRingCap bounds each reader→shard SPSC ring: enough for many
+// full recvmmsg batches of headroom before overload sheds.
+const handoffRingCap = 1024
+
+// rxDrainQuota bounds how many frames one drain runner delivers before
+// re-posting itself, so a saturating flow cannot starve timers and
+// control work sharing the shard's loop.
+const rxDrainQuota = 4 * wire.ReadBatch
+
+// maxShards bounds the shard count (the readers' pending-doorbell set is
+// a 64-bit mask; far above any sane core count anyway).
+const maxShards = 64
+
+// shardSockBuf is the per-socket buffer request: batch reads amortize
+// kernel crossings only if bursts survive in the socket queue until the
+// shard's readLoop wakes, so every shard socket asks for a deep buffer.
+// The kernel clamps the request to net.core.rmem_max/wmem_max without
+// privilege, so failure is impossible and partial grants are fine.
+const shardSockBuf = 4 << 20
+
+// setShardSockBufs applies shardSockBuf to a freshly bound shard socket.
+func setShardSockBufs(conn *net.UDPConn) {
+	_ = conn.SetReadBuffer(shardSockBuf)
+	_ = conn.SetWriteBuffer(shardSockBuf)
+}
+
 // peerTable is an immutable snapshot of the peer registrations. A new
-// table replaces the old one wholesale on every AddPeer.
+// table replaces the old one wholesale on every AddPeer/PinFlow.
 type peerTable struct {
-	// peers maps a neighbor to its per-path addresses.
-	peers map[wire.NodeID][]netip.AddrPort
+	// peers maps a neighbor to its per-path addresses and its steering
+	// column entry.
+	peers map[wire.NodeID]peerEntry
 	// senders maps a source address to the neighbor it belongs to.
-	senders map[netip.AddrPort]wire.NodeID
+	senders map[netip.AddrPort]senderEntry
+}
+
+// peerEntry is one neighbor's addresses plus its pinned home shard (the
+// steering column; -1 means unpinned, flows hash to their shard).
+type peerEntry struct {
+	addrs []netip.AddrPort
+	home  int32
+}
+
+// senderEntry resolves one source address to its peer and home shard.
+type senderEntry struct {
+	id   wire.NodeID
+	home int32
 }
 
 var emptyPeerTable = &peerTable{
-	peers:   map[wire.NodeID][]netip.AddrPort{},
-	senders: map[netip.AddrPort]wire.NodeID{},
+	peers:   map[wire.NodeID]peerEntry{},
+	senders: map[netip.AddrPort]senderEntry{},
 }
 
 // outFrame is one coalesced datagram awaiting flush.
@@ -92,40 +181,77 @@ type outFrame struct {
 	buf *wire.Buf
 }
 
-// rxFrame is one received datagram awaiting dispatch.
+// rxFrame is one received datagram awaiting delivery on its shard.
 type rxFrame struct {
 	from wire.NodeID
 	buf  *wire.Buf
 }
 
-// rxBatch carries one receive wakeup's datagrams to the executor as a
-// single posted Runner.
-type rxBatch struct {
+// handoff is one reader→shard SPSC ring plus its doorbell and its
+// pre-allocated drain runner.
+type handoff struct {
+	ring *sim.SPSC[rxFrame]
+	bell atomic.Bool
+	d    drainRunner
+}
+
+// drainRunner delivers one handoff ring's frames on the target shard's
+// loop. It is posted at most once per empty→non-empty transition (the
+// doorbell) and re-posts itself while frames remain.
+type drainRunner struct {
 	u      *UDPUnderlay
-	frames []rxFrame
+	h      *handoff
+	target int
 }
 
-// Run dispatches the batch on the executor and recycles everything. After
-// Close no frame reaches the handler; the buffers are still released.
-func (b *rxBatch) Run() {
-	u := b.u
-	deliver := !u.closed.Load()
-	for i := range b.frames {
-		if deliver {
-			u.handler(b.frames[i].from, b.frames[i].buf.B)
-		}
-		b.frames[i].buf.Release()
-		b.frames[i] = rxFrame{}
+// post rings the doorbell: the first caller to observe it clear posts
+// the drain; everyone else knows a drain is already queued or running.
+func (d *drainRunner) post() {
+	if d.h.bell.CompareAndSwap(false, true) {
+		d.u.shards[d.target].post(d)
 	}
-	b.frames = b.frames[:0]
-	u.rxFree.Put(b)
 }
 
-// flushRunner posts the send-ring flush without allocating a closure.
-type flushRunner struct{ u *UDPUnderlay }
+// Run implements sim.Runner on the target shard's loop. After Close no
+// frame reaches the handler; the buffers are still released.
+func (d *drainRunner) Run() {
+	h := d.h
+	h.bell.Store(false)
+	u := d.u
+	s := u.shards[d.target]
+	deliver := !u.closed.Load()
+	for i := 0; i < rxDrainQuota; i++ {
+		f, ok := h.ring.Pop()
+		if !ok {
+			break
+		}
+		if deliver {
+			u.handler(f.from, f.buf.B)
+			s.stats.RecvDelivered.Add(1)
+		}
+		f.buf.Release()
+	}
+	if !h.ring.Empty() {
+		d.post()
+	}
+}
+
+// flushRunner posts a shard's send-ring flush without allocating a
+// closure.
+type flushRunner struct{ s *udpShard }
 
 // Run implements sim.Runner.
-func (f *flushRunner) Run() { f.u.flush() }
+func (f *flushRunner) Run() { f.s.flush() }
+
+// post enqueues r on the shard's executor, preferring the allocation-free
+// RunnerExecutor path.
+func (s *udpShard) post(r sim.Runner) {
+	if s.runnerExec != nil {
+		s.runnerExec.PostRunner(r)
+	} else {
+		s.exec.Post(r.Run)
+	}
+}
 
 // canonAddrPort normalizes an address for table keys and lookups: IPv4
 // and IPv4-in-IPv6 forms of the same endpoint must collide.
@@ -133,46 +259,132 @@ func canonAddrPort(ap netip.AddrPort) netip.AddrPort {
 	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 }
 
-// NewUDPUnderlay binds a UDP socket and starts the receive loop; frames
-// are handed to handler on exec (the daemon's event loop), preserving the
-// single-threaded protocol model.
-func NewUDPUnderlay(bind string, exec sim.Executor, handler func(from wire.NodeID, data []byte)) (*UDPUnderlay, error) {
-	addr, err := net.ResolveUDPAddr("udp", bind)
-	if err != nil {
-		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+// flowShard is the deterministic flow partition: FNV-1a over the peer
+// NodeID and the underlay address (the link-session identity), reduced
+// mod the shard count. Both the tx ring choice and the portable rx
+// dispatcher use it, so a flow's send and receive work land on one
+// shard.
+func flowShard(id wire.NodeID, ap netip.AddrPort, n int) int {
+	if n <= 1 {
+		return 0
 	}
-	conn, err := net.ListenUDP("udp", addr)
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(id)) * prime
+	a := ap.Addr().As16()
+	for _, b := range a {
+		h = (h ^ uint64(b)) * prime
+	}
+	h = (h ^ uint64(ap.Port())) * prime
+	return int(h % uint64(n))
+}
+
+// NewUDPUnderlay binds a UDP socket and starts the receive loop; frames
+// are handed to handler on exec (the daemon's event loop), preserving
+// the single-threaded protocol model. It is the single-shard form of
+// NewShardedUDPUnderlay.
+func NewUDPUnderlay(bind string, exec sim.Executor, handler func(from wire.NodeID, data []byte)) (*UDPUnderlay, error) {
+	return NewShardedUDPUnderlay(bind, []sim.Executor{exec}, handler)
+}
+
+// NewShardedUDPUnderlay binds len(execs) data-plane shards on bind and
+// starts their receive loops. Frames are handed to handler on the owning
+// flow's shard executor: handler calls for different flows may run
+// concurrently (one call per shard at a time), but one flow's frames are
+// always delivered in order on one shard. Pass a sim.ShardedLoop's
+// Executors() for a deployed daemon.
+func NewShardedUDPUnderlay(bind string, execs []sim.Executor, handler func(from wire.NodeID, data []byte)) (*UDPUnderlay, error) {
+	n := len(execs)
+	if n == 0 {
+		return nil, fmt.Errorf("transport: sharded underlay needs at least one executor")
+	}
+	if n > maxShards {
+		return nil, fmt.Errorf("transport: %d shards exceeds the maximum of %d", n, maxShards)
+	}
+	conns, steered, err := openShardConns(bind, n)
 	if err != nil {
-		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
+		return nil, err
 	}
 	u := &UDPUnderlay{
-		conn:    conn,
-		exec:    exec,
-		handler: handler,
-		done:    make(chan struct{}),
+		conns:      conns,
+		rxDispatch: len(conns) < n,
+		steered:    steered,
+		handler:    handler,
 	}
-	u.runnerExec, _ = exec.(sim.RunnerExecutor)
-	u.flusher.u = u
 	u.table.Store(emptyPeerTable)
-	w, err := newBatchWriter(conn)
-	if err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("transport: batch writer: %w", err)
+	u.shards = make([]*udpShard, n)
+	for i := range u.shards {
+		conn := conns[0]
+		if len(conns) == n {
+			conn = conns[i]
+		}
+		s := &udpShard{u: u, idx: i, conn: conn, exec: execs[i]}
+		s.runnerExec, _ = execs[i].(sim.RunnerExecutor)
+		s.flusher.s = s
+		w, err := newBatchWriter(conn)
+		if err != nil {
+			u.closeConns()
+			return nil, fmt.Errorf("transport: batch writer: %w", err)
+		}
+		s.writer = w
+		u.shards[i] = s
 	}
-	u.writer = w
-	go u.readLoop()
+	u.rings = make([][]handoff, len(conns))
+	for k := range u.rings {
+		u.rings[k] = make([]handoff, n)
+		for s := range u.rings[k] {
+			h := &u.rings[k][s]
+			h.ring = sim.NewSPSC[rxFrame](handoffRingCap)
+			h.d = drainRunner{u: u, h: h, target: s}
+		}
+	}
+	u.done = make([]chan struct{}, len(conns))
+	for k := range u.done {
+		u.done[k] = make(chan struct{})
+		go u.readLoop(k)
+	}
 	return u, nil
 }
 
-// LocalAddr returns the bound address.
-func (u *UDPUnderlay) LocalAddr() string { return u.conn.LocalAddr().String() }
+func (u *UDPUnderlay) closeConns() {
+	for _, c := range u.conns {
+		_ = c.Close()
+	}
+}
 
-// Stats returns a snapshot of the underlay's datagram counters.
-func (u *UDPUnderlay) Stats() metrics.WireSnapshot { return u.stats.Snapshot() }
+// LocalAddr returns the bound address (shared by every shard socket:
+// with shards > 1 on Linux they form one SO_REUSEPORT group).
+func (u *UDPUnderlay) LocalAddr() string { return u.conns[0].LocalAddr().String() }
+
+// NumShards returns the data-plane shard count.
+func (u *UDPUnderlay) NumShards() int { return len(u.shards) }
+
+// SteeredRx reports whether the deterministic reuseport steering program
+// (shard = UDP source port mod shards) is attached; false means the
+// kernel's own 4-tuple hash steers (still per-flow stable) or the plane
+// is single-socket.
+func (u *UDPUnderlay) SteeredRx() bool { return u.steered }
+
+// Stats returns the aggregate of every shard's datagram counters.
+func (u *UDPUnderlay) Stats() metrics.WireSnapshot {
+	var agg metrics.WireSnapshot
+	for _, s := range u.shards {
+		agg = agg.Merge(s.stats.Snapshot())
+	}
+	return agg
+}
+
+// ShardStats returns shard i's own counters. Receive-side arrival
+// counters accrue to the shard that drained the socket; RecvDelivered
+// accrues to the shard whose loop ran the handler.
+func (u *UDPUnderlay) ShardStats(i int) metrics.WireSnapshot {
+	return u.shards[i].stats.Snapshot()
+}
 
 // AddPeer registers (or re-registers) a neighbor's addresses, one per
 // underlay path. Re-registration replaces the previous addresses: frames
-// from an address the peer no longer owns are dropped as unknown.
+// from an address the peer no longer owns are dropped as unknown. A pin
+// set with PinFlow survives re-registration.
 func (u *UDPUnderlay) AddPeer(id wire.NodeID, addrs ...string) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("transport: peer %v needs at least one address", id)
@@ -188,93 +400,131 @@ func (u *UDPUnderlay) AddPeer(id wire.NodeID, addrs ...string) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	old := u.table.Load()
-	nt := &peerTable{
-		peers:   make(map[wire.NodeID][]netip.AddrPort, len(old.peers)+1),
-		senders: make(map[netip.AddrPort]wire.NodeID, len(old.senders)+len(resolved)),
+	home := int32(-1)
+	if ent, ok := old.peers[id]; ok {
+		home = ent.home
 	}
-	for k, v := range old.peers {
+	u.table.Store(old.withPeer(id, peerEntry{addrs: resolved, home: home}))
+	return nil
+}
+
+// PinFlow pins a registered peer's flows to one shard (the steering
+// column): its frames are always delivered on that shard's executor
+// regardless of which shard they arrive on, and its tx frames coalesce
+// in that shard's ring. shard == -1 unpins (flows hash to their shard).
+// The deployed daemon pins every peer to the control shard, where the
+// single-threaded node protocol lives.
+//
+// Re-pinning a live flow moves it between loops: frames already queued
+// toward the old shard still deliver there, so cross-shard ordering is
+// only guaranteed for assignments that are stable while traffic flows.
+func (u *UDPUnderlay) PinFlow(id wire.NodeID, shard int) error {
+	if shard < -1 || shard >= len(u.shards) {
+		return fmt.Errorf("transport: pin peer %v: shard %d out of range [0,%d)", id, shard, len(u.shards))
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	old := u.table.Load()
+	ent, ok := old.peers[id]
+	if !ok {
+		return fmt.Errorf("transport: pin peer %v: not registered", id)
+	}
+	ent.home = int32(shard)
+	u.table.Store(old.withPeer(id, ent))
+	return nil
+}
+
+// withPeer returns a copy of the table with id's entry replaced and the
+// sender column rebuilt for it (stale addresses unregistered).
+func (t *peerTable) withPeer(id wire.NodeID, ent peerEntry) *peerTable {
+	nt := &peerTable{
+		peers:   make(map[wire.NodeID]peerEntry, len(t.peers)+1),
+		senders: make(map[netip.AddrPort]senderEntry, len(t.senders)+len(ent.addrs)),
+	}
+	for k, v := range t.peers {
 		if k != id {
 			nt.peers[k] = v
 		}
 	}
-	nt.peers[id] = resolved
-	for k, v := range old.senders {
+	nt.peers[id] = ent
+	for k, v := range t.senders {
 		// Skipping the peer's old entries unregisters any address it no
 		// longer owns.
-		if v != id {
+		if v.id != id {
 			nt.senders[k] = v
 		}
 	}
-	for _, ap := range resolved {
-		nt.senders[ap] = id
+	for _, ap := range ent.addrs {
+		nt.senders[ap] = senderEntry{id: id, home: ent.home}
 	}
-	u.table.Store(nt)
-	return nil
+	return nt
 }
 
-// Send implements node.Underlay: the frame joins the coalescing ring and
-// reaches the kernel in the flush posted for the current event-loop turn.
-// The bytes are copied into a pooled buffer before Send returns, so the
-// caller keeps ownership of data.
+// Send implements node.Underlay: the frame joins its flow's shard
+// coalescing ring and reaches the kernel in the flush posted for that
+// shard's current event-loop turn. The bytes are copied into a pooled
+// buffer before Send returns, so the caller keeps ownership of data.
+// Send is safe from any goroutine.
 func (u *UDPUnderlay) Send(neighbor wire.NodeID, path uint8, data []byte) {
 	if u.closed.Load() {
 		return
 	}
 	tbl := u.table.Load()
-	addrs := tbl.peers[neighbor]
-	if len(addrs) == 0 {
+	ent, ok := tbl.peers[neighbor]
+	if !ok || len(ent.addrs) == 0 {
 		return
 	}
-	addr := addrs[int(path)%len(addrs)]
+	addr := ent.addrs[int(path)%len(ent.addrs)]
+	sh := int(ent.home)
+	if sh < 0 {
+		sh = flowShard(neighbor, addr, len(u.shards))
+	}
+	s := u.shards[sh]
 	buf := wire.DefaultBufPool.Get(len(data))
 	buf.B = append(buf.B, data...)
-	u.sendMu.Lock()
-	if len(u.pending) >= maxPending {
-		u.sendMu.Unlock()
+	s.sendMu.Lock()
+	if len(s.pending) >= maxPending {
+		s.sendMu.Unlock()
 		buf.Release()
-		u.stats.SendDropped.Add(1)
+		s.stats.SendDropped.Add(1)
 		return
 	}
-	u.pending = append(u.pending, outFrame{to: addr, buf: buf})
-	queued := u.flushQueued
-	u.flushQueued = true
-	u.sendMu.Unlock()
+	s.pending = append(s.pending, outFrame{to: addr, buf: buf})
+	queued := s.flushQueued
+	s.flushQueued = true
+	s.sendMu.Unlock()
 	if !queued {
-		if u.runnerExec != nil {
-			u.runnerExec.PostRunner(&u.flusher)
-		} else {
-			u.exec.Post(u.flush)
-		}
+		s.post(&s.flusher)
 	}
 }
 
-// flush writes every coalesced frame out in one batch. It runs on the
-// executor, so frames produced within one event-loop turn share a single
-// kernel crossing.
-func (u *UDPUnderlay) flush() {
-	u.sendMu.Lock()
-	frames := u.pending
-	u.pending = u.spare[:0]
+// flush writes every frame coalesced on this shard out in one batch. It
+// runs on the shard's executor, so frames produced within one event-loop
+// turn share a single kernel crossing.
+func (s *udpShard) flush() {
+	s.sendMu.Lock()
+	frames := s.pending
+	s.pending = s.spare[:0]
 	// Detach spare until the scan below finishes: a concurrent flush (only
 	// possible with an inline executor) must not adopt frames as its new
 	// pending while this one is still releasing entries outside the lock.
-	u.spare = nil
-	u.flushQueued = false
-	u.sendMu.Unlock()
+	s.spare = nil
+	s.flushQueued = false
+	s.sendMu.Unlock()
 	if len(frames) > 0 {
-		if u.closed.Load() {
-			u.stats.SendDropped.Add(uint64(len(frames)))
+		if s.u.closed.Load() {
+			s.stats.SendDropped.Add(uint64(len(frames)))
 		} else {
-			// The writer's header arrays are single-flush state; the event
+			// The writer's header arrays are single-flush state; the shard
 			// loop serializes flushes, so this is uncontended there.
-			u.writeMu.Lock()
-			sent, dropped, bytes := u.writer.send(frames)
-			u.writeMu.Unlock()
-			u.stats.SendBatches.Add(1)
-			u.stats.SendPackets.Add(uint64(sent))
-			u.stats.SendBytes.Add(bytes)
+			s.writeMu.Lock()
+			sent, dropped, bytes := s.writer.send(frames)
+			s.writeMu.Unlock()
+			s.stats.SendBatches.Add(1)
+			s.stats.SendPackets.Add(uint64(sent))
+			s.stats.SendBytes.Add(bytes)
 			if dropped > 0 {
-				u.stats.SendDropped.Add(uint64(dropped))
+				s.stats.SendDropped.Add(uint64(dropped))
 			}
 		}
 		for i := range frames {
@@ -282,21 +532,35 @@ func (u *UDPUnderlay) flush() {
 			frames[i] = outFrame{}
 		}
 	}
-	u.sendMu.Lock()
-	u.spare = frames[:0]
-	u.sendMu.Unlock()
+	s.sendMu.Lock()
+	s.spare = frames[:0]
+	s.sendMu.Unlock()
 }
 
 // PathCount implements node.Underlay.
 func (u *UDPUnderlay) PathCount(neighbor wire.NodeID) int {
-	if n := len(u.table.Load().peers[neighbor]); n > 0 {
+	if n := len(u.table.Load().peers[neighbor].addrs); n > 0 {
 		return n
 	}
 	return 1
 }
 
-// Close shuts the socket and stops the receive loop. Frames already
-// posted toward the handler are released without being delivered.
+// Close shuts the data plane down along its single quiesce path:
+//
+//  1. mark closed — new Sends and queued drains become no-op releases;
+//  2. close every shard socket, which errors the readLoops out of their
+//     batch reads;
+//  3. wait for every readLoop to exit (their slabs return to the pool on
+//     the way out), so no producer touches a handoff ring or a counter
+//     afterward;
+//  4. release every shard tx ring's still-coalesced frames (they never
+//     reached the kernel; a queued flush observing closed would do the
+//     same release).
+//
+// Frames already handed toward a shard loop (in an SPSC ring with a
+// queued drain) are released without delivery when the drain runs —
+// identical to the pre-shard contract for posted batches. Close is
+// idempotent and safe to race.
 func (u *UDPUnderlay) Close() error {
 	u.mu.Lock()
 	if u.closed.Load() {
@@ -305,44 +569,44 @@ func (u *UDPUnderlay) Close() error {
 	}
 	u.closed.Store(true)
 	u.mu.Unlock()
-	err := u.conn.Close()
-	<-u.done
-	// Frames still coalesced were never handed to the kernel; a queued
-	// flush observing closed would do the same release.
-	u.sendMu.Lock()
-	frames := u.pending
-	u.pending = nil
-	u.sendMu.Unlock()
-	for i := range frames {
-		frames[i].buf.Release()
+	var err error
+	for _, c := range u.conns {
+		if e := c.Close(); e != nil && err == nil {
+			err = e
+		}
 	}
-	if len(frames) > 0 {
-		u.stats.SendDropped.Add(uint64(len(frames)))
+	for _, d := range u.done {
+		<-d
+	}
+	for _, s := range u.shards {
+		s.sendMu.Lock()
+		frames := s.pending
+		s.pending = nil
+		s.sendMu.Unlock()
+		for i := range frames {
+			frames[i].buf.Release()
+		}
+		if len(frames) > 0 {
+			s.stats.SendDropped.Add(uint64(len(frames)))
+		}
 	}
 	return err
 }
 
-// getRxBatch returns a recycled (or new) dispatch record.
-func (u *UDPUnderlay) getRxBatch() *rxBatch {
-	if v := u.rxFree.Get(); v != nil {
-		if b, ok := v.(*rxBatch); ok {
-			return b
-		}
-	}
-	return &rxBatch{u: u, frames: make([]rxFrame, 0, wire.ReadBatch)}
-}
-
-// readLoop drains the socket in batches until the connection closes. One
-// executor post covers every datagram of a wakeup.
-func (u *UDPUnderlay) readLoop() {
-	defer close(u.done)
-	br, err := newBatchReader(u.conn)
+// readLoop drains socket k in batches until the connection closes,
+// pushing each decoded datagram onto its owning shard's handoff ring and
+// ringing doorbells once per touched shard per wakeup.
+func (u *UDPUnderlay) readLoop(k int) {
+	defer close(u.done[k])
+	br, err := newBatchReader(u.conns[k])
 	if err != nil {
 		// The socket cannot be read (platform refuses raw access); the
 		// underlay stays up for sending only.
 		return
 	}
 	defer br.release()
+	nsh := len(u.shards)
+	arrival := u.shards[k]
 	for {
 		n, err := br.read()
 		if err != nil {
@@ -352,41 +616,54 @@ func (u *UDPUnderlay) readLoop() {
 			continue
 		}
 		tbl := u.table.Load()
-		batch := u.getRxBatch()
 		var bytes uint64
+		var touched uint64
 		for i := 0; i < n; i++ {
 			ln := br.lens[i]
 			bytes += uint64(ln)
-			id, ok := tbl.senders[br.addrs[i]]
+			ent, ok := tbl.senders[br.addrs[i]]
 			if !ok {
 				// Unknown senders are dropped: only registered overlay
 				// neighbors may inject frames.
-				u.stats.RecvUnknown.Add(1)
+				arrival.stats.RecvUnknown.Add(1)
 				continue
 			}
+			target := int(ent.home)
+			if target < 0 {
+				if u.rxDispatch {
+					target = flowShard(ent.id, br.addrs[i], nsh)
+				} else {
+					// Kernel steering already made the arrival socket this
+					// flow's home.
+					target = k
+				}
+			}
 			// Copy the datagram out of the slab into a pooled buffer; the
-			// handler borrows it, so it is recycled as soon as the handler
-			// returns. sync.Pool is safe across the readLoop/executor
-			// boundary.
-			data := wire.DefaultBufPool.Get(ln)
-			data.B = append(data.B, br.segment(i)[:ln]...)
-			batch.frames = append(batch.frames, rxFrame{from: id, buf: data})
+			// handler borrows it on the target shard's loop, and it is
+			// recycled as soon as the handler returns. The pools are safe
+			// across the readLoop/executor boundary.
+			buf := wire.DefaultBufPool.Get(ln)
+			buf.B = append(buf.B, br.segment(i)[:ln]...)
+			touched |= 1 << uint(target)
+			if !u.rings[k][target].ring.Push(rxFrame{from: ent.id, buf: buf}) {
+				buf.Release()
+				arrival.stats.HandoffDrops.Add(1)
+				continue
+			}
+			if target != k {
+				arrival.stats.Handoffs.Add(1)
+			}
 		}
-		u.stats.RecvBatches.Add(1)
-		u.stats.RecvPackets.Add(uint64(n))
-		u.stats.RecvBytes.Add(bytes)
-		if len(batch.frames) == 0 {
-			u.rxFree.Put(batch)
-			continue
+		arrival.stats.RecvBatches.Add(1)
+		arrival.stats.RecvPackets.Add(uint64(n))
+		arrival.stats.RecvBytes.Add(bytes)
+		for t := touched; t != 0; {
+			s := bits.TrailingZeros64(t)
+			t &^= 1 << uint(s)
+			u.rings[k][s].d.post()
 		}
 		if u.closed.Load() {
-			batch.Run() // releases without delivering
 			return
-		}
-		if u.runnerExec != nil {
-			u.runnerExec.PostRunner(batch)
-		} else {
-			u.exec.Post(batch.Run)
 		}
 	}
 }

@@ -9,6 +9,7 @@
 package transport
 
 import (
+	"fmt"
 	"net"
 	"net/netip"
 
@@ -18,6 +19,25 @@ import (
 // Plane identifies the compiled data plane for diagnostics and the
 // EXP-WIRE report.
 const Plane = "portable"
+
+// openShardConns on the portable plane always binds exactly one socket,
+// whatever the shard count: the single read loop becomes a dispatcher
+// that steers each decoded datagram to its flow's shard by the
+// deterministic flow hash (SO_REUSEPORT steering is a Linux fast-path
+// feature). Shard tx rings all flush through this socket — the net
+// package serializes concurrent writes safely.
+func openShardConns(bind string, n int) ([]*net.UDPConn, bool, error) {
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, false, fmt.Errorf("transport: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, false, fmt.Errorf("transport: listen %q: %w", bind, err)
+	}
+	setShardSockBufs(conn)
+	return []*net.UDPConn{conn}, false, nil
+}
 
 // batchReader reads one datagram per wakeup into slab segment 0.
 type batchReader struct {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sonet
+
+// raceEnabled reports whether this binary was built with the race
+// detector.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package sonet
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Under race, sync.Pool randomly drops a fraction of Puts to
+// shake out races, so allocation budgets that flow through wire.BufPool
+// are not measurable there.
+const raceEnabled = true
