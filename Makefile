@@ -33,9 +33,10 @@ experiments:
 	$(GO) run ./cmd/benchrun
 
 # Hot-path microbenchmarks: overlay forwarding, underlay send, scheduler
-# timer churn, the pooled wire round trip, the control-plane SPF /
-# reconvergence pair, and the batched UDP data plane over loopback.
-BENCH_PATTERN = Forwarding|MarshalAlloc|NetemuSend|SchedulerTimers|Packet|DisjointPaths|SPF|ConvergenceScale|UDP
+# timer churn, the fair-scheduler DRR core at 1k/10k/100k flows, the
+# pooled wire round trip, the control-plane SPF / reconvergence pair, and
+# the batched UDP data plane over loopback.
+BENCH_PATTERN = Forwarding|MarshalAlloc|NetemuSend|Sched|Packet|DisjointPaths|SPF|ConvergenceScale|UDP
 
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem .
@@ -48,10 +49,12 @@ bench-all:
 # warmed netemu.Send allocates (route cache + pooled buffers/events must
 # keep it at 0 allocs/op on a stable topology), if a warmed dense SPF
 # recompute allocates, if a warmed incremental single-link SPT repair
-# does, if a warmed whole-engine reconvergence does, or if the real UDP
-# data plane exceeds one amortized allocation per datagram.
+# does, if a warmed whole-engine reconvergence does, if the real UDP
+# data plane exceeds one amortized allocation per datagram, or if the
+# fair-scheduler DRR core allocates on a steady-state decision at up to
+# 100k concurrent flows.
 bench-guard:
-	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestIncrementalSPFAllocBudget|TestConvergenceAllocBudget|TestUDPTransportAllocBudget' -count=1 .
+	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestIncrementalSPFAllocBudget|TestConvergenceAllocBudget|TestUDPTransportAllocBudget|TestSchedAllocBudget' -count=1 .
 
 # Diff current hot-path benchmark numbers against the checked-in baseline:
 # ns/op may drift within the baseline's tolerance, allocs/op may not grow.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"sonet/internal/experiments"
+	"sonet/internal/itmsg"
 	"sonet/internal/netemu"
 	"sonet/internal/node"
 	"sonet/internal/routing"
@@ -966,5 +967,109 @@ func TestConvergenceAllocBudget(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(100, reconverge); avg > 0 {
 		t.Fatalf("warmed reconvergence allocates %.2f allocs/op, budget is 0", avg)
+	}
+}
+
+// ---- fair-scheduler DRR core ----
+
+// schedBenchKey spreads i across distinct (src, dst) flow identities.
+func schedBenchKey(i int) itmsg.FlowKey {
+	return itmsg.FlowKey{Src: wire.NodeID(i%60000 + 1), Dst: wire.NodeID(i / 60000)}
+}
+
+// schedBenchCore builds a DRR core with n concurrently backlogged flows,
+// two byteless packets deep each — the steady state the decision
+// benchmark cycles.
+func schedBenchCore(n int) *itmsg.Core {
+	c := itmsg.NewCore(itmsg.CoreConfig{FlowBuffer: 4})
+	var p wire.Packet
+	p.Type = wire.PTData
+	p.Route = wire.RouteLinkState
+	for i := 0; i < n; i++ {
+		k := schedBenchKey(i)
+		p.Src, p.Dst = k.Src, k.Dst
+		c.Enqueue(k, &p)
+		c.Enqueue(k, &p)
+	}
+	return c
+}
+
+// BenchmarkSched measures one steady-state scheduling decision — dequeue
+// the next fair packet, re-enqueue into the same flow — with 1k, 10k, and
+// 100k flows concurrently backlogged. The §IV-B engine is O(1) per
+// decision: ns/op must not grow with the flow count (the seed scanned
+// every source per dequeue, ~O(n)). The churn variant measures the full
+// admit→serve→retire lifecycle of a one-shot flow.
+func BenchmarkSched(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			c := schedBenchCore(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, _, ok := c.Dequeue(0)
+				if !ok {
+					b.Fatal("scheduler idle with backlog")
+				}
+				c.Enqueue(itmsg.FlowKey{Src: p.Src, Dst: p.Dst}, p)
+			}
+		})
+	}
+	b.Run("churn", func(b *testing.B) {
+		c := itmsg.NewCore(itmsg.CoreConfig{FlowBuffer: 4})
+		var p wire.Packet
+		p.Type = wire.PTData
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := schedBenchKey(i % 50000)
+			p.Src, p.Dst = k.Src, k.Dst
+			c.Enqueue(k, &p)
+			if _, _, ok := c.Dequeue(0); !ok {
+				b.Fatal("scheduler idle")
+			}
+		}
+	})
+}
+
+// TestSchedAllocBudget guards the zero-allocation contract of the DRR
+// core (`make bench-guard`): a warmed steady-state decision must not
+// allocate at 1k or 100k backlogged flows, and neither must the one-shot
+// flow admit/retire cycle.
+func TestSchedAllocBudget(t *testing.T) {
+	for _, n := range []int{1000, 100000} {
+		c := schedBenchCore(n)
+		step := func() {
+			p, _, ok := c.Dequeue(0)
+			if !ok {
+				t.Fatal("scheduler idle with backlog")
+			}
+			c.Enqueue(itmsg.FlowKey{Src: p.Src, Dst: p.Dst}, p)
+		}
+		for i := 0; i < 256; i++ {
+			step()
+		}
+		if avg := testing.AllocsPerRun(200, step); avg > 0 {
+			t.Fatalf("n=%d: steady-state decision allocates %.2f allocs/op, budget is 0", n, avg)
+		}
+	}
+	c := itmsg.NewCore(itmsg.CoreConfig{FlowBuffer: 4})
+	var p wire.Packet
+	p.Type = wire.PTData
+	i := 0
+	churn := func() {
+		i++
+		k := schedBenchKey(i % 1024)
+		p.Src, p.Dst = k.Src, k.Dst
+		c.Enqueue(k, &p)
+		if _, _, ok := c.Dequeue(0); !ok {
+			t.Fatal("scheduler idle")
+		}
+	}
+	for j := 0; j < 2048; j++ {
+		churn() // warm the flow arena, entry pool, and hash table
+	}
+	if avg := testing.AllocsPerRun(200, churn); avg > 0 {
+		t.Fatalf("flow churn allocates %.2f allocs/op, budget is 0", avg)
 	}
 }

@@ -93,6 +93,14 @@ func (d *Daemon) Stats() NodeStats {
 	}
 }
 
+// SchedStats reports the daemon node's fair-scheduler accounting (drops
+// by cause, backpressure refusals, active-flow high-water mark),
+// aggregated across its intrusion-tolerant link disciplines. Safe from
+// any goroutine.
+func (d *Daemon) SchedStats() SchedStats {
+	return fromSchedSnapshot(d.inner.SchedStats())
+}
+
 // Close stops the daemon.
 func (d *Daemon) Close() { d.inner.Close() }
 

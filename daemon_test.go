@@ -93,3 +93,76 @@ func TestPublicDaemonAPI(t *testing.T) {
 		t.Fatal("relay daemon forwarded nothing")
 	}
 }
+
+// TestPublicDaemonSchedStats streams an intrusion-tolerant flow between
+// two real-UDP daemons and checks the fair-scheduler accounting surfaces
+// through the public Daemon API.
+func TestPublicDaemonSchedStats(t *testing.T) {
+	links := []DaemonLink{{A: 1, B: 2, Latency: time.Millisecond}}
+	daemons := make(map[NodeID]*Daemon, 2)
+	for i := NodeID(1); i <= 2; i++ {
+		d, err := StartDaemon(DaemonConfig{
+			ID: i, BindUDP: "127.0.0.1:0", BindTCP: "127.0.0.1:0",
+			Links: links, HelloInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartDaemon(%d): %v", i, err)
+		}
+		daemons[i] = d
+		t.Cleanup(d.Close)
+	}
+	if err := daemons[1].AddPeer(2, daemons[2].UDPAddr()); err != nil {
+		t.Fatalf("AddPeer: %v", err)
+	}
+	if err := daemons[2].AddPeer(1, daemons[1].UDPAddr()); err != nil {
+		t.Fatalf("AddPeer: %v", err)
+	}
+
+	var mu sync.Mutex
+	count := 0
+	recv, err := DialDaemon(daemons[2].TCPAddr(), 800, func(d Delivery) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("DialDaemon: %v", err)
+	}
+	defer func() { _ = recv.Close() }()
+	send, err := DialDaemon(daemons[1].TCPAddr(), 0, nil)
+	if err != nil {
+		t.Fatalf("DialDaemon: %v", err)
+	}
+	defer func() { _ = send.Close() }()
+	flow, err := send.OpenFlow(FlowSpec{To: 2, ToPort: 800, Service: ITReliable})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond) // hello convergence
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := flow.Send([]byte("fair")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		got := count
+		mu.Unlock()
+		if got == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d", got, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := daemons[1].SchedStats()
+	if st.Enqueued < n || st.Transmitted < n {
+		t.Fatalf("sender scheduler accounting = %+v, want >= %d enqueued and transmitted", st, n)
+	}
+	if st.Backpressure != 0 {
+		t.Fatalf("unexpected backpressure: %+v", st)
+	}
+}

@@ -21,6 +21,7 @@ const (
 	settleTime     = time.Second
 	streamInterval = 25 * time.Millisecond
 	mcastInterval  = 100 * time.Millisecond
+	itInterval     = 50 * time.Millisecond
 	tickInterval   = 500 * time.Millisecond
 	convergeBound  = 3500 * time.Millisecond
 	probeTime      = time.Second
@@ -36,6 +37,8 @@ const (
 	streamDstPort  = wire.Port(100)
 	mcastSrcPort   = wire.Port(51)
 	mcastPort      = wire.Port(200)
+	itSrcPort      = wire.Port(52)
+	itDstPort      = wire.Port(300)
 	probePort      = wire.Port(9)
 	chaosGroup     = wire.GroupID(7)
 	mcastMemberLo  = 1
@@ -108,8 +111,11 @@ type engine struct {
 	// Traffic state.
 	streamFlow *session.Flow
 	mcastFlow  *session.Flow
+	itFlow     *session.Flow
 	streamSent int
 	mcastSent  int
+	itSent     int
+	itGot      int
 	streamNext uint32
 	streamGot  int
 	mcastSeen  []map[uint32]bool
@@ -178,6 +184,7 @@ func (e *engine) run() {
 	o.RunFor(drainTime)
 	e.checkStream()
 	e.checkMulticast()
+	e.checkSched()
 	e.teardown()
 	e.stats.Campaigns.Add(1)
 	e.tracef("campaign end violations=%d", len(e.viol))
@@ -515,6 +522,29 @@ func (e *engine) setupTraffic() {
 		e.violate("engine", "stream flow: %v", err)
 		return
 	}
+	// A light intrusion-tolerant priority stream exercises the fair
+	// scheduler's drop/backpressure accounting under faults; the sched
+	// invariant cross-checks it against packet conservation at drain.
+	itSrc, err := o.Session(e.w.Nodes[streamSrcIndex]).Connect(itSrcPort)
+	if err != nil {
+		e.violate("engine", "it stream source: %v", err)
+		return
+	}
+	itDst, err := o.Session(e.w.Nodes[streamDstIndex]).Connect(itDstPort)
+	if err != nil {
+		e.violate("engine", "it stream destination: %v", err)
+		return
+	}
+	itDst.OnDeliver(func(session.Delivery) { e.itGot++ })
+	e.itFlow, err = itSrc.OpenFlow(session.FlowSpec{
+		DstNode:   e.w.Nodes[streamDstIndex],
+		DstPort:   itDstPort,
+		LinkProto: wire.LPITPriority,
+	})
+	if err != nil {
+		e.violate("engine", "it stream flow: %v", err)
+		return
+	}
 	msrc, err := o.Session(e.w.Nodes[streamSrcIndex]).Connect(mcastSrcPort)
 	if err != nil {
 		e.violate("engine", "multicast source: %v", err)
@@ -575,6 +605,14 @@ func (e *engine) scheduleTraffic() {
 		o.Sched.At(e.base+time.Duration(k)*mcastInterval, func() {
 			if e.mcastFlow != nil && e.mcastFlow.Send([]byte("mcast")) == nil {
 				e.mcastSent++
+			}
+		})
+	}
+	nIT := int(e.camp.Duration / itInterval)
+	for k := 0; k < nIT; k++ {
+		o.Sched.At(e.base+time.Duration(k)*itInterval, func() {
+			if e.itFlow != nil && e.itFlow.Send([]byte("fairshed")) == nil {
+				e.itSent++
 			}
 		})
 	}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"sonet/internal/metrics"
 	"sonet/internal/session"
 	"sonet/internal/wire"
 )
@@ -14,6 +15,7 @@ const (
 	InvReachable    = "reachability"
 	InvStream       = "session-loss"
 	InvHealth       = "health-counters"
+	InvSched        = "sched-accounting"
 )
 
 // scheduleConservationTicks arms the continuous packet-accounting check:
@@ -220,5 +222,33 @@ func (e *engine) checkMulticast() {
 			continue
 		}
 		e.tracef("multicast member %d: %d/%d unique deliveries", ni, len(e.mcastSeen[ni]), e.mcastSent)
+	}
+}
+
+// checkSched runs at the post-drain point: every node's fair-scheduler
+// accounting must balance — packets accepted into a scheduler equal
+// packets transmitted plus packets dropped (evicted or closed) plus
+// packets still queued. With the drain complete nothing should remain
+// queued, so an imbalance means the scheduler lost or invented a packet
+// somewhere under the fault script. Crash-restarted nodes report their
+// live incarnation's counters; each incarnation's identity must hold on
+// its own.
+func (e *engine) checkSched() {
+	e.stats.InvariantChecks.Add(1)
+	var agg metrics.SchedSnapshot
+	bad := 0
+	for _, id := range e.w.Nodes {
+		st := e.w.O.Node(id).SchedStats()
+		if !st.Balanced() {
+			bad++
+			e.violate(InvSched,
+				"node %v scheduler unbalanced: enqueued %d != transmitted %d + evicted %d + closed %d + queued %d",
+				id, st.Enqueued, st.Transmitted, st.DropEvicted, st.DropClosed, st.Queued)
+		}
+		agg = agg.Merge(st)
+	}
+	if bad == 0 {
+		e.tracef("invariant %s ok: %d it sends, fleet %d enqueued = %d transmitted + %d dropped + %d queued",
+			InvSched, e.itSent, agg.Enqueued, agg.Transmitted, agg.DropEvicted+agg.DropClosed, agg.Queued)
 	}
 }

@@ -24,6 +24,8 @@ type Result struct {
 	PaperClaim string
 	// Table holds the reproduced series.
 	Table *metrics.Table
+	// Extra holds supplementary tables (scale sweeps and the like).
+	Extra []*metrics.Table
 	// Findings are the headline measured numbers.
 	Findings []string
 	// ShapeHolds reports whether the paper's qualitative claim held (who
@@ -38,6 +40,10 @@ func (r *Result) String() string {
 	fmt.Fprintf(&b, "paper: %s\n\n", r.PaperClaim)
 	b.WriteString(r.Table.String())
 	b.WriteByte('\n')
+	for _, t := range r.Extra {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
 	for _, f := range r.Findings {
 		fmt.Fprintf(&b, "  • %s\n", f)
 	}

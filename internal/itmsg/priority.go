@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sonet/internal/link"
+	"sonet/internal/metrics"
 	"sonet/internal/sim"
 	"sonet/internal/wire"
 )
@@ -23,6 +24,16 @@ type SchedConfig struct {
 	DisableFairness bool
 	// TotalBuffer bounds the FIFO queue in the unfair baseline.
 	TotalBuffer int
+	// Classes is the number of strict-priority service classes in the
+	// scheduling core (0 or 1 keeps the paper's single-ring discipline;
+	// see CoreConfig.Classes).
+	Classes int
+	// ClassRates optionally shapes each class with a token bucket.
+	ClassRates []ClassRate
+	// Stats receives drop/backpressure accounting; nil gets a private
+	// sink. The node shares one SchedStats across its discipline
+	// instances so Daemon.SchedStats aggregates the whole QoS plane.
+	Stats *metrics.SchedStats
 }
 
 // DefaultSchedConfig returns production defaults: a 1000 pkt/s link with
@@ -50,103 +61,90 @@ func (c SchedConfig) interval() time.Duration {
 	return time.Duration(float64(time.Second) / c.Rate)
 }
 
+// coreConfig translates the discipline config for the scheduling core.
+func (c SchedConfig) coreConfig(policy OverflowPolicy) CoreConfig {
+	return CoreConfig{
+		FlowBuffer:  c.BufferPerSource,
+		Policy:      policy,
+		Classes:     c.Classes,
+		ClassRates:  c.ClassRates,
+		FIFO:        c.DisableFairness,
+		TotalBuffer: c.TotalBuffer,
+		Stats:       c.Stats,
+	}
+}
+
 // PriorityLink is the Intrusion-Tolerant Priority link discipline
 // (§IV-B): storage is allocated per source, active sources are served
 // round-robin, and when a source's buffer fills its oldest lowest-priority
 // message is dropped so the highest-priority messages stay timely. A
 // compromised source can therefore only ever consume its own share of the
-// link.
+// link. Queueing and service run on the zero-allocation DRR Core.
 type PriorityLink struct {
-	env link.Env
-	cfg SchedConfig
-
-	// bufs holds the per-source buffers; order is the round-robin ring.
-	bufs  map[wire.NodeID]*srcBuf
-	order []wire.NodeID
-	next  int
-
-	// fifo is the single queue in the unfair baseline.
-	fifo []*wire.Packet
+	env  link.Env
+	cfg  SchedConfig
+	core *Core
 
 	pacing bool
 	timer  sim.Timer
 	stats  link.Stats
 	// tx is the reusable frame for paced transmits.
 	tx wire.Frame
-	// Evicted counts messages dropped by buffer policy.
+	// evicted counts messages dropped by buffer policy on this link.
 	evicted uint64
 	closed  bool
-	// enqSeq is a monotonically increasing enqueue stamp used as the
-	// oldest-first tiebreaker.
-	enqSeq uint64
-}
-
-type srcBuf struct {
-	entries []prioEntry
-}
-
-type prioEntry struct {
-	p   *wire.Packet
-	seq uint64
 }
 
 var _ link.Protocol = (*PriorityLink)(nil)
+var _ link.TrySender = (*PriorityLink)(nil)
 
 // NewPriorityLink returns an IT-Priority endpoint.
 func NewPriorityLink(env link.Env, cfg SchedConfig) *PriorityLink {
+	cfg = cfg.withDefaults()
 	return &PriorityLink{
 		env:  env,
-		cfg:  cfg.withDefaults(),
-		bufs: make(map[wire.NodeID]*srcBuf),
+		cfg:  cfg,
+		core: NewCore(cfg.coreConfig(PolicyEvictLowest)),
 	}
 }
 
 // Send implements link.Protocol: it enqueues under the fair-allocation
 // policy and lets the pacer transmit at link rate. The packet is borrowed;
-// the queues store clones.
+// the core captures its bytes into pooled refcounted buffers.
 func (l *PriorityLink) Send(p *wire.Packet) {
 	if l.closed {
 		return
 	}
-	if l.cfg.DisableFairness {
-		if len(l.fifo) >= l.cfg.TotalBuffer {
-			l.evicted++
-			l.stats.SendDropped++
-			return
-		}
-		l.fifo = append(l.fifo, p.Clone())
+	l.enqueue(p)
+}
+
+// TrySend implements link.TrySender: like Send, but a packet refused by
+// the buffer policy returns link.ErrBackpressure instead of vanishing, so
+// originating callers (sessions) can slow down rather than lose traffic.
+func (l *PriorityLink) TrySend(p *wire.Packet) error {
+	if l.closed {
+		return link.ErrBackpressure
+	}
+	if !l.enqueue(p).Accepted() {
+		return link.ErrBackpressure
+	}
+	return nil
+}
+
+func (l *PriorityLink) enqueue(p *wire.Packet) Outcome {
+	outcome := l.core.Enqueue(FlowKey{Src: p.Src}, p)
+	switch outcome {
+	case Stored:
 		l.ensurePacing()
-		return
-	}
-	b, ok := l.bufs[p.Src]
-	if !ok {
-		b = &srcBuf{}
-		l.bufs[p.Src] = b
-		l.order = append(l.order, p.Src)
-	}
-	l.enqSeq++
-	if len(b.entries) >= l.cfg.BufferPerSource {
-		// Drop the oldest lowest-priority message of this source; if the
-		// newcomer is strictly lower priority than everything stored, it
-		// is itself the drop victim.
-		victim := -1
-		for i, e := range b.entries {
-			if victim == -1 || e.p.Priority < b.entries[victim].p.Priority ||
-				(e.p.Priority == b.entries[victim].p.Priority && e.seq < b.entries[victim].seq) {
-				victim = i
-			}
-		}
-		if victim >= 0 && p.Priority < b.entries[victim].p.Priority {
-			l.evicted++
-			l.stats.SendDropped++
-			return
-		}
-		b.entries = append(b.entries[:victim], b.entries[victim+1:]...)
+	case StoredEvicted:
+		l.evicted++
+		l.stats.SendDropped++
+		l.ensurePacing()
+	case RefusedLow, RefusedFIFO:
 		l.evicted++
 		l.stats.SendDropped++
 	}
-	b.entries = append(b.entries, prioEntry{p: p.Clone(), seq: l.enqSeq})
-	l.ensurePacing()
+	return outcome
 }
 
 func (l *PriorityLink) ensurePacing() {
@@ -162,65 +160,26 @@ func (l *PriorityLink) pace() {
 	if l.closed {
 		return
 	}
-	p := l.dequeue()
-	if p == nil {
+	now := l.env.Clock().Now()
+	p, buf, ok := l.core.Dequeue(now)
+	if !ok {
 		return
 	}
 	l.stats.DataSent++
 	l.tx = wire.Frame{
 		Proto:    wire.LPITPriority,
 		Kind:     wire.FData,
-		SendTime: l.env.Clock().Now(),
+		SendTime: now,
 		Packet:   p,
 	}
 	l.env.Transmit(&l.tx)
-	if l.hasBacklog() {
+	// Transmit marshals synchronously, so the captured bytes are done.
+	if buf != nil {
+		buf.Release()
+	}
+	if l.core.Backlog() > 0 {
 		l.ensurePacing()
 	}
-}
-
-func (l *PriorityLink) hasBacklog() bool {
-	if l.cfg.DisableFairness {
-		return len(l.fifo) > 0
-	}
-	for _, b := range l.bufs {
-		if len(b.entries) > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// dequeue applies the service discipline: round-robin over active sources,
-// highest priority first within a source, oldest first within a priority.
-func (l *PriorityLink) dequeue() *wire.Packet {
-	if l.cfg.DisableFairness {
-		if len(l.fifo) == 0 {
-			return nil
-		}
-		p := l.fifo[0]
-		l.fifo = l.fifo[1:]
-		return p
-	}
-	for range l.order {
-		src := l.order[l.next%len(l.order)]
-		l.next++
-		b := l.bufs[src]
-		if len(b.entries) == 0 {
-			continue
-		}
-		best := 0
-		for i, e := range b.entries {
-			if e.p.Priority > b.entries[best].p.Priority ||
-				(e.p.Priority == b.entries[best].p.Priority && e.seq < b.entries[best].seq) {
-				best = i
-			}
-		}
-		p := b.entries[best].p
-		b.entries = append(b.entries[:best], b.entries[best+1:]...)
-		return p
-	}
-	return nil
 }
 
 // HandleFrame implements link.Protocol.
@@ -240,11 +199,17 @@ func (l *PriorityLink) Evicted() uint64 { return l.evicted }
 
 // QueuedFor returns the queue depth for one source (diagnostics).
 func (l *PriorityLink) QueuedFor(src wire.NodeID) int {
-	if b, ok := l.bufs[src]; ok {
-		return len(b.entries)
-	}
-	return 0
+	return l.core.QueuedFor(FlowKey{Src: src})
 }
+
+// SetSourceWeight configures a source's DRR quantum (packets per
+// round-robin visit, default 1); it persists while the source is idle.
+func (l *PriorityLink) SetSourceWeight(src wire.NodeID, weight int) {
+	l.core.SetWeight(FlowKey{Src: src}, weight)
+}
+
+// Core exposes the scheduling engine (tests, diagnostics).
+func (l *PriorityLink) Core() *Core { return l.core }
 
 // Close implements link.Protocol.
 func (l *PriorityLink) Close() {
@@ -253,9 +218,5 @@ func (l *PriorityLink) Close() {
 		l.timer.Stop()
 		l.timer = nil
 	}
-	for src := range l.bufs {
-		delete(l.bufs, src)
-	}
-	l.order = nil
-	l.fifo = nil
+	l.core.Close()
 }

@@ -22,17 +22,14 @@ type FlowKey struct {
 // hop-by-hop Reliable Data Link underneath for loss recovery. When a
 // flow's buffer fills the link stops accepting new messages for that flow,
 // creating backpressure toward the source while other flows keep their
-// full fair share.
+// full fair share. Queueing and service run on the zero-allocation DRR
+// Core; dequeued buffers transfer to the inner ARQ without copying.
 type ReliableFairLink struct {
-	env link.Env
-	cfg SchedConfig
+	env  link.Env
+	cfg  SchedConfig
+	core *Core
 
 	inner *link.Reliable
-
-	flows map[FlowKey]*flowQueue
-	order []FlowKey
-	next  int
-	fifo  []*wire.Packet
 
 	pacing bool
 	timer  sim.Timer
@@ -42,19 +39,17 @@ type ReliableFairLink struct {
 	closed   bool
 }
 
-type flowQueue struct {
-	entries []*wire.Packet
-}
-
 var _ link.Protocol = (*ReliableFairLink)(nil)
+var _ link.TrySender = (*ReliableFairLink)(nil)
 
 // NewReliableFairLink returns an IT-Reliable endpoint. rel configures the
 // underlying hop-by-hop ARQ.
 func NewReliableFairLink(env link.Env, cfg SchedConfig, rel link.ReliableConfig) *ReliableFairLink {
+	cfg = cfg.withDefaults()
 	l := &ReliableFairLink{
-		env:   env,
-		cfg:   cfg.withDefaults(),
-		flows: make(map[FlowKey]*flowQueue),
+		env:  env,
+		cfg:  cfg,
+		core: NewCore(cfg.coreConfig(PolicyReject)),
 	}
 	l.inner = link.NewReliable(&innerEnv{outer: env, proto: wire.LPITReliable}, rel)
 	return l
@@ -78,45 +73,43 @@ func (e *innerEnv) Deliver(p *wire.Packet) { e.outer.Deliver(p) }
 
 // Send implements link.Protocol: it enqueues under per-flow allocation;
 // the pacer feeds the underlying reliable link at capacity. The packet is
-// borrowed; the flow queues store clones.
+// borrowed; the core captures its bytes into pooled refcounted buffers.
 func (l *ReliableFairLink) Send(p *wire.Packet) {
 	if l.closed {
 		return
 	}
-	if l.cfg.DisableFairness {
-		if len(l.fifo) >= l.cfg.TotalBuffer {
-			l.rejected++
-			return
-		}
-		l.fifo = append(l.fifo, p.Clone())
+	l.enqueue(p)
+}
+
+// TrySend implements link.TrySender: like Send, but a packet refused
+// because its flow is saturated returns link.ErrBackpressure, the typed
+// signal sessions use to slow the source instead of losing traffic.
+func (l *ReliableFairLink) TrySend(p *wire.Packet) error {
+	if l.closed {
+		return link.ErrBackpressure
+	}
+	if !l.enqueue(p).Accepted() {
+		return link.ErrBackpressure
+	}
+	return nil
+}
+
+func (l *ReliableFairLink) enqueue(p *wire.Packet) Outcome {
+	outcome := l.core.Enqueue(FlowKey{Src: p.Src, Dst: p.Dst}, p)
+	if outcome.Accepted() {
 		l.ensurePacing()
-		return
-	}
-	key := FlowKey{Src: p.Src, Dst: p.Dst}
-	q, ok := l.flows[key]
-	if !ok {
-		q = &flowQueue{}
-		l.flows[key] = q
-		l.order = append(l.order, key)
-	}
-	if len(q.entries) >= l.cfg.BufferPerSource {
-		// Backpressure: refuse new messages for the saturated flow.
+	} else {
+		// Backpressure: the saturated flow's messages are refused.
 		l.rejected++
-		return
 	}
-	q.entries = append(q.entries, p.Clone())
-	l.ensurePacing()
+	return outcome
 }
 
 // Accepts reports whether the flow currently has buffer space — the
 // backpressure signal an upstream hop or source consults before handing
 // over another message.
 func (l *ReliableFairLink) Accepts(key FlowKey) bool {
-	if l.cfg.DisableFairness {
-		return len(l.fifo) < l.cfg.TotalBuffer
-	}
-	q, ok := l.flows[key]
-	return !ok || len(q.entries) < l.cfg.BufferPerSource
+	return l.core.Accepts(key)
 }
 
 func (l *ReliableFairLink) ensurePacing() {
@@ -132,52 +125,16 @@ func (l *ReliableFairLink) pace() {
 	if l.closed {
 		return
 	}
-	p := l.dequeue()
-	if p == nil {
+	p, buf, ok := l.core.Dequeue(l.env.Clock().Now())
+	if !ok {
 		return
 	}
-	// The dequeued packet was cloned at Send, so ownership transfers to the
-	// inner ARQ without another copy.
-	l.inner.SendOwned(p)
-	if l.hasBacklog() {
+	// The captured buffer transfers to the inner ARQ, which retains it for
+	// retransmission without another copy.
+	l.inner.SendStored(p, buf)
+	if l.core.Backlog() > 0 {
 		l.ensurePacing()
 	}
-}
-
-func (l *ReliableFairLink) hasBacklog() bool {
-	if l.cfg.DisableFairness {
-		return len(l.fifo) > 0
-	}
-	for _, q := range l.flows {
-		if len(q.entries) > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// dequeue serves active flows round-robin, FIFO within a flow.
-func (l *ReliableFairLink) dequeue() *wire.Packet {
-	if l.cfg.DisableFairness {
-		if len(l.fifo) == 0 {
-			return nil
-		}
-		p := l.fifo[0]
-		l.fifo = l.fifo[1:]
-		return p
-	}
-	for range l.order {
-		key := l.order[l.next%len(l.order)]
-		l.next++
-		q := l.flows[key]
-		if len(q.entries) == 0 {
-			continue
-		}
-		p := q.entries[0]
-		q.entries = q.entries[1:]
-		return p
-	}
-	return nil
 }
 
 // HandleFrame implements link.Protocol, feeding the inner ARQ.
@@ -196,11 +153,17 @@ func (l *ReliableFairLink) Rejected() uint64 { return l.rejected }
 
 // QueuedFor returns the queue depth for one flow (diagnostics).
 func (l *ReliableFairLink) QueuedFor(key FlowKey) int {
-	if q, ok := l.flows[key]; ok {
-		return len(q.entries)
-	}
-	return 0
+	return l.core.QueuedFor(key)
 }
+
+// SetFlowWeight configures a flow's DRR quantum (packets per round-robin
+// visit, default 1); it persists while the flow is idle.
+func (l *ReliableFairLink) SetFlowWeight(key FlowKey, weight int) {
+	l.core.SetWeight(key, weight)
+}
+
+// Core exposes the scheduling engine (tests, diagnostics).
+func (l *ReliableFairLink) Core() *Core { return l.core }
 
 // Close implements link.Protocol.
 func (l *ReliableFairLink) Close() {
@@ -209,10 +172,6 @@ func (l *ReliableFairLink) Close() {
 		l.timer.Stop()
 		l.timer = nil
 	}
-	for key := range l.flows {
-		delete(l.flows, key)
-	}
-	l.order = nil
-	l.fifo = nil
+	l.core.Close()
 	l.inner.Close()
 }

@@ -12,12 +12,32 @@
 package link
 
 import (
+	"errors"
 	"time"
 
 	"sonet/internal/metrics"
 	"sonet/internal/sim"
 	"sonet/internal/wire"
 )
+
+// ErrBackpressure reports that a bounded scheduler queue refused a packet
+// because the flow (or the shared buffer) is saturated. It is the typed
+// signal the fair disciplines raise through TrySend so originating
+// callers — sessions, applications — can slow down instead of silently
+// losing traffic; transit forwarding keeps the paper's drop semantics.
+var ErrBackpressure = errors.New("link: flow queue saturated (backpressure)")
+
+// TrySender is implemented by protocols whose admission policy can refuse
+// a packet (bounded per-flow queues). TrySend behaves exactly like Send
+// but reports the refusal with ErrBackpressure instead of dropping
+// silently. Protocols without admission control simply don't implement
+// it, and callers fall back to Send.
+type TrySender interface {
+	// TrySend transmits like Protocol.Send; it returns ErrBackpressure if
+	// the packet was refused by the admission policy. The packet is
+	// borrowed, as with Send.
+	TrySend(p *wire.Packet) error
+}
 
 // Env is what a link protocol instance needs from its host overlay node.
 //

@@ -92,10 +92,17 @@ type Reliable struct {
 	env Env
 	cfg ReliableConfig
 
-	// Sender state.
+	// Sender state. Retransmission slots hold the packet header inline
+	// and its bytes in a refcounted pooled buffer; drained slots recycle
+	// through a freelist so the steady-state send path allocates nothing.
 	nextSeq  uint32
 	unacked  map[uint32]*sentFrame
-	queue    []*wire.Packet
+	// queue is a bounded ring of slots waiting for window space (the
+	// seed's queue[1:] slice retained its consumed prefix; a ring cannot).
+	qbuf     []*sentFrame
+	qhead    int
+	qlen     int
+	freeSlot *sentFrame
 	rtoTimer sim.Timer
 	srtt     time.Duration
 	rto      time.Duration
@@ -113,8 +120,11 @@ type Reliable struct {
 }
 
 type sentFrame struct {
-	packet  *wire.Packet
+	pkt     wire.Packet
+	buf     *wire.Buf
 	retries int
+	// free links drained slots in the owner's freelist.
+	free *sentFrame
 }
 
 type pendingReq struct {
@@ -138,45 +148,117 @@ func NewReliable(env Env, cfg ReliableConfig) *Reliable {
 	}
 }
 
-// Send implements Protocol. The packet is borrowed; the link clones it
-// into its retransmission state.
+// newSlot returns a retransmission slot from the freelist (or fresh).
+func (r *Reliable) newSlot() *sentFrame {
+	if sf := r.freeSlot; sf != nil {
+		r.freeSlot = sf.free
+		sf.free = nil
+		return sf
+	}
+	return &sentFrame{}
+}
+
+// releaseSlot releases the slot's captured buffer and recycles it.
+func (r *Reliable) releaseSlot(sf *sentFrame) {
+	if sf.buf != nil {
+		sf.buf.Release()
+		sf.buf = nil
+	}
+	sf.pkt = wire.Packet{}
+	sf.retries = 0
+	sf.free = r.freeSlot
+	r.freeSlot = sf
+}
+
+// Send implements Protocol. The packet is borrowed; the link captures it
+// into a retransmission slot backed by a pooled refcounted buffer.
 func (r *Reliable) Send(p *wire.Packet) {
 	if r.closed {
 		return
 	}
-	r.SendOwned(p.Clone())
+	sf := r.newSlot()
+	sf.buf = wire.CapturePacket(&sf.pkt, p, wire.DefaultBufPool)
+	r.enqueueSlot(sf)
 }
 
-// SendOwned is Send for a packet whose ownership transfers to the link,
-// skipping the defensive clone. Callers that hand over packets they will
-// never touch again (e.g. a pacing queue that already cloned) use this to
-// avoid double-copying on the reliable path.
+// SendOwned is Send for a packet whose ownership transfers to the link
+// (its byte fields must be heap-owned, not pooled scratch), skipping the
+// defensive capture copy.
 func (r *Reliable) SendOwned(p *wire.Packet) {
 	if r.closed {
 		return
 	}
-	if len(r.unacked) >= r.cfg.Window {
-		if len(r.queue) >= r.cfg.QueueLimit {
-			r.stats.SendDropped++
-			return
-		}
-		r.queue = append(r.queue, p)
-		return
-	}
-	r.transmitNew(p)
+	sf := r.newSlot()
+	sf.pkt = *p
+	r.enqueueSlot(sf)
 }
 
-func (r *Reliable) transmitNew(p *wire.Packet) {
+// SendStored is Send for a packet whose byte fields are backed by buf, a
+// refcounted buffer whose ownership transfers to the link (a pacing queue
+// handing over its captured entry). The link releases buf once the frame
+// is acknowledged, abandoned, or closed; buf may be nil for a byteless
+// packet.
+func (r *Reliable) SendStored(p *wire.Packet, buf *wire.Buf) {
+	if r.closed {
+		if buf != nil {
+			buf.Release()
+		}
+		return
+	}
+	sf := r.newSlot()
+	sf.pkt = *p
+	sf.buf = buf
+	r.enqueueSlot(sf)
+}
+
+func (r *Reliable) enqueueSlot(sf *sentFrame) {
+	if len(r.unacked) >= r.cfg.Window {
+		if r.qlen >= r.cfg.QueueLimit {
+			r.stats.SendDropped++
+			r.releaseSlot(sf)
+			return
+		}
+		r.pushQueue(sf)
+		return
+	}
+	r.transmitNew(sf)
+}
+
+func (r *Reliable) pushQueue(sf *sentFrame) {
+	if r.qlen == len(r.qbuf) {
+		n := len(r.qbuf) * 2
+		if n == 0 {
+			n = 16
+		}
+		nb := make([]*sentFrame, n)
+		for i := 0; i < r.qlen; i++ {
+			nb[i] = r.qbuf[(r.qhead+i)%len(r.qbuf)]
+		}
+		r.qbuf, r.qhead = nb, 0
+	}
+	r.qbuf[(r.qhead+r.qlen)%len(r.qbuf)] = sf
+	r.qlen++
+}
+
+func (r *Reliable) popQueue() *sentFrame {
+	sf := r.qbuf[r.qhead]
+	r.qbuf[r.qhead] = nil
+	r.qhead = (r.qhead + 1) % len(r.qbuf)
+	r.qlen--
+	return sf
+}
+
+func (r *Reliable) transmitNew(sf *sentFrame) {
 	r.nextSeq++
 	seq := r.nextSeq
-	r.unacked[seq] = &sentFrame{packet: p}
+	r.unacked[seq] = sf
 	r.stats.DataSent++
 	r.tx = wire.Frame{
 		Proto:    wire.LPReliable,
 		Kind:     wire.FData,
 		Seq:      seq,
 		SendTime: r.env.Clock().Now(),
-		Packet:   p,
+		Packet:   &sf.pkt,
 	}
 	r.env.Transmit(&r.tx)
 	r.armRTO()
@@ -305,7 +387,7 @@ func (r *Reliable) onAck(f *wire.Frame) {
 			r.rto = clampDur(3*r.srtt, r.cfg.RTOMin)
 		}
 	}
-	for seq := range r.unacked {
+	for seq, sf := range r.unacked {
 		// Serial-number compares so the cumulative ack keeps clearing the
 		// window after the sequence space wraps past 2^32.
 		acked := seqLE(seq, f.Ack)
@@ -316,12 +398,11 @@ func (r *Reliable) onAck(f *wire.Frame) {
 		}
 		if acked {
 			delete(r.unacked, seq)
+			r.releaseSlot(sf)
 		}
 	}
-	for len(r.queue) > 0 && len(r.unacked) < r.cfg.Window {
-		p := r.queue[0]
-		r.queue = r.queue[1:]
-		r.transmitNew(p)
+	for r.qlen > 0 && len(r.unacked) < r.cfg.Window {
+		r.transmitNew(r.popQueue())
 	}
 	r.armRTO()
 }
@@ -338,6 +419,7 @@ func (r *Reliable) retransmit(seq uint32, entry *sentFrame) {
 	entry.retries++
 	if entry.retries > r.cfg.MaxRetries {
 		delete(r.unacked, seq)
+		r.releaseSlot(entry)
 		r.stats.SendDropped++
 		return
 	}
@@ -345,13 +427,13 @@ func (r *Reliable) retransmit(seq uint32, entry *sentFrame) {
 	// The retained packet is link-owned, so the retransmission flag can be
 	// set in place; Transmit marshals synchronously and the flag is sticky
 	// for the remaining retries anyway.
-	entry.packet.Flags |= wire.FRetrans
+	entry.pkt.Flags |= wire.FRetrans
 	r.tx = wire.Frame{
 		Proto:    wire.LPReliable,
 		Kind:     wire.FData,
 		Seq:      seq,
 		SendTime: r.env.Clock().Now(),
-		Packet:   entry.packet,
+		Packet:   &entry.pkt,
 	}
 	r.env.Transmit(&r.tx)
 }
@@ -393,7 +475,7 @@ func (r *Reliable) Stats() Stats { return r.stats }
 
 // OutstandingFrames returns the number of unacknowledged data frames —
 // used by tests and by backpressure-sensitive callers.
-func (r *Reliable) OutstandingFrames() int { return len(r.unacked) + len(r.queue) }
+func (r *Reliable) OutstandingFrames() int { return len(r.unacked) + r.qlen }
 
 // Close implements Protocol.
 func (r *Reliable) Close() {
@@ -405,11 +487,15 @@ func (r *Reliable) Close() {
 		delete(r.pendReqs, seq)
 	}
 	// Release retransmission and reordering buffers so a torn-down link
-	// holds no packet memory while awaiting GC.
-	for seq := range r.unacked {
+	// holds no packet memory (and returns no pooled bytes late).
+	for seq, sf := range r.unacked {
 		delete(r.unacked, seq)
+		r.releaseSlot(sf)
 	}
-	r.queue = nil
+	for r.qlen > 0 {
+		r.releaseSlot(r.popQueue())
+	}
+	r.qbuf = nil
 	for seq := range r.inOrder {
 		delete(r.inOrder, seq)
 	}

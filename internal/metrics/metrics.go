@@ -493,6 +493,140 @@ func (s ChaosSnapshot) Clean() bool {
 	return s.InvariantChecks > 0 && s.Violations == 0
 }
 
+// SchedStats counts fair-scheduler activity (§IV-B disciplines): packets
+// accepted into per-flow queues, packets handed to the pacer, drops by
+// cause, backpressure refusals signalled upstream, and flow-table
+// occupancy. The counters are atomic so deployment-mode monitoring readers
+// (Daemon.SchedStats) can snapshot them without coordinating with the
+// event loop; one stats instance may be shared by every discipline
+// instance on a node, so the gauges aggregate across links.
+//
+// Accounting identity: every packet accepted into a queue is eventually
+// transmitted, evicted by buffer policy, or discarded at Close, so at any
+// quiesce point Enqueued == Transmitted + DropEvicted + DropClosed +
+// Queued. Refusals (DropRefusedLow, DropFIFOOverflow, Backpressure) happen
+// before a packet is accepted and sit outside the identity. The chaos
+// engine's sched invariant asserts exactly this.
+//
+// The zero value is ready to use.
+type SchedStats struct {
+	// Enqueued counts packets accepted into a scheduler queue.
+	Enqueued atomic.Uint64
+	// Transmitted counts packets dequeued and handed to the pacer.
+	Transmitted atomic.Uint64
+	// DropEvicted counts stored packets evicted by the priority buffer
+	// policy (oldest lowest-priority victim of a full flow).
+	DropEvicted atomic.Uint64
+	// DropRefusedLow counts arriving packets refused because they were
+	// strictly lower priority than everything stored in their full flow.
+	DropRefusedLow atomic.Uint64
+	// DropFIFOOverflow counts packets refused by the unfair-baseline FIFO
+	// when its total buffer was full (the DisableFairness ablation).
+	DropFIFOOverflow atomic.Uint64
+	// DropClosed counts queued packets discarded when a link closed.
+	DropClosed atomic.Uint64
+	// Backpressure counts reject-policy refusals of a saturated flow — the
+	// typed signal propagated up to sessions and callers.
+	Backpressure atomic.Uint64
+	// FlowsRetired counts drained flows whose state was recycled to the
+	// freelist (the idle-flow leak fix: one-shot sources do not linger).
+	FlowsRetired atomic.Uint64
+	// Queued gauges packets currently stored across all queues.
+	Queued atomic.Int64
+	// ActiveFlows gauges flows currently holding scheduler state.
+	ActiveFlows atomic.Int64
+	// FlowsPeak is the high-water mark of ActiveFlows.
+	FlowsPeak atomic.Int64
+}
+
+// RecordFlowsPeak raises the high-water mark to n if it is higher.
+func (s *SchedStats) RecordFlowsPeak(n int64) {
+	for {
+		cur := s.FlowsPeak.Load()
+		if n <= cur || s.FlowsPeak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *SchedStats) Snapshot() SchedSnapshot {
+	return SchedSnapshot{
+		Enqueued:         s.Enqueued.Load(),
+		Transmitted:      s.Transmitted.Load(),
+		DropEvicted:      s.DropEvicted.Load(),
+		DropRefusedLow:   s.DropRefusedLow.Load(),
+		DropFIFOOverflow: s.DropFIFOOverflow.Load(),
+		DropClosed:       s.DropClosed.Load(),
+		Backpressure:     s.Backpressure.Load(),
+		FlowsRetired:     s.FlowsRetired.Load(),
+		Queued:           s.Queued.Load(),
+		ActiveFlows:      s.ActiveFlows.Load(),
+		FlowsPeak:        s.FlowsPeak.Load(),
+	}
+}
+
+// SchedSnapshot is a point-in-time copy of SchedStats.
+type SchedSnapshot struct {
+	// Enqueued counts packets accepted into a scheduler queue.
+	Enqueued uint64
+	// Transmitted counts packets dequeued for transmission.
+	Transmitted uint64
+	// DropEvicted counts stored packets evicted by buffer policy.
+	DropEvicted uint64
+	// DropRefusedLow counts packets refused as lowest-priority newcomers.
+	DropRefusedLow uint64
+	// DropFIFOOverflow counts unfair-baseline FIFO overflow drops.
+	DropFIFOOverflow uint64
+	// DropClosed counts queued packets discarded at Close.
+	DropClosed uint64
+	// Backpressure counts reject-policy refusals signalled upstream.
+	Backpressure uint64
+	// FlowsRetired counts drained flows recycled to the freelist.
+	FlowsRetired uint64
+	// Queued gauges packets currently stored.
+	Queued int64
+	// ActiveFlows gauges flows currently holding state.
+	ActiveFlows int64
+	// FlowsPeak is the ActiveFlows high-water mark.
+	FlowsPeak int64
+}
+
+// Merge returns the field-wise sum of two snapshots (gauges sum; FlowsPeak
+// takes the max, a conservative per-shard bound). A node aggregating
+// per-shard scheduler cores combines them with it.
+func (s SchedSnapshot) Merge(o SchedSnapshot) SchedSnapshot {
+	peak := s.FlowsPeak
+	if o.FlowsPeak > peak {
+		peak = o.FlowsPeak
+	}
+	return SchedSnapshot{
+		Enqueued:         s.Enqueued + o.Enqueued,
+		Transmitted:      s.Transmitted + o.Transmitted,
+		DropEvicted:      s.DropEvicted + o.DropEvicted,
+		DropRefusedLow:   s.DropRefusedLow + o.DropRefusedLow,
+		DropFIFOOverflow: s.DropFIFOOverflow + o.DropFIFOOverflow,
+		DropClosed:       s.DropClosed + o.DropClosed,
+		Backpressure:     s.Backpressure + o.Backpressure,
+		FlowsRetired:     s.FlowsRetired + o.FlowsRetired,
+		Queued:           s.Queued + o.Queued,
+		ActiveFlows:      s.ActiveFlows + o.ActiveFlows,
+		FlowsPeak:        peak,
+	}
+}
+
+// Balanced reports whether the drop-accounting identity holds: at a
+// quiesce point every enqueued packet must be transmitted, evicted, or
+// discarded at close, with the remainder still queued.
+func (s SchedSnapshot) Balanced() bool {
+	return s.Enqueued == s.Transmitted+s.DropEvicted+s.DropClosed+uint64(s.Queued)
+}
+
+// Dropped returns total packets lost to the scheduler by any cause.
+func (s SchedSnapshot) Dropped() uint64 {
+	return s.DropEvicted + s.DropRefusedLow + s.DropFIFOOverflow + s.DropClosed
+}
+
 // Latencies accumulates one-way delivery latencies for a flow.
 //
 // The zero value is ready to use.

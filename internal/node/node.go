@@ -18,6 +18,7 @@ import (
 	"sonet/internal/itmsg"
 	"sonet/internal/link"
 	"sonet/internal/linkstate"
+	"sonet/internal/metrics"
 	"sonet/internal/routing"
 	"sonet/internal/sim"
 	"sonet/internal/topology"
@@ -160,6 +161,10 @@ type Node struct {
 	// datagram; any component that retains packet state clones it.
 	rxFrame  wire.Frame
 	rxPacket wire.Packet
+
+	// schedStats aggregates fair-scheduler accounting across every
+	// discipline instance this node hosts (one sink, atomic counters).
+	schedStats *metrics.SchedStats
 }
 
 // New assembles a node. The deliver sink receives packets addressed to
@@ -189,6 +194,14 @@ func New(cfg Config) (*Node, error) {
 		byLink:    make(map[wire.LinkID]*neighborLink),
 		dedup:     newDedupTable(cfg.DedupCapacity),
 		deliver:   func(*wire.Packet) {},
+	}
+	// One scheduler-accounting sink serves every discipline instance on
+	// the node; an externally supplied one (Config.ITSched.Stats) lets a
+	// host aggregate several nodes or shards.
+	n.schedStats = cfg.ITSched.Stats
+	if n.schedStats == nil {
+		n.schedStats = &metrics.SchedStats{}
+		n.cfg.ITSched.Stats = n.schedStats
 	}
 	view := topology.NewView(cfg.Graph)
 	n.lsMgr = linkstate.NewManager(&lsEnv{n: n}, n.id, view, cfg.LinkState)
@@ -313,6 +326,12 @@ func (n *Node) LinkStateManager() *linkstate.Manager { return n.lsMgr }
 // Stats returns a snapshot of node counters.
 func (n *Node) Stats() Stats { return n.stats }
 
+// SchedStats returns the node's aggregated fair-scheduler accounting:
+// drops by cause, backpressure refusals, and flow-table occupancy across
+// every IT discipline instance the node hosts. The counters are atomic,
+// so the snapshot is safe from any goroutine.
+func (n *Node) SchedStats() metrics.SchedSnapshot { return n.schedStats.Snapshot() }
+
 // SetDeliver installs the session-level delivery sink.
 func (n *Node) SetDeliver(fn func(*wire.Packet)) {
 	if fn == nil {
@@ -373,7 +392,12 @@ func (n *Node) Originate(p *wire.Packet) error {
 		}
 	}
 	n.stats.Originated++
-	n.route(p, routing.NoLink)
+	if n.route(p, routing.NoLink) {
+		// Every egress discipline refused the packet and nothing was
+		// delivered locally: surface the typed backpressure signal so the
+		// session can slow the source instead of losing traffic silently.
+		return fmt.Errorf("node %v: originate: %w", n.id, link.ErrBackpressure)
+	}
 	return nil
 }
 
@@ -489,7 +513,14 @@ func (n *Node) routeAuthed(p *wire.Packet, arrived wire.LinkID) {
 // accounting, then local delivery. Forwarding runs first because the
 // decision's Forward slice is engine-owned scratch and local delivery can
 // re-enter the engine (session code may synchronously originate packets).
-func (n *Node) route(p *wire.Packet, arrived wire.LinkID) {
+//
+// It reports backpressure: true when the packet was locally originated
+// (arrived == NoLink), had egress links, every one of them refused it,
+// and it was not delivered locally. Origination probes disciplines via
+// link.TrySender so the refusal is observable; transit forwarding always
+// uses Send, keeping the paper's silent-drop semantics on the relay fast
+// path.
+func (n *Node) route(p *wire.Packet, arrived wire.LinkID) bool {
 	firstSeen := true
 	if p.Route != wire.RouteLinkState {
 		firstSeen = n.dedup.Observe(dedupKey{
@@ -514,6 +545,7 @@ func (n *Node) route(p *wire.Packet, arrived wire.LinkID) {
 			local = p.Clone()
 		}
 	}
+	sent, refused := 0, 0
 	if len(d.Forward) == 0 {
 		if !d.DeliverLocal && firstSeen {
 			n.stats.DroppedNoRoute++
@@ -522,21 +554,36 @@ func (n *Node) route(p *wire.Packet, arrived wire.LinkID) {
 		n.stats.DroppedTTL++
 	} else {
 		// One in-place decrement covers the whole fan-out: signatures
-		// exclude TTL, and every protocol that retains the packet clones
+		// exclude TTL, and every protocol that retains the packet captures
 		// it, so the borrowed p can feed all egress links.
 		p.TTL--
+		origination := arrived == routing.NoLink
 		for _, lid := range d.Forward {
 			nl, ok := n.byLink[lid]
 			if !ok {
 				continue
 			}
+			proto := n.protoFor(nl, p.LinkProto)
+			if origination {
+				if ts, ok := proto.(link.TrySender); ok {
+					if err := ts.TrySend(p); err != nil {
+						refused++
+						continue
+					}
+					sent++
+					n.stats.Forwarded++
+					continue
+				}
+			}
+			sent++
 			n.stats.Forwarded++
-			n.protoFor(nl, p.LinkProto).Send(p)
+			proto.Send(p)
 		}
 	}
 	if local != nil {
 		n.deliver(local)
 	}
+	return refused > 0 && sent == 0 && local == nil
 }
 
 // protoFor lazily instantiates the link protocol endpoint for one

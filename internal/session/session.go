@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"sonet/internal/link"
 	"sonet/internal/metrics"
 	"sonet/internal/node"
 	"sonet/internal/sim"
@@ -455,7 +456,15 @@ func (f *Flow) Close() {
 // Stats returns the flow's send-side accounting.
 func (f *Flow) Stats() *metrics.FlowStats { return &f.stats }
 
-// Send transmits one application message on the flow.
+// ErrBackpressure is returned by Send when every egress scheduler queue
+// refused the packet (the flow's fair-share buffer at the first hop is
+// saturated). The message was not queued anywhere: the application should
+// back off and retry rather than treat the flow as failed.
+var ErrBackpressure = link.ErrBackpressure
+
+// Send transmits one application message on the flow. A send refused by
+// first-hop admission control returns an error satisfying
+// errors.Is(err, ErrBackpressure).
 func (f *Flow) Send(payload []byte) error {
 	if f.client.closed {
 		return fmt.Errorf("session: send on closed client")

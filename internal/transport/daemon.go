@@ -188,6 +188,12 @@ func (d *Daemon) Node() *node.Node { return d.node }
 // packets, bytes per direction); safe from any goroutine.
 func (d *Daemon) WireStats() metrics.WireSnapshot { return d.udp.Stats() }
 
+// SchedStats returns the node's fair-scheduler accounting — drops by
+// cause, backpressure refusals, active-flow high-water mark — aggregated
+// across every IT discipline instance. The counters are atomic; safe from
+// any goroutine, no loop round-trip needed.
+func (d *Daemon) SchedStats() metrics.SchedSnapshot { return d.node.SchedStats() }
+
 // NodeStats reads the node's counters on the daemon loop, safely from any
 // goroutine. It returns zeros after Close.
 func (d *Daemon) NodeStats() node.Stats {

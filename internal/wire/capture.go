@@ -1,0 +1,32 @@
+package wire
+
+// CapturePacket copies src into dst for retention past the borrowing call
+// (queues, retransmission state), backing dst's byte fields with a single
+// pooled refcounted buffer instead of the fresh per-field allocations
+// Clone performs. It returns the backing Buf with reference count 1 —
+// ownership transfers to the caller, who must Release it (or hand it on)
+// once dst is no longer needed — or nil when src carries no bytes.
+//
+// dst's Sig and Payload alias the returned buffer: they are full-capacity
+// subslices, so appending to either is a misuse (it would clobber the
+// neighbouring field or the pool's recycled bytes).
+func CapturePacket(dst, src *Packet, pool *BufPool) *Buf {
+	*dst = *src
+	ns, np := len(src.Sig), len(src.Payload)
+	if ns+np == 0 {
+		dst.Sig, dst.Payload = nil, nil
+		return nil
+	}
+	buf := pool.Get(ns + np)
+	b := append(buf.B, src.Sig...)
+	b = append(b, src.Payload...)
+	buf.B = b
+	dst.Sig, dst.Payload = nil, nil
+	if ns > 0 {
+		dst.Sig = b[:ns:ns]
+	}
+	if np > 0 {
+		dst.Payload = b[ns:][:np:np]
+	}
+	return buf
+}

@@ -7,10 +7,16 @@ import (
 	"sonet/internal/core"
 	"sonet/internal/itmsg"
 	"sonet/internal/link"
+	"sonet/internal/metrics"
 	"sonet/internal/netemu"
 	"sonet/internal/node"
 	"sonet/internal/session"
 )
+
+// ErrBackpressure is returned by Flow.Send when every egress scheduler
+// queue refused the packet: the flow's fair-share buffer at the first hop
+// is saturated. Back off and retry; the flow itself stays usable.
+var ErrBackpressure = link.ErrBackpressure
 
 // Link describes one overlay link of an emulated network: two nodes, a
 // designed one-way latency, and the link's loss behaviour.
@@ -259,6 +265,62 @@ func (n *Network) NodeStats(id NodeID) (NodeStats, bool) {
 		Duplicates:     st.Duplicates,
 		Blackholed:     st.Blackholed,
 	}, true
+}
+
+// SchedStats reports a node's fair-scheduler accounting (§IV-B QoS
+// plane), aggregated across its intrusion-tolerant link disciplines.
+func (n *Network) SchedStats(id NodeID) (SchedStats, bool) {
+	nd := n.sim.Node(id)
+	if nd == nil {
+		return SchedStats{}, false
+	}
+	return fromSchedSnapshot(nd.SchedStats()), true
+}
+
+// SchedStats summarizes one node's fair-scheduler activity: queue
+// throughput, drops by cause, backpressure refusals, and flow-table
+// occupancy.
+type SchedStats struct {
+	// Enqueued counts packets accepted into scheduler queues.
+	Enqueued uint64
+	// Transmitted counts packets dequeued for transmission.
+	Transmitted uint64
+	// DropEvicted counts packets evicted by the priority buffer policy.
+	DropEvicted uint64
+	// DropRefusedLow counts packets refused as lowest-priority newcomers
+	// to a full flow.
+	DropRefusedLow uint64
+	// DropFIFOOverflow counts unfair-baseline FIFO overflow drops.
+	DropFIFOOverflow uint64
+	// DropClosed counts queued packets discarded when links closed.
+	DropClosed uint64
+	// Backpressure counts refusals signalled upstream as ErrBackpressure.
+	Backpressure uint64
+	// FlowsRetired counts drained flows whose scheduler state was
+	// recycled.
+	FlowsRetired uint64
+	// Queued is the number of packets currently stored.
+	Queued int64
+	// ActiveFlows is the number of flows currently holding state.
+	ActiveFlows int64
+	// FlowsPeak is the ActiveFlows high-water mark.
+	FlowsPeak int64
+}
+
+func fromSchedSnapshot(s metrics.SchedSnapshot) SchedStats {
+	return SchedStats{
+		Enqueued:         s.Enqueued,
+		Transmitted:      s.Transmitted,
+		DropEvicted:      s.DropEvicted,
+		DropRefusedLow:   s.DropRefusedLow,
+		DropFIFOOverflow: s.DropFIFOOverflow,
+		DropClosed:       s.DropClosed,
+		Backpressure:     s.Backpressure,
+		FlowsRetired:     s.FlowsRetired,
+		Queued:           s.Queued,
+		ActiveFlows:      s.ActiveFlows,
+		FlowsPeak:        s.FlowsPeak,
+	}
 }
 
 // NodeStats summarizes one overlay node's packet handling.

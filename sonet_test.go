@@ -1,6 +1,7 @@
 package sonet
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -380,5 +381,63 @@ func TestPublicAPINodeFailureAnycast(t *testing.T) {
 	net.Run(time.Second)
 	if got := len(m2.Deliveries()); got != 1 {
 		t.Fatalf("restored member served %d, want 1", got)
+	}
+}
+
+// TestPublicAPIBackpressureAndSchedStats drives an intrusion-tolerant
+// flow into a deliberately tiny per-flow buffer and checks the typed
+// backpressure signal surfaces at the public Send, with the refusals and
+// drains visible in the node's scheduler accounting.
+func TestPublicAPIBackpressureAndSchedStats(t *testing.T) {
+	net, err := New(1, apiDiamond(), WithITCapacity(50, 2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer net.Close()
+	dst, err := net.Connect(4, 100)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	src, err := net.Connect(1, 0)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	flow, err := src.OpenFlow(FlowSpec{To: 4, ToPort: 100, Service: ITReliable})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	// Without draining the emulation clock, the paced link cannot serve:
+	// the flow's 2-packet queue fills and further sends must refuse with
+	// the typed error rather than silently dropping.
+	refused := 0
+	for i := 0; i < 20; i++ {
+		if err := flow.Send([]byte{byte(i)}); err != nil {
+			if !errors.Is(err, ErrBackpressure) {
+				t.Fatalf("send %d: error %v, want ErrBackpressure", i, err)
+			}
+			refused++
+		}
+	}
+	if refused != 18 {
+		t.Fatalf("refused %d of 20 sends into a 2-packet queue, want 18", refused)
+	}
+	net.Run(2 * time.Second)
+	if got := len(dst.Deliveries()); got != 2 {
+		t.Fatalf("delivered %d, want the 2 accepted packets", got)
+	}
+	st, ok := net.SchedStats(1)
+	if !ok {
+		t.Fatal("SchedStats(1) not available")
+	}
+	if st.Backpressure != 18 || st.Enqueued != 2 || st.Transmitted != 2 || st.Queued != 0 {
+		t.Fatalf("scheduler accounting wrong: %+v", st)
+	}
+	// Once the queue drains, the flow accepts again.
+	if err := flow.Send([]byte("again")); err != nil {
+		t.Fatalf("send after drain: %v", err)
+	}
+	net.Run(time.Second)
+	if got := len(dst.Deliveries()); got != 1 {
+		t.Fatalf("delivered %d after recovery, want 1", got)
 	}
 }
