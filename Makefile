@@ -20,8 +20,14 @@ vet:
 test:
 	$(GO) test ./...
 
+# The race gate runs the full suite once, then re-runs the daemon suite
+# pinned at four protocol shards: the auto shard count collapses to one
+# on single-core CI runners, and the sharded protocol plane (per-shard
+# link sessions, COW snapshot readers, cross-shard clones) must be
+# race-checked even there.
 test-race:
 	$(GO) test -race ./...
+	SONET_DAEMON_SHARDS=4 $(GO) test -race -count=1 -run 'TestDaemon' ./internal/transport/
 
 race: test-race
 
@@ -52,9 +58,10 @@ bench-all:
 # does, if a warmed whole-engine reconvergence does, if the real UDP
 # data plane exceeds one amortized allocation per datagram, or if the
 # fair-scheduler DRR core allocates on a steady-state decision at up to
-# 100k concurrent flows.
+# 100k concurrent flows, or if transit forwarding through the whole
+# sharded daemon stack exceeds one amortized allocation per packet.
 bench-guard:
-	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestIncrementalSPFAllocBudget|TestConvergenceAllocBudget|TestUDPTransportAllocBudget|TestSchedAllocBudget' -count=1 .
+	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestIncrementalSPFAllocBudget|TestConvergenceAllocBudget|TestUDPTransportAllocBudget|TestSchedAllocBudget|TestDaemonForwardingAllocBudget' -count=1 .
 
 # Diff current hot-path benchmark numbers against the checked-in baseline:
 # ns/op may drift within the baseline's tolerance, allocs/op may not grow.

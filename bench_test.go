@@ -257,7 +257,7 @@ func newShardedWireRig(tb testing.TB, shards int) *shardedWireRig {
 	tb.Helper()
 	r := &shardedWireRig{shards: shards, loops: sim.NewShardedLoop(shards)}
 	r.flows = make([]*shardFlow, shards)
-	rx, err := transport.NewShardedUDPUnderlay("127.0.0.1:0", r.loops.Executors(), func(from wire.NodeID, _ []byte) {
+	rx, err := transport.NewShardedUDPUnderlay("127.0.0.1:0", r.loops.Executors(), func(_ int, from wire.NodeID, _ []byte) {
 		fl := r.flows[int(from)-1]
 		fl.count.Add(1)
 		select {
@@ -457,6 +457,300 @@ func TestUDPTransportAllocBudget(t *testing.T) {
 			})
 			if perPkt := avg / float64(window*shards); perPkt > 1 {
 				t.Fatalf("wire path allocates %.2f allocs/packet amortized, budget is 1", perPkt)
+			}
+		})
+	}
+}
+
+// ---- sharded daemon transit forwarding ----
+
+// daemonFwdFlow is one transit flow through the forwarding rig: a source
+// underlay whose UDP port residue steers its frames onto the daemon shard
+// that owns the source peer, a sink underlay standing in for the next-hop
+// neighbor homed on that same shard, and a pre-marshaled transit frame
+// the flow resends verbatim (link-state unicast skips the dedup window
+// and the best-effort link protocol keeps no per-frame state, so the
+// bytes are reusable). Only the flow's producer goroutine posts and
+// turns; the padding keeps per-flow counters on their own cache line.
+type daemonFwdFlow struct {
+	src, dst wire.NodeID
+	tx, sink *transport.UDPUnderlay
+	frame    []byte
+	turnQ    []func()
+	count    atomic.Uint64
+	wake     chan struct{}
+	_        [40]byte
+}
+
+func (f *daemonFwdFlow) Post(fn func()) { f.turnQ = append(f.turnQ, fn) }
+
+func (f *daemonFwdFlow) turn() {
+	for i, fn := range f.turnQ {
+		fn()
+		f.turnQ[i] = nil
+	}
+	f.turnQ = f.turnQ[:0]
+}
+
+// daemonFwdRig is the end-to-end transit arena: one middle daemon running
+// the sharded protocol plane, and per shard a (source, sink) driver pair
+// whose node ids hash-home on that shard. On the Linux steered plane a
+// transit frame then arrives on its owner shard, is decoded, verified,
+// routed against the copy-on-write forwarding snapshot, and retransmitted
+// out that shard's own send ring — never crossing a shard boundary.
+type daemonFwdRig struct {
+	shards int
+	d      *transport.Daemon
+	flows  []*daemonFwdFlow
+}
+
+// daemonFwdID is the transit daemon's node id, skipped by the per-shard
+// id picker.
+const daemonFwdID = wire.NodeID(400)
+
+func newDaemonFwdRig(tb testing.TB, shards, payload int) *daemonFwdRig {
+	tb.Helper()
+	r := &daemonFwdRig{shards: shards, flows: make([]*daemonFwdFlow, shards)}
+	// Pick source and sink node ids homed on each shard. The sink shares
+	// the source's home so the egress hop stays on the arrival shard.
+	next := wire.NodeID(1)
+	pick := func(home int) wire.NodeID {
+		for {
+			id := next
+			next++
+			if id != daemonFwdID && wire.HomeShard(id, shards) == home {
+				return id
+			}
+		}
+	}
+	var links []transport.LinkDef
+	for i := range r.flows {
+		fl := &daemonFwdFlow{src: pick(i), dst: pick(i), wake: make(chan struct{}, 1)}
+		r.flows[i] = fl
+		links = append(links,
+			transport.LinkDef{A: fl.src, B: daemonFwdID, LatencyMs: 1},
+			transport.LinkDef{A: daemonFwdID, B: fl.dst, LatencyMs: 1},
+		)
+	}
+	d, err := transport.NewDaemon(transport.DaemonConfig{
+		ID: daemonFwdID, BindUDP: "127.0.0.1:0", Links: links,
+		HelloIntervalMs: 3600000, Shards: shards,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r.d = d
+	tb.Cleanup(d.Close)
+	// Source ports chosen congruent to the flow's shard mod N, so the
+	// steering program's arrival socket IS the source peer's home shard.
+	// Ephemeral binds that miss the residue stay parked so the next bind
+	// draws a fresh port.
+	var parked []*transport.UDPUnderlay
+	for i, fl := range r.flows {
+		for fl.tx == nil {
+			tx, err := transport.NewUDPUnderlay("127.0.0.1:0", fl, func(wire.NodeID, []byte) {})
+			if err != nil {
+				tb.Fatal(err)
+			}
+			ap, err := netip.ParseAddrPort(tx.LocalAddr())
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if int(ap.Port())%shards == i {
+				fl.tx = tx
+				break
+			}
+			parked = append(parked, tx)
+			if len(parked) > 4096 {
+				tb.Fatal("could not cover all port residues")
+			}
+		}
+		fl := fl
+		sink, err := transport.NewUDPUnderlay("127.0.0.1:0", inlineExec{}, func(_ wire.NodeID, data []byte) {
+			// Count forwarded data frames only; the daemon also hellos
+			// its neighbors at startup.
+			if len(data) < 2 || wire.FrameKind(data[1]) != wire.FData {
+				return
+			}
+			fl.count.Add(1)
+			select {
+			case fl.wake <- struct{}{}:
+			default:
+			}
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		fl.sink = sink
+		if err := fl.tx.AddPeer(daemonFwdID, d.UDPAddr()); err != nil {
+			tb.Fatal(err)
+		}
+		if err := sink.AddPeer(daemonFwdID, d.UDPAddr()); err != nil {
+			tb.Fatal(err)
+		}
+		if err := d.AddPeer(fl.src, fl.tx.LocalAddr()); err != nil {
+			tb.Fatal(err)
+		}
+		if err := d.AddPeer(fl.dst, sink.LocalAddr()); err != nil {
+			tb.Fatal(err)
+		}
+		f := &wire.Frame{
+			Proto: wire.LPBestEffort, Kind: wire.FData, Seq: 1,
+			Packet: &wire.Packet{
+				Type: wire.PTData, Route: wire.RouteLinkState,
+				LinkProto: wire.LPBestEffort, TTL: 8,
+				Src: fl.src, Dst: fl.dst, FlowSeq: 1,
+				Payload: make([]byte, payload),
+			},
+		}
+		buf, err := f.Marshal()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		fl.frame = buf
+	}
+	for _, p := range parked {
+		_ = p.Close()
+	}
+	tb.Cleanup(func() {
+		for _, fl := range r.flows {
+			_ = fl.tx.Close()
+			fl.turn()
+			_ = fl.sink.Close()
+		}
+	})
+	return r
+}
+
+// pumpFlow drives n transit frames through one flow in credit windows
+// (send a window into the daemon, flush it in one turn, park until the
+// sink has received the forwarded copies). It returns false on a stall.
+func (r *daemonFwdRig) pumpFlow(f, n, window int) bool {
+	fl := r.flows[f]
+	start := fl.count.Load()
+	sent := 0
+	for sent < n {
+		burst := window
+		if burst > n-sent {
+			burst = n - sent
+		}
+		for i := 0; i < burst; i++ {
+			fl.tx.Send(daemonFwdID, 0, fl.frame)
+		}
+		fl.turn()
+		sent += burst
+		deadline := time.Now().Add(5 * time.Second)
+		for fl.count.Load() < start+uint64(sent) {
+			select {
+			case <-fl.wake:
+			case <-time.After(time.Until(deadline)):
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pump splits n transit frames across the flows and drives them from one
+// producer goroutine per flow — the multi-core protocol-path scaling
+// measurement.
+func (r *daemonFwdRig) pump(tb testing.TB, n, window int) {
+	tb.Helper()
+	per := n / r.shards
+	var stalled atomic.Bool
+	var wg sync.WaitGroup
+	for f := 0; f < r.shards; f++ {
+		quota := per
+		if f == 0 {
+			quota += n - per*r.shards
+		}
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(f, quota int) {
+			defer wg.Done()
+			if !r.pumpFlow(f, quota, window) {
+				stalled.Store(true)
+			}
+		}(f, quota)
+	}
+	wg.Wait()
+	if stalled.Load() {
+		tb.Fatalf("daemon forwarding pump stalled (%d shards): node %+v",
+			r.shards, r.d.NodeStats())
+	}
+}
+
+// pumpSerial drives the same traffic from the calling goroutine only,
+// interleaving the flows — the allocation-budget harness uses it so
+// testing.AllocsPerRun sees no goroutine churn.
+func (r *daemonFwdRig) pumpSerial(tb testing.TB, perFlow, window int) {
+	tb.Helper()
+	for f := 0; f < r.shards; f++ {
+		if !r.pumpFlow(f, perFlow, window) {
+			tb.Fatalf("serial daemon forwarding pump stalled on flow %d", f)
+		}
+	}
+}
+
+// BenchmarkDaemonForwarding measures end-to-end transit forwarding
+// through the full deployed protocol stack: recvmmsg batch read and
+// reuseport flow steering, zero-copy frame decode and verification on the
+// arrival shard, link-protocol receive, a routing decision against the
+// lock-free copy-on-write forwarding snapshot, in-place TTL accounting,
+// pooled re-encode, and a coalesced sendmmsg flush out the same shard's
+// ring. One op is one video-sized frame through the daemon; pps is the
+// sustained transit rate. The shards=N variants drive one flow per shard,
+// each homed on its arrival shard — on the Linux steered plane the whole
+// path runs on the owner shard and the handoffs metric must stay zero.
+func BenchmarkDaemonForwarding(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			rig := newDaemonFwdRig(b, shards, 1200)
+			rig.pump(b, 64*shards, 64) // warm pools, routes, and link sessions
+			b.ReportAllocs()
+			b.SetBytes(int64(len(rig.flows[0].frame)))
+			b.ResetTimer()
+			rig.pump(b, b.N, 64)
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pps")
+			var handoffs uint64
+			for i := 0; i < rig.d.Shards(); i++ {
+				handoffs += rig.d.ShardStats(i).Handoffs
+			}
+			b.ReportMetric(float64(handoffs), "handoffs")
+			if rig.d.SteeredRx() && handoffs != 0 {
+				b.Fatalf("transit frames crossed shards %d times on the steered plane, want 0", handoffs)
+			}
+		})
+	}
+}
+
+// TestDaemonForwardingAllocBudget is the allocation regression guard for
+// the sharded transit path (`make bench-guard`): once the buffer pools,
+// peer snapshot, link sessions, and forwarding snapshot are warm, moving
+// a frame through the whole daemon — wire rx, shard protocol engine, wire
+// tx — must not allocate (amortized under one allocation per packet, the
+// same budget the raw wire path holds; the protocol layer itself must add
+// zero).
+func TestDaemonForwardingAllocBudget(t *testing.T) {
+	if raceEnabled {
+		// sync.Pool randomly drops Puts under the race detector, so pool
+		// misses show up as mallocs that don't exist in real builds.
+		// bench-guard runs this without -race.
+		t.Skip("allocation budget not measurable under -race")
+	}
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rig := newDaemonFwdRig(t, shards, 1200)
+			const window = 64
+			rig.pumpSerial(t, 4*window, window) // warm every layer's pools
+			avg := testing.AllocsPerRun(50, func() {
+				rig.pumpSerial(t, window, window)
+			})
+			if perPkt := avg / float64(window*shards); perPkt > 1 {
+				t.Fatalf("daemon forwarding allocates %.2f allocs/packet amortized, budget is 1", perPkt)
 			}
 		})
 	}

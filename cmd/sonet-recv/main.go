@@ -114,7 +114,7 @@ func runWire(bind, peerBase string, shards, flows int, expect uint64) int {
 	var received, bytes atomic.Uint64
 	var firstNs, lastNs atomic.Int64
 	done := make(chan struct{}, 1)
-	u, err := transport.NewShardedUDPUnderlay(bind, loops.Executors(), func(_ wire.NodeID, data []byte) {
+	u, err := transport.NewShardedUDPUnderlay(bind, loops.Executors(), func(_ int, _ wire.NodeID, data []byte) {
 		now := time.Now().UnixNano()
 		firstNs.CompareAndSwap(0, now)
 		lastNs.Store(now)

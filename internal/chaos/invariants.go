@@ -247,6 +247,16 @@ func (e *engine) checkSched() {
 		}
 		agg = agg.Merge(st)
 	}
+	// The fleet aggregate must balance too: per-node ledgers could each
+	// balance while a merge bug (shard ledgers double-counted or dropped
+	// in aggregation) skewed the whole, so the summed identity is its own
+	// invariant.
+	if !agg.Balanced() {
+		e.violate(InvSched,
+			"fleet scheduler ledger unbalanced: enqueued %d != transmitted %d + evicted %d + closed %d + queued %d",
+			agg.Enqueued, agg.Transmitted, agg.DropEvicted, agg.DropClosed, agg.Queued)
+		return
+	}
 	if bad == 0 {
 		e.tracef("invariant %s ok: %d it sends, fleet %d enqueued = %d transmitted + %d dropped + %d queued",
 			InvSched, e.itSent, agg.Enqueued, agg.Transmitted, agg.DropEvicted+agg.DropClosed, agg.Queued)

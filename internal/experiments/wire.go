@@ -133,7 +133,7 @@ func newShardedPlane(shards int) (*shardedPlane, error) {
 		loops: sim.NewShardedLoop(shards),
 		wake:  make(chan struct{}, 1),
 	}
-	rx, err := transport.NewShardedUDPUnderlay("127.0.0.1:0", p.loops.Executors(), func(wire.NodeID, []byte) {
+	rx, err := transport.NewShardedUDPUnderlay("127.0.0.1:0", p.loops.Executors(), func(int, wire.NodeID, []byte) {
 		p.count.Add(1)
 		select {
 		case p.wake <- struct{}{}:

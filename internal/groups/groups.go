@@ -153,6 +153,20 @@ func (m *Manager) Leave(g wire.GroupID) {
 // LocalMember reports whether this node has local members of g.
 func (m *Manager) LocalMember(g wire.GroupID) bool { return m.local[g] > 0 }
 
+// LocalGroups returns the groups with local members, in no particular
+// order (a fresh slice; the caller may keep it). The routing engine's
+// forwarding-snapshot publisher uses it to freeze local membership for
+// lock-free readers on other shards.
+func (m *Manager) LocalGroups() []wire.GroupID {
+	out := make([]wire.GroupID, 0, len(m.local))
+	for g, n := range m.local {
+		if n > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
 // Members returns the overlay nodes currently holding members of g,
 // sorted by node ID. The returned slice is the manager's internal state:
 // the caller must not modify it, and it is valid only until the next

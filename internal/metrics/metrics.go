@@ -291,6 +291,11 @@ type WireStats struct {
 	// HandoffDrops counts frames dropped because the target shard's
 	// handoff ring was full (overload; best-effort like IP).
 	HandoffDrops atomic.Uint64
+	// ControlSteers counts frames the receive-path classifier redirected
+	// to the control shard (hellos, link-state, group-state): expected
+	// shard crossings of the control plane, kept out of Handoffs so that
+	// counter isolates data-plane steering misses.
+	ControlSteers atomic.Uint64
 }
 
 // Snapshot returns a consistent-enough copy of the counters.
@@ -308,6 +313,7 @@ func (s *WireStats) Snapshot() WireSnapshot {
 		RecvDelivered: s.RecvDelivered.Load(),
 		Handoffs:      s.Handoffs.Load(),
 		HandoffDrops:  s.HandoffDrops.Load(),
+		ControlSteers: s.ControlSteers.Load(),
 	}
 }
 
@@ -335,6 +341,8 @@ type WireSnapshot struct {
 	Handoffs uint64
 	// HandoffDrops counts frames dropped on a full handoff ring.
 	HandoffDrops uint64
+	// ControlSteers counts frames redirected to the control shard.
+	ControlSteers uint64
 }
 
 // Merge returns the field-wise sum of two snapshots; a sharded underlay
@@ -356,6 +364,7 @@ func (s WireSnapshot) Merge(o WireSnapshot) WireSnapshot {
 		RecvDelivered: s.RecvDelivered + o.RecvDelivered,
 		Handoffs:      s.Handoffs + o.Handoffs,
 		HandoffDrops:  s.HandoffDrops + o.HandoffDrops,
+		ControlSteers: s.ControlSteers + o.ControlSteers,
 	}
 }
 

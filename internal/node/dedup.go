@@ -1,6 +1,10 @@
 package node
 
-import "sonet/internal/wire"
+import (
+	"sync"
+
+	"sonet/internal/wire"
+)
 
 // dedupKey identifies a routing-level packet for duplicate suppression
 // across redundant dissemination (flooding, masks, multicast).
@@ -54,3 +58,60 @@ func (d *dedupTable) Observe(k dedupKey) bool {
 
 // Len returns the number of tracked keys.
 func (d *dedupTable) Len() int { return len(d.seen) }
+
+// dedupStripes is the stripe count of the shared table; a power of two so
+// the stripe pick is a mask.
+const dedupStripes = 16
+
+// sharedDedup is the cross-shard duplicate-suppression table a sharded
+// data plane uses in place of the single-threaded dedupTable: flood and
+// multicast copies of one packet arrive via different neighbors, which
+// home on different shards, so first-sighting must be decided against one
+// shared set. The set is striped by key hash — different packets contend
+// on different mutexes, and one packet's redundant copies serialize on
+// exactly one. Unicast traffic never touches it (link-state routing skips
+// dedup), so the contention-free fast path stays lock-free.
+type sharedDedup struct {
+	stripes [dedupStripes]dedupStripe
+}
+
+type dedupStripe struct {
+	mu sync.Mutex
+	t  *dedupTable
+	// pad keeps neighboring stripes' mutexes off one cache line.
+	_ [40]byte
+}
+
+// newSharedDedup builds a shared table with the given total capacity
+// split evenly across stripes.
+func newSharedDedup(capacity int) *sharedDedup {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	per := capacity / dedupStripes
+	if per < 16 {
+		per = 16
+	}
+	d := &sharedDedup{}
+	for i := range d.stripes {
+		d.stripes[i].t = newDedupTable(per)
+	}
+	return d
+}
+
+// Observe records the key and reports whether this was its first sighting
+// across every shard. Safe from any goroutine.
+func (d *sharedDedup) Observe(k dedupKey) bool {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(k.src)) * prime
+	h = (h ^ uint64(k.srcPort)) * prime
+	h = (h ^ uint64(k.dst)) * prime
+	h = (h ^ uint64(k.group)) * prime
+	h = (h ^ uint64(k.flowSeq)) * prime
+	s := &d.stripes[h&(dedupStripes-1)]
+	s.mu.Lock()
+	first := s.t.Observe(k)
+	s.mu.Unlock()
+	return first
+}

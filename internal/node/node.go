@@ -151,6 +151,12 @@ type Node struct {
 	deliver      func(*wire.Packet)
 	onViewChange func()
 
+	// plane, when attached, is the sharded data plane: peers homed on
+	// other shards have their link sessions there, duplicate suppression
+	// moves to the shared striped table, and the routing engine publishes
+	// forwarding snapshots after every control-plane change.
+	plane *DataPlane
+
 	stats        Stats
 	refreshTimer sim.Timer
 	closed       bool
@@ -230,10 +236,28 @@ func New(cfg Config) (*Node, error) {
 	return n, nil
 }
 
+// AttachDataPlane hands the node its sharded data plane. Must be called
+// on the control loop before Start: it switches duplicate suppression to
+// the shared table and arms snapshot publication, and Start publishes
+// the first snapshot.
+func (n *Node) AttachDataPlane(pl *DataPlane) {
+	if pl == nil {
+		return
+	}
+	n.plane = pl
+	n.engine.SetPublishTarget(&pl.snap)
+	for _, nl := range n.neighbors {
+		pl.setPath(nl.neighbor, nl.path)
+	}
+}
+
 // Start begins connectivity and group-state maintenance.
 func (n *Node) Start() {
 	n.lsMgr.Start()
 	n.scheduleGroupRefresh()
+	// With a data plane attached, shards need a snapshot before the first
+	// reconvergence publishes one.
+	n.engine.Publish()
 }
 
 // Stop cancels all timers and closes link protocol instances.
@@ -264,6 +288,9 @@ func (n *Node) resetLinkSessions(peer wire.NodeID, _ bool) {
 	nl.closeProtos()
 	nl.epoch++
 	nl.awaitPeer = true
+	if n.plane != nil {
+		n.plane.resetPeer(peer)
+	}
 }
 
 func (nl *neighborLink) closeProtos() {
@@ -302,6 +329,11 @@ func (n *Node) handlePeerEpoch(peer wire.NodeID, h uint32) {
 	case h == nl.epoch && nl.awaitPeer:
 		nl.closeProtos()
 		nl.awaitPeer = false
+	default:
+		return
+	}
+	if n.plane != nil {
+		n.plane.resetPeer(peer)
 	}
 }
 
@@ -328,9 +360,16 @@ func (n *Node) Stats() Stats { return n.stats }
 
 // SchedStats returns the node's aggregated fair-scheduler accounting:
 // drops by cause, backpressure refusals, and flow-table occupancy across
-// every IT discipline instance the node hosts. The counters are atomic,
-// so the snapshot is safe from any goroutine.
-func (n *Node) SchedStats() metrics.SchedSnapshot { return n.schedStats.Snapshot() }
+// every IT discipline instance the node hosts — data-shard ledgers
+// included when a plane is attached. The counters are atomic, so the
+// snapshot is safe from any goroutine.
+func (n *Node) SchedStats() metrics.SchedSnapshot {
+	agg := n.schedStats.Snapshot()
+	if n.plane != nil {
+		agg = agg.Merge(n.plane.SchedSnapshot())
+	}
+	return agg
+}
 
 // SetDeliver installs the session-level delivery sink.
 func (n *Node) SetDeliver(fn func(*wire.Packet)) {
@@ -509,6 +548,59 @@ func (n *Node) routeAuthed(p *wire.Packet, arrived wire.LinkID) {
 	n.route(p, arrived)
 }
 
+// routeFromShard routes a packet a data shard handed to the control
+// shard: a snapshot miss (uncomputed multicast tree) or a
+// pre-publication race. The shard did not touch the dedup table for a
+// handed-off packet, so the full route path here — its Observe included —
+// is the packet's first.
+func (n *Node) routeFromShard(p *wire.Packet, arrived wire.LinkID) {
+	if n.closed {
+		return
+	}
+	n.route(p, arrived)
+	// Routing may have computed a multicast tree on demand; republishing
+	// lets the group's subsequent packets stay on their arrival shards.
+	n.engine.PublishIfDirty()
+}
+
+// deliverFromShard hands a packet a data shard cloned for local delivery
+// to the session level (which lives on the control shard). The shard
+// already counted the delivery.
+func (n *Node) deliverFromShard(p *wire.Packet) {
+	if n.closed {
+		return
+	}
+	n.deliver(p)
+}
+
+// egressFromShard transmits a transit packet whose egress neighbor is
+// homed on the control shard.
+func (n *Node) egressFromShard(neighbor wire.NodeID, p *wire.Packet) {
+	if n.closed {
+		return
+	}
+	nl, ok := n.neighbors[neighbor]
+	if !ok {
+		return
+	}
+	n.stats.Forwarded++
+	n.protoFor(nl, p.LinkProto).Send(p)
+}
+
+// controlFromShard processes a control payload (LSA or group-state
+// announcement) that rode a data frame to a data shard's link protocol.
+func (n *Node) controlFromShard(from wire.NodeID, p *wire.Packet) {
+	if n.closed {
+		return
+	}
+	switch p.Type {
+	case wire.PTLinkState:
+		_ = n.lsMgr.HandleLSA(from, p)
+	case wire.PTGroupState:
+		_ = n.grpMgr.HandleAnnouncement(from, p)
+	}
+}
+
 // route applies the routing decision: per-link forwarding with TTL
 // accounting, then local delivery. Forwarding runs first because the
 // decision's Forward slice is engine-owned scratch and local delivery can
@@ -523,11 +615,19 @@ func (n *Node) routeAuthed(p *wire.Packet, arrived wire.LinkID) {
 func (n *Node) route(p *wire.Packet, arrived wire.LinkID) bool {
 	firstSeen := true
 	if p.Route != wire.RouteLinkState {
-		firstSeen = n.dedup.Observe(dedupKey{
+		k := dedupKey{
 			src: p.Src, srcPort: p.SrcPort,
 			dst: p.Dst, dstPort: p.DstPort,
 			group: p.Group, flowSeq: p.FlowSeq,
-		})
+		}
+		if n.plane != nil {
+			// Sharded: redundant copies of one packet arrive via neighbors
+			// homed on different shards, so first-sighting is decided
+			// against the shared striped table.
+			firstSeen = n.plane.dedup.Observe(k)
+		} else {
+			firstSeen = n.dedup.Observe(k)
+		}
 		if !firstSeen {
 			n.stats.Duplicates++
 		}
@@ -562,6 +662,19 @@ func (n *Node) route(p *wire.Packet, arrived wire.LinkID) bool {
 			nl, ok := n.byLink[lid]
 			if !ok {
 				continue
+			}
+			if n.plane != nil {
+				if home := n.plane.HomeOf(nl.neighbor); home != 0 {
+					// The egress link session lives on the neighbor's home
+					// shard; hand a clone over. Cross-shard origination
+					// backpressure is not synchronously observable — the
+					// owning shard applies drop semantics and accounts
+					// refusals in its own ledger — so the hop counts as
+					// sent here.
+					n.plane.egressTo(home, nl.neighbor, p.Clone())
+					sent++
+					continue
+				}
 			}
 			proto := n.protoFor(nl, p.LinkProto)
 			if origination {
@@ -693,10 +806,14 @@ func (e *lsEnv) SetPath(neighbor wire.NodeID, path uint8) {
 	if nl, ok := e.n.neighbors[neighbor]; ok {
 		nl.path = path
 	}
+	if e.n.plane != nil {
+		e.n.plane.setPath(neighbor, path)
+	}
 }
 
 func (e *lsEnv) ViewChanged() {
 	e.n.engine.Invalidate()
+	e.n.engine.Publish()
 	if e.n.onViewChange != nil {
 		e.n.onViewChange()
 	}
@@ -715,6 +832,7 @@ func (e *grpEnv) SendGroupState(neighbor wire.NodeID, payload []byte) {
 
 func (e *grpEnv) GroupsChanged() {
 	e.n.engine.Invalidate()
+	e.n.engine.Publish()
 	if e.n.onViewChange != nil {
 		e.n.onViewChange()
 	}

@@ -1,0 +1,634 @@
+// Per-shard data-path engines: the sharded daemon splits the overlay
+// node into shared control state (topology, link state, routing, groups,
+// sessions — single-threaded on shard 0, unchanged Node code) and one
+// DataShard per remaining event loop. Each peer is homed on one shard by
+// a stable hash of its node id (wire.HomeShard); that shard owns the
+// peer's link-protocol endpoints — sequencing and dedup windows, ARQ and
+// strikes state, the itmsg DRR cores — and forwards the peer's transit
+// frames end to end using the control shard's atomically-published
+// routing snapshot, so a transit data frame whose next hop shares its
+// arrival shard never crosses a shard boundary.
+//
+// Shard-crossing rules (everything crossing is cloned first):
+//
+//   - Control frames (hellos, link-state, group-state) are steered to
+//     shard 0 by the underlay's decode classifier; a shard that still
+//     sees one reroutes it to the control loop.
+//   - A transit packet whose egress neighbor is homed elsewhere is handed
+//     to that neighbor's home shard, which owns the egress link session.
+//   - Local deliveries post to the control shard, where the session
+//     manager lives.
+//   - A multicast packet whose tree the snapshot does not carry yet is
+//     handed to the control shard before duplicate suppression runs, so
+//     the control path's own dedup pass stays the packet's first.
+//   - Origination fan-out crossing shards is accepted without synchronous
+//     backpressure: the owning shard applies the paper's drop semantics
+//     and accounts refusals in its own scheduler ledger.
+package node
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sonet/internal/itmsg"
+	"sonet/internal/link"
+	"sonet/internal/metrics"
+	"sonet/internal/routing"
+	"sonet/internal/sim"
+	"sonet/internal/wire"
+)
+
+// ShardUnderlay is the substrate a sharded data plane transmits over: a
+// plain Underlay whose tx rings are per shard, so a data shard can flush
+// its egress through its own socket instead of the flow-hashed one.
+type ShardUnderlay interface {
+	Underlay
+	// SendOn transmits like Send but coalesces on shard's tx ring.
+	SendOn(shard int, neighbor wire.NodeID, path uint8, data []byte)
+}
+
+// DataPlane owns the per-shard engines of one sharded node and the state
+// they share: the published routing snapshot, the cross-shard dedup
+// table, the per-neighbor underlay-path column, and the shard homing of
+// every node in the topology.
+type DataPlane struct {
+	n      *Node
+	loops  *sim.ShardedLoop
+	under  ShardUnderlay
+	nshard int
+
+	// snap is the cell the control shard's routing engine publishes
+	// forwarding snapshots into; every shard (control included) loads it
+	// lock-free.
+	snap atomic.Pointer[routing.Snapshot]
+	// dedup is the cross-shard duplicate-suppression table; it replaces
+	// the node's single-threaded one while the plane is attached.
+	dedup *sharedDedup
+	// homes maps dense node index → home shard (stable for the process).
+	homes []int32
+	// paths holds the current underlay path per dense node index, written
+	// by the control shard's link-state machinery and read by every shard
+	// at transmit time.
+	paths []atomic.Uint32
+	// shards indexes the per-shard engines; entry 0 is nil (the control
+	// shard's peers stay on the Node itself).
+	shards []*DataShard
+}
+
+// DataShard is one data shard's protocol engine: the link-protocol
+// endpoints, decode scratch, QoS accounting sink, and packet counters for
+// the peers homed on it. All its methods run on its own event loop.
+type DataShard struct {
+	plane *DataPlane
+	idx   int
+	clock sim.Clock
+	peers map[wire.NodeID]*shardPeer
+
+	// rxFrame and rxPacket are this shard's receive-path decode scratch,
+	// the same in-place scheme Node uses.
+	rxFrame  wire.Frame
+	rxPacket wire.Packet
+	// fwd is reusable fan-out scratch.
+	fwd []shardHop
+
+	stats  Stats
+	sched  *metrics.SchedStats
+	itcfg  itmsg.SchedConfig
+	closed bool
+}
+
+// shardPeer is a data shard's endpoint of one homed overlay link.
+type shardPeer struct {
+	neighbor wire.NodeID
+	denseIdx int
+	linkID   wire.LinkID
+	latency  time.Duration
+	protos   map[wire.LinkProtoID]link.Protocol
+}
+
+// shardHop is one fan-out target: the egress neighbor and its home.
+type shardHop struct {
+	neighbor wire.NodeID
+	home     int32
+}
+
+// NewDataPlane assembles the per-shard engines for n over loops. clocks
+// supplies one clock per shard (index 0 unused), all sharing the node
+// clock's epoch so cross-shard timestamps compare. The caller attaches
+// the plane with Node.AttachDataPlane before Start.
+func NewDataPlane(n *Node, loops *sim.ShardedLoop, under ShardUnderlay, clocks []sim.Clock) *DataPlane {
+	nshard := loops.NumShards()
+	if nshard <= 1 {
+		return nil
+	}
+	g := n.cfg.Graph
+	pl := &DataPlane{
+		n:      n,
+		loops:  loops,
+		under:  under,
+		nshard: nshard,
+		dedup:  newSharedDedup(n.cfg.DedupCapacity),
+		homes:  make([]int32, g.NumNodes()),
+		paths:  make([]atomic.Uint32, g.NumNodes()),
+		shards: make([]*DataShard, nshard),
+	}
+	for i := range pl.homes {
+		pl.homes[i] = int32(wire.HomeShard(g.NodeAt(i), nshard))
+	}
+	for i := 1; i < nshard; i++ {
+		s := &DataShard{
+			plane: pl,
+			idx:   i,
+			clock: clocks[i],
+			peers: make(map[wire.NodeID]*shardPeer),
+			sched: &metrics.SchedStats{},
+		}
+		s.itcfg = n.cfg.ITSched
+		s.itcfg.Stats = s.sched
+		pl.shards[i] = s
+	}
+	for peer, nl := range n.neighbors {
+		idx, ok := g.NodeIndex(peer)
+		if !ok {
+			continue
+		}
+		home := pl.homes[idx]
+		if home == 0 {
+			continue
+		}
+		pl.shards[home].peers[peer] = &shardPeer{
+			neighbor: peer,
+			denseIdx: idx,
+			linkID:   nl.linkID,
+			latency:  nl.latency,
+			protos:   make(map[wire.LinkProtoID]link.Protocol),
+		}
+	}
+	return pl
+}
+
+// NumShards returns the plane's shard count.
+func (pl *DataPlane) NumShards() int { return pl.nshard }
+
+// HomeOf returns the home shard of an overlay node, or 0 for nodes
+// outside the topology.
+func (pl *DataPlane) HomeOf(id wire.NodeID) int {
+	if idx, ok := pl.n.cfg.Graph.NodeIndex(id); ok {
+		return int(pl.homes[idx])
+	}
+	return 0
+}
+
+// HandleUnderlay processes raw frame bytes delivered on shard's loop.
+// The daemon's underlay handler routes shard 0 to Node.HandleUnderlay
+// and every other shard here.
+func (pl *DataPlane) HandleUnderlay(shard int, from wire.NodeID, data []byte) {
+	if s := pl.shards[shard]; s != nil {
+		s.handleUnderlay(from, data)
+	}
+}
+
+// SchedSnapshot merges every data shard's fair-scheduler ledger. Safe
+// from any goroutine (the sinks are atomic).
+func (pl *DataPlane) SchedSnapshot() metrics.SchedSnapshot {
+	var agg metrics.SchedSnapshot
+	for _, s := range pl.shards {
+		if s != nil {
+			agg = agg.Merge(s.sched.Snapshot())
+		}
+	}
+	return agg
+}
+
+// ShardSchedStats returns one shard's own scheduler ledger (zero for the
+// control shard, whose disciplines account to the node sink).
+func (pl *DataPlane) ShardSchedStats(i int) metrics.SchedSnapshot {
+	if s := pl.shards[i]; s != nil {
+		return s.sched.Snapshot()
+	}
+	return metrics.SchedSnapshot{}
+}
+
+// Stats merges every data shard's packet counters, reading each on its
+// own loop. It must not be called after the loops close.
+func (pl *DataPlane) Stats() Stats {
+	ch := make(chan Stats, pl.nshard)
+	cnt := 0
+	for i := 1; i < pl.nshard; i++ {
+		s := pl.shards[i]
+		cnt++
+		pl.loops.PostTo(i, func() { ch <- s.stats })
+	}
+	var agg Stats
+	for ; cnt > 0; cnt-- {
+		agg = agg.Merge(<-ch)
+	}
+	return agg
+}
+
+// Snapshot returns the currently published forwarding snapshot (nil
+// before the first publication).
+func (pl *DataPlane) Snapshot() *routing.Snapshot { return pl.snap.Load() }
+
+// Close shuts every data shard down on its own loop — link protocols
+// close, their queued packets account as DropClosed in the shard ledger —
+// and waits. The daemon calls it after Node.Stop and before closing the
+// loops.
+func (pl *DataPlane) Close() {
+	done := make(chan struct{}, pl.nshard)
+	cnt := 0
+	for i := 1; i < pl.nshard; i++ {
+		s := pl.shards[i]
+		cnt++
+		pl.loops.PostTo(i, func() {
+			s.close()
+			done <- struct{}{}
+		})
+	}
+	for ; cnt > 0; cnt-- {
+		<-done
+	}
+}
+
+// setPath records the underlay path the control shard's link-state
+// machinery selected for a neighbor.
+func (pl *DataPlane) setPath(neighbor wire.NodeID, path uint8) {
+	if idx, ok := pl.n.cfg.Graph.NodeIndex(neighbor); ok {
+		pl.paths[idx].Store(uint32(path))
+	}
+}
+
+// resetPeer propagates a control-shard link reset (down/up transition,
+// session-epoch resync) to the peer's home shard, closing its protocol
+// endpoints there.
+func (pl *DataPlane) resetPeer(peer wire.NodeID) {
+	home := pl.HomeOf(peer)
+	if home == 0 {
+		return
+	}
+	s := pl.shards[home]
+	pl.loops.PostTo(home, func() { s.resetPeer(peer) })
+}
+
+// egressTo hands a cloned packet to the shard owning the egress link
+// session toward neighbor. home 0 routes to the Node on the control
+// loop.
+func (pl *DataPlane) egressTo(home int, neighbor wire.NodeID, cp *wire.Packet) {
+	if home == 0 {
+		pl.loops.PostTo(0, func() { pl.n.egressFromShard(neighbor, cp) })
+		return
+	}
+	s := pl.shards[home]
+	pl.loops.PostTo(home, func() { s.egress(neighbor, cp) })
+}
+
+// deliverToControl posts a cloned packet to the session level on the
+// control shard.
+func (pl *DataPlane) deliverToControl(cp *wire.Packet) {
+	pl.loops.PostTo(0, func() { pl.n.deliverFromShard(cp) })
+}
+
+// handoffToControl routes a cloned packet on the control shard: snapshot
+// misses (uncomputed multicast trees, pre-publication races) take the
+// slow path there, and the engine republishes anything it computed.
+func (pl *DataPlane) handoffToControl(cp *wire.Packet, arrived wire.LinkID) {
+	pl.loops.PostTo(0, func() { pl.n.routeFromShard(cp, arrived) })
+}
+
+// rerouteRaw clones raw frame bytes and replays them on another shard's
+// underlay entry point (control frames a shard still saw, or frames for
+// a peer homed elsewhere after a steering change).
+func (pl *DataPlane) rerouteRaw(target int, from wire.NodeID, data []byte) {
+	cp := append([]byte(nil), data...)
+	if target == 0 {
+		pl.loops.PostTo(0, func() { pl.n.HandleUnderlay(from, cp) })
+		return
+	}
+	s := pl.shards[target]
+	pl.loops.PostTo(target, func() { s.handleUnderlay(from, cp) })
+}
+
+// handleUnderlay decodes and dispatches one frame on this shard's loop,
+// mirroring Node.HandleUnderlay for homed peers.
+func (s *DataShard) handleUnderlay(from wire.NodeID, data []byte) {
+	n := s.plane.n
+	if s.closed || n.cfg.Compromised.DropAll {
+		return
+	}
+	f := &s.rxFrame
+	if _, err := wire.UnmarshalFrameInto(f, &s.rxPacket, data); err != nil {
+		return
+	}
+	if n.cfg.Keyring != nil && !n.cfg.Keyring.VerifyFrame(f, from) {
+		s.stats.DroppedAuth++
+		return
+	}
+	switch f.Kind {
+	case wire.FHello, wire.FHelloAck:
+		// Control the classifier should have steered; reroute it rather
+		// than silently eat a liveness probe.
+		s.plane.rerouteRaw(0, from, data)
+		return
+	}
+	sp, ok := s.peers[from]
+	if !ok {
+		// Not homed here (steering change in flight): replay on the home
+		// shard so the owning link session sees it.
+		if home := s.plane.HomeOf(from); home != s.idx {
+			s.plane.rerouteRaw(home, from, data)
+		}
+		return
+	}
+	s.protoFor(sp, f.Proto).HandleFrame(f)
+}
+
+// receiveFromLink accepts a packet a homed link protocol delivered.
+func (s *DataShard) receiveFromLink(sp *shardPeer, p *wire.Packet) {
+	if s.closed {
+		return
+	}
+	switch p.Type {
+	case wire.PTLinkState, wire.PTGroupState:
+		// Control payload that rode a data frame to this shard; the
+		// control-plane managers are single-threaded on shard 0.
+		cp := p.Clone()
+		from := sp.neighbor
+		s.plane.loops.PostTo(0, func() { s.plane.n.controlFromShard(from, cp) })
+	case wire.PTData, wire.PTSessionCtl:
+		s.handleData(p, sp.linkID)
+	}
+}
+
+// handleData applies compromise behaviour and authentication before
+// routing, mirroring Node.handleData for the shard path.
+func (s *DataShard) handleData(p *wire.Packet, arrived wire.LinkID) {
+	n := s.plane.n
+	if n.cfg.Compromised.DropData {
+		s.stats.Blackholed++
+		return
+	}
+	if n.cfg.Compromised.DelayData > 0 {
+		cp := p.Clone()
+		s.clock.After(n.cfg.Compromised.DelayData, func() {
+			if !s.closed {
+				s.routeAuthed(cp, arrived)
+			}
+		})
+		return
+	}
+	s.routeAuthed(p, arrived)
+}
+
+func (s *DataShard) routeAuthed(p *wire.Packet, arrived wire.LinkID) {
+	n := s.plane.n
+	if n.requiresSignature(p) && !n.cfg.Keyring.VerifyPacket(p) {
+		s.stats.DroppedAuth++
+		return
+	}
+	if n.cfg.Compromised.CorruptData && len(p.Payload) > 0 {
+		p = p.Clone()
+		p.Payload[0] ^= 0xff
+	}
+	s.route(p, arrived)
+}
+
+// route forwards one packet using the published snapshot, preserving the
+// single-shard path's semantics: dedup before decision (skipped for
+// unicast), one TTL decrement for the whole fan-out, the local copy
+// cloned before the decrement, forwarding before delivery.
+func (s *DataShard) route(p *wire.Packet, arrived wire.LinkID) {
+	pl := s.plane
+	snap := pl.snap.Load()
+	if snap == nil {
+		// Nothing published yet: the control shard routes it.
+		pl.handoffToControl(p.Clone(), arrived)
+		return
+	}
+	var mask wire.Bitmask
+	switch p.Route {
+	case wire.RouteMulticast:
+		m, ok := snap.Tree(p.Src, p.Group)
+		if !ok {
+			// Tree not computed yet. Hand the packet over before touching
+			// the dedup table, so the control path's Observe is this
+			// packet's first and only one.
+			pl.handoffToControl(p.Clone(), arrived)
+			return
+		}
+		mask = m
+	case wire.RouteSourceMask:
+		mask = p.Mask
+	case wire.RouteFlood:
+		mask = snap.Flood
+	}
+	firstSeen := true
+	if p.Route != wire.RouteLinkState {
+		firstSeen = pl.dedup.Observe(dedupKey{
+			src: p.Src, srcPort: p.SrcPort,
+			dst: p.Dst, dstPort: p.DstPort,
+			group: p.Group, flowSeq: p.FlowSeq,
+		})
+		if !firstSeen {
+			s.stats.Duplicates++
+		}
+	}
+	deliver := false
+	s.fwd = s.fwd[:0]
+	switch p.Route {
+	case wire.RouteLinkState:
+		if p.Dst == snap.Self {
+			deliver = true
+		} else if hop, ok := snap.NextHopFor(p.Dst); ok {
+			s.fwd = append(s.fwd, shardHop{neighbor: hop.Neighbor, home: pl.homes[hop.NeighborIdx]})
+		}
+	case wire.RouteSourceMask, wire.RouteFlood:
+		if firstSeen {
+			deliver = snap.ShouldDeliver(p)
+			s.appendMask(snap, mask, arrived)
+		}
+	case wire.RouteMulticast:
+		if firstSeen {
+			deliver = snap.LocalGroup(p.Group)
+			s.appendMask(snap, mask, arrived)
+		}
+	default:
+		return
+	}
+	var local *wire.Packet
+	if deliver {
+		s.stats.DeliveredLocal++
+		// The delivery crosses to the control shard, and forwarding below
+		// mutates TTL in place: clone before either.
+		local = p.Clone()
+	}
+	if len(s.fwd) == 0 {
+		if !deliver && firstSeen {
+			s.stats.DroppedNoRoute++
+		}
+	} else if p.TTL <= 1 {
+		s.stats.DroppedTTL++
+	} else {
+		p.TTL--
+		for _, hop := range s.fwd {
+			if int(hop.home) == s.idx {
+				sp, ok := s.peers[hop.neighbor]
+				if !ok {
+					continue
+				}
+				s.stats.Forwarded++
+				s.protoFor(sp, p.LinkProto).Send(p)
+				continue
+			}
+			pl.egressTo(int(hop.home), hop.neighbor, p.Clone())
+		}
+	}
+	if local != nil {
+		pl.deliverToControl(local)
+	}
+}
+
+// appendMask collects the usable masked incident links except the arrival
+// one, exactly as Engine.decideMask does against the live view.
+func (s *DataShard) appendMask(snap *routing.Snapshot, mask wire.Bitmask, arrived wire.LinkID) {
+	for i := range snap.Incident {
+		inc := &snap.Incident[i]
+		if inc.Link == arrived || !inc.Usable || !mask.Has(inc.Link) {
+			continue
+		}
+		s.fwd = append(s.fwd, shardHop{neighbor: inc.Neighbor, home: s.plane.homes[inc.NeighborIdx]})
+	}
+}
+
+// egress transmits a packet handed over from another shard on the link
+// session this shard owns.
+func (s *DataShard) egress(neighbor wire.NodeID, p *wire.Packet) {
+	if s.closed {
+		return
+	}
+	sp, ok := s.peers[neighbor]
+	if !ok {
+		return
+	}
+	s.stats.Forwarded++
+	s.protoFor(sp, p.LinkProto).Send(p)
+}
+
+// resetPeer discards the peer's link-protocol endpoints (the shard half
+// of Node.resetLinkSessions).
+func (s *DataShard) resetPeer(peer wire.NodeID) {
+	sp, ok := s.peers[peer]
+	if !ok {
+		return
+	}
+	for id, pr := range sp.protos {
+		pr.Close()
+		delete(sp.protos, id)
+	}
+}
+
+// close shuts the shard down: protocols close and their queues drain into
+// the shard's DropClosed ledger.
+func (s *DataShard) close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, sp := range s.peers {
+		for id, pr := range sp.protos {
+			pr.Close()
+			delete(sp.protos, id)
+		}
+	}
+}
+
+// protoFor lazily instantiates this shard's endpoint of one homed link,
+// mirroring Node.protoFor with the shard's clock and scheduler sink.
+func (s *DataShard) protoFor(sp *shardPeer, id wire.LinkProtoID) link.Protocol {
+	if p, ok := sp.protos[id]; ok {
+		return p
+	}
+	n := s.plane.n
+	env := &shardLinkEnv{s: s, peer: sp}
+	var p link.Protocol
+	switch id {
+	case wire.LPReliable:
+		p = link.NewReliable(env, n.cfg.Reliable)
+	case wire.LPRealTime:
+		cfg := n.cfg.Strikes
+		if cfg.RTT <= 0 {
+			cfg.RTT = 2 * sp.latency
+		}
+		p = link.NewStrikes(env, cfg)
+	case wire.LPSingleStrike:
+		env.rebadge = wire.LPSingleStrike
+		cfg := n.cfg.SingleStrike
+		cfg.N, cfg.M = 1, 1
+		if cfg.RTT <= 0 {
+			cfg.RTT = 2 * sp.latency
+		}
+		p = link.NewStrikes(env, cfg)
+	case wire.LPITPriority:
+		p = itmsg.NewPriorityLink(env, s.itcfg)
+	case wire.LPITReliable:
+		p = itmsg.NewReliableFairLink(env, s.itcfg, n.cfg.Reliable)
+	default:
+		p = link.NewBestEffort(env)
+	}
+	sp.protos[id] = p
+	return p
+}
+
+// shardLinkEnv adapts a data shard to link.Env for one homed peer.
+type shardLinkEnv struct {
+	s       *DataShard
+	peer    *shardPeer
+	rebadge wire.LinkProtoID
+}
+
+func (e *shardLinkEnv) Clock() sim.Clock { return e.s.clock }
+
+func (e *shardLinkEnv) Transmit(f *wire.Frame) {
+	if e.rebadge != 0 {
+		f.Proto = e.rebadge
+	}
+	e.s.transmitFrame(e.peer, f)
+}
+
+func (e *shardLinkEnv) Deliver(p *wire.Packet) { e.s.receiveFromLink(e.peer, p) }
+
+// transmitFrame MACs (when authenticated), marshals, and sends a frame
+// out this shard's own tx ring over the neighbor's current underlay
+// path.
+func (s *DataShard) transmitFrame(sp *shardPeer, f *wire.Frame) {
+	n := s.plane.n
+	if n.cfg.Keyring != nil {
+		if err := n.cfg.Keyring.MacFrame(f, sp.neighbor); err != nil {
+			return
+		}
+	}
+	buf := wire.DefaultBufPool.Get(f.MarshaledSize())
+	b, err := f.AppendMarshal(buf.B)
+	if err != nil {
+		buf.Release()
+		return
+	}
+	buf.B = b
+	path := uint8(s.plane.paths[sp.denseIdx].Load())
+	s.plane.under.SendOn(s.idx, sp.neighbor, path, buf.B)
+	buf.Release()
+}
+
+// Merge returns the field-wise sum of two Stats; the daemon aggregates
+// per-shard counters with it.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		Originated:     s.Originated + o.Originated,
+		Forwarded:      s.Forwarded + o.Forwarded,
+		DeliveredLocal: s.DeliveredLocal + o.DeliveredLocal,
+		Duplicates:     s.Duplicates + o.Duplicates,
+		DroppedTTL:     s.DroppedTTL + o.DroppedTTL,
+		DroppedNoRoute: s.DroppedNoRoute + o.DroppedNoRoute,
+		DroppedAuth:    s.DroppedAuth + o.DroppedAuth,
+		Blackholed:     s.Blackholed + o.Blackholed,
+	}
+}

@@ -10,6 +10,8 @@
 package routing
 
 import (
+	"sync/atomic"
+
 	"sonet/internal/metrics"
 	"sonet/internal/topology"
 	"sonet/internal/wire"
@@ -96,6 +98,14 @@ type Engine struct {
 	// fwd is the reusable backing array for Decision.Forward, so the
 	// per-packet decision allocates nothing on the forwarding fast path.
 	fwd []wire.LinkID
+
+	// pub, when set, is the cell forwarding snapshots are published into
+	// for lock-free readers on data shards (snapshot.go). pubVersion
+	// numbers publications; pubDirty marks forwarding-state changes that
+	// happened without a publish (an on-demand tree computation).
+	pub        *atomic.Pointer[Snapshot]
+	pubVersion uint64
+	pubDirty   bool
 }
 
 type nextHopEntry struct {
@@ -317,6 +327,9 @@ func (e *Engine) multicastMask(src wire.NodeID, group wire.GroupID) wire.Bitmask
 		return c.mask
 	}
 	e.treeStats.Misses.Add(1)
+	// A freshly computed tree is forwarding state the published snapshot
+	// does not carry yet; mark it so the control shard republishes.
+	e.pubDirty = true
 	mask, _ := topology.MulticastTree(e.viewNow(), src, e.groups.Members(group), e.metric)
 	if c, ok := e.trees[key]; ok {
 		*c = cachedTree{mask: mask, viewVersion: vv, groupVersion: gv}

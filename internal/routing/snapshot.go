@@ -1,0 +1,215 @@
+package routing
+
+import (
+	"sync/atomic"
+
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// Snapshot is an immutable, atomically-published copy of one node's
+// forwarding state: the next-hop table, the constrained-flooding mask,
+// the node's incident links with their usability, the multicast trees
+// computed so far, and local group membership. The control shard's
+// routing engine republishes a fresh snapshot after every SPF and every
+// membership change (Engine.Publish); data shards load the current
+// pointer once per packet and read it without locks. Because the whole
+// snapshot swaps as one pointer, a reader can never observe a next hop
+// from one SPF paired with a tree or usability column from another —
+// Version and Check stamp both ends of the struct so tests can assert
+// exactly that.
+type Snapshot struct {
+	// Version numbers the publication; it increments on every Publish.
+	Version uint64
+	// Self is the node the snapshot belongs to.
+	Self wire.NodeID
+	// Graph is the designed topology (immutable after configuration); it
+	// provides the dense node index NextHopFor resolves through.
+	Graph *topology.Graph
+	// NextHop maps dense node index → unicast next hop. A hop with OK
+	// false means the destination was unreachable at publication.
+	NextHop []SnapHop
+	// Flood is the constrained-flooding link mask at publication.
+	Flood wire.Bitmask
+	// Incident lists the node's incident links with the neighbor behind
+	// each and whether the shared view considered the link usable.
+	Incident []SnapIncident
+	// Trees carries the multicast trees the engine had computed under the
+	// current view and group versions. A missing (source, group) pair is
+	// a snapshot miss: the packet is handed to the control shard, which
+	// computes the tree and republishes.
+	Trees map[TreeKey]wire.Bitmask
+	// Local is the set of groups with local members at publication.
+	Local map[wire.GroupID]struct{}
+	// Check repeats Version as the last field written before publication;
+	// Torn() compares them. With publication by atomic pointer swap the
+	// two can never differ — the field exists so the property is testable
+	// rather than assumed.
+	Check uint64
+}
+
+// SnapHop is one unicast next-hop entry.
+type SnapHop struct {
+	// Neighbor is the next-hop node.
+	Neighbor wire.NodeID
+	// NeighborIdx is Neighbor's dense index in the graph (for per-node
+	// side tables like shard homing).
+	NeighborIdx int32
+	// Link is the incident link to Neighbor.
+	Link wire.LinkID
+	// OK reports reachability; a false entry means drop (no route).
+	OK bool
+}
+
+// SnapIncident is one incident-link entry for mask and flood fan-out.
+type SnapIncident struct {
+	// Link is the incident link id (the bit tested against masks).
+	Link wire.LinkID
+	// Neighbor is the node on the other end.
+	Neighbor wire.NodeID
+	// NeighborIdx is Neighbor's dense graph index.
+	NeighborIdx int32
+	// Usable reports the shared view's verdict at publication.
+	Usable bool
+}
+
+// TreeKey identifies one source-rooted multicast tree.
+type TreeKey struct {
+	Src   wire.NodeID
+	Group wire.GroupID
+}
+
+// NextHopFor returns the unicast next hop toward dst.
+func (s *Snapshot) NextHopFor(dst wire.NodeID) (SnapHop, bool) {
+	i, ok := s.Graph.NodeIndex(dst)
+	if !ok || i >= len(s.NextHop) || !s.NextHop[i].OK {
+		return SnapHop{}, false
+	}
+	return s.NextHop[i], true
+}
+
+// Tree returns the multicast-tree mask for (src, group), reporting a miss
+// when the engine had not computed that tree at publication.
+func (s *Snapshot) Tree(src wire.NodeID, group wire.GroupID) (wire.Bitmask, bool) {
+	m, ok := s.Trees[TreeKey{Src: src, Group: group}]
+	return m, ok
+}
+
+// LocalGroup reports whether the node had local members of g at
+// publication.
+func (s *Snapshot) LocalGroup(g wire.GroupID) bool {
+	_, ok := s.Local[g]
+	return ok
+}
+
+// ShouldDeliver mirrors Engine.shouldDeliver over the snapshot: a
+// mask/flood packet is for this node when addressed to it explicitly or
+// to a group with local members.
+func (s *Snapshot) ShouldDeliver(p *wire.Packet) bool {
+	if p.Dst == s.Self {
+		return true
+	}
+	return p.Dst == 0 && p.Group != 0 && s.LocalGroup(p.Group)
+}
+
+// Torn reports whether the version stamps at the two ends of the snapshot
+// disagree — which atomic-pointer publication makes impossible, and the
+// snapshot race tests assert stays impossible.
+func (s *Snapshot) Torn() bool { return s.Version != s.Check }
+
+// LocalGroupLister is the optional GroupSource extension the publisher
+// uses to freeze local membership into a snapshot. groups.Manager
+// implements it; test fakes without it publish an empty local set.
+type LocalGroupLister interface {
+	LocalGroups() []wire.GroupID
+}
+
+// SetPublishTarget installs the pointer cell snapshots are published
+// into. The node's data plane owns the cell; a nil target (the default,
+// and every single-shard or emulated node) disables publication
+// entirely, keeping Publish free on the sim fast paths.
+func (e *Engine) SetPublishTarget(p *atomic.Pointer[Snapshot]) { e.pub = p }
+
+// Publish freezes the engine's current forwarding state into a fresh
+// Snapshot and stores it in the publish target. It runs on the control
+// shard after reconvergence, membership changes, and on-demand multicast
+// tree computation; it allocates (one snapshot per control-plane event),
+// which is the price of lock-free reads on every data shard.
+func (e *Engine) Publish() {
+	if e.pub == nil {
+		return
+	}
+	e.selfSPT()
+	v := e.viewNow()
+	g := v.G
+	n := g.NumNodes()
+	e.pubVersion++
+	snap := &Snapshot{
+		Version: e.pubVersion,
+		Self:    e.self,
+		Graph:   g,
+		NextHop: make([]SnapHop, n),
+		Flood:   v.FloodMask(),
+	}
+	for i := 0; i < n; i++ {
+		dst := g.NodeAt(i)
+		if dst == e.self {
+			continue
+		}
+		lid, ok := e.nextHop(dst)
+		if !ok {
+			continue
+		}
+		l, lok := g.Link(lid)
+		if !lok {
+			continue
+		}
+		nb, _ := l.Other(e.self)
+		nbIdx, _ := g.NodeIndex(nb)
+		snap.NextHop[i] = SnapHop{Neighbor: nb, NeighborIdx: int32(nbIdx), Link: lid, OK: true}
+	}
+	inc := g.Incident(e.self)
+	snap.Incident = make([]SnapIncident, 0, len(inc))
+	for _, lid := range inc {
+		l, lok := g.Link(lid)
+		if !lok {
+			continue
+		}
+		nb, _ := l.Other(e.self)
+		nbIdx, _ := g.NodeIndex(nb)
+		snap.Incident = append(snap.Incident, SnapIncident{
+			Link: lid, Neighbor: nb, NeighborIdx: int32(nbIdx), Usable: v.Usable(lid),
+		})
+	}
+	vv, gv := e.views.Version(), e.groups.Version()
+	if len(e.trees) > 0 {
+		snap.Trees = make(map[TreeKey]wire.Bitmask, len(e.trees))
+		for k, c := range e.trees {
+			if c.viewVersion == vv && c.groupVersion == gv {
+				snap.Trees[TreeKey{Src: k.src, Group: k.group}] = c.mask
+			}
+		}
+	}
+	if lg, ok := e.groups.(LocalGroupLister); ok {
+		if locals := lg.LocalGroups(); len(locals) > 0 {
+			snap.Local = make(map[wire.GroupID]struct{}, len(locals))
+			for _, gid := range locals {
+				snap.Local[gid] = struct{}{}
+			}
+		}
+	}
+	snap.Check = snap.Version
+	e.pubDirty = false
+	e.pub.Store(snap)
+}
+
+// PublishIfDirty republishes when forwarding state changed since the last
+// publication through a path that does not signal the node (today: a
+// multicast tree computed on demand during packet routing). The node
+// calls it after routing control-shard packets that may have warmed the
+// tree cache.
+func (e *Engine) PublishIfDirty() {
+	if e.pub != nil && e.pubDirty {
+		e.Publish()
+	}
+}

@@ -125,6 +125,16 @@ func NewRealtimeClock(exec Executor) *RealtimeClock {
 	return &RealtimeClock{exec: exec, epoch: now, base: now}
 }
 
+// NewRealtimeClockAt returns a clock anchored at a caller-supplied epoch
+// whose callbacks run on exec. A sharded daemon gives every shard loop
+// its own clock constructed from one shared epoch, so timestamps taken on
+// different shards (packet origins, scheduler deadlines) are mutually
+// comparable. The epoch should be a recent time.Now() reading: its
+// monotonic component anchors elapsed-time measurement.
+func NewRealtimeClockAt(exec Executor, epoch time.Time) *RealtimeClock {
+	return &RealtimeClock{exec: exec, epoch: epoch, base: epoch}
+}
+
 // Now returns the time elapsed since the clock's epoch, measured on the
 // monotonic clock and clamped to be non-decreasing. Subtracting the epoch
 // directly would degrade to wall-clock arithmetic whenever the epoch lost

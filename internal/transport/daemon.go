@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sonet/internal/metrics"
@@ -42,27 +43,36 @@ type DaemonConfig struct {
 	HelloIntervalMs int `json:"hello_interval_ms"`
 	// Shards is the data-plane shard count: event loops, UDP sockets
 	// (SO_REUSEPORT on Linux), and tx rings. 0 means min(GOMAXPROCS, 8).
-	// The overlay protocol itself stays single-threaded on shard 0; the
-	// other shards parallelize kernel crossings and frame copies.
+	// With more than one shard the overlay protocol itself shards: the
+	// control plane (link state, routing, groups, sessions) stays
+	// single-threaded on shard 0 while every peer is homed on one shard
+	// by a stable hash of its node id, and that shard runs the peer's
+	// link sessions, QoS schedulers, and transit forwarding end to end.
 	Shards int `json:"shards"`
 }
 
 // Daemon is one deployed overlay node: the node software over a sharded
-// UDP underlay, plus the TCP session listener for clients. The node's
-// protocol state machines are single-threaded on the control shard
-// (shard 0's loop); every peer flow is pinned there, so frames arriving
-// on other shards hand off over SPSC rings while those shards' cores
-// absorb the kernel crossings (socket drains, tx flushes) and frame
-// copies.
+// UDP underlay, plus the TCP session listener for clients. The control
+// plane is single-threaded on shard 0's loop; with Shards > 1 each peer
+// is homed on one shard (wire.HomeShard of its node id), whose loop owns
+// the peer's link sessions and forwards its transit data frames using
+// the routing engine's atomically-published forwarding snapshot — a
+// transit frame whose next hop shares its arrival shard never crosses a
+// shard boundary. The underlay's decode classifier steers control frames
+// (hellos, link-state, group-state) to shard 0.
 type Daemon struct {
 	cfg   DaemonConfig
 	loops *sim.ShardedLoop
 	// loop is the control shard's event loop: node, sessions, clients.
 	loop *sim.Loop
 	node *node.Node
-	mgr  *session.Manager
-	udp  *UDPUnderlay
-	ln   net.Listener
+	// plane is the sharded data plane (nil with one shard). Atomic because
+	// shard loops consult it from the underlay handler while NewDaemon is
+	// still wiring it up.
+	plane atomic.Pointer[node.DataPlane]
+	mgr   *session.Manager
+	udp   *UDPUnderlay
+	ln    net.Listener
 
 	mu      sync.Mutex
 	clients map[*clientConn]struct{}
@@ -85,12 +95,20 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 	d.loop = d.loops.Shard(0)
 	var nodeRef *node.Node
-	// Every peer flow is pinned to shard 0 below, so this handler only
-	// ever runs on d.loop — the single-threaded model node.HandleUnderlay
-	// requires.
-	udp, err := NewShardedUDPUnderlay(cfg.BindUDP, d.loops.Executors(), func(from wire.NodeID, data []byte) {
-		if nodeRef != nil {
-			nodeRef.HandleUnderlay(from, data)
+	// Shard 0 deliveries run on d.loop, where nodeRef is assigned — the
+	// single-threaded model node.HandleUnderlay requires. Other shards'
+	// deliveries go to the data plane's per-shard engines; until the plane
+	// pointer is published they drop (only possible for frames racing
+	// daemon startup).
+	udp, err := NewShardedUDPUnderlay(cfg.BindUDP, d.loops.Executors(), func(shard int, from wire.NodeID, data []byte) {
+		if shard == 0 {
+			if nodeRef != nil {
+				nodeRef.HandleUnderlay(from, data)
+			}
+			return
+		}
+		if pl := d.plane.Load(); pl != nil {
+			pl.HandleUnderlay(shard, from, data)
 		}
 	})
 	if err != nil {
@@ -98,6 +116,7 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		return nil, err
 	}
 	d.udp = udp
+	udp.SteerControl(true)
 	for id, addrs := range cfg.Peers {
 		if id == cfg.ID {
 			continue
@@ -107,9 +126,12 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 			return nil, err
 		}
 	}
+	// Every shard clock shares one epoch so timestamps (frame send times,
+	// packet origins) compare across shards.
+	epoch := time.Now()
 	ncfg := node.Config{
 		ID:       cfg.ID,
-		Clock:    sim.NewRealtimeClock(d.loop),
+		Clock:    sim.NewRealtimeClockAt(d.loop, epoch),
 		Underlay: udp,
 		Graph:    g,
 	}
@@ -123,11 +145,23 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 	d.node = n
 	d.mgr = session.NewManager(n)
+	var pl *node.DataPlane
+	if nsh := d.loops.NumShards(); nsh > 1 {
+		clocks := make([]sim.Clock, nsh)
+		for i := 1; i < nsh; i++ {
+			clocks[i] = sim.NewRealtimeClockAt(d.loops.Shard(i), epoch)
+		}
+		pl = node.NewDataPlane(n, d.loops, udp, clocks)
+	}
 	done := make(chan struct{})
 	d.loop.Post(func() {
 		// Assigning on the loop serializes with the UDP handler, which
 		// also runs on the loop.
 		nodeRef = n
+		if pl != nil {
+			n.AttachDataPlane(pl)
+			d.plane.Store(pl)
+		}
 		n.Start()
 		close(done)
 	})
@@ -161,15 +195,21 @@ func (d *Daemon) Shards() int { return d.udp.NumShards() }
 // goroutine.
 func (d *Daemon) ShardStats(i int) metrics.WireSnapshot { return d.udp.ShardStats(i) }
 
+// SteeredRx reports whether the kernel steers arriving datagrams by flow
+// (the Linux reuseport program), making the arrival shard a deterministic
+// function of the sender's source port.
+func (d *Daemon) SteeredRx() bool { return d.udp.SteeredRx() }
+
 // AddPeer registers (or updates) a peer's UDP addresses after start —
 // used when daemons bind ephemeral ports and exchange addresses out of
-// band. The peer's flow is pinned to the control shard, where the
-// single-threaded node protocol runs.
+// band. The peer's flow is pinned to its home shard — a stable hash of
+// its node id (wire.HomeShard), the shard whose loop owns the peer's
+// link sessions — so re-registration never moves a live flow.
 func (d *Daemon) AddPeer(id wire.NodeID, addrs ...string) error {
 	if err := d.udp.AddPeer(id, addrs...); err != nil {
 		return err
 	}
-	return d.udp.PinFlow(id, 0)
+	return d.udp.PinFlow(id, wire.HomeShard(id, d.udp.NumShards()))
 }
 
 // TCPAddr returns the client listener address, if enabled.
@@ -194,8 +234,9 @@ func (d *Daemon) WireStats() metrics.WireSnapshot { return d.udp.Stats() }
 // any goroutine, no loop round-trip needed.
 func (d *Daemon) SchedStats() metrics.SchedSnapshot { return d.node.SchedStats() }
 
-// NodeStats reads the node's counters on the daemon loop, safely from any
-// goroutine. It returns zeros after Close.
+// NodeStats reads the node's counters on the daemon loop — merged with
+// every data shard's counters when the protocol plane is sharded —
+// safely from any goroutine. It returns zeros after Close.
 func (d *Daemon) NodeStats() node.Stats {
 	d.mu.Lock()
 	closed := d.closed
@@ -205,8 +246,16 @@ func (d *Daemon) NodeStats() node.Stats {
 	}
 	ch := make(chan node.Stats, 1)
 	d.loop.Post(func() { ch <- d.node.Stats() })
-	return <-ch
+	agg := <-ch
+	if pl := d.plane.Load(); pl != nil {
+		agg = agg.Merge(pl.Stats())
+	}
+	return agg
 }
+
+// DataPlane returns the sharded protocol plane, nil when the daemon runs
+// a single shard. Diagnostics only.
+func (d *Daemon) DataPlane() *node.DataPlane { return d.plane.Load() }
 
 // Close stops the daemon: listener, client connections, node timers,
 // underlay socket, and the event loop.
@@ -234,6 +283,11 @@ func (d *Daemon) Close() {
 		close(done)
 	})
 	<-done
+	if pl := d.plane.Load(); pl != nil {
+		// Shard engines close on their own loops (their queued traffic
+		// accounts as closed drops) before the loops themselves stop.
+		pl.Close()
+	}
 	_ = d.udp.Close()
 	d.loops.Close()
 	d.wg.Wait()

@@ -34,6 +34,7 @@ func startChain(t *testing.T, n int, clientsOn ...wire.NodeID) map[wire.NodeID]*
 			BindUDP:         "127.0.0.1:0",
 			Links:           links,
 			HelloIntervalMs: 20,
+			Shards:          testShards(),
 		}
 		if wantTCP[id] {
 			cfg.BindTCP = "127.0.0.1:0"
@@ -309,6 +310,7 @@ func TestDaemonFailureTriggersReroute(t *testing.T) {
 		cfg := DaemonConfig{
 			ID: id, BindUDP: "127.0.0.1:0",
 			Links: links, HelloIntervalMs: 20,
+			Shards: testShards(),
 		}
 		if id == 1 || id == 4 {
 			cfg.BindTCP = "127.0.0.1:0"

@@ -76,9 +76,14 @@ type UDPUnderlay struct {
 	rxDispatch bool
 	// steered reports that the reuseport steering program is attached.
 	steered bool
+	// ctrlSteer, when set, reroutes control-plane datagrams (hellos,
+	// link-state, group-state — wire.DatagramIsControl) to shard 0
+	// regardless of the flow's home, so a sharded protocol stack keeps its
+	// single-threaded control plane on the control shard.
+	ctrlSteer atomic.Bool
 	// handler receives frames on the owning shard's executor. Immutable
 	// after New.
-	handler func(from wire.NodeID, data []byte)
+	handler ShardHandler
 
 	// table is the immutable peer snapshot; readers load it without
 	// locking. mu serializes copy-on-write updates and lifecycle.
@@ -226,7 +231,7 @@ func (d *drainRunner) Run() {
 			break
 		}
 		if deliver {
-			u.handler(f.from, f.buf.B)
+			u.handler(d.target, f.from, f.buf.B)
 			s.stats.RecvDelivered.Add(1)
 		}
 		f.buf.Release()
@@ -279,12 +284,17 @@ func flowShard(id wire.NodeID, ap netip.AddrPort, n int) int {
 	return int(h % uint64(n))
 }
 
+// ShardHandler receives one decoded datagram's frame bytes on the
+// executor of the shard that owns the flow; the shard index says which.
+type ShardHandler func(shard int, from wire.NodeID, data []byte)
+
 // NewUDPUnderlay binds a UDP socket and starts the receive loop; frames
 // are handed to handler on exec (the daemon's event loop), preserving
 // the single-threaded protocol model. It is the single-shard form of
 // NewShardedUDPUnderlay.
 func NewUDPUnderlay(bind string, exec sim.Executor, handler func(from wire.NodeID, data []byte)) (*UDPUnderlay, error) {
-	return NewShardedUDPUnderlay(bind, []sim.Executor{exec}, handler)
+	return NewShardedUDPUnderlay(bind, []sim.Executor{exec},
+		func(_ int, from wire.NodeID, data []byte) { handler(from, data) })
 }
 
 // NewShardedUDPUnderlay binds len(execs) data-plane shards on bind and
@@ -293,7 +303,7 @@ func NewUDPUnderlay(bind string, exec sim.Executor, handler func(from wire.NodeI
 // concurrently (one call per shard at a time), but one flow's frames are
 // always delivered in order on one shard. Pass a sim.ShardedLoop's
 // Executors() for a deployed daemon.
-func NewShardedUDPUnderlay(bind string, execs []sim.Executor, handler func(from wire.NodeID, data []byte)) (*UDPUnderlay, error) {
+func NewShardedUDPUnderlay(bind string, execs []sim.Executor, handler ShardHandler) (*UDPUnderlay, error) {
 	n := len(execs)
 	if n == 0 {
 		return nil, fmt.Errorf("transport: sharded underlay needs at least one executor")
@@ -364,6 +374,14 @@ func (u *UDPUnderlay) NumShards() int { return len(u.shards) }
 // kernel's own 4-tuple hash steers (still per-flow stable) or the plane
 // is single-socket.
 func (u *UDPUnderlay) SteeredRx() bool { return u.steered }
+
+// SteerControl enables (or disables) control-plane steering: datagrams
+// the decode classifier recognizes as control — hellos and best-effort
+// link-state/group-state floods — deliver on shard 0 regardless of the
+// flow's home shard. The redirects count in ControlSteers, not Handoffs,
+// so the handoff counter keeps meaning "data frame missed its home
+// shard". The sharded daemon turns this on; it is off by default.
+func (u *UDPUnderlay) SteerControl(on bool) { u.ctrlSteer.Store(on) }
 
 // Stats returns the aggregate of every shard's datagram counters.
 func (u *UDPUnderlay) Stats() metrics.WireSnapshot {
@@ -466,6 +484,22 @@ func (t *peerTable) withPeer(id wire.NodeID, ent peerEntry) *peerTable {
 // buffer before Send returns, so the caller keeps ownership of data.
 // Send is safe from any goroutine.
 func (u *UDPUnderlay) Send(neighbor wire.NodeID, path uint8, data []byte) {
+	u.sendVia(-1, neighbor, path, data)
+}
+
+// SendOn transmits like Send but coalesces on shard's own tx ring, so a
+// data shard's egress shares its own flush batch and socket instead of
+// the flow-hashed one. It implements node.ShardUnderlay.
+func (u *UDPUnderlay) SendOn(shard int, neighbor wire.NodeID, path uint8, data []byte) {
+	if shard < 0 || shard >= len(u.shards) {
+		shard = -1
+	}
+	u.sendVia(shard, neighbor, path, data)
+}
+
+// sendVia coalesces one frame on a shard tx ring: the given shard, or
+// (shard < 0) the flow's pinned home / hashed shard.
+func (u *UDPUnderlay) sendVia(shard int, neighbor wire.NodeID, path uint8, data []byte) {
 	if u.closed.Load() {
 		return
 	}
@@ -475,9 +509,12 @@ func (u *UDPUnderlay) Send(neighbor wire.NodeID, path uint8, data []byte) {
 		return
 	}
 	addr := ent.addrs[int(path)%len(ent.addrs)]
-	sh := int(ent.home)
+	sh := shard
 	if sh < 0 {
-		sh = flowShard(neighbor, addr, len(u.shards))
+		sh = int(ent.home)
+		if sh < 0 {
+			sh = flowShard(neighbor, addr, len(u.shards))
+		}
 	}
 	s := u.shards[sh]
 	buf := wire.DefaultBufPool.Get(len(data))
@@ -616,6 +653,7 @@ func (u *UDPUnderlay) readLoop(k int) {
 			continue
 		}
 		tbl := u.table.Load()
+		steer := nsh > 1 && u.ctrlSteer.Load()
 		var bytes uint64
 		var touched uint64
 		for i := 0; i < n; i++ {
@@ -638,6 +676,15 @@ func (u *UDPUnderlay) readLoop(k int) {
 					target = k
 				}
 			}
+			ctrl := false
+			if steer && target != 0 && wire.DatagramIsControl(br.segment(i)[:ln]) {
+				// Control plane lives on shard 0; the redirect has its own
+				// counter so Handoffs keeps meaning "data frame missed its
+				// home shard".
+				target = 0
+				ctrl = true
+				arrival.stats.ControlSteers.Add(1)
+			}
 			// Copy the datagram out of the slab into a pooled buffer; the
 			// handler borrows it on the target shard's loop, and it is
 			// recycled as soon as the handler returns. The pools are safe
@@ -650,7 +697,7 @@ func (u *UDPUnderlay) readLoop(k int) {
 				arrival.stats.HandoffDrops.Add(1)
 				continue
 			}
-			if target != k {
+			if target != k && !ctrl {
 				arrival.stats.Handoffs.Add(1)
 			}
 		}

@@ -53,7 +53,7 @@ func TestShardedCloseMidBatch(t *testing.T) {
 		execs[i] = caps[i]
 	}
 	var delivered atomic.Uint64
-	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", execs, func(wire.NodeID, []byte) {
+	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", execs, func(int, wire.NodeID, []byte) {
 		delivered.Add(1)
 	})
 	if err != nil {
@@ -140,7 +140,7 @@ func testPerFlowOrdering(t *testing.T, nshards int, seed int64) {
 	var counts [flows]atomic.Uint64
 	var lastSeq [flows]uint64 // written only by the flow's shard loop
 	var violations atomic.Uint64
-	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", loops.Executors(), func(from wire.NodeID, data []byte) {
+	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", loops.Executors(), func(_ int, from wire.NodeID, data []byte) {
 		f := int(from) - 1
 		seq := binary.LittleEndian.Uint64(data)
 		if seq != lastSeq[f]+1 {
@@ -259,7 +259,7 @@ func TestShardedLifecycleRace(t *testing.T) {
 	const n = 4
 	loops := sim.NewShardedLoop(n)
 	defer loops.Close()
-	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", loops.Executors(), func(wire.NodeID, []byte) {})
+	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", loops.Executors(), func(int, wire.NodeID, []byte) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestShardSteeringPlacement(t *testing.T) {
 	for i := range execs {
 		execs[i] = directExec{}
 	}
-	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", execs, func(wire.NodeID, []byte) {
+	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", execs, func(int, wire.NodeID, []byte) {
 		delivered.Add(1)
 	})
 	if err != nil {
@@ -401,7 +401,7 @@ func TestReuseportSteeringBalance(t *testing.T) {
 	for i := range execs {
 		execs[i] = directExec{}
 	}
-	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", execs, func(wire.NodeID, []byte) {
+	rx, err := NewShardedUDPUnderlay("127.0.0.1:0", execs, func(int, wire.NodeID, []byte) {
 		delivered.Add(1)
 	})
 	if err != nil {
@@ -455,7 +455,7 @@ func TestReuseportSteeringBalance(t *testing.T) {
 func TestPinFlowValidation(t *testing.T) {
 	loops := sim.NewShardedLoop(2)
 	defer loops.Close()
-	u, err := NewShardedUDPUnderlay("127.0.0.1:0", loops.Executors(), func(wire.NodeID, []byte) {})
+	u, err := NewShardedUDPUnderlay("127.0.0.1:0", loops.Executors(), func(int, wire.NodeID, []byte) {})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestHomeShardStableAndInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8, 64} {
+		seen := make(map[int]int)
+		for id := NodeID(1); id <= 500; id++ {
+			h := HomeShard(id, shards)
+			if h < 0 || h >= shards {
+				t.Fatalf("HomeShard(%d, %d) = %d out of range", id, shards, h)
+			}
+			if h2 := HomeShard(id, shards); h2 != h {
+				t.Fatalf("HomeShard(%d, %d) unstable: %d then %d", id, shards, h, h2)
+			}
+			seen[h]++
+		}
+		if shards > 1 && len(seen) < 2 {
+			t.Fatalf("HomeShard over 500 ids used only %d of %d shards", len(seen), shards)
+		}
+	}
+	if HomeShard(7, 0) != 0 || HomeShard(7, -3) != 0 {
+		t.Fatal("HomeShard must collapse to 0 for degenerate shard counts")
+	}
+}
+
+func TestDatagramIsControl(t *testing.T) {
+	marshal := func(f *Frame) []byte {
+		b, err := f.Marshal()
+		if err != nil {
+			t.Fatalf("Marshal: %v", err)
+		}
+		return b
+	}
+	ctlPkt := func(pt PacketType) *Packet {
+		return &Packet{Type: pt, Route: RouteFlood, TTL: 8, Src: 3, Payload: []byte{1, 2, 3}}
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want bool
+	}{
+		{"hello", marshal(&Frame{Proto: LPBestEffort, Kind: FHello, SendTime: time.Second}), true},
+		{"hello-ack", marshal(&Frame{Proto: LPBestEffort, Kind: FHelloAck}), true},
+		{"lsa", marshal(&Frame{Proto: LPBestEffort, Kind: FData, Packet: ctlPkt(PTLinkState)}), true},
+		{"group-state", marshal(&Frame{Proto: LPBestEffort, Kind: FData, Packet: ctlPkt(PTGroupState)}), true},
+		{"lsa-authed", marshal(&Frame{
+			Proto: LPBestEffort, Kind: FData,
+			Auth:   bytes.Repeat([]byte{0xab}, 32),
+			Packet: ctlPkt(PTLinkState),
+		}), true},
+		{"data", marshal(&Frame{Proto: LPBestEffort, Kind: FData, Packet: samplePacket()}), false},
+		{"data-authed", marshal(&Frame{
+			Proto: LPITPriority, Kind: FData,
+			Auth:   bytes.Repeat([]byte{0xcd}, 32),
+			Packet: samplePacket(),
+		}), false},
+		{"ack", marshal(&Frame{Proto: LPReliable, Kind: FAck, Seq: 9, Ack: 8}), false},
+		{"bare-data-frame", marshal(&Frame{Proto: LPReliable, Kind: FData, Seq: 4, Packet: samplePacket()}), false},
+		{"empty", nil, false},
+		{"short", []byte{0, 1, 2}, false},
+	}
+	for _, tc := range cases {
+		if got := DatagramIsControl(tc.data); got != tc.want {
+			t.Errorf("%s: DatagramIsControl = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Truncations must classify without panicking.
+	full := marshal(&Frame{
+		Proto: LPBestEffort, Kind: FData,
+		Auth:   bytes.Repeat([]byte{0xab}, 32),
+		Packet: ctlPkt(PTLinkState),
+	})
+	for n := 0; n < len(full); n++ {
+		_ = DatagramIsControl(full[:n])
+	}
+}
