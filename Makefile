@@ -59,9 +59,11 @@ bench-all:
 # data plane exceeds one amortized allocation per datagram, or if the
 # fair-scheduler DRR core allocates on a steady-state decision at up to
 # 100k concurrent flows, or if transit forwarding through the whole
-# sharded daemon stack exceeds one amortized allocation per packet.
+# sharded daemon stack exceeds one amortized allocation per packet, or if
+# a steady-state membership detector/corrector sweep allocates.
 bench-guard:
 	$(GO) test -run 'TestNetemuSendAllocBudget|TestSPFAllocBudget|TestIncrementalSPFAllocBudget|TestConvergenceAllocBudget|TestUDPTransportAllocBudget|TestSchedAllocBudget|TestDaemonForwardingAllocBudget' -count=1 .
+	$(GO) test -run TestMembershipSweepAllocBudget -count=1 ./internal/membership/
 
 # Diff current hot-path benchmark numbers against the checked-in baseline:
 # ns/op may drift within the baseline's tolerance, allocs/op may not grow.
@@ -72,9 +74,11 @@ bench-compare:
 bench-baseline:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem . | $(GO) run ./cmd/benchcompare -write BENCH_baseline.json
 
-# Pinned-seed fault-campaign suite (internal/chaos): ten campaigns
+# Pinned-seed fault-campaign suite (internal/chaos): twelve campaigns
 # spanning link flaps, partitions, crash-restarts, ISP outages,
-# brown-outs, and latency spikes, every invariant checked, zero
+# brown-outs, latency spikes, and — on the membership-enabled churn
+# worlds — graceful leaves, re-admissions, and corrupted-view injections
+# under the stabilization-bound invariant. Every invariant checked, zero
 # violations tolerated. Deterministic — a failure here replays
 # bit-for-bit with `go run ./cmd/sonet-chaos run -campaign <name>`.
 chaos-smoke:

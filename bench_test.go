@@ -132,6 +132,12 @@ func BenchmarkWireThroughput(b *testing.B) {
 	benchExperiment(b, experiments.WireThroughput)
 }
 
+// BenchmarkChurn regenerates EXP-CHURN: membership convergence under
+// leave/rejoin churn and adversarial replica corruption at 256 nodes.
+func BenchmarkChurn(b *testing.B) {
+	benchExperiment(b, experiments.Churn)
+}
+
 // wireBenchRig is a loopback UDP underlay pair: tx coalesces Sends under
 // a turn-queued executor (one flush per window, like the event loop), rx
 // dispatches inline and counts deliveries.

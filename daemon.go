@@ -81,6 +81,18 @@ func (d *Daemon) AddPeer(id NodeID, addrs ...string) error {
 	return d.inner.AddPeer(id, addrs...)
 }
 
+// AdmitPeer admits a new overlay neighbor at runtime: addresses are
+// registered, the shared topology gains the node and a direct link of
+// the given designed latency, and the daemon begins hello probing and
+// re-announces its link state so the joiner is discovered fleet-wide.
+func (d *Daemon) AdmitPeer(id NodeID, latency time.Duration, addrs ...string) error {
+	return d.inner.AdmitPeer(id, int(latency/time.Millisecond), addrs...)
+}
+
+// EvictPeer removes a departed overlay neighbor at runtime: the link is
+// withdrawn and the peer's underlay addresses and steering state drop.
+func (d *Daemon) EvictPeer(id NodeID) { d.inner.EvictPeer(id) }
+
 // Stats reports the daemon node's packet accounting.
 func (d *Daemon) Stats() NodeStats {
 	st := d.inner.NodeStats()

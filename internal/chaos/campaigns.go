@@ -2,10 +2,12 @@ package chaos
 
 import "time"
 
-// SmokeCampaigns is the pinned-seed regression suite: ten campaigns
-// spanning every fault generator, all three topologies, and one
-// hand-scripted scenario exercising the full event DSL. Every campaign
-// must complete with zero invariant violations; the suite doubles as the
+// SmokeCampaigns is the pinned-seed regression suite: twelve campaigns
+// spanning every fault generator, every topology, one hand-scripted
+// scenario exercising the full event DSL, and two churn campaigns on
+// membership-enabled worlds (graceful leaves, re-admissions, corrupted
+// views under the stabilization-bound invariant). Every campaign must
+// complete with zero invariant violations; the suite doubles as the
 // `make chaos-smoke` CI gate and the EXP-CHAOS experiment workload.
 func SmokeCampaigns() []Campaign {
 	return []Campaign{
@@ -52,9 +54,20 @@ func SmokeCampaigns() []Campaign {
 				{At: 2200 * time.Millisecond, Kind: KindISPRestore, Arg: 0},
 				{At: 2500 * time.Millisecond, Kind: KindBrownoutEnd, Arg: 1},
 				{At: 2800 * time.Millisecond, Kind: KindCrashNode, Arg: 3},
-				{At: 3000 * time.Millisecond, Kind: KindPartition, Mask: 0b0011},
-				{At: 4200 * time.Millisecond, Kind: KindHeal, Mask: 0b0011},
+				{At: 3000 * time.Millisecond, Kind: KindPartition, Mask: MaskBits(0b0011)},
+				{At: 4200 * time.Millisecond, Kind: KindHeal, Mask: MaskBits(0b0011)},
 				{At: 4500 * time.Millisecond, Kind: KindRestartNode, Arg: 3},
+			}},
+		{Name: "churn-ring", Topo: "churn8", Seed: 1111,
+			Generators: []GeneratorSpec{
+				{Kind: KindLeaveNode, Rate: 0.5},
+				{Kind: KindCutLink, Rate: 0.3},
+			}},
+		{Name: "churn-corrupt-grid", Topo: "churn9", Seed: 2222,
+			Generators: []GeneratorSpec{
+				{Kind: KindLeaveNode, Rate: 0.4},
+				{Kind: KindCorruptView, Rate: 0.4},
+				{Kind: KindCrashNode, Rate: 0.25},
 			}},
 	}
 }

@@ -65,7 +65,7 @@ func TestExpandIsDeterministicAndBounded(t *testing.T) {
 		t.Fatalf("expansion lengths differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !a[i].Equal(b[i]) {
 			t.Fatalf("event %d differs across expansions: %v vs %v", i, a[i], b[i])
 		}
 	}
@@ -124,7 +124,7 @@ func TestCampaignDeterminism(t *testing.T) {
 		t.Fatalf("scripts differ in length: %d vs %d", len(r1.Events), len(r2.Events))
 	}
 	for i := range r1.Events {
-		if r1.Events[i] != r2.Events[i] {
+		if !r1.Events[i].Equal(r2.Events[i]) {
 			t.Fatalf("event %d differs: %v vs %v", i, r1.Events[i], r2.Events[i])
 		}
 	}

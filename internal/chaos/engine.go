@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"time"
 
+	"sonet/internal/membership"
 	"sonet/internal/metrics"
 	"sonet/internal/netemu"
 	"sonet/internal/session"
@@ -100,10 +101,11 @@ type engine struct {
 	fiberCuts  map[netemu.FiberID]int
 	linkCut    []int
 	crashDepth []int
+	leaveDepth []int
 	ispOut     [2]int
 	brownDepth [2]int
 	spikeDepth []int
-	partitions []uint64
+	partitions []NodeMask
 	// appliedKinds records which fault kinds actually fired, for
 	// fault-sensitive invariants.
 	appliedKinds map[Kind]bool
@@ -151,6 +153,7 @@ func Run(c Campaign) (*Report, error) {
 		fiberCuts:    make(map[netemu.FiberID]int),
 		linkCut:      make([]int, len(w.Links)),
 		crashDepth:   make([]int, len(w.Nodes)),
+		leaveDepth:   make([]int, len(w.Nodes)),
 		spikeDepth:   make([]int, len(w.Links)),
 		appliedKinds: make(map[Kind]bool),
 		streamNext:   1,
@@ -180,6 +183,7 @@ func (e *engine) run() {
 	e.checkConvergence()
 	e.checkGroups()
 	e.checkHealth()
+	e.checkStabilization()
 	e.runProbes()
 	o.RunFor(drainTime)
 	e.checkStream()
@@ -251,16 +255,27 @@ func (e *engine) apply(ev Event) {
 		applied = e.latencySpike(ev.Arg, ev.Val)
 	case KindLatencyNormal:
 		applied = e.latencyNormal(ev.Arg)
+	case KindLeaveNode:
+		applied = e.leaveNode(ev.Arg)
+	case KindRejoinNode:
+		applied = e.rejoinNode(ev.Arg)
+	case KindCorruptView:
+		applied = e.corruptView(ev.Arg, ev.Val)
 	}
 	if !applied {
 		e.tracef("skip %s", ev)
 		return
 	}
 	e.stats.EventsInjected.Add(1)
-	if isFault(ev.Kind) {
+	switch {
+	case ev.Kind == KindCorruptView:
+		// Corruption has no repair event and holds no capacity down; the
+		// stabilization sweeps repair it, so it never counts as active.
+		e.appliedKinds[ev.Kind] = true
+	case isFault(ev.Kind):
 		e.appliedKinds[ev.Kind] = true
 		e.stats.FaultsActive.Add(1)
-	} else {
+	default:
 		e.stats.FaultsActive.Add(-1)
 	}
 	e.tracef("apply %s", ev)
@@ -337,12 +352,105 @@ func (e *engine) restartNode(ni int) bool {
 	return true
 }
 
+// leaveNode departs a node gracefully: departure record flooded (in
+// membership worlds), LSAs withdrawn, sessions closed, node stopped. A
+// crashed node cannot announce a leave.
+func (e *engine) leaveNode(ni int) bool {
+	if e.crashDepth[ni] > 0 {
+		return false
+	}
+	e.leaveDepth[ni]++
+	if e.leaveDepth[ni] > 1 {
+		return true
+	}
+	id := e.w.Nodes[ni]
+	if err := e.w.O.Leave(id); err != nil {
+		e.violate("engine", "leave node %v: %v", id, err)
+	}
+	return true
+}
+
+// rejoinNode brings a departed node back as a fresh incarnation and — in
+// membership worlds — re-runs admission through the lowest-index alive
+// contact. Its seeded directory is deliberately stale (everyone joined
+// at epoch 1); anti-entropy heals it.
+func (e *engine) rejoinNode(ni int) bool {
+	if e.leaveDepth[ni] == 0 {
+		return false
+	}
+	e.leaveDepth[ni]--
+	if e.leaveDepth[ni] > 0 {
+		return true
+	}
+	id := e.w.Nodes[ni]
+	if err := e.w.O.RestartNode(id); err != nil {
+		e.violate("engine", "rejoin node %v: %v", id, err)
+		return true
+	}
+	tuneSessions(e.w.O.Session(id))
+	e.connectProbe(ni)
+	if m := e.w.O.Node(id).Membership(); m != nil {
+		if contact := e.aliveContact(ni); contact != 0 {
+			m.Join(contact)
+		}
+	}
+	return true
+}
+
+// aliveContact returns the lowest-index node that is neither crashed nor
+// departed (excluding ni), or zero when none is.
+func (e *engine) aliveContact(ni int) wire.NodeID {
+	for j := range e.w.Nodes {
+		if j != ni && e.crashDepth[j] == 0 && e.leaveDepth[j] == 0 {
+			return e.w.Nodes[j]
+		}
+	}
+	return 0
+}
+
+// corruptView corrupts one running node's control-plane state in place.
+// Flavor 0 plants a bogus departure record for another live member in
+// the victim's directory — it supersedes the real record, spreads by
+// anti-entropy, and must be beaten back by the target's self-defense
+// refutation. Flavor 1 marks the victim's first incident link down in
+// its view — a stale entry the owner's refresh flood must repair. Both
+// heal without any repair event, bounded by the stabilization invariant.
+func (e *engine) corruptView(ni, flavor int) bool {
+	if e.crashDepth[ni] > 0 || e.leaveDepth[ni] > 0 {
+		return false
+	}
+	id := e.w.Nodes[ni]
+	n := e.w.O.Node(id)
+	if flavor%2 == 0 {
+		if m := n.Membership(); m != nil {
+			target := e.aliveContact(ni)
+			if target == 0 {
+				return false
+			}
+			epoch := uint32(1)
+			if cur, ok := m.Directory().Get(target); ok {
+				epoch = cur.Epoch + 1
+			}
+			return m.InjectRecord(membership.Record{
+				ID: target, Epoch: epoch, Status: membership.StatusLeft,
+			})
+		}
+	}
+	for li, pair := range e.w.Topo.Pairs {
+		if pair[0] == ni+1 || pair[1] == ni+1 {
+			n.LinkStateManager().ApplyCorrection(e.w.Links[li], false)
+			return true
+		}
+	}
+	return false
+}
+
 // crossingLinks returns the indices of links crossing a node bipartition.
-func (e *engine) crossingLinks(mask uint64) []int {
+func (e *engine) crossingLinks(mask NodeMask) []int {
 	var out []int
 	for li, pair := range e.w.Topo.Pairs {
-		inA := mask&(uint64(1)<<(pair[0]-1)) != 0
-		inB := mask&(uint64(1)<<(pair[1]-1)) != 0
+		inA := mask.Bit(pair[0] - 1)
+		inB := mask.Bit(pair[1] - 1)
 		if inA != inB {
 			out = append(out, li)
 		}
@@ -350,7 +458,7 @@ func (e *engine) crossingLinks(mask uint64) []int {
 	return out
 }
 
-func (e *engine) partition(mask uint64) bool {
+func (e *engine) partition(mask NodeMask) bool {
 	e.partitions = append(e.partitions, mask)
 	for _, li := range e.crossingLinks(mask) {
 		for _, f := range e.w.Fibers[e.w.Links[li]] {
@@ -360,10 +468,10 @@ func (e *engine) partition(mask uint64) bool {
 	return true
 }
 
-func (e *engine) heal(mask uint64) bool {
+func (e *engine) heal(mask NodeMask) bool {
 	found := -1
 	for i, m := range e.partitions {
-		if m == mask {
+		if m.Equal(mask) {
 			found = i
 			break
 		}
@@ -455,7 +563,7 @@ func (e *engine) restoreAll() {
 		mask := e.partitions[0]
 		e.heal(mask)
 		e.stats.FaultsActive.Add(-1)
-		e.tracef("restore-all partition mask=%#x", mask)
+		e.tracef("restore-all partition mask=%s", mask)
 	}
 	for isp := 0; isp < 2; isp++ {
 		for e.ispOut[isp] > 0 {
@@ -483,6 +591,17 @@ func (e *engine) restoreAll() {
 			e.restartNode(ni)
 			e.stats.FaultsActive.Add(int64(-depth))
 			e.tracef("restore-all node=%d", ni)
+		}
+	}
+	// Departed nodes rejoin last, once every crashed contact candidate is
+	// back, so admission has a live contact to go through.
+	for ni := range e.leaveDepth {
+		if e.leaveDepth[ni] > 0 {
+			depth := e.leaveDepth[ni]
+			e.leaveDepth[ni] = 1
+			e.rejoinNode(ni)
+			e.stats.FaultsActive.Add(int64(-depth))
+			e.tracef("restore-all rejoin node=%d", ni)
 		}
 	}
 }

@@ -36,8 +36,12 @@ func durationRange(k Kind) (min, max time.Duration) {
 	switch k {
 	case KindCutLink:
 		return 50 * time.Millisecond, 2500 * time.Millisecond
-	case KindCrashNode:
+	case KindCrashNode, KindLeaveNode:
 		return 600 * time.Millisecond, 2 * time.Second
+	case KindCorruptView:
+		// No repair event — the hold only spaces repeated corruptions of
+		// the same victim while its sweeps are still stabilizing.
+		return 500 * time.Millisecond, 1500 * time.Millisecond
 	case KindPartition, KindISPOutage:
 		return 500 * time.Millisecond, 2500 * time.Millisecond
 	case KindBrownout:
@@ -101,10 +105,13 @@ func expandGenerator(g GeneratorSpec, c Campaign, t Topology, rng *rand.Rand, bu
 		}
 		busyUntil[key] = start + hold + expandGrace
 		fault.At = start
-		repair := fault
-		repair.At = start + hold
-		repair.Kind = repairOf[g.Kind]
-		out = append(out, fault, repair)
+		out = append(out, fault)
+		if rk, ok := repairOf[g.Kind]; ok {
+			repair := fault
+			repair.At = start + hold
+			repair.Kind = rk
+			out = append(out, repair)
+		}
 	}
 	return out
 }
@@ -121,11 +128,21 @@ func drawFault(k Kind, t Topology, rng *rand.Rand) (Event, string, bool) {
 		ev.Arg = rng.IntN(len(t.Pairs))
 		ev.Val = 20 + rng.IntN(21) // ×2.0 .. ×4.0
 		return ev, fmt.Sprintf("link:%d", ev.Arg), true
-	case KindCrashNode:
+	case KindCrashNode, KindLeaveNode:
 		if t.N <= protectedNodes {
 			return ev, "", false
 		}
 		ev.Arg = protectedNodes + rng.IntN(t.N-protectedNodes)
+		return ev, fmt.Sprintf("node:%d", ev.Arg), true
+	case KindCorruptView:
+		// Traffic endpoints are exempt like crash victims: corrupting a
+		// stream endpoint's view can administratively sever its links for
+		// a sweep or two, which the no-loss invariant would misread.
+		if t.N <= protectedNodes {
+			return ev, "", false
+		}
+		ev.Arg = protectedNodes + rng.IntN(t.N-protectedNodes)
+		ev.Val = rng.IntN(2)
 		return ev, fmt.Sprintf("node:%d", ev.Arg), true
 	case KindISPOutage:
 		ev.Arg = rng.IntN(2)
@@ -139,7 +156,7 @@ func drawFault(k Kind, t Topology, rng *rand.Rand) (Event, string, bool) {
 		size := 1 + rng.IntN(t.N-1)
 		perm := rng.Perm(t.N)
 		for _, idx := range perm[:size] {
-			ev.Mask |= uint64(1) << idx
+			ev.Mask = ev.Mask.With(idx)
 		}
 		return ev, "partition", true
 	}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"sonet/internal/membership"
 	"sonet/internal/metrics"
 	"sonet/internal/session"
 	"sonet/internal/wire"
@@ -8,14 +9,15 @@ import (
 
 // Invariant names, as they appear in violations and traces.
 const (
-	InvConservation = "conservation"
-	InvConvergence  = "convergence"
-	InvGroups       = "group-agreement"
-	InvLoopFree     = "loop-free"
-	InvReachable    = "reachability"
-	InvStream       = "session-loss"
-	InvHealth       = "health-counters"
-	InvSched        = "sched-accounting"
+	InvConservation  = "conservation"
+	InvConvergence   = "convergence"
+	InvGroups        = "group-agreement"
+	InvLoopFree      = "loop-free"
+	InvReachable     = "reachability"
+	InvStream        = "session-loss"
+	InvHealth        = "health-counters"
+	InvSched         = "sched-accounting"
+	InvStabilization = "stabilization-bound"
 )
 
 // scheduleConservationTicks arms the continuous packet-accounting check:
@@ -143,6 +145,60 @@ func (e *engine) checkHealth() {
 		e.violate(InvHealth, "%d down detections but no delta LSA flood recorded anywhere", downs)
 	} else if downs > 0 {
 		e.tracef("invariant %s ok: %d down detections, %d delta LSA floods", InvHealth, downs, deltas)
+	}
+}
+
+// checkStabilization runs at the post-repair quiesce point in membership
+// worlds. The engine's convergence bound doubles as the documented
+// stabilization bound: whatever churn and state corruption the campaign
+// injected — leaves, rejoins with stale seeded directories, planted
+// departure records, stale view entries — by now the fleet must have
+// self-stabilized to a legal fixed point. Concretely: every replica
+// holds the full membership with an identical digest, and a synchronous
+// detector pass on every node flags nothing. Detector/corrector round
+// counts go to the trace, so stabilization activity is part of the
+// replay hash.
+func (e *engine) checkStabilization() {
+	if !e.w.Topo.Membership {
+		return
+	}
+	e.stats.InvariantChecks.Add(1)
+	bad := 0
+	var refDigest uint64
+	var sweeps, incons, corrections uint64
+	for i, id := range e.w.Nodes {
+		m := e.w.O.Node(id).Membership()
+		if m == nil {
+			bad++
+			e.violate(InvStabilization, "node %v runs no membership manager in a membership world", id)
+			continue
+		}
+		st := m.Stats()
+		sweeps += st.DetectorSweeps
+		incons += st.Inconsistencies
+		corrections += st.Corrections
+		d := m.Directory()
+		if got := d.NumMembers(); got != len(e.w.Nodes) {
+			bad++
+			e.violate(InvStabilization, "node %v directory has %d members, want %d, %v after all repairs",
+				id, got, len(e.w.Nodes), convergeBound)
+		}
+		if i == 0 {
+			refDigest = d.Digest()
+		} else if d.Digest() != refDigest {
+			bad++
+			e.violate(InvStabilization, "node %v directory digest %016x diverges from node %v's %016x",
+				id, d.Digest(), e.w.Nodes[0], refDigest)
+		}
+		if fs := membership.Detect(e.w.O.Node(id).View(), d, nil); len(fs) > 0 {
+			bad++
+			e.violate(InvStabilization, "node %v detector still flags %d inconsistencies: first %v %v",
+				id, len(fs), fs[0].Kind, fs[0].Link)
+		}
+	}
+	if bad == 0 {
+		e.tracef("invariant %s ok: %d replicas agree on %d members within %v; sweeps=%d inconsistencies=%d corrections=%d",
+			InvStabilization, len(e.w.Nodes), len(e.w.Nodes), convergeBound, sweeps, incons, corrections)
 	}
 }
 

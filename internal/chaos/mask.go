@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NodeMask is a set of world node indices (bit i = node index i), stored
+// as little-endian 64-bit words. It replaces the old bare-uint64
+// partition mask so campaign worlds can exceed 64 nodes. Masks that fit
+// one word render and marshal exactly as the uint64 did — `%#x`-style
+// hex in traces, a plain JSON number in artifacts — so pinned-seed
+// smoke campaigns replay bit-for-bit and version-1 artifacts stay
+// readable and writable unchanged.
+//
+// The zero value (nil) is the empty set. Masks are normalized: no
+// trailing zero words, so Empty and Equal are structural.
+type NodeMask []uint64
+
+// MaskBits builds a mask from a one-word bit pattern (bit i = node
+// index i) — the constructor hand-written campaign scripts use.
+func MaskBits(bits uint64) NodeMask {
+	if bits == 0 {
+		return nil
+	}
+	return NodeMask{bits}
+}
+
+// With returns the mask with bit i set, growing as needed.
+func (m NodeMask) With(i int) NodeMask {
+	w := i / 64
+	for len(m) <= w {
+		m = append(m, 0)
+	}
+	m[w] |= uint64(1) << (i % 64)
+	return m
+}
+
+// Bit reports whether node index i is in the set.
+func (m NodeMask) Bit(i int) bool {
+	w := i / 64
+	if i < 0 || w >= len(m) {
+		return false
+	}
+	return m[w]&(uint64(1)<<(i%64)) != 0
+}
+
+// Empty reports whether no bit is set.
+func (m NodeMask) Empty() bool {
+	for _, w := range m {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxBit returns the highest set bit index, or -1 when empty.
+func (m NodeMask) MaxBit() int {
+	for w := len(m) - 1; w >= 0; w-- {
+		if m[w] == 0 {
+			continue
+		}
+		for b := 63; b >= 0; b-- {
+			if m[w]&(uint64(1)<<b) != 0 {
+				return w*64 + b
+			}
+		}
+	}
+	return -1
+}
+
+// Equal reports set equality, ignoring trailing zero words.
+func (m NodeMask) Equal(o NodeMask) bool {
+	n := len(m)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if i < len(m) {
+			a = m[i]
+		}
+		if i < len(o) {
+			b = o[i]
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the mask as %#x-style hex — identical to the old
+// uint64 rendering for one-word masks, wider hex beyond.
+func (m NodeMask) String() string {
+	top := len(m) - 1
+	for top >= 0 && m[top] == 0 {
+		top--
+	}
+	if top < 0 {
+		return "0x0"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%#x", m[top])
+	for w := top - 1; w >= 0; w-- {
+		fmt.Fprintf(&sb, "%016x", m[w])
+	}
+	return sb.String()
+}
+
+// MarshalJSON emits one-word masks as a plain number (the version-1
+// artifact format) and wider masks as an array of words.
+func (m NodeMask) MarshalJSON() ([]byte, error) {
+	top := len(m) - 1
+	for top >= 0 && m[top] == 0 {
+		top--
+	}
+	switch {
+	case top < 0:
+		return []byte("0"), nil
+	case top == 0:
+		return strconv.AppendUint(nil, m[0], 10), nil
+	default:
+		return json.Marshal([]uint64(m[:top+1]))
+	}
+}
+
+// UnmarshalJSON accepts both forms.
+func (m *NodeMask) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '[' {
+		var words []uint64
+		if err := json.Unmarshal(data, &words); err != nil {
+			return err
+		}
+		for len(words) > 0 && words[len(words)-1] == 0 {
+			words = words[:len(words)-1]
+		}
+		*m = NodeMask(words)
+		return nil
+	}
+	v, err := strconv.ParseUint(string(data), 10, 64)
+	if err != nil {
+		return fmt.Errorf("chaos: bad mask %q: %w", data, err)
+	}
+	*m = MaskBits(v)
+	return nil
+}

@@ -47,6 +47,22 @@ const (
 	KindLatencySpike Kind = "latency-spike"
 	// KindLatencyNormal restores a spiked link's designed latency.
 	KindLatencyNormal Kind = "latency-normal"
+	// KindLeaveNode departs a node gracefully (Arg = node index): it
+	// floods its departure record (in membership worlds), withdraws its
+	// link-state advertisements, and stops.
+	KindLeaveNode Kind = "leave-node"
+	// KindRejoinNode rejoins a departed node as a fresh incarnation: it
+	// restarts with its deliberately stale seeded directory and — in
+	// membership worlds — re-runs admission through the lowest-index
+	// alive contact, healing the stale state by anti-entropy.
+	KindRejoinNode Kind = "rejoin-node"
+	// KindCorruptView corrupts one node's control-plane state in place
+	// (Arg = node index, Val selects the flavor): a bogus departure
+	// record planted in its member directory, or a live link marked down
+	// in its topology view. There is no repair event — the
+	// self-stabilizing detector/corrector sweeps must converge the fleet
+	// back, within the stabilization bound, on their own.
+	KindCorruptView Kind = "corrupt-view"
 )
 
 // repairOf maps each fault kind to its repair kind.
@@ -57,16 +73,23 @@ var repairOf = map[Kind]Kind{
 	KindISPOutage:    KindISPRestore,
 	KindBrownout:     KindBrownoutEnd,
 	KindLatencySpike: KindLatencyNormal,
+	KindLeaveNode:    KindRejoinNode,
 }
 
 // isFault reports whether a kind injects (rather than repairs) adversity.
+// Corrupt-view is the exception with no repair pair: the protocol's own
+// stabilization sweeps are its repair, so it is generator-usable but
+// never holds underlay capacity down.
 func isFault(k Kind) bool { _, ok := repairOf[k]; return ok }
+
+// generatorKind reports whether a kind may appear in a GeneratorSpec.
+func generatorKind(k Kind) bool { return isFault(k) || k == KindCorruptView }
 
 // FaultKinds lists every fault kind usable in a GeneratorSpec, in stable
 // order.
 func FaultKinds() []Kind {
-	return []Kind{KindCutLink, KindCrashNode, KindPartition,
-		KindISPOutage, KindBrownout, KindLatencySpike}
+	return []Kind{KindCutLink, KindCrashNode, KindLeaveNode, KindPartition,
+		KindISPOutage, KindBrownout, KindLatencySpike, KindCorruptView}
 }
 
 // Event is one scheduled fault or repair, at a campaign-relative virtual
@@ -78,7 +101,7 @@ type Event struct {
 	Kind Kind          `json:"kind"`
 	Arg  int           `json:"arg,omitempty"`
 	Val  int           `json:"val,omitempty"`
-	Mask uint64        `json:"mask,omitempty"`
+	Mask NodeMask      `json:"mask,omitempty"`
 }
 
 func (e Event) String() string {
@@ -86,10 +109,18 @@ func (e Event) String() string {
 	if e.Val != 0 {
 		s += fmt.Sprintf(" val=%d", e.Val)
 	}
-	if e.Mask != 0 {
-		s += fmt.Sprintf(" mask=%#x", e.Mask)
+	if !e.Mask.Empty() {
+		s += fmt.Sprintf(" mask=%s", e.Mask)
 	}
 	return s
+}
+
+// Equal reports whether two events are identical (times, kinds,
+// arguments, and mask contents). Events hold a NodeMask slice, so ==
+// does not apply.
+func (e Event) Equal(o Event) bool {
+	return e.At == o.At && e.Kind == o.Kind && e.Arg == o.Arg &&
+		e.Val == o.Val && e.Mask.Equal(o.Mask)
 }
 
 // GeneratorSpec asks for seed-randomized faults of one kind at a bounded
@@ -141,7 +172,7 @@ func (c Campaign) Validate() error {
 		}
 	}
 	for _, g := range c.Generators {
-		if _, ok := repairOf[g.Kind]; !ok {
+		if !generatorKind(g.Kind) {
 			return fmt.Errorf("chaos: generator kind %q is not a fault kind", g.Kind)
 		}
 		if g.Rate <= 0 {
@@ -160,7 +191,7 @@ func validateEvent(ev Event, t Topology) error {
 		if ev.Arg < 0 || ev.Arg >= len(t.Pairs) {
 			return fmt.Errorf("chaos: event %v: link index out of range", ev)
 		}
-	case KindCrashNode, KindRestartNode:
+	case KindCrashNode, KindRestartNode, KindLeaveNode, KindRejoinNode, KindCorruptView:
 		if ev.Arg < 0 || ev.Arg >= t.N {
 			return fmt.Errorf("chaos: event %v: node index out of range", ev)
 		}
@@ -169,7 +200,7 @@ func validateEvent(ev Event, t Topology) error {
 			return fmt.Errorf("chaos: event %v: ISP index out of range", ev)
 		}
 	case KindPartition, KindHeal:
-		if ev.Mask == 0 || ev.Mask >= uint64(1)<<t.N {
+		if ev.Mask.Empty() || ev.Mask.MaxBit() >= t.N {
 			return fmt.Errorf("chaos: event %v: partition mask empty or out of range", ev)
 		}
 	default:

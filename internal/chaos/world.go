@@ -23,6 +23,7 @@ import (
 
 	"sonet/internal/core"
 	"sonet/internal/linkstate"
+	"sonet/internal/membership"
 	"sonet/internal/netemu"
 	"sonet/internal/node"
 	"sonet/internal/session"
@@ -35,6 +36,10 @@ type Topology struct {
 	Name  string
 	N     int
 	Pairs [][2]int
+	// Membership enables the dynamic-membership subsystem on every node:
+	// the worlds churn campaigns (leave-node, rejoin-node, corrupt-view)
+	// and the stabilization-bound invariant run on.
+	Membership bool
 }
 
 // builtinTopologies are the campaign worlds, smallest first. Every shape
@@ -50,6 +55,18 @@ func builtinTopologies() []Topology {
 			{1, 5}, {3, 7},
 		}},
 		{Name: "grid9", N: 9, Pairs: [][2]int{
+			{1, 2}, {2, 3}, {4, 5}, {5, 6}, {7, 8}, {8, 9},
+			{1, 4}, {4, 7}, {2, 5}, {5, 8}, {3, 6}, {6, 9},
+		}},
+		// Churn worlds run the same shapes with dynamic membership on, so
+		// campaigns can exercise graceful leaves, re-admissions, and
+		// corrupted-view injections under the stabilization-bound
+		// invariant.
+		{Name: "churn8", N: 8, Membership: true, Pairs: [][2]int{
+			{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 1},
+			{1, 5}, {3, 7},
+		}},
+		{Name: "churn9", N: 9, Membership: true, Pairs: [][2]int{
 			{1, 2}, {2, 3}, {4, 5}, {5, 6}, {7, 8}, {8, 9},
 			{1, 4}, {4, 7}, {2, 5}, {5, 8}, {3, 6}, {6, 9},
 		}},
@@ -108,6 +125,11 @@ const (
 	chaosDownProbe        = 250 * time.Millisecond
 	chaosRefresh          = time.Second
 	chaosGroupRefresh     = 500 * time.Millisecond
+	// chaosSweep is the churn worlds' detector/corrector period: several
+	// sweeps fit inside the engine's convergence bound, which doubles as
+	// the documented stabilization bound.
+	chaosSweep     = 250 * time.Millisecond
+	chaosJoinRetry = 200 * time.Millisecond
 )
 
 // BuildWorld constructs (without starting) an overlay world for a
@@ -118,12 +140,23 @@ func BuildWorld(t Topology, seed uint64) (*World, error) {
 		ConvergenceDelay: chaosConvergenceDelay,
 		RestoreDelay:     chaosRestoreDelay,
 	})
+	seedMembers := make([]wire.NodeID, t.N)
+	for i := range seedMembers {
+		seedMembers[i] = wire.NodeID(i + 1)
+	}
 	o.SetNodeTemplate(func(c *node.Config) {
 		c.LinkState = linkstate.Config{
 			DownProbeInterval: chaosDownProbe,
 			RefreshInterval:   chaosRefresh,
 		}
 		c.GroupRefresh = chaosGroupRefresh
+		if t.Membership {
+			c.Membership = &membership.Config{
+				SweepInterval: chaosSweep,
+				JoinRetry:     chaosJoinRetry,
+				Seed:          seedMembers,
+			}
+		}
 	})
 	w := &World{
 		O:      o,

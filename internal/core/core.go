@@ -160,6 +160,85 @@ func (o *Overlay) buildNode(id wire.NodeID) error {
 	return nil
 }
 
+// JoinLink declares one overlay link a runtime joiner establishes to an
+// existing member.
+type JoinLink struct {
+	// To is the existing member at the far end.
+	To wire.NodeID
+	// Latency is the designed one-way latency of the link.
+	Latency time.Duration
+	// ISPs lists the providers serving the link in failover order.
+	ISPs []netemu.ISPID
+}
+
+// Join admits a new node into the running overlay: the designed topology
+// gains the node and its links, every running node absorbs the growth
+// (views grow with journaled entries; nodes incident to new links begin
+// hello probing and re-announce their link states), and the joiner is
+// built, attached to the underlay at its site, and started. When dynamic
+// membership is enabled and contact is nonzero, the joiner then runs the
+// in-band admission handshake through the contact node — which must be at
+// the far end of one of its links — retrying until admitted.
+//
+// The site and the fibers serving the links' ISPs must already exist; the
+// configuration hook (optional) adjusts the joiner's node config the same
+// way AddNodeWithConfig would have.
+func (o *Overlay) Join(id wire.NodeID, at netemu.SiteID, contact wire.NodeID, links []JoinLink, mutate func(*node.Config)) error {
+	if !o.started {
+		return fmt.Errorf("core: not started")
+	}
+	if _, ok := o.nodes[id]; ok {
+		return fmt.Errorf("core: node %v already running", id)
+	}
+	if len(links) == 0 {
+		return fmt.Errorf("core: joining node %v needs at least one link", id)
+	}
+	o.Graph.AddNode(id)
+	o.sites[id] = at
+	if mutate != nil {
+		o.pendingCfg[id] = mutate
+	}
+	for _, jl := range links {
+		if _, err := o.AddLink(id, jl.To, jl.Latency, jl.ISPs...); err != nil {
+			return err
+		}
+	}
+	// Running nodes absorb the graph growth in deterministic (insertion)
+	// order — the incident peers flood re-announcements, so ordering by
+	// map iteration would break seeded reproducibility.
+	for _, nid := range o.Graph.Nodes() {
+		if n, ok := o.nodes[nid]; ok {
+			n.SyncTopology()
+		}
+	}
+	if err := o.buildNode(id); err != nil {
+		return err
+	}
+	o.nodes[id].Start()
+	if m := o.nodes[id].Membership(); m != nil && contact != 0 {
+		m.Join(contact)
+	}
+	return nil
+}
+
+// Leave departs a running node gracefully: it announces its departure
+// (directory record + full LSA withdrawal), then stops and closes its
+// session manager. The announcement floods are already in flight when the
+// node stops, so survivors converge without it. The node's slot remains:
+// RestartNode (plus a membership re-join) brings it back.
+func (o *Overlay) Leave(id wire.NodeID) error {
+	n, ok := o.nodes[id]
+	if !ok {
+		return fmt.Errorf("core: no node %v", id)
+	}
+	n.Leave()
+	n.Stop()
+	if s := o.sessions[id]; s != nil {
+		s.Close()
+	}
+	return nil
+}
+
 // RestartNode crash-restarts a node with total state loss: the old node
 // and its session manager are stopped and discarded, and a brand-new
 // incarnation (fresh link-state database, sequence counters, group

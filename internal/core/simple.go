@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sonet/internal/netemu"
+	"sonet/internal/node"
 	"sonet/internal/wire"
 )
 
@@ -79,6 +80,57 @@ func BuildSimple(seed uint64, links []SimpleLink) (*Simple, error) {
 		s.Fibers[lid] = fid
 	}
 	return s, nil
+}
+
+// Join admits a runtime joiner into a running Simple world. Each new
+// link gets its own dedicated provider and fiber exactly like the
+// designed links (one endpoint of every SimpleLink must be id), then the
+// overlay-level Join runs the growth absorption and — when dynamic
+// membership is enabled — the in-band admission handshake through
+// contact.
+func (s *Simple) Join(id, contact wire.NodeID, links []SimpleLink, mutate func(*node.Config)) error {
+	if len(links) == 0 {
+		return fmt.Errorf("core: joining node %v needs at least one link", id)
+	}
+	site := s.AddSite(fmt.Sprintf("site-%d", id))
+	type plumbing struct {
+		peer  wire.NodeID
+		isp   netemu.ISPID
+		fiber netemu.FiberID
+	}
+	jls := make([]JoinLink, 0, len(links))
+	plumb := make([]plumbing, 0, len(links))
+	for _, l := range links {
+		peer := l.B
+		if peer == id {
+			peer = l.A
+		} else if l.A != id {
+			return fmt.Errorf("core: join link %v-%v does not involve joiner %v", l.A, l.B, id)
+		}
+		peerSite, ok := s.SiteOf(peer)
+		if !ok {
+			return fmt.Errorf("core: join peer %v has no site", peer)
+		}
+		isp := s.AddISP(fmt.Sprintf("isp-j%d-%d", id, peer))
+		fid, err := s.AddFiber(isp, site, peerSite, l.Latency, l.Jitter, l.Loss)
+		if err != nil {
+			return fmt.Errorf("core: join fiber %v-%v: %w", id, peer, err)
+		}
+		jls = append(jls, JoinLink{To: peer, Latency: l.Latency, ISPs: []netemu.ISPID{isp}})
+		plumb = append(plumb, plumbing{peer: peer, isp: isp, fiber: fid})
+	}
+	if err := s.Overlay.Join(id, site, contact, jls, mutate); err != nil {
+		return err
+	}
+	// Record each new link's dedicated provider and fiber so
+	// CutLink/SetLinkExtraLoss work on joined links too.
+	for _, p := range plumb {
+		if l, ok := s.Graph.LinkBetween(id, p.peer); ok {
+			s.ISPs[l.ID] = p.isp
+			s.Fibers[l.ID] = p.fiber
+		}
+	}
+	return nil
 }
 
 // SetAllISPExtraLoss applies a provider-wide degradation to every provider

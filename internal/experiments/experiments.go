@@ -80,5 +80,6 @@ func All() []*Result {
 		ConvergenceScale(15),
 		WireThroughput(16),
 		Chaos(17),
+		Churn(18),
 	}
 }

@@ -138,6 +138,14 @@ func TestChaosExperimentSmoke(t *testing.T) {
 	}
 }
 
+func TestChurnSmoke(t *testing.T) {
+	r := Churn(18)
+	t.Log("\n" + r.String())
+	if !r.ShapeHolds {
+		t.Fatal("shape does not hold")
+	}
+}
+
 // TestExperimentsDeterministic verifies the reproduction harness itself:
 // the same seed regenerates the identical table, byte for byte.
 func TestExperimentsDeterministic(t *testing.T) {

@@ -144,6 +144,9 @@ type Stats struct {
 	DownDetections uint64
 	// UpDetections counts links declared back up.
 	UpDetections uint64
+	// NonMemberLSAsRejected counts advertisements dropped because their
+	// origin is not a current overlay member (dynamic membership).
+	NonMemberLSAsRejected uint64
 }
 
 // neighborState tracks hello liveness for one adjacent overlay link.
@@ -158,6 +161,10 @@ type neighborState struct {
 	up      bool
 	curPath uint8
 	missed  int
+	// disabled suspends hello probing entirely: the neighbor has left the
+	// overlay (membership), so the link is administratively down rather
+	// than failure-detected down, and down-probing would be wasted.
+	disabled bool
 	// pendingAck marks a hello in flight awaiting its ack.
 	pendingAck bool
 	// rtt is the smoothed round-trip estimate.
@@ -203,6 +210,13 @@ type Manager struct {
 	// onNeighborState, when set, is invoked after an adjacent link is
 	// declared down or back up.
 	onNeighborState func(wire.NodeID, bool)
+	// memberCheck, when set, gates advertisement acceptance on overlay
+	// membership: advertisements from origins the check rejects are
+	// dropped without being applied or reflooded.
+	memberCheck func(wire.NodeID) bool
+	// started records that Start ran, so neighbors registered afterwards
+	// (runtime joins) begin probing immediately.
+	started bool
 	// version increments on every view change; routing caches key on it.
 	version uint64
 
@@ -242,11 +256,149 @@ func (m *Manager) AddNeighbor(n wire.NodeID, link wire.LinkID) {
 // Start begins hello probing and periodic refresh flooding, announcing the
 // node's initial link states immediately.
 func (m *Manager) Start() {
+	m.started = true
 	for _, n := range m.order {
 		m.scheduleHello(n, m.cfg.HelloInterval)
 	}
 	m.originateLSA()
 	m.scheduleRefresh()
+}
+
+// AddNeighborLive registers the adjacent link to a neighbor on a running
+// manager (a runtime join): probing starts immediately and the node's full
+// link states — now including the new link — are re-announced.
+func (m *Manager) AddNeighborLive(n wire.NodeID, link wire.LinkID) {
+	if _, ok := m.neighbors[n]; ok {
+		return
+	}
+	m.AddNeighbor(n, link)
+	if m.started && !m.closed {
+		m.scheduleHello(n, m.cfg.HelloInterval)
+		m.originateLSA()
+	}
+}
+
+// SetMemberCheck installs the overlay-membership gate for advertisement
+// acceptance. A nil check (the default) admits every origin, preserving
+// static-topology behavior; with a check installed, advertisements whose
+// origin is rejected are dropped without being applied or reflooded, so a
+// departed (or never-admitted) node cannot pollute the fleet's view.
+func (m *Manager) SetMemberCheck(fn func(wire.NodeID) bool) { m.memberCheck = fn }
+
+// DisableNeighbor administratively downs the link to a neighbor that left
+// the overlay: hello probing stops (no down-probe waste on a gone peer),
+// the local view marks the link down, and a withdrawal delta floods so the
+// fleet routes around it. A later EnableNeighbor (rejoin) resumes probing.
+func (m *Manager) DisableNeighbor(n wire.NodeID) {
+	st, ok := m.neighbors[n]
+	if !ok || st.disabled {
+		return
+	}
+	st.disabled = true
+	st.pendingAck = false
+	st.missed = 0
+	stopTimer(st.timer)
+	st.timer = nil
+	if st.up {
+		st.up = false
+		m.stats.DownDetections++
+		m.applyLocal(st, false)
+		m.originateDelta(st)
+		if m.onNeighborState != nil {
+			m.onNeighborState(n, false)
+		}
+	}
+}
+
+// EnableNeighbor resumes hello probing of a previously disabled neighbor
+// (a rejoin). The link comes back up through the ordinary ack-recovery
+// path, which re-announces it and resyncs the peer's database.
+func (m *Manager) EnableNeighbor(n wire.NodeID) {
+	st, ok := m.neighbors[n]
+	if !ok || !st.disabled {
+		return
+	}
+	st.disabled = false
+	if m.started && !m.closed {
+		m.scheduleHello(n, m.cfg.HelloInterval)
+	}
+}
+
+// NeighborDisabled reports whether the link to n is administratively down.
+func (m *Manager) NeighborDisabled(n wire.NodeID) bool {
+	st, ok := m.neighbors[n]
+	return ok && st.disabled
+}
+
+// WithdrawAll marks every adjacent link down and floods one full
+// advertisement saying so — the graceful-leave withdrawal. The manager
+// keeps running (the caller stops it when departure completes) but probing
+// is suspended so no link flaps back up mid-departure.
+func (m *Manager) WithdrawAll() {
+	for _, n := range m.order {
+		st := m.neighbors[n]
+		st.disabled = true
+		st.pendingAck = false
+		stopTimer(st.timer)
+		st.timer = nil
+		if st.up {
+			st.up = false
+			m.view.SetUp(st.linkID, false)
+		}
+	}
+	m.version++
+	m.env.ViewChanged()
+	m.originateLSA()
+}
+
+// ApplyCorrection marks a link's availability from outside the hello and
+// LSA machinery — the membership corrector repairing a stale route — with
+// the same version bump and view-change notification as any protocol
+// update, so routing caches and the flood mask track it.
+func (m *Manager) ApplyCorrection(id wire.LinkID, up bool) {
+	if m.view.Usable(id) == up {
+		return
+	}
+	m.view.SetUp(id, up)
+	m.version++
+	m.health.Reconvergences.Add(1)
+	m.env.ViewChanged()
+}
+
+// ReconcileAdjacent re-derives the view state of every adjacent link from
+// live hello state and returns how many entries it repaired. Remote LSAs
+// deliberately never touch a node's own adjacent links (local hello state
+// governs them), so a corrupted view entry for an adjacent link has no
+// protocol path back to truth: hellos keep succeeding without a
+// transition and floods are ignored. The membership corrector calls this
+// each sweep; at a legitimate fixed point it repairs nothing and
+// allocates nothing.
+func (m *Manager) ReconcileAdjacent() int {
+	fixed := 0
+	for _, st := range m.neighbors {
+		effective := st.up && !st.disabled
+		if m.view.Usable(st.linkID) != effective {
+			m.view.SetUp(st.linkID, effective)
+			fixed++
+		}
+	}
+	if fixed > 0 {
+		m.version++
+		m.health.Reconvergences.Add(1)
+		m.env.ViewChanged()
+	}
+	return fixed
+}
+
+// PurgeOrigin forgets the advertisement history of a departed origin: its
+// highest-seen sequence and retained resync payload. A rejoining node
+// restarts its sequence space from scratch; without the purge its fresh
+// advertisements would lose the highest-seq race against its own pre-leave
+// history (the crash-echo fast-forward also repairs this, but purging
+// makes rejoin immediate rather than echo-dependent).
+func (m *Manager) PurgeOrigin(n wire.NodeID) {
+	delete(m.seen, n)
+	delete(m.lastAdv, n)
 }
 
 // Stop cancels all timers.
@@ -329,6 +481,9 @@ func (m *Manager) helloTick(n wire.NodeID) {
 		return
 	}
 	st := m.neighbors[n]
+	if st.disabled {
+		return
+	}
 	if st.pendingAck {
 		// Previous hello went unanswered; it was already counted in the
 		// loss window when sent.
@@ -427,7 +582,7 @@ func (m *Manager) HandleControl(n wire.NodeID, f *wire.Frame) {
 
 func (m *Manager) onHelloAck(n wire.NodeID, f *wire.Frame) {
 	st, ok := m.neighbors[n]
-	if !ok {
+	if !ok || st.disabled {
 		return
 	}
 	st.pendingAck = false
@@ -631,6 +786,10 @@ func (m *Manager) HandleLSA(from wire.NodeID, p *wire.Packet) error {
 			m.mySeq = adv.Seq
 			m.originateLSA()
 		}
+		return nil
+	}
+	if m.memberCheck != nil && !m.memberCheck(adv.Origin) {
+		m.stats.NonMemberLSAsRejected++
 		return nil
 	}
 	if last, ok := m.seen[adv.Origin]; ok && adv.Seq <= last {

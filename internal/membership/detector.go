@@ -1,0 +1,83 @@
+package membership
+
+import (
+	"sonet/internal/topology"
+	"sonet/internal/wire"
+)
+
+// FindingKind classifies one local inconsistency flagged by the detector.
+type FindingKind uint8
+
+const (
+	// FindingStaleLink is a link the view considers up although an
+	// endpoint is not a current member — a stale route to a departed (or
+	// never-admitted) node. The corrector downs the link locally: every
+	// node runs the same predicate over converging replicas, so the fleet
+	// reaches the same repaired topology without coordination.
+	FindingStaleLink FindingKind = iota + 1
+	// FindingSelfDeparted is a directory record claiming this live node
+	// left the overlay. The corrector refutes it by re-announcing the node
+	// joined at the record's epoch plus one; without refutation a
+	// corrupted departure record would win every merge and propagate
+	// fleet-wide.
+	FindingSelfDeparted
+	// FindingDigestDivergence is a neighbor whose directory fingerprint
+	// disagrees with ours. The corrector exchanges full directories; the
+	// epoch order makes the merge converge both replicas.
+	FindingDigestDivergence
+)
+
+// String returns a short mnemonic for the finding kind.
+func (k FindingKind) String() string {
+	switch k {
+	case FindingStaleLink:
+		return "stale-link"
+	case FindingSelfDeparted:
+		return "self-departed"
+	case FindingDigestDivergence:
+		return "digest-divergence"
+	default:
+		return "unknown"
+	}
+}
+
+// Finding is one flagged inconsistency.
+type Finding struct {
+	// Kind classifies the inconsistency.
+	Kind FindingKind
+	// Link is the offending link for FindingStaleLink.
+	Link wire.LinkID
+	// Node is the implicated node: the non-member endpoint of a stale
+	// link, or the divergent neighbor.
+	Node wire.NodeID
+}
+
+// Detect runs the detector's local topology predicate over a view and a
+// directory, appending a finding for every link the view considers up
+// whose endpoint is not a current member. On a legal topology — every up
+// link joining two joined members — it returns buf unchanged (the
+// no-false-positives property), and it allocates nothing beyond buf's
+// growth. An empty directory detects nothing: a joiner that has not yet
+// synced has no basis to dispute its optimistic bootstrap view.
+func Detect(v *topology.View, d *Directory, buf []Finding) []Finding {
+	if d.Len() == 0 {
+		return buf
+	}
+	for id := range v.State {
+		if !v.State[id].Up {
+			continue
+		}
+		l, ok := v.G.Link(wire.LinkID(id))
+		if !ok {
+			// A removed link the view still routes over.
+			buf = append(buf, Finding{Kind: FindingStaleLink, Link: wire.LinkID(id)})
+			continue
+		}
+		if !d.IsMember(l.A) {
+			buf = append(buf, Finding{Kind: FindingStaleLink, Link: l.ID, Node: l.A})
+		} else if !d.IsMember(l.B) {
+			buf = append(buf, Finding{Kind: FindingStaleLink, Link: l.ID, Node: l.B})
+		}
+	}
+	return buf
+}

@@ -482,6 +482,84 @@ func (s *ChaosStats) Snapshot() ChaosSnapshot {
 	}
 }
 
+// MembershipStats counts dynamic-membership protocol activity on one
+// node: admissions and departures it observed, directory gossip volume,
+// and the self-stabilization machinery's work — detector sweeps run,
+// inconsistencies flagged, and corrective actions applied. The counters
+// are atomic so deployment-mode monitoring readers snapshot them without
+// coordinating with the event loop.
+//
+// The zero value is ready to use.
+type MembershipStats struct {
+	// Joins counts members this node learned joined (including itself).
+	Joins atomic.Uint64
+	// Leaves counts members this node learned left.
+	Leaves atomic.Uint64
+	// UpdatesSent counts directory-update floods this node originated.
+	UpdatesSent atomic.Uint64
+	// DigestsSent counts view-digest probes sent to neighbors.
+	DigestsSent atomic.Uint64
+	// SyncsSent counts full-directory syncs pushed to divergent peers.
+	SyncsSent atomic.Uint64
+	// DetectorSweeps counts periodic detector rounds executed.
+	DetectorSweeps atomic.Uint64
+	// Inconsistencies counts local inconsistencies the detector flagged
+	// (stale links to departed members, digest divergence, refuted
+	// self-departure records).
+	Inconsistencies atomic.Uint64
+	// Corrections counts corrective actions the corrector applied.
+	Corrections atomic.Uint64
+}
+
+// Snapshot returns a consistent-enough copy of the counters.
+func (s *MembershipStats) Snapshot() MembershipSnapshot {
+	return MembershipSnapshot{
+		Joins:           s.Joins.Load(),
+		Leaves:          s.Leaves.Load(),
+		UpdatesSent:     s.UpdatesSent.Load(),
+		DigestsSent:     s.DigestsSent.Load(),
+		SyncsSent:       s.SyncsSent.Load(),
+		DetectorSweeps:  s.DetectorSweeps.Load(),
+		Inconsistencies: s.Inconsistencies.Load(),
+		Corrections:     s.Corrections.Load(),
+	}
+}
+
+// MembershipSnapshot is a point-in-time copy of MembershipStats.
+type MembershipSnapshot struct {
+	// Joins counts members learned joined.
+	Joins uint64
+	// Leaves counts members learned left.
+	Leaves uint64
+	// UpdatesSent counts directory-update floods originated.
+	UpdatesSent uint64
+	// DigestsSent counts view-digest probes sent.
+	DigestsSent uint64
+	// SyncsSent counts full-directory syncs pushed.
+	SyncsSent uint64
+	// DetectorSweeps counts detector rounds executed.
+	DetectorSweeps uint64
+	// Inconsistencies counts inconsistencies flagged.
+	Inconsistencies uint64
+	// Corrections counts corrective actions applied.
+	Corrections uint64
+}
+
+// Merge returns the field-wise sum of two snapshots, for fleet-level
+// aggregation across nodes (and across a node's dead incarnations).
+func (s MembershipSnapshot) Merge(o MembershipSnapshot) MembershipSnapshot {
+	return MembershipSnapshot{
+		Joins:           s.Joins + o.Joins,
+		Leaves:          s.Leaves + o.Leaves,
+		UpdatesSent:     s.UpdatesSent + o.UpdatesSent,
+		DigestsSent:     s.DigestsSent + o.DigestsSent,
+		SyncsSent:       s.SyncsSent + o.SyncsSent,
+		DetectorSweeps:  s.DetectorSweeps + o.DetectorSweeps,
+		Inconsistencies: s.Inconsistencies + o.Inconsistencies,
+		Corrections:     s.Corrections + o.Corrections,
+	}
+}
+
 // ChaosSnapshot is a point-in-time copy of ChaosStats.
 type ChaosSnapshot struct {
 	// EventsInjected counts fault and repair events applied.

@@ -18,6 +18,7 @@ import (
 	"sonet/internal/itmsg"
 	"sonet/internal/link"
 	"sonet/internal/linkstate"
+	"sonet/internal/membership"
 	"sonet/internal/metrics"
 	"sonet/internal/routing"
 	"sonet/internal/sim"
@@ -90,6 +91,12 @@ type Config struct {
 	DefaultTTL uint8
 	// Compromised switches the node to Byzantine behaviour.
 	Compromised Compromise
+	// Membership, when non-nil, enables the dynamic-membership protocol:
+	// the node maintains a replicated member directory, gates link-state
+	// acceptance on membership, and runs the self-stabilizing
+	// detector/corrector sweep. Nil (the default) preserves the static
+	// fixed-fleet behavior with zero extra traffic.
+	Membership *membership.Config
 }
 
 // Stats counts node-level packet handling.
@@ -139,6 +146,7 @@ type Node struct {
 	under  Underlay
 	lsMgr  *linkstate.Manager
 	grpMgr *groups.Manager
+	memMgr *membership.Manager
 	engine *routing.Engine
 
 	neighbors map[wire.NodeID]*neighborLink
@@ -233,6 +241,14 @@ func New(cfg Config) (*Node, error) {
 	sort.Slice(n.neighborOrder, func(i, j int) bool {
 		return n.neighborOrder[i] < n.neighborOrder[j]
 	})
+	if cfg.Membership != nil {
+		n.memMgr = membership.NewManager(&memEnv{n: n}, n.id, *cfg.Membership)
+		n.memMgr.SetView(view)
+		n.memMgr.SetOnChange(n.handleMemberChange)
+		n.memMgr.SetOnFinding(n.correctFinding)
+		n.memMgr.SetOnReconcile(n.lsMgr.ReconcileAdjacent)
+		n.lsMgr.SetMemberCheck(n.memMgr.AllowsOrigin)
+	}
 	return n, nil
 }
 
@@ -255,6 +271,9 @@ func (n *Node) AttachDataPlane(pl *DataPlane) {
 func (n *Node) Start() {
 	n.lsMgr.Start()
 	n.scheduleGroupRefresh()
+	if n.memMgr != nil {
+		n.memMgr.Start()
+	}
 	// With a data plane attached, shards need a snapshot before the first
 	// reconvergence publishes one.
 	n.engine.Publish()
@@ -264,6 +283,9 @@ func (n *Node) Start() {
 func (n *Node) Stop() {
 	n.closed = true
 	n.lsMgr.Stop()
+	if n.memMgr != nil {
+		n.memMgr.Stop()
+	}
 	if n.refreshTimer != nil {
 		n.refreshTimer.Stop()
 	}
@@ -354,6 +376,166 @@ func (n *Node) Groups() *groups.Manager { return n.grpMgr }
 
 // LinkStateManager returns the node's connectivity manager.
 func (n *Node) LinkStateManager() *linkstate.Manager { return n.lsMgr }
+
+// Membership returns the node's dynamic-membership manager, nil unless
+// Config.Membership enabled the protocol.
+func (n *Node) Membership() *membership.Manager { return n.memMgr }
+
+// Leave departs the overlay gracefully: the node's directory record
+// advances to a departed epoch and floods, and every adjacent link is
+// withdrawn in one full advertisement. The caller then drains sessions
+// and calls Stop.
+func (n *Node) Leave() {
+	if n.memMgr != nil {
+		n.memMgr.Leave()
+	}
+	n.lsMgr.WithdrawAll()
+}
+
+// SyncTopology absorbs graph growth into a running node: the view gains
+// journaled state entries for links added since the node was built, and
+// any new link incident to this node registers its neighbor machinery and
+// begins hello probing (the LSA-announced link-establishment half of a
+// runtime join). Safe to call when nothing changed.
+func (n *Node) SyncTopology() {
+	added := n.lsMgr.View().Grow()
+	grew := false
+	for _, lid := range n.cfg.Graph.Incident(n.id) {
+		l, ok := n.cfg.Graph.Link(lid)
+		if !ok {
+			continue
+		}
+		peer, _ := l.Other(n.id)
+		if _, ok := n.neighbors[peer]; ok {
+			continue
+		}
+		nl := &neighborLink{
+			neighbor: peer,
+			linkID:   lid,
+			latency:  l.Latency,
+			protos:   make(map[wire.LinkProtoID]link.Protocol),
+		}
+		n.neighbors[peer] = nl
+		n.neighborOrder = append(n.neighborOrder, peer)
+		n.byLink[lid] = nl
+		n.lsMgr.AddNeighborLive(peer, lid)
+		if n.plane != nil {
+			n.plane.setPath(peer, 0)
+		}
+		grew = true
+	}
+	if grew {
+		sort.Slice(n.neighborOrder, func(i, j int) bool {
+			return n.neighborOrder[i] < n.neighborOrder[j]
+		})
+	}
+	if added > 0 || grew {
+		n.engine.Invalidate()
+		n.engine.Publish()
+		if n.onViewChange != nil {
+			n.onViewChange()
+		}
+	}
+}
+
+// AdmitNeighbor admits a new overlay neighbor at runtime (the daemon
+// admission path): the shared graph gains the peer and a direct link if
+// one is not already designed, and SyncTopology registers the link's
+// neighbor machinery and begins hello probing. Idempotent; must run on
+// the node's executor.
+func (n *Node) AdmitNeighbor(peer wire.NodeID, latency time.Duration) error {
+	if peer == 0 || peer == n.id {
+		return fmt.Errorf("node: bad neighbor %v", peer)
+	}
+	if _, ok := n.cfg.Graph.LinkBetween(n.id, peer); !ok {
+		n.cfg.Graph.AddNode(peer)
+		if _, err := n.cfg.Graph.AddLink(n.id, peer, latency); err != nil {
+			return err
+		}
+	}
+	n.SyncTopology()
+	return nil
+}
+
+// LearnLink grows the shared graph with a remote link the node is not an
+// endpoint of (the daemon admission path on non-adjacent nodes): the view
+// gains the link so SPF can route through it, while its availability
+// stays governed by the endpoints' LSA floods. Idempotent; must run on
+// the node's executor.
+func (n *Node) LearnLink(a, b wire.NodeID, latency time.Duration) error {
+	if a == 0 || b == 0 || a == b {
+		return fmt.Errorf("node: bad link %v-%v", a, b)
+	}
+	if a == n.id || b == n.id {
+		peer := a
+		if a == n.id {
+			peer = b
+		}
+		return n.AdmitNeighbor(peer, latency)
+	}
+	if _, ok := n.cfg.Graph.LinkBetween(a, b); !ok {
+		n.cfg.Graph.AddNode(a)
+		n.cfg.Graph.AddNode(b)
+		if _, err := n.cfg.Graph.AddLink(a, b, latency); err != nil {
+			return err
+		}
+	}
+	n.SyncTopology()
+	return nil
+}
+
+// EvictNeighbor administratively removes a departed neighbor at runtime:
+// its link is downed (the withdrawal floods) and its advertisement
+// history is purged so a rejoining incarnation's fresh sequence space
+// wins immediately. Must run on the node's executor.
+func (n *Node) EvictNeighbor(peer wire.NodeID) {
+	n.lsMgr.PurgeOrigin(peer)
+	if _, ok := n.neighbors[peer]; ok {
+		n.lsMgr.DisableNeighbor(peer)
+	}
+}
+
+// handleMemberChange reacts to directory transitions: a departed neighbor
+// has its link administratively downed and its advertisement history
+// purged; a (re)joined neighbor resumes probing. Purging the departed
+// origin's highest-seen sequence lets a rejoining node's restarted
+// sequence space win immediately.
+func (n *Node) handleMemberChange(id wire.NodeID, st membership.Status) {
+	if id == n.id {
+		return
+	}
+	switch st {
+	case membership.StatusLeft:
+		n.lsMgr.PurgeOrigin(id)
+		if _, ok := n.neighbors[id]; ok {
+			n.lsMgr.DisableNeighbor(id)
+		}
+	case membership.StatusJoined:
+		n.lsMgr.PurgeOrigin(id)
+		if _, ok := n.neighbors[id]; ok {
+			n.lsMgr.EnableNeighbor(id)
+		}
+	}
+}
+
+// correctFinding is the topology corrector for detector findings: a stale
+// link to a departed neighbor is administratively disabled; a stale
+// remote link is marked down through the link-state manager so the
+// version bump and view-change notification propagate to routing. Every
+// node runs the same rule against converging directories, so the fleet
+// repairs to the same topology without coordination.
+func (n *Node) correctFinding(f membership.Finding) {
+	if f.Kind != membership.FindingStaleLink {
+		return
+	}
+	if f.Node != 0 {
+		if _, ok := n.neighbors[f.Node]; ok {
+			n.lsMgr.DisableNeighbor(f.Node)
+			return
+		}
+	}
+	n.lsMgr.ApplyCorrection(f.Link, false)
+}
 
 // Stats returns a snapshot of node counters.
 func (n *Node) Stats() Stats { return n.stats }
@@ -505,6 +687,13 @@ func (n *Node) receiveFromLink(from wire.NodeID, p *wire.Packet) {
 		if err := n.grpMgr.HandleAnnouncement(from, p); err != nil {
 			return
 		}
+	case wire.PTMembership:
+		if n.memMgr == nil {
+			return
+		}
+		if err := n.memMgr.HandlePacket(from, p); err != nil {
+			return
+		}
 	case wire.PTData, wire.PTSessionCtl:
 		nl, ok := n.neighbors[from]
 		if !ok {
@@ -598,6 +787,10 @@ func (n *Node) controlFromShard(from wire.NodeID, p *wire.Packet) {
 		_ = n.lsMgr.HandleLSA(from, p)
 	case wire.PTGroupState:
 		_ = n.grpMgr.HandleAnnouncement(from, p)
+	case wire.PTMembership:
+		if n.memMgr != nil {
+			_ = n.memMgr.HandlePacket(from, p)
+		}
 	}
 }
 
@@ -818,6 +1011,23 @@ func (e *lsEnv) ViewChanged() {
 		e.n.onViewChange()
 	}
 }
+
+// memEnv adapts the node to membership.Env. Flood and Send hand payloads
+// to the best-effort link protocol, which marshals synchronously, so the
+// manager's scratch buffers can be reused immediately.
+type memEnv struct{ n *Node }
+
+func (e *memEnv) Clock() sim.Clock { return e.n.clock }
+
+func (e *memEnv) Flood(payload []byte, except wire.NodeID) {
+	e.n.floodControl(wire.PTMembership, payload, except)
+}
+
+func (e *memEnv) Send(to wire.NodeID, payload []byte) {
+	e.n.sendControl(wire.PTMembership, to, payload)
+}
+
+func (e *memEnv) Neighbors() []wire.NodeID { return e.n.neighborOrder }
 
 // grpEnv adapts the node to groups.Env.
 type grpEnv struct{ n *Node }

@@ -171,10 +171,21 @@ func NewDataPlane(n *Node, loops *sim.ShardedLoop, under ShardUnderlay, clocks [
 func (pl *DataPlane) NumShards() int { return pl.nshard }
 
 // HomeOf returns the home shard of an overlay node, or 0 for nodes
-// outside the topology.
+// outside the topology. Nodes admitted after startup sit past the end
+// of the dense tables and home to the control shard, where the
+// unsharded protocol path handles them.
 func (pl *DataPlane) HomeOf(id wire.NodeID) int {
 	if idx, ok := pl.n.cfg.Graph.NodeIndex(id); ok {
-		return int(pl.homes[idx])
+		return int(pl.homeOfIdx(idx))
+	}
+	return 0
+}
+
+// homeOfIdx maps a dense node index to its home shard, treating indexes
+// past the startup-sized table (runtime-admitted nodes) as control-homed.
+func (pl *DataPlane) homeOfIdx(idx int) int32 {
+	if idx < len(pl.homes) {
+		return pl.homes[idx]
 	}
 	return 0
 }
@@ -253,7 +264,7 @@ func (pl *DataPlane) Close() {
 // setPath records the underlay path the control shard's link-state
 // machinery selected for a neighbor.
 func (pl *DataPlane) setPath(neighbor wire.NodeID, path uint8) {
-	if idx, ok := pl.n.cfg.Graph.NodeIndex(neighbor); ok {
+	if idx, ok := pl.n.cfg.Graph.NodeIndex(neighbor); ok && idx < len(pl.paths) {
 		pl.paths[idx].Store(uint32(path))
 	}
 }
@@ -439,7 +450,7 @@ func (s *DataShard) route(p *wire.Packet, arrived wire.LinkID) {
 		if p.Dst == snap.Self {
 			deliver = true
 		} else if hop, ok := snap.NextHopFor(p.Dst); ok {
-			s.fwd = append(s.fwd, shardHop{neighbor: hop.Neighbor, home: pl.homes[hop.NeighborIdx]})
+			s.fwd = append(s.fwd, shardHop{neighbor: hop.Neighbor, home: pl.homeOfIdx(int(hop.NeighborIdx))})
 		}
 	case wire.RouteSourceMask, wire.RouteFlood:
 		if firstSeen {
@@ -495,7 +506,7 @@ func (s *DataShard) appendMask(snap *routing.Snapshot, mask wire.Bitmask, arrive
 		if inc.Link == arrived || !inc.Usable || !mask.Has(inc.Link) {
 			continue
 		}
-		s.fwd = append(s.fwd, shardHop{neighbor: inc.Neighbor, home: s.plane.homes[inc.NeighborIdx]})
+		s.fwd = append(s.fwd, shardHop{neighbor: inc.Neighbor, home: s.plane.homeOfIdx(int(inc.NeighborIdx))})
 	}
 }
 

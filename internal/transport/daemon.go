@@ -212,6 +212,60 @@ func (d *Daemon) AddPeer(id wire.NodeID, addrs ...string) error {
 	return d.udp.PinFlow(id, wire.HomeShard(id, d.udp.NumShards()))
 }
 
+// RemovePeer unregisters a departed peer from the underlay: its sender
+// addresses and steering pin are dropped, so a node that left the overlay
+// no longer occupies peer-table or shard-steering state. A later AddPeer
+// (rejoin, possibly from new addresses) re-registers and re-pins from
+// scratch.
+func (d *Daemon) RemovePeer(id wire.NodeID) { d.udp.RemovePeer(id) }
+
+// AdmitPeer admits a new overlay neighbor at runtime: the peer's UDP
+// addresses register (pinned to its home shard), the shared topology
+// gains the node and a direct link of the given designed latency, and
+// the daemon's node begins hello probing and re-announces its link
+// state, so the new member is discovered fleet-wide through normal LSA
+// flooding. Idempotent: calling again just refreshes the addresses.
+func (d *Daemon) AdmitPeer(id wire.NodeID, latencyMs int, addrs ...string) error {
+	if id == d.cfg.ID {
+		return fmt.Errorf("transport: cannot admit self")
+	}
+	if err := d.AddPeer(id, addrs...); err != nil {
+		return err
+	}
+	ch := make(chan error, 1)
+	d.loop.Post(func() {
+		ch <- d.node.AdmitNeighbor(id, time.Duration(latencyMs)*time.Millisecond)
+	})
+	return <-ch
+}
+
+// LearnLink teaches the node a remote link it is not an endpoint of (a
+// config reload on a non-adjacent daemon): the topology view grows so
+// SPF can route through the new link, while hello probing and
+// availability stay the endpoints' business. Links adjacent to this
+// daemon are delegated to the full admission path.
+func (d *Daemon) LearnLink(a, b wire.NodeID, latencyMs int) error {
+	ch := make(chan error, 1)
+	d.loop.Post(func() {
+		ch <- d.node.LearnLink(a, b, time.Duration(latencyMs)*time.Millisecond)
+	})
+	return <-ch
+}
+
+// EvictPeer removes a departed overlay neighbor at runtime: the node
+// withdraws the link (administrative down) and purges the peer's
+// advertisement history on its loop, then the underlay drops the peer's
+// addresses and steering pin.
+func (d *Daemon) EvictPeer(id wire.NodeID) {
+	done := make(chan struct{})
+	d.loop.Post(func() {
+		d.node.EvictNeighbor(id)
+		close(done)
+	})
+	<-done
+	d.udp.RemovePeer(id)
+}
+
 // TCPAddr returns the client listener address, if enabled.
 func (d *Daemon) TCPAddr() string {
 	if d.ln == nil {

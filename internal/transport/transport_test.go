@@ -387,3 +387,95 @@ func TestDaemonFailureTriggersReroute(t *testing.T) {
 		t.Fatal("detour daemon forwarded nothing")
 	}
 }
+
+// TestDaemonRuntimeAdmissionMultiHop is the regression test for the
+// config-reload admission path: a node admitted at runtime on one edge
+// of the overlay must become reachable from daemons that are NOT its
+// neighbors. The far daemons learn the new remote link (LearnLink) so
+// SPF can route through it — admitting only on the adjacent daemon used
+// to leave the rest of the fleet with no route to the newcomer.
+func TestDaemonRuntimeAdmissionMultiHop(t *testing.T) {
+	daemons := startChain(t, 3, 1)
+
+	// Bring up the newcomer with the grown topology (its config already
+	// declares the 3-4 link), client listener enabled.
+	links := []LinkDef{
+		{A: 1, B: 2, LatencyMs: 1},
+		{A: 2, B: 3, LatencyMs: 1},
+		{A: 3, B: 4, LatencyMs: 1},
+	}
+	d4, err := NewDaemon(DaemonConfig{
+		ID: 4, BindUDP: "127.0.0.1:0", BindTCP: "127.0.0.1:0",
+		Links: links, HelloIntervalMs: 20, Shards: testShards(),
+	})
+	if err != nil {
+		t.Fatalf("NewDaemon(4): %v", err)
+	}
+	t.Cleanup(d4.Close)
+	if err := d4.AddPeer(3, daemons[3].UDPAddr()); err != nil {
+		t.Fatalf("AddPeer(4→3): %v", err)
+	}
+
+	// Runtime admission on the running fleet: the adjacent daemon admits
+	// the newcomer as a live neighbor, the far daemons learn the remote
+	// link. (This is exactly what sonetd's SIGHUP reload applies.)
+	if err := daemons[3].AdmitPeer(4, 1, d4.UDPAddr()); err != nil {
+		t.Fatalf("AdmitPeer(3→4): %v", err)
+	}
+	for _, far := range []wire.NodeID{1, 2} {
+		if err := daemons[far].LearnLink(3, 4, 1); err != nil {
+			t.Fatalf("LearnLink(%d): %v", far, err)
+		}
+	}
+
+	var mu sync.Mutex
+	var got []session.Delivery
+	recv, err := Dial(d4.TCPAddr(), 700, func(d session.Delivery) {
+		mu.Lock()
+		got = append(got, d)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Dial(4): %v", err)
+	}
+	defer func() { _ = recv.Close() }()
+	send, err := Dial(daemons[1].TCPAddr(), 0, nil)
+	if err != nil {
+		t.Fatalf("Dial(1): %v", err)
+	}
+	defer func() { _ = send.Close() }()
+	flow, err := send.OpenFlow(session.FlowSpec{
+		DstNode: 4, DstPort: 700,
+		LinkProto: wire.LPReliable, Ordered: true,
+	})
+	if err != nil {
+		t.Fatalf("OpenFlow: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond) // hellos on the new 3-4 link
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := flow.Send([]byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		count := len(got)
+		mu.Unlock()
+		if count == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d at the admitted node", count, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, d := range got {
+		if d.Seq != uint32(i+1) || d.From != 1 {
+			t.Fatalf("delivery %d = %+v", i, d)
+		}
+	}
+}

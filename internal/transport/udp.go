@@ -452,6 +452,42 @@ func (u *UDPUnderlay) PinFlow(id wire.NodeID, shard int) error {
 	return nil
 }
 
+// RemovePeer unregisters a departed peer: its addresses leave the sender
+// column (frames from them drop as unknown), its flow pin is discarded,
+// and Send toward it becomes a no-op. Like every table mutation it
+// replaces the COW snapshot, so concurrent readers always see a
+// consistent table; a later AddPeer re-registers from a clean slate (no
+// pin carried over). Removing an unknown peer is a no-op.
+func (u *UDPUnderlay) RemovePeer(id wire.NodeID) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	old := u.table.Load()
+	if _, ok := old.peers[id]; !ok {
+		return
+	}
+	u.table.Store(old.withoutPeer(id))
+}
+
+// withoutPeer returns a copy of the table with id's peer entry and every
+// sender-column address owned by it dropped.
+func (t *peerTable) withoutPeer(id wire.NodeID) *peerTable {
+	nt := &peerTable{
+		peers:   make(map[wire.NodeID]peerEntry, len(t.peers)),
+		senders: make(map[netip.AddrPort]senderEntry, len(t.senders)),
+	}
+	for k, v := range t.peers {
+		if k != id {
+			nt.peers[k] = v
+		}
+	}
+	for k, v := range t.senders {
+		if v.id != id {
+			nt.senders[k] = v
+		}
+	}
+	return nt
+}
+
 // withPeer returns a copy of the table with id's entry replaced and the
 // sender column rebuilt for it (stale addresses unregistered).
 func (t *peerTable) withPeer(id wire.NodeID, ent peerEntry) *peerTable {

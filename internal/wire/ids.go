@@ -47,6 +47,9 @@ const (
 	PTHello
 	PTHelloAck
 	PTSessionCtl
+	// PTMembership carries the dynamic-membership protocol: join requests,
+	// member-directory updates, view digests, and full-directory syncs.
+	PTMembership
 )
 
 // String returns a short mnemonic for the packet type.
@@ -64,6 +67,8 @@ func (t PacketType) String() string {
 		return "helloack"
 	case PTSessionCtl:
 		return "sessionctl"
+	case PTMembership:
+		return "membership"
 	default:
 		return fmt.Sprintf("pt(%d)", uint8(t))
 	}

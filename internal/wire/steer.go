@@ -20,8 +20,9 @@ func HomeShard(id NodeID, shards int) int {
 
 // DatagramIsControl classifies a marshaled frame without decoding it:
 // true means the frame belongs to the overlay's control plane — hello
-// probes and their acks, and best-effort data frames carrying link-state
-// or group-state packets — which a sharded daemon handles on the control
+// probes and their acks, and best-effort data frames carrying link-state,
+// group-state, or membership packets — which a sharded daemon handles on
+// the control
 // shard regardless of the sending peer's home shard. Everything else
 // (data packets, acks, retransmission requests) is per-peer link-session
 // traffic that must stay on the peer's home shard.
@@ -57,7 +58,7 @@ func DatagramIsControl(b []byte) bool {
 		return false
 	}
 	switch PacketType(b[off]) {
-	case PTLinkState, PTGroupState:
+	case PTLinkState, PTGroupState, PTMembership:
 		return true
 	}
 	return false

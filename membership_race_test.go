@@ -1,0 +1,162 @@
+package sonet
+
+import (
+	"testing"
+	"time"
+)
+
+// ringSix is a 2-connected 6-node ring expressed through the public API.
+func ringSix() []Link {
+	ms := time.Millisecond
+	return []Link{
+		{A: 1, B: 2, Latency: 10 * ms},
+		{A: 2, B: 3, Latency: 10 * ms},
+		{A: 3, B: 4, Latency: 10 * ms},
+		{A: 4, B: 5, Latency: 10 * ms},
+		{A: 5, B: 6, Latency: 10 * ms},
+		{A: 6, B: 1, Latency: 10 * ms},
+		{A: 1, B: 4, Latency: 12 * ms},
+	}
+}
+
+func memberNet(t *testing.T, seed uint64) *Network {
+	t.Helper()
+	net, err := New(seed, ringSix(), WithMembership())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return net
+}
+
+func wantMembers(t *testing.T, net *Network, at NodeID, want []NodeID) {
+	t.Helper()
+	got := net.Members(at)
+	if len(got) != len(want) {
+		t.Fatalf("node %d sees members %v, want %v", at, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d sees members %v, want %v", at, got, want)
+		}
+	}
+}
+
+// TestJoinDuringPartition races admission against a partition: the joiner
+// connects to a contact that is cut off from half the fleet mid-handshake.
+// The admission record must reach the far side only after the partition
+// heals — and must reach it then.
+func TestJoinDuringPartition(t *testing.T) {
+	net := memberNet(t, 11)
+	defer net.Close()
+	net.Run(500 * time.Millisecond)
+	// Sever nodes {1,2,3} from {4,5,6} except through the contact's side:
+	// cut 3–4, 6–1, and the 1–4 chord, isolating the contact (4) with 5,6.
+	for _, cut := range [][2]NodeID{{3, 4}, {6, 1}, {1, 4}} {
+		if err := net.CutLink(cut[0], cut[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(300 * time.Millisecond)
+	// Join through contact 4 while it is partitioned.
+	if err := net.JoinNode(7, 4, Link{A: 7, B: 4, Latency: 10 * time.Millisecond}); err != nil {
+		t.Fatalf("JoinNode: %v", err)
+	}
+	net.Run(time.Second)
+	// The contact's side admits the joiner; the far side cannot know yet.
+	wantMembers(t, net, 4, []NodeID{1, 2, 3, 4, 5, 6, 7})
+	if got := net.Members(1); len(got) == 7 {
+		t.Fatal("admission crossed an active partition")
+	}
+	// Heal; anti-entropy carries the admission across.
+	for _, cut := range [][2]NodeID{{3, 4}, {6, 1}, {1, 4}} {
+		if err := net.RestoreLink(cut[0], cut[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(3 * time.Second)
+	for id := NodeID(1); id <= 7; id++ {
+		wantMembers(t, net, id, []NodeID{1, 2, 3, 4, 5, 6, 7})
+	}
+}
+
+// TestLeaveMidFlood races a graceful departure against link-state churn:
+// the leaver withdraws while cut/restore floods for an unrelated link are
+// still propagating. Survivors must converge on the reduced membership
+// and keep routing around both events.
+func TestLeaveMidFlood(t *testing.T) {
+	net := memberNet(t, 12)
+	defer net.Close()
+	net.Run(500 * time.Millisecond)
+	// Kick off a flood and depart in the same scheduling breath.
+	if err := net.CutLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.LeaveNode(5); err != nil {
+		t.Fatalf("LeaveNode: %v", err)
+	}
+	if err := net.RestoreLink(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(3 * time.Second)
+	for _, id := range []NodeID{1, 2, 3, 4, 6} {
+		wantMembers(t, net, id, []NodeID{1, 2, 3, 4, 6})
+	}
+	// The ring minus node 5 still routes 4 → 6 the long way.
+	if p := net.PathBetween(4, 6); len(p) == 0 {
+		t.Fatal("no route around the departed node")
+	}
+}
+
+// TestConcurrentJoinsSameContact admits two joiners through the same
+// contact back to back, so their join requests, admission floods, and
+// sync replies interleave. Both must end up members everywhere, and the
+// contact's admission counter must reflect exactly two admissions.
+func TestConcurrentJoinsSameContact(t *testing.T) {
+	net := memberNet(t, 13)
+	defer net.Close()
+	net.Run(500 * time.Millisecond)
+	if err := net.JoinNode(7, 1, Link{A: 7, B: 1, Latency: 10 * time.Millisecond}); err != nil {
+		t.Fatalf("JoinNode(7): %v", err)
+	}
+	if err := net.JoinNode(8, 1, Link{A: 8, B: 1, Latency: 10 * time.Millisecond}); err != nil {
+		t.Fatalf("JoinNode(8): %v", err)
+	}
+	net.Run(3 * time.Second)
+	all := []NodeID{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, id := range all {
+		wantMembers(t, net, id, all)
+	}
+	// The two joiners route to each other through the shared contact.
+	if p := net.PathBetween(7, 8); len(p) == 0 {
+		t.Fatal("no route between the two joiners")
+	}
+}
+
+// TestRejoinStaleEpoch departs a node and brings back a fresh incarnation
+// whose seeded directory is deliberately stale (it still believes the
+// epoch-1 world, including its own pre-leave admission). The admission
+// handshake plus anti-entropy must supersede the stale records, and the
+// fleet must converge back to full membership with working routes.
+func TestRejoinStaleEpoch(t *testing.T) {
+	net := memberNet(t, 14)
+	defer net.Close()
+	net.Run(500 * time.Millisecond)
+	if err := net.LeaveNode(4); err != nil {
+		t.Fatalf("LeaveNode: %v", err)
+	}
+	net.Run(2 * time.Second)
+	for _, id := range []NodeID{1, 2, 3, 5, 6} {
+		wantMembers(t, net, id, []NodeID{1, 2, 3, 5, 6})
+	}
+	if err := net.RejoinNode(4, 5); err != nil {
+		t.Fatalf("RejoinNode: %v", err)
+	}
+	net.Run(3 * time.Second)
+	all := []NodeID{1, 2, 3, 4, 5, 6}
+	for _, id := range all {
+		wantMembers(t, net, id, all)
+	}
+	if p := net.PathBetween(1, 4); len(p) == 0 {
+		t.Fatal("no route to the rejoined node")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sonet/internal/core"
 	"sonet/internal/itmsg"
 	"sonet/internal/link"
+	"sonet/internal/membership"
 	"sonet/internal/metrics"
 	"sonet/internal/netemu"
 	"sonet/internal/node"
@@ -55,6 +56,7 @@ type options struct {
 	itSched       itmsg.SchedConfig
 	authSeed      []byte
 	compromised   map[NodeID]node.Compromise
+	membership    bool
 }
 
 // Option adjusts network construction.
@@ -91,6 +93,15 @@ func WithITCapacity(rate float64, buffer int) Option {
 // derived from the deployment seed (§IV-B).
 func WithAuthentication(seed []byte) Option {
 	return func(o *options) { o.authSeed = append([]byte(nil), seed...) }
+}
+
+// WithMembership enables the dynamic membership subsystem on every node:
+// a replicated member directory with epoch-versioned records, join
+// admission through any contact node, graceful leave announcements, and
+// the periodic self-stabilizing detector/corrector that repairs stale
+// topology state. Required for JoinNode/LeaveNode.
+func WithMembership() Option {
+	return func(o *options) { o.membership = true }
 }
 
 // WithCompromisedNode makes one node Byzantine: it keeps its credentials
@@ -173,6 +184,11 @@ func New(seed uint64, links []Link, opts ...Option) (*Network, error) {
 		if c, ok := o.compromised[cfg.ID]; ok {
 			cfg.Compromised = c
 		}
+		if o.membership {
+			mc := membership.DefaultConfig()
+			mc.Seed = all
+			cfg.Membership = &mc
+		}
 	})
 	if err := s.Start(); err != nil {
 		return nil, fmt.Errorf("sonet: %w", err)
@@ -239,6 +255,62 @@ func (n *Network) RestoreNode(id NodeID) {
 	if st, ok := n.sim.Net.NodeSite(id); ok {
 		n.sim.Net.SetSiteUp(st, true)
 	}
+}
+
+// JoinNode admits a new node into the running overlay at runtime: the
+// topology gains the node and its links (each served by a dedicated
+// emulated provider, like the designed links), every running node
+// absorbs the growth, the joiner starts, and — with WithMembership — it
+// runs the in-band admission handshake through contact, which must be at
+// the far end of one of its links. Run or Settle afterwards to let the
+// admission and link-state floods converge.
+func (n *Network) JoinNode(id NodeID, contact NodeID, links ...Link) error {
+	sls := make([]core.SimpleLink, 0, len(links))
+	for _, l := range links {
+		sl := core.SimpleLink{A: l.A, B: l.B, Latency: l.Latency, Jitter: l.Jitter}
+		switch {
+		case l.BurstLoss != nil:
+			b := l.BurstLoss
+			sl.Loss = netemu.NewGilbertElliott(b.PGoodBad, b.PBadGood, b.LossGood, b.LossBad)
+		case l.LossRate > 0:
+			sl.Loss = netemu.Bernoulli{P: l.LossRate}
+		}
+		sls = append(sls, sl)
+	}
+	return n.sim.Join(id, contact, sls, nil)
+}
+
+// LeaveNode departs a node gracefully: it floods its departure record
+// and withdraws every adjacent link, then stops. Survivors converge
+// without it; RejoinNode brings it back.
+func (n *Network) LeaveNode(id NodeID) error { return n.sim.Leave(id) }
+
+// RejoinNode restarts a departed (or crashed) node as a fresh
+// incarnation over its designed links and — with WithMembership — runs
+// the admission handshake through contact, healing its deliberately
+// stale seeded directory via anti-entropy.
+func (n *Network) RejoinNode(id NodeID, contact NodeID) error {
+	if err := n.sim.RestartNode(id); err != nil {
+		return err
+	}
+	if m := n.sim.Node(id).Membership(); m != nil && contact != 0 {
+		m.Join(contact)
+	}
+	return nil
+}
+
+// Members returns the member list in one node's directory view (sorted
+// ascending), or nil when membership is disabled or the node is unknown.
+func (n *Network) Members(at NodeID) []NodeID {
+	nd := n.sim.Node(at)
+	if nd == nil {
+		return nil
+	}
+	m := nd.Membership()
+	if m == nil {
+		return nil
+	}
+	return m.Directory().Members(nil)
 }
 
 // PathBetween returns the current overlay route between two nodes under
